@@ -1,0 +1,50 @@
+// E1 -- Table II: latency and resource comparison between HeteroSVD and
+// the FPGA BCV-Jacobi baseline [6], six iterations per matrix.
+//
+// Protocol (paper section V-B): FPGA at its maximum task parallelism and
+// 200 MHz; HeteroSVD in its latency configuration (P_eng = 8, P_task = 1,
+// which is exactly Table II's 128 AIEs), PL frequency from the
+// achievable-frequency model.
+#include "accel/accelerator.hpp"
+#include "baselines/fpga_model.hpp"
+#include "bench_util.hpp"
+#include "perfmodel/resource_model.hpp"
+
+using namespace hsvd;
+
+int main() {
+  bench::print_header("Latency & resources: HeteroSVD vs FPGA [6]",
+                      "Table II");
+
+  const double paper_fpga[] = {0.0014, 0.0113, 0.0829, 0.6119};
+  const double paper_hsvd[] = {0.0011, 0.0057, 0.0435, 0.3415};
+
+  baselines::FpgaBcvModel fpga;
+  Table table({"Matrix", "FPGA lat(s)", "HSVD lat(s)", "HSVD LUT", "HSVD URAM",
+               "HSVD AIE", "Speedup", "paper HSVD(s)", "paper speedup"});
+  CsvWriter csv({"n", "fpga_s", "hsvd_s", "speedup", "paper_hsvd_s",
+                 "paper_speedup"});
+
+  int row = 0;
+  for (std::size_t n : {128u, 256u, 512u, 1024u}) {
+    auto cfg = bench::latency_config(n, 6, bench::achievable_frequency(n, 1));
+    accel::HeteroSvdAccelerator acc(cfg);
+    auto run = acc.estimate(1);
+    const double hsvd_s = run.task_seconds;
+    const double fpga_s = fpga.latency_seconds(n, 6);
+    const double speedup = fpga_s / hsvd_s;
+    table.add_row({cat(n, "x", n), fixed(fpga_s, 4), fixed(hsvd_s, 4),
+                   cat(run.resources.lut / 1000, "K"),
+                   cat(run.resources.uram), cat(run.resources.aie_total()),
+                   times(speedup), fixed(paper_hsvd[row], 4),
+                   times(paper_fpga[row] / paper_hsvd[row])});
+    csv.add_row({cat(n), sci(fpga_s), sci(hsvd_s), fixed(speedup, 3),
+                 sci(paper_hsvd[row]), fixed(paper_fpga[row] / paper_hsvd[row], 3)});
+    ++row;
+  }
+  table.print();
+  std::printf("\nFPGA baseline resources (fixed, Table II): LUT 212K (30.6%%), "
+              "BRAM 519.5 (31.4%%), DSP 1602 (44.5%%)\n");
+  bench::write_csv(csv, "table2_fpga");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E2 -- Table III: latency, throughput, and energy efficiency of
+// HeteroSVD vs the RTX 3090 W-cycle SVD [11].
+//
+// Protocol: both sides iterate to convergence at 1e-6 (the sweep count
+// grows with matrix size; see bench_util.hpp); the HeteroSVD
+// configuration comes from the DSE flow -- latency objective for the
+// latency column, throughput objective (batch processing) for the
+// throughput and energy-efficiency columns. Batch throughput is measured
+// over one full wave of P_task tasks (steady state).
+#include "accel/accelerator.hpp"
+#include "baselines/gpu_model.hpp"
+#include "bench_util.hpp"
+#include "dse/explorer.hpp"
+#include "perfmodel/power_model.hpp"
+
+using namespace hsvd;
+
+int main() {
+  bench::print_header(
+      "Latency / throughput / energy efficiency: HeteroSVD vs GPU [11]",
+      "Table III");
+
+  const double paper_lat_speedup[] = {7.22, 3.30, 1.15, 0.86};
+  const double paper_thr_speedup[] = {1.77, 1.10, 0.89, 0.36};
+  const double paper_ee_gain[] = {13.18, 7.76, 6.50, 4.36};
+
+  baselines::GpuWcycleModel gpu;
+  dse::DesignSpaceExplorer explorer;
+  perf::PowerModel power;
+
+  Table table({"Matrix", "GPU lat(s)", "HSVD lat(s)", "GPU thr", "HSVD thr",
+               "GPU EE", "HSVD EE", "Lat spd", "Thr spd", "EE gain",
+               "paper(L/T/EE)"});
+  CsvWriter csv({"n", "gpu_lat", "hsvd_lat", "gpu_thr", "hsvd_thr", "gpu_ee",
+                 "hsvd_ee", "lat_speedup", "thr_speedup", "ee_gain"});
+
+  int row = 0;
+  for (std::size_t n : {128u, 256u, 512u, 1024u}) {
+    // Latency column: DSE latency objective, single matrix.
+    const int sweeps = bench::converged_sweeps(n);
+    dse::DseRequest lat_req;
+    lat_req.rows = lat_req.cols = n;
+    lat_req.batch = 1;
+    lat_req.iterations = sweeps;
+    lat_req.objective = dse::Objective::kLatency;
+    auto lat_point = explorer.optimize(lat_req);
+    accel::HeteroSvdConfig lat_cfg;
+    lat_cfg.rows = lat_cfg.cols = n;
+    lat_cfg.p_eng = lat_point.p_eng;
+    lat_cfg.p_task = lat_point.p_task;
+    lat_cfg.iterations = sweeps;
+    lat_cfg.pl_frequency_hz = lat_point.frequency_hz;
+    const double hsvd_lat =
+        accel::HeteroSvdAccelerator(lat_cfg).estimate(1).task_seconds;
+
+    // Throughput column: DSE throughput objective, one steady-state wave.
+    dse::DseRequest thr_req = lat_req;
+    thr_req.batch = 100;
+    thr_req.objective = dse::Objective::kThroughput;
+    auto thr_point = explorer.optimize(thr_req);
+    accel::HeteroSvdConfig thr_cfg = lat_cfg;
+    thr_cfg.p_eng = thr_point.p_eng;
+    thr_cfg.p_task = thr_point.p_task;
+    thr_cfg.pl_frequency_hz = thr_point.frequency_hz;
+    auto wave = accel::HeteroSvdAccelerator(thr_cfg).estimate(thr_cfg.p_task);
+    const double hsvd_thr = wave.throughput_tasks_per_s;
+    const double hsvd_watts =
+        perf::PowerModel{}.system_watts(wave.resources, thr_cfg.pl_frequency_hz);
+    const double hsvd_ee = hsvd_thr / hsvd_watts;
+
+    const double gpu_lat = gpu.latency_seconds(n);
+    const double gpu_thr = gpu.throughput_tasks_per_s(n);
+    const double gpu_ee = gpu.energy_efficiency(n);
+
+    table.add_row(
+        {cat(n, "x", n), fixed(gpu_lat, 4), fixed(hsvd_lat, 4),
+         fixed(gpu_thr, 2), fixed(hsvd_thr, 2), fixed(gpu_ee, 3),
+         fixed(hsvd_ee, 3), times(gpu_lat / hsvd_lat),
+         times(hsvd_thr / gpu_thr), times(hsvd_ee / gpu_ee),
+         cat(times(paper_lat_speedup[row]), "/", times(paper_thr_speedup[row]),
+             "/", times(paper_ee_gain[row]))});
+    csv.add_row({cat(n), sci(gpu_lat), sci(hsvd_lat), fixed(gpu_thr, 2),
+                 fixed(hsvd_thr, 2), fixed(gpu_ee, 4), fixed(hsvd_ee, 4),
+                 fixed(gpu_lat / hsvd_lat, 2), fixed(hsvd_thr / gpu_thr, 2),
+                 fixed(hsvd_ee / gpu_ee, 2)});
+    ++row;
+  }
+  table.print();
+  std::printf("\nGPU board power: 270 W; HeteroSVD system power < 50 W "
+              "(power model, see EXPERIMENTS.md).\n");
+  bench::write_csv(csv, "table3_gpu");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E3 -- Table IV: accuracy of the analytic performance model against the
+// measured platform (here: the cycle-approximate simulator standing in
+// for the VCK190 board), single iteration, PL fixed at 208.3 MHz.
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "perfmodel/perf_model.hpp"
+
+using namespace hsvd;
+
+int main() {
+  bench::print_header("Performance model accuracy, single iteration",
+                      "Table IV");
+
+  const double paper_meas[3][3] = {{0.993, 6.151, 43.229},
+                                   {0.395, 2.853, 21.584},
+                                   {0.214, 1.475, 10.965}};
+  const int pengs[3] = {2, 4, 8};
+
+  perf::PerformanceModel model;
+  Table table({"Matrix", "P_eng", "Sim (ms)", "Model (ms)", "Error",
+               "paper meas(ms)", "paper err"});
+  CsvWriter csv({"n", "p_eng", "sim_ms", "model_ms", "error_pct"});
+  const double paper_err[3][3] = {{2.92, 3.03, 2.80},
+                                  {1.03, 1.66, 1.48},
+                                  {2.57, 0.05, 0.56}};
+
+  std::vector<double> errors;
+  for (int ki = 0; ki < 3; ++ki) {
+    for (int ni = 0; ni < 3; ++ni) {
+      const std::size_t n = 128u << ni;
+      accel::HeteroSvdConfig cfg;
+      cfg.rows = cfg.cols = n;
+      cfg.p_eng = pengs[ki];
+      cfg.p_task = 1;
+      cfg.iterations = 1;
+      cfg.pl_frequency_hz = 208.3e6;
+      const double sim =
+          accel::HeteroSvdAccelerator(cfg).estimate(1).task_seconds * 1e3;
+      const double mod = model.evaluate(cfg, 1).t_task * 1e3;
+      const double err = relative_error(mod, sim);
+      errors.push_back(err);
+      table.add_row({cat(n, "x", n), cat(pengs[ki]), fixed(sim, 3),
+                     fixed(mod, 3), pct(err), fixed(paper_meas[ki][ni], 3),
+                     fixed(paper_err[ki][ni], 2) + "%"});
+      csv.add_row({cat(n), cat(pengs[ki]), fixed(sim, 4), fixed(mod, 4),
+                   fixed(err * 100, 2)});
+    }
+  }
+  table.print();
+  std::printf("\nmax error %s, mean error %s (paper: max 3.03%%, mean 1.78%%)\n",
+              pct(max_value(errors)).c_str(), pct(mean(errors)).c_str());
+  bench::write_csv(csv, "table4_model");
+  return 0;
+}

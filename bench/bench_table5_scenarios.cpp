@@ -1,0 +1,96 @@
+// E4 -- Table V: performance model accuracy across application scenarios.
+// The DSE flow picks the configuration for each (size, batch) scenario;
+// the model's single-iteration system time is validated against the
+// simulator (our stand-in for the on-board measurement).
+//
+// Note: the paper's Table V lists its board's chosen (Freq, P_eng,
+// P_task); our placement engine packs tasks differently at some points,
+// so the DSE may select a different P_task. Both configurations are
+// printed; the validated claim is model-vs-measurement error.
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "dse/explorer.hpp"
+#include "perfmodel/perf_model.hpp"
+
+using namespace hsvd;
+
+int main() {
+  bench::print_header("Performance model accuracy across scenarios",
+                      "Table V");
+
+  struct PaperRow {
+    std::size_t n;
+    int batch;
+    double freq_mhz;
+    int p_eng;
+    int p_task;
+    double meas_ms;
+    double model_ms;
+    double err_pct;
+  };
+  const PaperRow paper[] = {
+      {128, 1, 450, 8, 1, 0.357, 0.384, 7.52},
+      {256, 1, 420, 8, 1, 1.202, 1.120, 6.82},
+      {512, 1, 350, 8, 1, 7.815, 7.510, 3.90},
+      {1024, 1, 310, 8, 1, 58.885, 58.255, 1.02},
+      {128, 100, 330, 4, 9, 6.099, 6.412, 5.12},
+      {256, 100, 310, 4, 9, 27.836, 26.623, 4.36},
+      {512, 100, 310, 4, 7, 238.002, 224.301, 5.76},
+      {1024, 100, 310, 8, 1, 5872.181, 5878.970, 0.12},
+  };
+
+  dse::DesignSpaceExplorer explorer;
+  perf::PerformanceModel model;
+  Table table({"Matrix", "Batch", "Cfg (f,Pe,Pt)", "Sim (ms)", "Model (ms)",
+               "Error", "paper cfg", "paper meas", "paper err"});
+  CsvWriter csv({"n", "batch", "freq_mhz", "p_eng", "p_task", "sim_ms",
+                 "model_ms", "error_pct"});
+
+  std::vector<double> errors;
+  for (const auto& row : paper) {
+    dse::DseRequest req;
+    req.rows = req.cols = row.n;
+    req.batch = row.batch;
+    req.iterations = 1;
+    req.objective =
+        row.batch == 1 ? dse::Objective::kLatency : dse::Objective::kThroughput;
+    auto point = explorer.optimize(req);
+
+    accel::HeteroSvdConfig cfg;
+    cfg.rows = cfg.cols = row.n;
+    cfg.p_eng = point.p_eng;
+    cfg.p_task = point.p_task;
+    cfg.iterations = 1;
+    cfg.pl_frequency_hz = point.frequency_hz;
+
+    // Simulate one wave and scale to the full batch (waves are identical).
+    const int wave = std::min(row.batch, cfg.p_task);
+    auto run = accel::HeteroSvdAccelerator(cfg).estimate(wave);
+    const double waves =
+        std::ceil(static_cast<double>(row.batch) / cfg.p_task);
+    const double sim_ms = run.batch_seconds * waves * 1e3;
+    const double model_ms = model.evaluate(cfg, row.batch).t_sys * 1e3;
+    const double err = relative_error(model_ms, sim_ms);
+    errors.push_back(err);
+
+    table.add_row(
+        {cat(row.n, "x", row.n), cat(row.batch),
+         cat(fixed(point.frequency_hz / 1e6, 0), ",", point.p_eng, ",",
+             point.p_task),
+         fixed(sim_ms, 3), fixed(model_ms, 3), pct(err),
+         cat(fixed(row.freq_mhz, 0), ",", row.p_eng, ",", row.p_task),
+         fixed(row.meas_ms, 3), fixed(row.err_pct, 2) + "%"});
+    csv.add_row({cat(row.n), cat(row.batch),
+                 fixed(point.frequency_hz / 1e6, 1), cat(point.p_eng),
+                 cat(point.p_task), fixed(sim_ms, 3), fixed(model_ms, 3),
+                 fixed(err * 100, 2)});
+  }
+  table.print();
+  std::printf("\nmax error %s, mean error %s (paper: max 7.52%%, mean 4.33%%)\n",
+              pct(max_value(errors)).c_str(), pct(mean(errors)).c_str());
+  bench::write_csv(csv, "table5_scenarios");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E5 -- Table VI: how the micro-architecture parameters trade latency,
+// throughput, and power. 256x256 matrices, PL at 208.3 MHz, six
+// iterations per matrix, (P_eng, P_task) sweep.
+//
+// Note: at P_eng = 4 our placement fits at most 6 parallel tasks (the
+// paper packs 9); we evaluate the closest feasible point and print the
+// paper's row alongside.
+#include "accel/accelerator.hpp"
+#include "bench_util.hpp"
+#include "perfmodel/power_model.hpp"
+
+using namespace hsvd;
+
+int main() {
+  bench::print_header("Micro-architecture trade-offs at 256x256, 208.3 MHz",
+                      "Table VI");
+
+  struct PaperRow {
+    int p_eng;
+    int p_task;
+    int aie;
+    int uram;
+    double latency_ms;
+    double throughput;
+    double power_w;
+  };
+  const PaperRow paper[] = {
+      {2, 26, 293, 416, 35.689, 707.501, 44.16},
+      {4, 9, 357, 144, 19.303, 508.436, 34.63},
+      {6, 4, 366, 120, 13.117, 306.876, 30.79},
+      {8, 2, 322, 32, 9.247, 219.257, 26.06},
+  };
+
+  perf::PowerModel power;
+  Table table({"P_eng", "P_task", "AIE", "URAM", "Lat (ms)", "Thr (t/s)",
+               "Power (W)", "paper lat/thr/W"});
+  CsvWriter csv({"p_eng", "p_task", "aie", "uram", "latency_ms",
+                 "throughput", "power_w"});
+
+  for (const auto& row : paper) {
+    accel::HeteroSvdConfig cfg;
+    cfg.rows = cfg.cols = 256;
+    cfg.p_eng = row.p_eng;
+    cfg.iterations = 6;
+    cfg.pl_frequency_hz = 208.3e6;
+    // Use the paper's P_task when our placement fits it, otherwise the
+    // largest feasible value.
+    cfg.p_task = row.p_task;
+    while (cfg.p_task > 1 && !accel::try_place(cfg).has_value()) --cfg.p_task;
+
+    accel::HeteroSvdAccelerator acc(cfg);
+    auto run = acc.estimate(cfg.p_task);  // one steady-state wave
+    const double watts =
+        power.system_watts(run.resources, cfg.pl_frequency_hz);
+    table.add_row({cat(cfg.p_eng), cat(cfg.p_task),
+                   cat(run.resources.aie_total()), cat(run.resources.uram),
+                   fixed(run.task_seconds * 1e3, 3),
+                   fixed(run.throughput_tasks_per_s, 1), fixed(watts, 2),
+                   cat(fixed(row.latency_ms, 1), "/", fixed(row.throughput, 0),
+                       "/", fixed(row.power_w, 1), " @Pt=", row.p_task)});
+    csv.add_row({cat(cfg.p_eng), cat(cfg.p_task),
+                 cat(run.resources.aie_total()), cat(run.resources.uram),
+                 fixed(run.task_seconds * 1e3, 3),
+                 fixed(run.throughput_tasks_per_s, 2), fixed(watts, 2)});
+  }
+  table.print();
+  std::printf("\nTrend check: higher P_eng => lower latency; higher P_task =>"
+              " higher throughput and power (paper section V-C).\n");
+  bench::write_csv(csv, "table6_tradeoff");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench prints (a) the paper's published values and (b) the values
+// this reproduction measures, side by side, and writes a CSV next to the
+// binary so plots can be regenerated. EXPERIMENTS.md records the deltas.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "accel/config.hpp"
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "dse/frequency_model.hpp"
+
+namespace hsvd::bench {
+
+// The Table II / Table IV hardware protocol: latency-oriented single-task
+// configuration (P_eng = 8 matches Table II's 128 AIEs exactly).
+inline accel::HeteroSvdConfig latency_config(std::size_t n, int iterations,
+                                             double frequency_hz) {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = n;
+  cfg.p_eng = 8;
+  cfg.p_task = 1;
+  cfg.iterations = iterations;
+  cfg.pl_frequency_hz = frequency_hz;
+  return cfg;
+}
+
+inline double achievable_frequency(std::size_t n, int p_task) {
+  return dse::FrequencyModel{}.max_frequency_hz(n, p_task);
+}
+
+// Sweeps needed to converge at 1e-6 as a function of matrix size. Block
+// Jacobi needs more sweeps on larger matrices; these counts match the
+// per-iteration vs converged-latency ratios implied by the paper's
+// Tables III and V (about 6.4 / 10.8 / 13.8 / 13.5 for 128..1024).
+inline int converged_sweeps(std::size_t n) {
+  const double sweeps = 7.0 + 3.5 * std::log2(static_cast<double>(n) / 128.0);
+  return static_cast<int>(std::min(14.0, std::max(7.0, std::round(sweeps))));
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s; paper values shown for reference)\n\n",
+              title.c_str(), paper_ref.c_str());
+}
+
+inline void write_csv(const hsvd::CsvWriter& csv, const std::string& name) {
+  const std::string path = name + ".csv";
+  if (csv.write_file(path)) {
+    std::printf("\n[csv written to %s]\n", path.c_str());
+  }
+}
+
+}  // namespace hsvd::bench

@@ -1,0 +1,79 @@
+// Design-space exploration walkthrough (paper section IV).
+//
+//   build/examples/dse_explorer [n] [batch]
+//
+// Enumerates the (P_eng, P_task, Freq) space for the given problem,
+// prints the top design points for both objectives with their resources
+// and modeled power, and shows the stage-1 P_task frontier per P_eng.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "dse/explorer.hpp"
+
+using namespace hsvd;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  const int batch = argc > 2 ? std::atoi(argv[2]) : 100;
+
+  dse::DesignSpaceExplorer explorer;
+  std::printf("DSE for %zux%zu matrices, batch %d (VCK190 budgets: 400 AIE, "
+              "156 PLIO, 967 BRAM, 463 URAM)\n\n",
+              n, n, batch);
+
+  // Stage 1: the feasibility frontier.
+  Table frontier({"P_eng", "max P_task", "limited by"});
+  for (int p_eng = 1; p_eng <= 11; ++p_eng) {
+    dse::DseRequest req;
+    req.rows = req.cols = n;
+    req.batch = batch;
+    if (n < 2 * static_cast<std::size_t>(p_eng)) continue;
+    auto max_tasks = explorer.max_task_parallelism(req, p_eng);
+    if (!max_tasks.has_value()) {
+      frontier.add_row({cat(p_eng), "-", "does not fit at all"});
+      continue;
+    }
+    // Diagnose the binding constraint by probing one more task.
+    dse::DseRequest probe = req;
+    const char* reason = "AIE area / array width";
+    accel::HeteroSvdConfig cfg;
+    cfg.rows = cfg.cols = n;
+    cfg.p_eng = p_eng;
+    cfg.p_task = *max_tasks + 1;
+    if (cfg.p_task <= 26 && accel::try_place(cfg).has_value()) {
+      reason = "PL memory (URAM)";
+    } else if (*max_tasks == 26) {
+      reason = "architectural max";
+    }
+    frontier.add_row({cat(p_eng), cat(*max_tasks), reason});
+    (void)probe;
+  }
+  std::printf("stage 1 -- task-parallelism frontier:\n");
+  frontier.print();
+
+  // Stage 2: ranked design points per objective.
+  for (auto objective : {dse::Objective::kLatency, dse::Objective::kThroughput}) {
+    dse::DseRequest req;
+    req.rows = req.cols = n;
+    req.batch = batch;
+    req.objective = objective;
+    auto points = explorer.enumerate(req);
+    std::printf("\nstage 2 -- top design points by %s:\n",
+                objective == dse::Objective::kLatency ? "latency" : "throughput");
+    Table table({"rank", "P_eng", "P_task", "Freq(MHz)", "latency(ms)",
+                 "thr(t/s)", "AIE", "URAM", "power(W)", "EE(t/s/W)"});
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, points.size()); ++i) {
+      const auto& p = points[i];
+      table.add_row({cat(i + 1), cat(p.p_eng), cat(p.p_task),
+                     fixed(p.frequency_hz / 1e6, 0),
+                     fixed(p.latency_seconds * 1e3, 3),
+                     fixed(p.throughput_tasks_per_s, 1),
+                     cat(p.resources.aie_total()), cat(p.resources.uram),
+                     fixed(p.power_watts, 1), fixed(p.energy_efficiency(), 3)});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Floorplan and ordering visualizer: a textual rendition of the paper's
+// Figs. 3 and 5.
+//
+//   build/examples/floorplan_viewer [n] [p_eng] [p_task]
+//
+// Prints the AIE-array floorplan of the chosen configuration and the
+// shifting-ring schedule with its per-transition move classification
+// (versus the traditional ring under the naive memory strategy).
+#include <cstdio>
+#include <cstdlib>
+
+#include "accel/placement.hpp"
+#include "accel/report.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  const int p_eng = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int p_task = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  hsvd::accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = n;
+  cfg.p_eng = p_eng;
+  cfg.p_task = p_task;
+  const auto placement = hsvd::accel::place(cfg);
+  const hsvd::versal::ArrayGeometry geo(cfg.device.aie_rows,
+                                        cfg.device.aie_cols);
+  std::printf("%s\n",
+              hsvd::accel::render_floorplan(placement, geo).c_str());
+
+  std::printf("%s\n",
+              hsvd::accel::render_schedule(hsvd::jacobi::OrderingKind::kShiftingRing,
+                                           3)
+                  .c_str());
+  std::printf("%s",
+              hsvd::accel::render_schedule(
+                  hsvd::jacobi::OrderingKind::kRing, 3,
+                  hsvd::accel::MemoryStrategy::kNaive)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+// MIMO beamforming via batched SVD (the paper's wireless-communication
+// motivation, refs [1]-[3]).
+//
+// A base station estimates a batch of MIMO channel matrices H (one per
+// subcarrier / user). SVD-based precoding sends each data stream along a
+// right singular vector; the received SNR per stream is sigma_i^2. This
+// example decomposes the whole batch on the accelerator, derives the
+// water-filling power allocation, and reports the resulting capacity
+// against an equal-power baseline -- plus the accelerator's simulated
+// batch throughput (the metric Table III optimizes).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "heterosvd.hpp"
+#include "linalg/generators.hpp"
+
+namespace {
+
+// Water-filling over parallel channels with gains g_i and total power P:
+// p_i = max(mu - 1/g_i, 0) with sum p_i = P.
+std::vector<double> water_fill(const std::vector<double>& gains, double total) {
+  std::vector<double> inv;
+  inv.reserve(gains.size());
+  for (double g : gains) inv.push_back(1.0 / g);
+  std::sort(inv.begin(), inv.end());
+  double mu = 0.0;
+  std::size_t active = inv.size();
+  for (; active >= 1; --active) {
+    double sum_inv = 0.0;
+    for (std::size_t i = 0; i < active; ++i) sum_inv += inv[i];
+    mu = (total + sum_inv) / static_cast<double>(active);
+    if (mu > inv[active - 1]) break;  // all `active` channels above water
+  }
+  std::vector<double> power(gains.size());
+  for (std::size_t i = 0; i < gains.size(); ++i)
+    power[i] = std::max(mu - 1.0 / gains[i], 0.0);
+  return power;
+}
+
+double capacity(const std::vector<double>& gains,
+                const std::vector<double>& power) {
+  double c = 0.0;
+  for (std::size_t i = 0; i < gains.size(); ++i)
+    c += std::log2(1.0 + gains[i] * power[i]);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kAntennas = 16;   // 16x16 MIMO
+  constexpr int kSubcarriers = 48;        // one channel matrix each
+  constexpr double kTotalPower = 8.0;     // per subcarrier, normalized
+
+  hsvd::Rng rng(7);
+  std::vector<hsvd::linalg::MatrixF> channels;
+  channels.reserve(kSubcarriers);
+  for (int s = 0; s < kSubcarriers; ++s) {
+    // Rayleigh-fading i.i.d. channel (real-valued model).
+    channels.push_back(
+        hsvd::linalg::random_gaussian(kAntennas, kAntennas, rng).cast<float>());
+  }
+
+  std::printf("MIMO beamforming: %d channels of %zux%zu\n", kSubcarriers,
+              kAntennas, kAntennas);
+  hsvd::BatchSvd batch = hsvd::svd_batch(channels);
+  std::printf("DSE picked P_eng=%d P_task=%d @ %.0f MHz; simulated "
+              "throughput %.1f channels/s\n",
+              batch.config.p_eng, batch.config.p_task,
+              batch.config.pl_frequency_hz / 1e6,
+              batch.throughput_tasks_per_s);
+
+  double cap_wf = 0.0;
+  double cap_eq = 0.0;
+  for (const auto& svd : batch.results) {
+    std::vector<double> gains;
+    for (float s : svd.sigma) {
+      if (s > 1e-3f) gains.push_back(static_cast<double>(s) * s);
+    }
+    const auto power = water_fill(gains, kTotalPower);
+    cap_wf += capacity(gains, power);
+    std::vector<double> equal(gains.size(),
+                              kTotalPower / static_cast<double>(gains.size()));
+    cap_eq += capacity(gains, equal);
+  }
+  cap_wf /= kSubcarriers;
+  cap_eq /= kSubcarriers;
+  std::printf("capacity per subcarrier: water-filling %.2f bit/s/Hz vs "
+              "equal power %.2f bit/s/Hz (+%.1f%%)\n",
+              cap_wf, cap_eq, 100.0 * (cap_wf - cap_eq) / cap_eq);
+
+  const bool ok = cap_wf >= cap_eq && batch.results.size() == kSubcarriers;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,339 @@
+#include "accel/accelerator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "accel/kernels.hpp"
+#include "common/format.hpp"
+#include "jacobi/block.hpp"
+#include "jacobi/convergence.hpp"
+#include "jacobi/movement.hpp"
+
+namespace hsvd::accel {
+
+namespace {
+
+std::string column_key(int task_id, int global_col) {
+  return cat("c", global_col, ".t", task_id);
+}
+
+}  // namespace
+
+HeteroSvdAccelerator::HeteroSvdAccelerator(const HeteroSvdConfig& config)
+    : config_(config),
+      placement_(place(config)),
+      noc_(config.device.ddr_ports, config.device.ddr_bytes_per_s,
+           config.device.ddr_latency_s) {
+  config_.validate();
+  const versal::ArrayGeometry geo(config_.device.aie_rows,
+                                  config_.device.aie_cols);
+  array_ = std::make_unique<versal::AieArraySim>(geo, config_.device);
+
+  // The shifting ring ordering aligns its shifts with the physical parity
+  // of the first orth row, which can differ between vertically stacked
+  // task slots; every slot therefore owns its schedule and dataflow.
+  // (All slots share the same pair coverage, only slot assignment moves.)
+  const int pair_cols = config_.pair_width();
+  for (const auto& task : placement_.tasks) {
+    const int first_row = task.orth.front().front().row;
+    auto schedule =
+        jacobi::make_schedule(config_.ordering, pair_cols, first_row % 2);
+    dataflows_.push_back(build_dataflow(schedule, task, geo,
+                                        config_.relocated_outputs
+                                            ? MemoryStrategy::kRelocated
+                                            : MemoryStrategy::kNaive));
+    if (schedule_.empty()) schedule_ = schedule;
+    slot_schedules_.push_back(std::move(schedule));
+  }
+  block_rounds_ = jacobi::block_pair_rounds(config_.blocks());
+
+  const double plio_rate_tx =
+      std::min(plio_model_.plio_bits / 8.0 * config_.pl_frequency_hz,
+               config_.device.plio_pl_to_aie_bytes_per_s);
+  const double plio_rate_rx =
+      std::min(plio_model_.plio_bits / 8.0 * config_.pl_frequency_hz,
+               config_.device.plio_aie_to_pl_bytes_per_s);
+  for (int t = 0; t < config_.p_task; ++t) {
+    auto ch = std::make_unique<SlotChannels>(SlotChannels{
+        {versal::Channel(cat("tx0.", t), plio_rate_tx),
+         versal::Channel(cat("tx1.", t), plio_rate_tx)},
+        {versal::Channel(cat("rx0.", t), plio_rate_rx),
+         versal::Channel(cat("rx1.", t), plio_rate_rx)},
+        versal::Channel(cat("ntx.", t), plio_rate_tx),
+        versal::Channel(cat("nrx.", t), plio_rate_rx),
+        nullptr,
+        nullptr});
+    // The dynamic-forwarding rule of section III-C: dest_id e routes to
+    // engine e of the slot's first orth-layer.
+    versal::ForwardingTable forwarding;
+    const auto& layer0 = placement_.tasks[static_cast<std::size_t>(t)].orth.front();
+    for (std::size_t e = 0; e < layer0.size(); ++e) {
+      forwarding.bind(static_cast<std::uint32_t>(e), layer0[e]);
+    }
+    ch->sender = std::make_unique<Sender>(ch->tx[0], ch->tx[1],
+                                          std::move(forwarding), *array_);
+    ch->receiver = std::make_unique<Receiver>(ch->rx[0], ch->rx[1]);
+    channels_.push_back(std::move(ch));
+  }
+
+  // Loop-switching overhead of the HLS state machines (t_hls): a fixed
+  // number of PL cycles charged at each block-pair launch.
+  hls_overhead_s_ = 64.0 / config_.pl_frequency_hz;
+}
+
+const DataflowPlan& HeteroSvdAccelerator::dataflow(std::size_t task_slot) const {
+  HSVD_REQUIRE(task_slot < dataflows_.size(), "task slot out of range");
+  return dataflows_[task_slot];
+}
+
+TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
+                                              const linalg::MatrixF* matrix) {
+  const bool functional = matrix != nullptr;
+  const int k = config_.p_eng;
+  const int p = config_.blocks();
+  const std::size_t m = config_.rows;
+  const int layers = config_.orth_layers();
+  const auto& task = placement_.tasks[static_cast<std::size_t>(slot)];
+  const auto& schedule = slot_schedules_[static_cast<std::size_t>(slot)];
+  const auto& plan = dataflows_[static_cast<std::size_t>(slot)];
+  auto& ch = *channels_[static_cast<std::size_t>(slot)];
+
+  const double col_bytes = static_cast<double>(m) * sizeof(float);
+  const double block_bytes = col_bytes * k;
+  const double t_orth = kernels_.orth_seconds(m);
+  const double t_norm = kernels_.norm_seconds(m);
+  const int task_id = next_task_id_++;
+
+  TaskResult result;
+  result.start_seconds = ready;
+
+  const std::size_t n_pad = config_.padded_cols();
+  linalg::MatrixF b;
+  if (functional) {
+    HSVD_REQUIRE(matrix->rows() == m && matrix->cols() == config_.cols,
+                 "matrix shape does not match the accelerator configuration");
+    // Zero-pad to a whole number of blocks; zero columns are fixed points
+    // of the Jacobi rotations and drop out after normalization.
+    b = linalg::MatrixF(m, n_pad);
+    b.assign_cols(0, *matrix);
+  }
+
+  // Stage DDR -> PL URAM buffers, one block at a time (eq. (12)), via
+  // the NoC DDRMC port wired to this task slot.
+  DataArrangement arrangement(
+      [this, slot](double when, double bytes) {
+        return noc_.transfer_for_slot(slot, when, bytes);
+      },
+      p, block_bytes);
+  arrangement.stage_from_ddr(ready);
+
+  SystemModule system(config_.precision.value_or(0.0));
+  const int max_iters =
+      config_.precision.has_value() && functional
+          ? std::max(config_.iterations, 30)
+          : config_.iterations;
+
+  int iterations_run = 0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    system.begin_iteration();
+    for (const auto& round : block_rounds_) {
+      for (const auto& [bu, bv] : round) {
+        // ---- Tx: both blocks of the pair over their own PLIOs ---------
+        const double launch = std::max(arrangement.block_ready(bu),
+                                       arrangement.block_ready(bv)) +
+                              hls_overhead_s_;
+        // Local column c (0..2k-1): block u columns then block v columns.
+        std::vector<int> global(static_cast<std::size_t>(2 * k));
+        for (int i = 0; i < k; ++i) {
+          global[static_cast<std::size_t>(i)] = bu * k + i;
+          global[static_cast<std::size_t>(k + i)] = bv * k + i;
+        }
+        const auto round0 = jacobi::slot_map(schedule, 0);
+        std::vector<double> arrival(static_cast<std::size_t>(2 * k));
+        for (int c = 0; c < 2 * k; ++c) {
+          std::vector<float> payload;
+          if (functional) {
+            auto col = b.col(static_cast<std::size_t>(global[static_cast<std::size_t>(c)]));
+            payload.assign(col.begin(), col.end());
+          }
+          arrival[static_cast<std::size_t>(c)] = ch.sender->send_column(
+              c < k ? 0 : 1,
+              static_cast<std::uint32_t>(round0[static_cast<std::size_t>(c)].slot),
+              static_cast<std::uint32_t>(global[static_cast<std::size_t>(c)]),
+              static_cast<std::uint32_t>(task_id), launch, std::move(payload),
+              static_cast<std::uint64_t>(col_bytes));
+        }
+
+        // ---- Orthogonalization through the layer pipeline -------------
+        for (int l = 0; l < layers; ++l) {
+          const auto& row = schedule[static_cast<std::size_t>(l)];
+          for (int e = 0; e < k; ++e) {
+            const auto& pair = row[static_cast<std::size_t>(e)];
+            const versal::TileCoord tile =
+                task.orth[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)];
+            const double in_ready =
+                std::max(arrival[static_cast<std::size_t>(pair.left)],
+                         arrival[static_cast<std::size_t>(pair.right)]);
+            const double end = array_->run_kernel(tile, in_ready, t_orth);
+            if (functional) {
+              const int gl = global[static_cast<std::size_t>(pair.left)];
+              const int gr = global[static_cast<std::size_t>(pair.right)];
+              auto& mem = array_->memory(tile);
+              HSVD_ASSERT(mem.contains(column_key(task_id, gl)) &&
+                              mem.contains(column_key(task_id, gr)),
+                          cat("routing bug: tile ", versal::to_string(tile),
+                              " is missing its input columns"));
+              const auto r = orth_kernel(b.col(static_cast<std::size_t>(gl)),
+                                         b.col(static_cast<std::size_t>(gr)));
+              system.observe_pair(r.coherence);
+            }
+            arrival[static_cast<std::size_t>(pair.left)] = end;
+            arrival[static_cast<std::size_t>(pair.right)] = end;
+          }
+          if (l + 1 < layers) {
+            for (const auto& mv : plan.transitions[static_cast<std::size_t>(l)].moves) {
+              const std::string key =
+                  column_key(task_id, global[static_cast<std::size_t>(mv.column)]);
+              if (!mv.is_dma) {
+                array_->neighbour_move(mv.src, mv.dst, key);
+              } else {
+                const double done = array_->dma_move(
+                    mv.src, mv.dst, key,
+                    arrival[static_cast<std::size_t>(mv.column)],
+                    static_cast<std::uint64_t>(col_bytes));
+                arrival[static_cast<std::size_t>(mv.column)] = done;
+                if (functional) {
+                  // Resolve the DMA shadow: the consumer's copy becomes
+                  // the live buffer, the producer's original is released.
+                  auto& src_mem = array_->memory(mv.src);
+                  auto& dst_mem = array_->memory(mv.dst);
+                  std::vector<float> data = dst_mem.load(key + "#dma");
+                  dst_mem.erase(key + "#dma");
+                  src_mem.erase(key);
+                  dst_mem.store(key, std::move(data));
+                }
+              }
+            }
+          }
+        }
+
+        // ---- Rx: updated columns back into the PL buffers --------------
+        const auto last = jacobi::slot_map(schedule, schedule.size() - 1);
+        double done_u = 0.0;
+        double done_v = 0.0;
+        for (int c = 0; c < 2 * k; ++c) {
+          const double done = ch.receiver->receive_column(
+              c < k ? 0 : 1, arrival[static_cast<std::size_t>(c)], col_bytes);
+          if (functional) {
+            const versal::TileCoord tile =
+                task.orth[schedule.size() - 1]
+                         [static_cast<std::size_t>(last[static_cast<std::size_t>(c)].slot)];
+            array_->memory(tile).erase(
+                column_key(task_id, global[static_cast<std::size_t>(c)]));
+          }
+          (c < k ? done_u : done_v) = std::max(c < k ? done_u : done_v, done);
+        }
+        arrangement.set_block_ready(bu, done_u);
+        arrangement.set_block_ready(bv, done_v);
+      }
+    }
+    ++iterations_run;
+    if (functional &&
+        system.should_terminate(config_.precision.has_value())) {
+      break;
+    }
+  }
+
+  // ---- Normalization stage (lines 19-25 of Algorithm 1) ----------------
+  double task_end = 0.0;
+  std::vector<float> sigma;
+  if (functional) sigma.resize(n_pad);
+  for (int blk = 0; blk < p; ++blk) {
+    const double tx_done = ch.norm_tx.transfer(
+        arrangement.block_ready(blk) + hls_overhead_s_, block_bytes);
+    double blk_done = 0.0;
+    for (int i = 0; i < k; ++i) {
+      const versal::TileCoord tile = task.norm[static_cast<std::size_t>(i)];
+      const double end = array_->run_kernel(tile, tx_done, t_norm);
+      const double rx_done =
+          ch.norm_rx.transfer(end, col_bytes + sizeof(float));
+      blk_done = std::max(blk_done, rx_done);
+      if (functional) {
+        const std::size_t gc = static_cast<std::size_t>(blk * k + i);
+        sigma[gc] = norm_kernel(b.col(gc)).sigma;
+      }
+    }
+    task_end = std::max(task_end, blk_done);
+  }
+
+  result.end_seconds = task_end;
+  result.iterations = iterations_run;
+  result.convergence_rate = system.convergence_rate();
+  if (functional) {
+    // Sort factors by descending singular value (done on the PS side in
+    // the paper's system; negligible next to the accelerator time). The
+    // zero-padded columns have sigma = 0, sort last, and are truncated.
+    std::vector<std::size_t> order(n_pad);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return sigma[x] > sigma[y];
+    });
+    result.u = linalg::MatrixF(m, config_.cols);
+    result.sigma.resize(config_.cols);
+    for (std::size_t t = 0; t < config_.cols; ++t) {
+      result.sigma[t] = sigma[order[t]];
+      auto src = b.col(order[t]);
+      auto dst = result.u.col(t);
+      for (std::size_t r = 0; r < m; ++r) dst[r] = src[r];
+    }
+  }
+  return result;
+}
+
+RunResult HeteroSvdAccelerator::execute_batch(
+    int batch_size, const std::vector<linalg::MatrixF>* batch) {
+  HSVD_REQUIRE(batch_size >= 1, "batch must contain at least one task");
+  array_->reset_time();
+  for (auto& ch : channels_) {
+    ch->tx[0].timeline().reset();
+    ch->tx[1].timeline().reset();
+    ch->rx[0].timeline().reset();
+    ch->rx[1].timeline().reset();
+    ch->norm_tx.timeline().reset();
+    ch->norm_rx.timeline().reset();
+  }
+  noc_.reset_time();
+
+  RunResult run;
+  std::vector<double> slot_free(static_cast<std::size_t>(config_.p_task), 0.0);
+  for (int t = 0; t < batch_size; ++t) {
+    const int slot = t % config_.p_task;
+    const linalg::MatrixF* matrix =
+        batch != nullptr ? &(*batch)[static_cast<std::size_t>(t)] : nullptr;
+    TaskResult task =
+        execute_task(slot, slot_free[static_cast<std::size_t>(slot)], matrix);
+    slot_free[static_cast<std::size_t>(slot)] = task.end_seconds;
+    run.batch_seconds = std::max(run.batch_seconds, task.end_seconds);
+    run.tasks.push_back(std::move(task));
+  }
+  run.task_seconds = run.tasks.front().latency_seconds();
+  run.throughput_tasks_per_s = batch_size / run.batch_seconds;
+  run.stats = array_->stats();
+  run.resources = perf::estimate_resources(config_, placement_);
+  run.core_utilization = array_->core_utilization(run.batch_seconds);
+  run.memory_utilization =
+      static_cast<double>(run.resources.uram) / config_.device.total_uram;
+  return run;
+}
+
+RunResult HeteroSvdAccelerator::run(const std::vector<linalg::MatrixF>& batch) {
+  return execute_batch(static_cast<int>(batch.size()), &batch);
+}
+
+RunResult HeteroSvdAccelerator::estimate(int batch_size) {
+  HSVD_REQUIRE(config_.iterations >= 1,
+               "timing-only estimation needs a fixed iteration count");
+  return execute_batch(batch_size, nullptr);
+}
+
+}  // namespace hsvd::accel

@@ -1,0 +1,105 @@
+// The HeteroSVD accelerator: functional + cycle-approximate execution of
+// Algorithm 1 on the simulated Versal fabric.
+//
+// One instance owns an AIE array simulator, a placement, per-task PLIO
+// channels and the classified dataflow. run() executes a batch of
+// matrices functionally (real arithmetic flows through the simulated
+// tiles, so routing bugs corrupt results and are caught by tests);
+// estimate() executes the identical control/timing path without payloads
+// for large problem sizes (the paper fixes the iteration count in its
+// comparisons, so timing is data-independent).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/dataflow.hpp"
+#include "accel/placement.hpp"
+#include "accel/pl_modules.hpp"
+#include "linalg/matrix.hpp"
+#include "perfmodel/aie_timing.hpp"
+#include "perfmodel/resource_model.hpp"
+#include "versal/array.hpp"
+#include "versal/noc.hpp"
+
+namespace hsvd::accel {
+
+struct TaskResult {
+  linalg::MatrixF u;          // rows x cols (empty in timing-only mode)
+  std::vector<float> sigma;   // descending  (empty in timing-only mode)
+  int iterations = 0;
+  double convergence_rate = 0.0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  double latency_seconds() const { return end_seconds - start_seconds; }
+};
+
+struct RunResult {
+  std::vector<TaskResult> tasks;
+  double batch_seconds = 0.0;      // makespan over the whole batch (t_sys)
+  double task_seconds = 0.0;       // latency of the first task (t_task)
+  double throughput_tasks_per_s = 0.0;
+  versal::ArrayStats stats;
+  perf::ResourceUsage resources;
+  double core_utilization = 0.0;   // busy fraction of active AIE cores
+  double memory_utilization = 0.0; // URAM usage fraction of the device
+};
+
+class HeteroSvdAccelerator {
+ public:
+  explicit HeteroSvdAccelerator(const HeteroSvdConfig& config);
+
+  // Functional batch execution. Every matrix must be rows x cols.
+  RunResult run(const std::vector<linalg::MatrixF>& batch);
+
+  // Timing-only execution of `batch_size` tasks.
+  RunResult estimate(int batch_size);
+
+  const HeteroSvdConfig& config() const { return config_; }
+  // Attach an execution trace recorder (kernels/DMA/streams land in it;
+  // export with TraceRecorder::write_chrome_json). Not owned.
+  void attach_trace(versal::TraceRecorder* recorder) {
+    array_->attach_trace(recorder);
+  }
+  const PlacementResult& placement() const { return placement_; }
+  const DataflowPlan& dataflow(std::size_t task_slot) const;
+  const perf::AieKernelModel& kernel_model() const { return kernels_; }
+
+ private:
+  struct TaskContext;
+
+  // Executes one task on hardware slot `slot`, starting no earlier than
+  // `ready`. `matrix` is null in timing-only mode.
+  TaskResult execute_task(int slot, double ready, const linalg::MatrixF* matrix);
+
+  RunResult execute_batch(int batch_size,
+                          const std::vector<linalg::MatrixF>* batch);
+
+  HeteroSvdConfig config_;
+  PlacementResult placement_;
+  perf::AieKernelModel kernels_;
+  perf::PlioModel plio_model_;
+  std::unique_ptr<versal::AieArraySim> array_;
+  jacobi::EngineSchedule schedule_;                     // slot 0's schedule
+  std::vector<jacobi::EngineSchedule> slot_schedules_;  // per task slot
+  std::vector<DataflowPlan> dataflows_;                 // per task slot
+  int next_task_id_ = 0;
+  std::vector<std::vector<std::pair<int, int>>> block_rounds_;
+  // Per task slot: 2 Tx + 2 Rx orth channels, 1 Tx + 1 Rx norm channel
+  // (6 PLIOs, Table I), plus the PL modules of Fig. 2 wired to them.
+  struct SlotChannels {
+    versal::Channel tx[2];
+    versal::Channel rx[2];
+    versal::Channel norm_tx;
+    versal::Channel norm_rx;
+    std::unique_ptr<Sender> sender;
+    std::unique_ptr<Receiver> receiver;
+  };
+  std::vector<std::unique_ptr<SlotChannels>> channels_;
+  versal::NocModel noc_;
+  // HLS loop-switching overhead applied at block-round boundaries.
+  double hls_overhead_s_ = 0.0;
+};
+
+}  // namespace hsvd::accel

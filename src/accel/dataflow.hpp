@@ -1,0 +1,67 @@
+// AIE-centric dataflow construction and classification (paper section
+// III-B, Figs. 3 and 4).
+//
+// Between consecutive orth-layers every column of the block pair travels
+// from the tile that processed it to the tile that processes it next.
+// Whether that transfer is a cheap neighbour access or an expensive DMA
+// depends on three things this module combines:
+//   1. the ordering (which slot the column moves to),
+//   2. the memory strategy (naive: outputs stay in the producer's memory;
+//      relocated: outputs are written into the next row's memory),
+//   3. the physical placement (row parity mirroring; band crossings).
+#pragma once
+
+#include <vector>
+
+#include "accel/placement.hpp"
+#include "jacobi/movement.hpp"
+#include "jacobi/ordering.hpp"
+#include "versal/geometry.hpp"
+
+namespace hsvd::accel {
+
+enum class MemoryStrategy {
+  kNaive,      // Fig. 4(a): output in own memory; consumer must reach it
+  kRelocated   // Fig. 4(b): output deposited into a memory the consumer
+               // can read (the co-designed default)
+};
+
+struct ClassifiedMove {
+  int column = 0;                 // logical column within the block pair
+  versal::TileCoord src;
+  versal::TileCoord dst;
+  jacobi::Side dst_side = jacobi::Side::kLeft;
+  bool is_dma = false;
+};
+
+// Moves for the transition from layer `layer` to layer `layer + 1`.
+// All 2k columns move (a column that keeps its slot still descends one
+// row to the next layer's tile).
+struct LayerTransition {
+  int layer = 0;
+  std::vector<ClassifiedMove> moves;
+  int dma_count() const;
+};
+
+struct DataflowPlan {
+  std::vector<LayerTransition> transitions;  // size = layers - 1
+  int total_dma() const;
+  int total_neighbour() const;
+  // Extra tile-memory bytes needed for DMA shadow copies, given the
+  // column length in floats (the "twice the memory" cost of Fig. 4(a)).
+  std::uint64_t dma_shadow_bytes(std::size_t column_rows) const;
+};
+
+// Builds the classified dataflow for one task placement.
+DataflowPlan build_dataflow(const jacobi::EngineSchedule& schedule,
+                            const TaskPlacement& task,
+                            const versal::ArrayGeometry& geometry,
+                            MemoryStrategy strategy);
+
+// Analysis helper for Fig. 3: places the full (2k-1) x k ordering on an
+// idealized array tall enough to avoid banding, and returns the DMA count
+// of one sweep. `k` is the engine count (matrix has 2k columns).
+int count_sweep_dma(jacobi::OrderingKind kind, int k,
+                    MemoryStrategy strategy = MemoryStrategy::kRelocated);
+
+}  // namespace hsvd::accel

@@ -1,0 +1,33 @@
+#include "accel/kernels.hpp"
+
+#include <cmath>
+
+#include "linalg/ops.hpp"
+
+namespace hsvd::accel {
+
+OrthKernelResult orth_kernel(std::span<float> left, std::span<float> right) {
+  const float aij = linalg::dot<float>(left, right);
+  const float aii = linalg::dot<float>(left, left);
+  const float ajj = linalg::dot<float>(right, right);
+  OrthKernelResult out;
+  out.coherence = jacobi::pair_coherence(aii, ajj, aij);
+  const auto rot = jacobi::compute_rotation(aii, ajj, aij);
+  if (!rot.identity) {
+    linalg::apply_rotation(left, right, rot.c, rot.s);
+    out.rotated = true;
+  }
+  return out;
+}
+
+NormKernelResult norm_kernel(std::span<float> column) {
+  NormKernelResult out;
+  out.sigma = linalg::norm2<float>(column);
+  if (out.sigma > 0.0f) {
+    const float inv = 1.0f / out.sigma;
+    for (float& v : column) v *= inv;
+  }
+  return out;
+}
+
+}  // namespace hsvd::accel

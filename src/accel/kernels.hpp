@@ -1,0 +1,31 @@
+// Functional AIE kernels: the arithmetic that runs on orth-AIEs and
+// norm-AIEs. Shared by the accelerator's functional path; timing comes
+// from perf::AieKernelModel so the simulator and the analytic model agree
+// on per-kernel cost by construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "jacobi/rotation.hpp"
+
+namespace hsvd::accel {
+
+struct OrthKernelResult {
+  double coherence = 0.0;  // eq. (6) measure of the pair before rotation
+  bool rotated = false;
+};
+
+// Orthogonalizes the column pair in place (lines 9-12 of Algorithm 1):
+// Gram dot products, rotation closed form, update.
+OrthKernelResult orth_kernel(std::span<float> left, std::span<float> right);
+
+struct NormKernelResult {
+  float sigma = 0.0f;
+};
+
+// Normalizes one column in place (line 23 of Algorithm 1): sigma = ||b||,
+// u = b / sigma. Zero columns keep sigma = 0 and are left untouched.
+NormKernelResult norm_kernel(std::span<float> column);
+
+}  // namespace hsvd::accel

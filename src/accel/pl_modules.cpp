@@ -1,0 +1,79 @@
+#include "accel/pl_modules.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hsvd::accel {
+
+DataArrangement::DataArrangement(DdrTransfer ddr_transfer, int blocks,
+                                 double block_bytes)
+    : ddr_(std::move(ddr_transfer)), block_bytes_(block_bytes),
+      ready_(static_cast<std::size_t>(blocks), 0.0) {
+  HSVD_REQUIRE(blocks >= 1, "need at least one block");
+  HSVD_REQUIRE(block_bytes > 0, "block size must be positive");
+}
+
+DataArrangement::DataArrangement(versal::Channel& ddr, int blocks,
+                                 double block_bytes)
+    : DataArrangement(
+          [&ddr](double ready, double bytes) { return ddr.transfer(ready, bytes); },
+          blocks, block_bytes) {}
+
+void DataArrangement::stage_from_ddr(double ready) {
+  for (double& t : ready_) t = ddr_(ready, block_bytes_);
+}
+
+double DataArrangement::block_ready(int block) const {
+  HSVD_REQUIRE(block >= 0 && block < static_cast<int>(ready_.size()),
+               "block index out of range");
+  return ready_[static_cast<std::size_t>(block)];
+}
+
+void DataArrangement::set_block_ready(int block, double when) {
+  HSVD_REQUIRE(block >= 0 && block < static_cast<int>(ready_.size()),
+               "block index out of range");
+  ready_[static_cast<std::size_t>(block)] = when;
+}
+
+double DataArrangement::all_blocks_ready() const {
+  double worst = 0.0;
+  for (double t : ready_) worst = std::max(worst, t);
+  return worst;
+}
+
+Sender::Sender(versal::Channel& tx0, versal::Channel& tx1,
+               versal::ForwardingTable forwarding, versal::AieArraySim& array)
+    : tx0_(tx0), tx1_(tx1), forwarding_(std::move(forwarding)), array_(array) {}
+
+double Sender::send_column(int which_block_channel, std::uint32_t dest_id,
+                           std::uint32_t column, std::uint32_t task,
+                           double ready, std::vector<float> payload,
+                           std::uint64_t payload_bytes_hint) {
+  HSVD_REQUIRE(which_block_channel == 0 || which_block_channel == 1,
+               "a block pair uses exactly two Tx PLIOs");
+  versal::Channel& tx = which_block_channel == 0 ? tx0_ : tx1_;
+  const double bytes = payload.empty()
+                           ? static_cast<double>(payload_bytes_hint)
+                           : static_cast<double>(payload.size() * sizeof(float));
+  const double at_plio = tx.transfer(ready, bytes);
+  versal::Packet packet;
+  packet.header = {dest_id, column, task};
+  packet.payload = std::move(payload);
+  const versal::TileCoord dst = forwarding_.route(dest_id);
+  return array_.stream_packet(dst, packet, at_plio, !packet.payload.empty(),
+                              payload_bytes_hint);
+}
+
+Receiver::Receiver(versal::Channel& rx0, versal::Channel& rx1)
+    : rx0_(rx0), rx1_(rx1) {}
+
+double Receiver::receive_column(int which_block_channel, double ready,
+                                double column_bytes) {
+  HSVD_REQUIRE(which_block_channel == 0 || which_block_channel == 1,
+               "a block pair uses exactly two Rx PLIOs");
+  versal::Channel& rx = which_block_channel == 0 ? rx0_ : rx1_;
+  return rx.transfer(ready, column_bytes);
+}
+
+}  // namespace hsvd::accel

@@ -1,0 +1,109 @@
+// PL-side modules of the HeteroSVD system (paper Fig. 2).
+//
+// The PL fabric hosts four cooperating state machines per task slot:
+//   DataArrangement -- stages blocks from DDR into URAM ping-pong
+//                      buffers and serves them in round-robin block-pair
+//                      order; tracks when each block's latest version is
+//                      available again after Rx.
+//   Sender          -- packs columns into header-routed packets and
+//                      pushes them through the two orth Tx PLIOs; the
+//                      dynamic-forwarding table maps a packet's dest_id
+//                      to the physical layer-0 tile (section III-C).
+//   Receiver        -- drains the two orth Rx PLIOs, reassembles blocks,
+//                      and reports per-block completion times.
+//   SystemModule    -- accumulates the convergence rate (eq. (6)) and
+//                      decides when to leave the orthogonalization stage.
+//
+// All four are timing-aware (they own their Channel timelines) and
+// payload-optional, mirroring the accelerator's two execution modes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "jacobi/convergence.hpp"
+#include "versal/array.hpp"
+#include "versal/packet.hpp"
+#include "versal/timeline.hpp"
+
+namespace hsvd::accel {
+
+class DataArrangement {
+ public:
+  // `ddr_transfer(ready, bytes) -> done` performs one DDR read through
+  // whatever port the caller wired (NoC DDRMC port in the accelerator,
+  // a plain Channel in unit tests). `blocks` is the block count p.
+  using DdrTransfer = std::function<double(double, double)>;
+  DataArrangement(DdrTransfer ddr_transfer, int blocks, double block_bytes);
+  DataArrangement(versal::Channel& ddr, int blocks, double block_bytes);
+
+  // Stages all p blocks starting no earlier than `ready` (eq. (12)).
+  void stage_from_ddr(double ready);
+
+  double block_ready(int block) const;
+  void set_block_ready(int block, double when);
+
+  // Latest time at which every block is back in the URAM buffers.
+  double all_blocks_ready() const;
+
+ private:
+  DdrTransfer ddr_;
+  double block_bytes_;
+  std::vector<double> ready_;
+};
+
+class Sender {
+ public:
+  // `tx0`/`tx1` carry the two blocks of a pair; `forwarding` must route
+  // every engine-slot dest_id used by the schedule.
+  Sender(versal::Channel& tx0, versal::Channel& tx1,
+         versal::ForwardingTable forwarding, versal::AieArraySim& array);
+
+  // Sends one column: packetizes, serializes on the block's Tx PLIO, then
+  // forwards through the packet switch to the tile bound to `dest_id`.
+  // Returns the arrival time at the tile's memory.
+  double send_column(int which_block_channel, std::uint32_t dest_id,
+                     std::uint32_t column, std::uint32_t task,
+                     double ready, std::vector<float> payload,
+                     std::uint64_t payload_bytes_hint);
+
+  const versal::ForwardingTable& forwarding() const { return forwarding_; }
+
+ private:
+  versal::Channel& tx0_;
+  versal::Channel& tx1_;
+  versal::ForwardingTable forwarding_;
+  versal::AieArraySim& array_;
+};
+
+class Receiver {
+ public:
+  Receiver(versal::Channel& rx0, versal::Channel& rx1);
+
+  // Receives one column of a block over the block's Rx PLIO; returns the
+  // completion time at the PL buffers.
+  double receive_column(int which_block_channel, double ready,
+                        double column_bytes);
+
+ private:
+  versal::Channel& rx0_;
+  versal::Channel& rx1_;
+};
+
+class SystemModule {
+ public:
+  explicit SystemModule(double precision) : tracker_(precision) {}
+
+  void begin_iteration() { tracker_.begin_sweep(); }
+  void observe_pair(double coherence) { tracker_.observe(coherence); }
+  // The convergence decision of Algorithm 1 line 2 / lines 15-16.
+  bool should_terminate(bool precision_mode) const {
+    return precision_mode && tracker_.converged();
+  }
+  double convergence_rate() const { return tracker_.sweep_rate(); }
+
+ private:
+  jacobi::ConvergenceTracker tracker_;
+};
+
+}  // namespace hsvd::accel

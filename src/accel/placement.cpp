@@ -1,0 +1,130 @@
+#include "accel/placement.hpp"
+
+#include <algorithm>
+
+#include "common/format.hpp"
+
+namespace hsvd::accel {
+
+namespace {
+
+// Places one task whose top-left engine column starts at `col0` and whose
+// first usable row is `row0` (vertical stacking slot). Returns false if
+// the footprint leaves the array.
+bool place_task(const HeteroSvdConfig& config, const versal::ArrayGeometry& geo,
+                int col0, int row0, int rows_per_band, TaskPlacement& out) {
+  const int k = config.p_eng;
+  const int layers = config.orth_layers();
+  const int nbands = (layers + rows_per_band - 1) / rows_per_band;
+
+  out.orth.assign(static_cast<std::size_t>(layers), {});
+  out.band_first_layer.clear();
+
+  for (int band = 0; band < nbands; ++band) {
+    const int band_col0 = col0 + band * k;
+    const int first_layer = band * rows_per_band;
+    const int layers_here = std::min(rows_per_band, layers - first_layer);
+    out.band_first_layer.push_back(first_layer);
+
+    // A continuation band's top row holds the DMA shadow of the previous
+    // band's output; the source band's bottom row stages that output.
+    // Single-band tasks need no boundary mem row, which lets small tasks
+    // stack vertically.
+    if (band > 0) {
+      for (int e = 0; e < k; ++e)
+        out.mem.push_back({row0, band_col0 + e});
+    }
+    const int orth_row0 = nbands == 1 ? row0 : row0 + 1;
+    for (int l = 0; l < layers_here; ++l) {
+      auto& layer_tiles = out.orth[static_cast<std::size_t>(first_layer + l)];
+      layer_tiles.resize(static_cast<std::size_t>(k));
+      for (int e = 0; e < k; ++e) {
+        const versal::TileCoord t{orth_row0 + l, band_col0 + e};
+        if (!geo.contains(t)) return false;
+        layer_tiles[static_cast<std::size_t>(e)] = t;
+      }
+    }
+    if (band + 1 < nbands) {
+      // Bottom mem-layer staging the crossing to the next band.
+      for (int e = 0; e < k; ++e) {
+        const versal::TileCoord t{orth_row0 + layers_here, band_col0 + e};
+        if (!geo.contains(t)) return false;
+        out.mem.push_back(t);
+      }
+    }
+  }
+
+  // norm-AIEs in the idle tiles right below the last band's last layer.
+  const int last_band_col0 = col0 + (nbands - 1) * k;
+  const int layers_in_last = layers - (nbands - 1) * rows_per_band;
+  const int norm_row = (nbands == 1 ? row0 : row0 + 1) + layers_in_last;
+  out.norm.clear();
+  for (int e = 0; e < k; ++e) {
+    const versal::TileCoord t{norm_row, last_band_col0 + e};
+    if (!geo.contains(t)) return false;
+    out.norm.push_back(t);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<PlacementResult> try_place(const HeteroSvdConfig& config) {
+  config.validate();
+  const versal::ArrayGeometry geo(config.device.aie_rows, config.device.aie_cols);
+  const int k = config.p_eng;
+  const int layers = config.orth_layers();
+  const int rows_per_band = geo.rows() - 2;
+  if (rows_per_band < 1) return std::nullopt;
+  const int nbands = (layers + rows_per_band - 1) / rows_per_band;
+
+  // Footprint of one task: nbands * k columns wide. Multi-band tasks use
+  // a boundary mem row above the orth rows plus a norm row below; single-
+  // band tasks skip the boundary row, letting small tasks stack
+  // vertically within the 8 array rows.
+  const int task_height = nbands == 1
+                              ? layers + 1
+                              : 1 + std::min(layers, rows_per_band) + 1;
+  const int stack =
+      nbands == 1 ? std::max(1, geo.rows() / task_height) : 1;
+  const int task_width = nbands * k;
+
+  PlacementResult result;
+  result.bands_per_task = nbands;
+  for (int t = 0; t < config.p_task; ++t) {
+    const int strip = t / stack;
+    const int slot = t % stack;
+    const int col0 = strip * task_width;
+    const int row0 = slot * task_height;
+    if (col0 + task_width > geo.cols()) return std::nullopt;
+    if (row0 + task_height > geo.rows()) return std::nullopt;
+    TaskPlacement task;
+    if (!place_task(config, geo, col0, row0, rows_per_band, task)) {
+      return std::nullopt;
+    }
+    result.tasks.push_back(std::move(task));
+  }
+
+  for (const auto& task : result.tasks) {
+    for (const auto& layer : task.orth)
+      result.num_orth += static_cast<int>(layer.size());
+    result.num_norm += static_cast<int>(task.norm.size());
+    result.num_mem += static_cast<int>(task.mem.size());
+  }
+  result.num_plio = 6 * config.p_task;  // 4 orth + 2 norm per task
+
+  if (result.total_aie() > config.device.total_aie) return std::nullopt;
+  if (result.num_plio > config.device.total_plio) return std::nullopt;
+  return result;
+}
+
+PlacementResult place(const HeteroSvdConfig& config) {
+  auto result = try_place(config);
+  HSVD_REQUIRE(result.has_value(),
+               cat("configuration does not fit the device: P_eng=", config.p_eng,
+                   " P_task=", config.p_task, " (", config.orth_layers(),
+                   " orth-layers)"));
+  return std::move(*result);
+}
+
+}  // namespace hsvd::accel

@@ -1,0 +1,58 @@
+// AIE placement (paper section III-C).
+//
+// One task's orthogonalization needs (2k-1) orth-layers of k orth-AIEs
+// (k = P_eng). Layers are placed row-wise into "bands" of k consecutive
+// AIE columns; the array's boundary rows cannot host orth-layers (an
+// orth-layer's output lives in the *next* row's memory -- the AIE-centric
+// dataflow -- so the last row has no successor, and the first row of a
+// continuation band holds the DMA shadow of the previous band's output).
+// Bands therefore offer rows 1 .. R-2 for orth-layers; when a task needs
+// more layers it continues in the next k columns at the cost of DMA
+// between bands, with mem-AIEs at the crossing (bottom of the source
+// band, top of the destination band). norm-AIEs go into idle tiles after
+// the last orth-layer. Small tasks (one band, few layers) stack
+// vertically so large P_task fits the array width.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "versal/geometry.hpp"
+
+namespace hsvd::accel {
+
+enum class TileRole { kOrth, kNorm, kMem, kIdle };
+
+struct TaskPlacement {
+  // orth[layer][engine] -> physical tile.
+  std::vector<std::vector<versal::TileCoord>> orth;
+  // One norm-AIE per engine column.
+  std::vector<versal::TileCoord> norm;
+  // mem-AIEs serving band crossings (DMA shadows and staging).
+  std::vector<versal::TileCoord> mem;
+  // First layer index of each band (band 0 starts at layer 0).
+  std::vector<int> band_first_layer;
+};
+
+struct PlacementResult {
+  std::vector<TaskPlacement> tasks;
+  int num_orth = 0;
+  int num_norm = 0;
+  int num_mem = 0;
+  int num_plio = 0;  // 4 orth + 2 norm PLIOs per task (section III-C)
+  int bands_per_task = 1;
+
+  int total_aie() const { return num_orth + num_norm + num_mem; }
+};
+
+// Attempts to place `config.p_task` tasks on the device's AIE array.
+// Returns nullopt when the configuration does not fit (AIE area or PLIO
+// budget exceeded).
+std::optional<PlacementResult> try_place(const HeteroSvdConfig& config);
+
+// As try_place but throws std::invalid_argument with a diagnostic when
+// the configuration does not fit.
+PlacementResult place(const HeteroSvdConfig& config);
+
+}  // namespace hsvd::accel

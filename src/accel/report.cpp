@@ -1,0 +1,79 @@
+#include "accel/report.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/format.hpp"
+
+namespace hsvd::accel {
+
+std::string render_floorplan(const PlacementResult& placement,
+                             const versal::ArrayGeometry& geometry) {
+  std::vector<std::string> grid(static_cast<std::size_t>(geometry.rows()),
+                                std::string(static_cast<std::size_t>(geometry.cols()), '.'));
+  auto put = [&](const versal::TileCoord& t, char ch) {
+    grid[static_cast<std::size_t>(t.row)][static_cast<std::size_t>(t.col)] = ch;
+  };
+  const char* slot_chars = "0123456789abcdefghijklmnopqrstuvwxyz";
+  for (std::size_t slot = 0; slot < placement.tasks.size(); ++slot) {
+    const auto& task = placement.tasks[slot];
+    const char ch = slot_chars[slot % 36];
+    for (const auto& layer : task.orth)
+      for (const auto& t : layer) put(t, ch);
+    for (const auto& t : task.norm) put(t, 'N');
+    for (const auto& t : task.mem) put(t, 'M');
+  }
+  std::ostringstream os;
+  os << "AIE array " << geometry.rows() << "x" << geometry.cols() << " -- "
+     << placement.num_orth << " orth, " << placement.num_norm << " norm, "
+     << placement.num_mem << " mem, "
+     << geometry.tile_count() - placement.total_aie() << " idle\n";
+  for (const auto& row : grid) os << row << "\n";
+  return os.str();
+}
+
+std::string render_schedule(jacobi::OrderingKind kind, int k,
+                            MemoryStrategy strategy) {
+  HSVD_REQUIRE(k >= 1, "engine count must be positive");
+  const int layers = 2 * k - 1;
+  const auto schedule = jacobi::make_schedule(kind, 2 * k, 1);
+  // Idealized placement at rows 1.. (the paper's convention).
+  const versal::ArrayGeometry geo(layers + 1, k);
+  TaskPlacement task;
+  task.orth.resize(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    auto& row = task.orth[static_cast<std::size_t>(l)];
+    row.resize(static_cast<std::size_t>(k));
+    for (int e = 0; e < k; ++e) row[static_cast<std::size_t>(e)] = {1 + l, e};
+  }
+  task.band_first_layer = {0};
+  const auto plan = build_dataflow(schedule, task, geo, strategy);
+
+  std::ostringstream os;
+  os << to_string(kind) << " ordering, k=" << k << " ("
+     << (strategy == MemoryStrategy::kRelocated ? "relocated" : "naive")
+     << " outputs)\n";
+  for (std::size_t r = 0; r < schedule.size(); ++r) {
+    os << "row-" << r + 1 << ":";
+    for (const auto& pair : schedule[r]) {
+      os << " (" << pair.left + 1 << "," << pair.right + 1 << ")";
+    }
+    os << "\n";
+    if (r + 1 < schedule.size()) {
+      const auto& tr = plan.transitions[r];
+      int dma = tr.dma_count();
+      os << "        moves: " << static_cast<int>(tr.moves.size()) - dma
+         << " neighbour, " << dma << " DMA";
+      if (dma > 0) {
+        os << " [cols";
+        for (const auto& mv : tr.moves)
+          if (mv.is_dma) os << " " << mv.column + 1;
+        os << "]";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hsvd::accel

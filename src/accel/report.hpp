@@ -1,0 +1,31 @@
+// Human-readable configuration reports.
+//
+// render_floorplan() draws the AIE array occupancy of a placement as an
+// ASCII grid -- one character per tile -- the fastest way to see how a
+// configuration tiles the 8x50 array (and the visual counterpart of the
+// paper's Fig. 5):
+//   digits 0-9, a-z : orth-AIE of task slot (mod 36)
+//   N               : norm-AIE
+//   M               : mem-AIE
+//   .               : idle tile
+// render_schedule() prints an ordering's rounds with per-transition move
+// classification, a textual Fig. 3.
+#pragma once
+
+#include <string>
+
+#include "accel/dataflow.hpp"
+#include "accel/placement.hpp"
+#include "jacobi/ordering.hpp"
+
+namespace hsvd::accel {
+
+std::string render_floorplan(const PlacementResult& placement,
+                             const versal::ArrayGeometry& geometry);
+
+// Renders the (2k-1) x k schedule of `kind` with the move classification
+// between consecutive rounds (N = neighbour, D = DMA).
+std::string render_schedule(jacobi::OrderingKind kind, int k,
+                            MemoryStrategy strategy = MemoryStrategy::kRelocated);
+
+}  // namespace hsvd::accel

@@ -1,0 +1,36 @@
+// BCV (odd-even transposition) Jacobi ordering -- the algorithm of the
+// FPGA baseline [6] ("ultra-parallel BCV Jacobi").
+//
+// For n columns, a sweep has n rounds alternating the odd phase
+// (pairs (0,1), (2,3), ...) and the even phase (pairs (1,2), (3,4), ...).
+// Unlike the tournament orderings in src/jacobi, a single BCV sweep does
+// NOT visit every pair; convergence instead relies on repeated sweeps
+// (the transpositions diffuse columns across positions). We implement it
+// functionally to compare convergence behaviour against the ring
+// orderings.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "jacobi/hestenes.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hsvd::baselines {
+
+// rounds[r] = disjoint position pairs of phase r (r even: odd phase).
+std::vector<std::vector<std::pair<int, int>>> bcv_rounds(int columns);
+
+struct BcvOptions {
+  double precision = 1e-6;
+  int max_sweeps = 60;
+  std::optional<int> fixed_sweeps;
+};
+
+// One-sided Jacobi SVD with BCV ordering. Column *positions* are paired;
+// after each rotation the two columns swap positions, which is what
+// carries every column across the array over a sweep.
+jacobi::HestenesResult bcv_svd(const linalg::MatrixF& a,
+                               const BcvOptions& opts = {});
+
+}  // namespace hsvd::baselines

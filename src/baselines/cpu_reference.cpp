@@ -1,0 +1,75 @@
+#include "baselines/cpu_reference.hpp"
+
+#include <chrono>
+
+#include "common/format.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/ops.hpp"
+
+namespace hsvd::baselines {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+CpuRunResult finish(std::string name, double start,
+                    const jacobi::HestenesResult& r,
+                    const linalg::MatrixF& a) {
+  CpuRunResult out;
+  out.algorithm = std::move(name);
+  out.wall_seconds = now_seconds() - start;
+  out.sweeps = r.sweeps;
+  out.converged = r.converged;
+  out.final_convergence_rate = r.final_convergence_rate;
+  // Rebuild B = U * diag(sigma) and measure residual coherence.
+  linalg::MatrixD b(a.rows(), a.cols());
+  for (std::size_t j = 0; j < r.u.cols() && j < a.cols(); ++j) {
+    auto src = r.u.col(j);
+    auto dst = b.col(j);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      dst[i] = static_cast<double>(src[i]) * r.sigma[j];
+  }
+  out.max_offdiag_coherence = linalg::max_pair_coherence(b);
+  return out;
+}
+
+}  // namespace
+
+CpuRunResult run_hestenes(const linalg::MatrixF& a,
+                          jacobi::OrderingKind ordering, double precision,
+                          int max_sweeps) {
+  jacobi::HestenesOptions opts;
+  opts.ordering = ordering;
+  opts.precision = precision;
+  opts.max_sweeps = max_sweeps;
+  const double start = now_seconds();
+  auto r = jacobi::hestenes_svd(a, opts);
+  return finish(cat("hestenes-", to_string(ordering)), start, r, a);
+}
+
+CpuRunResult run_block(const linalg::MatrixF& a, int block_cols,
+                       double precision, int max_sweeps) {
+  jacobi::BlockOptions opts;
+  opts.block_cols = block_cols;
+  opts.precision = precision;
+  opts.max_sweeps = max_sweeps;
+  const double start = now_seconds();
+  auto r = jacobi::block_hestenes_svd(a, opts);
+  return finish(cat("block-k", block_cols), start, r, a);
+}
+
+CpuRunResult run_bcv(const linalg::MatrixF& a, double precision,
+                     int max_sweeps) {
+  BcvOptions opts;
+  opts.precision = precision;
+  opts.max_sweeps = max_sweeps;
+  const double start = now_seconds();
+  auto r = bcv_svd(a, opts);
+  return finish("bcv-odd-even", start, r, a);
+}
+
+}  // namespace hsvd::baselines

@@ -1,0 +1,42 @@
+// CPU reference executions with wall-clock timing.
+//
+// Runs the library's serial SVD implementations (plain Hestenes with any
+// ordering, block Hestenes, BCV) on the host CPU and reports elapsed
+// time and convergence statistics -- the software baseline an adopter
+// would compare the accelerator against, and the measurement source for
+// the convergence-study bench.
+#pragma once
+
+#include <string>
+
+#include "baselines/bcv.hpp"
+#include "jacobi/block.hpp"
+#include "jacobi/hestenes.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hsvd::baselines {
+
+struct CpuRunResult {
+  std::string algorithm;
+  double wall_seconds = 0.0;
+  int sweeps = 0;
+  bool converged = false;
+  double final_convergence_rate = 0.0;
+  // Factor quality against the input (double-precision checks).
+  double max_offdiag_coherence = 0.0;  // eq. (6) measure of B at the end
+};
+
+// Serial one-sided Jacobi with the given ordering.
+CpuRunResult run_hestenes(const linalg::MatrixF& a,
+                          jacobi::OrderingKind ordering,
+                          double precision = 1e-6, int max_sweeps = 30);
+
+// Block Hestenes-Jacobi (Algorithm 1 host model).
+CpuRunResult run_block(const linalg::MatrixF& a, int block_cols,
+                       double precision = 1e-6, int max_sweeps = 30);
+
+// BCV odd-even Jacobi (the FPGA baseline's algorithm).
+CpuRunResult run_bcv(const linalg::MatrixF& a, double precision = 1e-6,
+                     int max_sweeps = 60);
+
+}  // namespace hsvd::baselines

@@ -1,0 +1,34 @@
+// Latency/resource model of the FPGA baseline [6]: the ultra-parallel
+// BCV Jacobi solver on a Xilinx XC7V690T at 200 MHz, configured (as in
+// the paper's Table II protocol) at maximum task parallelism.
+//
+// We do not have the closed-source RTL; the model is anchored to the
+// published Table II measurements (six iterations per matrix) and
+// interpolated log-log between anchors -- the standard way to model a
+// published comparator. Resource usage is the fixed full-device
+// configuration Table II reports.
+#pragma once
+
+#include <cstddef>
+
+namespace hsvd::baselines {
+
+struct FpgaBcvModel {
+  double frequency_hz = 200.0e6;
+
+  // Latency of one matrix, `iterations` BCV sweeps (Table II uses 6).
+  double latency_seconds(std::size_t n, int iterations = 6) const;
+
+  // Fixed resource configuration (Table II).
+  struct Resources {
+    double lut = 212000;        // 30.6% of XC7V690T
+    double lut_pct = 0.306;
+    double bram = 519.5;        // 31.4%
+    double bram_pct = 0.314;
+    int dsp = 1602;             // 44.5%
+    double dsp_pct = 0.445;
+  };
+  Resources resources() const { return {}; }
+};
+
+}  // namespace hsvd::baselines

@@ -1,0 +1,37 @@
+// Model of the GPU baseline [11]: W-cycle multilevel batched Jacobi SVD
+// on a GeForce RTX 3090 (270 W board power).
+//
+// Structure: a fixed kernel-launch/synchronization overhead plus cubic
+// numerical work executed at an effective rate that grows with problem
+// size (small matrices underutilize the 82-SM device -- the paper's
+// Fig. 9 observation). The model's constants are fitted to the published
+// Table III latency/throughput anchors; between anchors it interpolates
+// the utilization curve smoothly, so sweeps over n behave sensibly.
+#pragma once
+
+#include <cstddef>
+
+namespace hsvd::baselines {
+
+struct GpuWcycleModel {
+  double board_watts = 270.0;
+  double peak_flops = 35.6e12;  // fp32 RTX 3090
+
+  // Latency of one matrix processed alone (converged run, the Table III
+  // protocol).
+  double latency_seconds(std::size_t n) const;
+
+  // Sustained throughput (tasks/s) for large-batch processing.
+  double throughput_tasks_per_s(std::size_t n) const;
+
+  double energy_efficiency(std::size_t n) const {
+    return throughput_tasks_per_s(n) / board_watts;
+  }
+
+  // Utilization of compute cores / device memory at large batch --
+  // the quantities Fig. 9 plots.
+  double core_utilization(std::size_t n) const;
+  double memory_utilization(std::size_t n) const;
+};
+
+}  // namespace hsvd::baselines

@@ -1,0 +1,33 @@
+// Log-log anchor interpolation shared by the published-comparator models
+// (FPGA [6], GPU [11]): exact at the published anchors, power-law
+// interpolated between them, slope-extrapolated outside.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/assert.hpp"
+
+namespace hsvd::baselines {
+
+inline double loglog_interp(std::span<const double> xs,
+                            std::span<const double> ys, double x) {
+  HSVD_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+               "need at least two anchors");
+  const double lx = std::log2(x);
+  std::size_t seg = 0;
+  if (x <= xs[0]) {
+    seg = 0;
+  } else if (x >= xs[xs.size() - 1]) {
+    seg = xs.size() - 2;
+  } else {
+    while (seg + 2 < xs.size() && x > xs[seg + 1]) ++seg;
+  }
+  const double x0 = std::log2(xs[seg]);
+  const double x1 = std::log2(xs[seg + 1]);
+  const double y0 = std::log2(ys[seg]);
+  const double y1 = std::log2(ys[seg + 1]);
+  return std::exp2(y0 + (y1 - y0) * (lx - x0) / (x1 - x0));
+}
+
+}  // namespace hsvd::baselines

@@ -1,0 +1,39 @@
+// Lightweight contract-checking macros used across the library.
+//
+// HSVD_REQUIRE  -- precondition on user-supplied input; throws
+//                  std::invalid_argument so callers can recover.
+// HSVD_ASSERT   -- internal invariant; failure is a library bug, aborts
+//                  with a diagnostic (kept on in release builds: the cost
+//                  is negligible next to the simulation work).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace hsvd {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "HSVD_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace hsvd
+
+#define HSVD_ASSERT(expr, msg)                               \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::hsvd::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                        \
+  } while (0)
+
+#define HSVD_REQUIRE(expr, msg)                                               \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      throw std::invalid_argument(std::string("HeteroSVD precondition: ") +   \
+                                  (msg) + " (" #expr ")");                    \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,27 @@
+// CSV emission for benchmark results, so plots can be regenerated outside
+// the harness. Values containing commas/quotes are quoted per RFC 4180.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsvd {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::string render() const;
+
+  // Writes render() to the given path; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hsvd

@@ -1,0 +1,42 @@
+// Minimal string formatting helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace hsvd {
+
+// Concatenate any streamable values into a string: cat("n=", n, " ok").
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+// Fixed-point decimal with the given number of digits after the point.
+inline std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+// Scientific notation, e.g. 1.23e-06.
+inline std::string sci(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, v);
+  return buf;
+}
+
+// Percentage with given digits: pct(0.3141, 1) == "31.4%".
+inline std::string pct(double fraction, int digits = 2) {
+  return fixed(fraction * 100.0, digits) + "%";
+}
+
+// A multiplier label: times(1.98) == "1.98x".
+inline std::string times(double v, int digits = 2) {
+  return fixed(v, digits) + "x";
+}
+
+}  // namespace hsvd

@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// All stochastic code in the library draws from hsvd::Rng so experiments
+// are reproducible from a single seed. The generator is xoshiro256**,
+// which is fast, high-quality, and has a trivially copyable state (useful
+// for splitting independent streams per task).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace hsvd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  // Standard normal via Box-Muller (no cached spare: simpler, still fast
+  // relative to the matrix work these samples feed).
+  double gaussian() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // An independent stream derived from this one (jump via reseeding on a
+  // drawn value mixed with the stream index).
+  Rng split(std::uint64_t stream) {
+    return Rng(next_u64() ^ (0xA0761D6478BD642FULL * (stream + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace hsvd

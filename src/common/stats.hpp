@@ -1,0 +1,42 @@
+// Small statistics helpers used by the perf-model validation benches
+// (mean/max error, geomean speedups).
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/assert.hpp"
+
+namespace hsvd {
+
+inline double mean(std::span<const double> xs) {
+  HSVD_REQUIRE(!xs.empty(), "mean of empty span");
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double max_value(std::span<const double> xs) {
+  HSVD_REQUIRE(!xs.empty(), "max of empty span");
+  double m = xs[0];
+  for (double x : xs) m = x > m ? x : m;
+  return m;
+}
+
+inline double geomean(std::span<const double> xs) {
+  HSVD_REQUIRE(!xs.empty(), "geomean of empty span");
+  double s = 0;
+  for (double x : xs) {
+    HSVD_REQUIRE(x > 0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+// |a-b| / |b| -- the relative-error metric Tables IV/V report.
+inline double relative_error(double measured, double reference) {
+  HSVD_REQUIRE(reference != 0.0, "relative error against zero reference");
+  return std::fabs(measured - reference) / std::fabs(reference);
+}
+
+}  // namespace hsvd

@@ -1,0 +1,33 @@
+// Console table rendering for benchmark harnesses.
+//
+// Each bench binary reproduces one table/figure of the paper and prints it
+// as an aligned ASCII table; this class owns the layout so every bench
+// looks the same.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hsvd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with single-space-padded columns and a rule under the header.
+  std::string render() const;
+
+  // Renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hsvd

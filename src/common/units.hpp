@@ -1,0 +1,32 @@
+// Physical quantities used throughout the performance model.
+//
+// We keep these as thin value types (not a full dimensional-analysis
+// library): the goal is readable call sites (seconds(t), Bytes{n}) and a
+// single place defining the conversions the paper uses.
+#pragma once
+
+#include <cstdint>
+
+namespace hsvd {
+
+// One gibibyte per second expressed in bytes/second. The paper quotes PLIO
+// bandwidth in GB/s; AMD documentation uses decimal GB, so we do too.
+inline constexpr double kGBps = 1e9;
+
+inline constexpr double kMHz = 1e6;
+inline constexpr double kGHz = 1e9;
+
+// Cycle count at a given frequency -> seconds.
+inline constexpr double cycles_to_seconds(double cycles, double frequency_hz) {
+  return cycles / frequency_hz;
+}
+
+inline constexpr double seconds_to_cycles(double seconds, double frequency_hz) {
+  return seconds * frequency_hz;
+}
+
+// Convenience for byte sizes.
+inline constexpr std::uint64_t KiB(std::uint64_t n) { return n * 1024ULL; }
+inline constexpr std::uint64_t MiB(std::uint64_t n) { return n * 1024ULL * 1024ULL; }
+
+}  // namespace hsvd

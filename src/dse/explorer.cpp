@@ -1,0 +1,85 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+
+#include "accel/placement.hpp"
+#include "common/format.hpp"
+
+namespace hsvd::dse {
+
+accel::HeteroSvdConfig DesignSpaceExplorer::make_config(
+    const DseRequest& request, int p_eng, int p_task) const {
+  accel::HeteroSvdConfig config;
+  config.rows = request.rows;
+  config.cols = request.cols;
+  config.iterations = request.iterations;
+  config.p_eng = p_eng;
+  config.p_task = p_task;
+  config.pl_frequency_hz = request.frequency_hz.value_or(
+      freq_.max_frequency_hz(request.cols, p_task));
+  config.device = request.device;
+  return config;
+}
+
+std::optional<int> DesignSpaceExplorer::max_task_parallelism(
+    const DseRequest& request, int p_eng) const {
+  // Walk down from the architectural limit; the first P_task whose
+  // placement and PL memory fit is the stage-1 answer.
+  for (int p_task = 26; p_task >= 1; --p_task) {
+    const auto config = make_config(request, p_eng, p_task);
+    auto placement = accel::try_place(config);
+    if (!placement.has_value()) continue;
+    const auto usage = perf::estimate_resources(config, *placement);
+    if (usage.fits(request.device)) return p_task;
+  }
+  return std::nullopt;
+}
+
+std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
+    const DseRequest& request) const {
+  HSVD_REQUIRE(request.batch >= 1, "batch must be positive");
+  std::vector<DesignPoint> points;
+  for (int p_eng = 1; p_eng <= 11; ++p_eng) {
+    if (request.cols < 2 * static_cast<std::size_t>(p_eng)) continue;
+    const auto max_tasks = max_task_parallelism(request, p_eng);
+    if (!max_tasks.has_value()) continue;
+    // Stage 2 scores every P_task up to the stage-1 maximum: latency-
+    // optimal points often use fewer tasks than fit (Table VI).
+    for (int p_task = 1; p_task <= *max_tasks; ++p_task) {
+      const auto config = make_config(request, p_eng, p_task);
+      auto placement = accel::try_place(config);
+      if (!placement.has_value()) continue;
+      DesignPoint point;
+      point.p_eng = p_eng;
+      point.p_task = p_task;
+      point.frequency_hz = config.pl_frequency_hz;
+      point.resources = perf::estimate_resources(config, *placement);
+      if (!point.resources.fits(request.device)) continue;
+      point.latency = perf_.evaluate(config, request.batch);
+      point.latency_seconds = point.latency.t_task;
+      point.throughput_tasks_per_s =
+          point.latency.throughput_tasks_per_s(request.batch);
+      point.power_watts =
+          power_.system_watts(point.resources, config.pl_frequency_hz);
+      points.push_back(point);
+    }
+  }
+  const auto better = [&](const DesignPoint& a, const DesignPoint& b) {
+    if (request.objective == Objective::kLatency) {
+      return a.latency_seconds < b.latency_seconds;
+    }
+    return a.throughput_tasks_per_s > b.throughput_tasks_per_s;
+  };
+  std::stable_sort(points.begin(), points.end(), better);
+  return points;
+}
+
+DesignPoint DesignSpaceExplorer::optimize(const DseRequest& request) const {
+  auto points = enumerate(request);
+  HSVD_REQUIRE(!points.empty(),
+               cat("no feasible design point for ", request.rows, "x",
+                   request.cols));
+  return points.front();
+}
+
+}  // namespace hsvd::dse

@@ -1,0 +1,84 @@
+// Design space exploration (paper section IV-C, Fig. 8).
+//
+// Problem (eq. (15)): given matrix size and batch size, choose
+// (P_eng, P_task, Freq) minimizing runtime subject to the AIE / PLIO /
+// BRAM / URAM budgets (eq. (16)).
+//
+// Two-stage flow: stage 1 enumerates P_eng and, for each, maximizes
+// P_task under the resource constraints (placement gives exact AIE and
+// PLIO usage; the resource model gives URAM/BRAM). Stage 2 scores every
+// surviving design point with the analytic performance model and ranks
+// by the requested objective.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "dse/frequency_model.hpp"
+#include "perfmodel/perf_model.hpp"
+#include "perfmodel/power_model.hpp"
+#include "perfmodel/resource_model.hpp"
+
+namespace hsvd::dse {
+
+enum class Objective { kLatency, kThroughput };
+
+struct DesignPoint {
+  int p_eng = 1;
+  int p_task = 1;
+  double frequency_hz = 0.0;
+  perf::LatencyBreakdown latency;
+  perf::ResourceUsage resources;
+  double power_watts = 0.0;
+  double latency_seconds = 0.0;            // one task
+  double throughput_tasks_per_s = 0.0;     // at the requested batch
+  double energy_efficiency() const {       // tasks/s/W (Table III metric)
+    return throughput_tasks_per_s / power_watts;
+  }
+  double energy_per_task_joules() const {   // W / (tasks/s)
+    return power_watts / throughput_tasks_per_s;
+  }
+};
+
+struct DseRequest {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+  int batch = 1;
+  int iterations = 6;
+  Objective objective = Objective::kLatency;
+  // When set, fixes the PL frequency; otherwise the frequency model
+  // supplies the maximum achievable per design point.
+  std::optional<double> frequency_hz;
+  versal::DeviceResources device = versal::vck190();
+};
+
+class DesignSpaceExplorer {
+ public:
+  DesignSpaceExplorer() = default;
+  explicit DesignSpaceExplorer(FrequencyModel freq,
+                               perf::PowerModel power = {},
+                               perf::PerformanceModel perf = {})
+      : freq_(freq), power_(power), perf_(perf) {}
+
+  // Stage 1 + stage 2: all feasible design points, best first.
+  std::vector<DesignPoint> enumerate(const DseRequest& request) const;
+
+  // The winning design point; throws if no configuration fits.
+  DesignPoint optimize(const DseRequest& request) const;
+
+  // Stage 1 only: the largest feasible P_task for a given P_eng, or
+  // nullopt when even P_task = 1 does not fit.
+  std::optional<int> max_task_parallelism(const DseRequest& request,
+                                          int p_eng) const;
+
+ private:
+  accel::HeteroSvdConfig make_config(const DseRequest& request, int p_eng,
+                                     int p_task) const;
+
+  FrequencyModel freq_;
+  perf::PowerModel power_;
+  perf::PerformanceModel perf_;
+};
+
+}  // namespace hsvd::dse

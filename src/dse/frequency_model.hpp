@@ -1,0 +1,31 @@
+// Achievable PL frequency model.
+//
+// The paper reports that larger designs close timing at lower PL
+// frequencies (Table V: 450 MHz for a single 128x128 task down to
+// 310 MHz at 1024x1024 or high task parallelism; section V-B attributes
+// this to PL complexity). We model f_max as a base frequency degraded
+// logarithmically by matrix size and linearly by task parallelism,
+// calibrated to Table V's eight (size, P_task, freq) points.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace hsvd::dse {
+
+struct FrequencyModel {
+  double base_hz = 450.0e6;          // single 128x128 task
+  double per_size_octave_hz = 45.0e6;  // drop per doubling of n
+  double per_task_hz = 13.0e6;         // drop per extra parallel task
+  double floor_hz = 250.0e6;
+
+  double max_frequency_hz(std::size_t cols, int p_task) const {
+    const double octaves = std::log2(static_cast<double>(cols) / 128.0);
+    const double f = base_hz - per_size_octave_hz * std::max(octaves, 0.0) -
+                     per_task_hz * (p_task - 1);
+    return std::max(f, floor_hz);
+  }
+};
+
+}  // namespace hsvd::dse

@@ -1,0 +1,42 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+
+namespace hsvd::dse {
+
+bool dominates(const DesignPoint& a, const DesignPoint& b) {
+  const bool no_worse = a.latency_seconds <= b.latency_seconds &&
+                        a.throughput_tasks_per_s >= b.throughput_tasks_per_s &&
+                        a.power_watts <= b.power_watts;
+  const bool strictly_better =
+      a.latency_seconds < b.latency_seconds ||
+      a.throughput_tasks_per_s > b.throughput_tasks_per_s ||
+      a.power_watts < b.power_watts;
+  return no_worse && strictly_better;
+}
+
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<DesignPoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (dominates(points[j], points[i])) dominated = true;
+      // Exact duplicates: keep only the first occurrence.
+      if (j < i && !dominates(points[i], points[j]) &&
+          points[j].latency_seconds == points[i].latency_seconds &&
+          points[j].throughput_tasks_per_s == points[i].throughput_tasks_per_s &&
+          points[j].power_watts == points[i].power_watts) {
+        dominated = true;
+      }
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  std::stable_sort(front.begin(), front.end(),
+                   [](const DesignPoint& a, const DesignPoint& b) {
+                     return a.latency_seconds < b.latency_seconds;
+                   });
+  return front;
+}
+
+}  // namespace hsvd::dse

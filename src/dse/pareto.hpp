@@ -1,0 +1,23 @@
+// Pareto analysis of DSE design points.
+//
+// Table VI shows that no single configuration wins latency, throughput,
+// and power at once; the useful output of a DSE run is the frontier of
+// non-dominated points. A point dominates another when it is no worse in
+// all three objectives (latency and power minimized, throughput
+// maximized) and strictly better in at least one.
+#pragma once
+
+#include <vector>
+
+#include "dse/explorer.hpp"
+
+namespace hsvd::dse {
+
+// True when `a` dominates `b`.
+bool dominates(const DesignPoint& a, const DesignPoint& b);
+
+// Non-dominated subset, sorted by ascending latency. Input order ties are
+// broken toward the earlier point (stable).
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
+
+}  // namespace hsvd::dse

@@ -1,0 +1,116 @@
+#include "heterosvd.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "linalg/ops.hpp"
+
+namespace hsvd {
+
+namespace {
+
+accel::HeteroSvdConfig choose_config(std::size_t rows, std::size_t cols,
+                                     int batch, const SvdOptions& options) {
+  if (options.config.has_value()) {
+    accel::HeteroSvdConfig cfg = *options.config;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    return cfg;
+  }
+  dse::DseRequest req;
+  req.rows = rows;
+  req.cols = cols;
+  req.batch = batch;
+  req.objective =
+      batch > 1 ? dse::Objective::kThroughput : dse::Objective::kLatency;
+  req.device = options.device;
+  const auto point = dse::DesignSpaceExplorer{}.optimize(req);
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.p_eng = point.p_eng;
+  cfg.p_task = point.p_task;
+  cfg.pl_frequency_hz = point.frequency_hz;
+  cfg.device = options.device;
+  return cfg;
+}
+
+Svd from_task(const accel::TaskResult& task, const linalg::MatrixF& a,
+              bool want_v) {
+  Svd out;
+  out.u = task.u;
+  out.sigma = task.sigma;
+  out.iterations = task.iterations;
+  out.convergence_rate = task.convergence_rate;
+  out.accelerator_seconds = task.latency_seconds();
+  if (want_v) out.v = derive_v(a, out.u, out.sigma);
+  return out;
+}
+
+}  // namespace
+
+Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
+  if (a.cols() > a.rows()) {
+    // Wide input: decompose the transpose and swap the factors
+    // (A = U S V^T  <=>  A^T = V S U^T). V is needed to produce U here,
+    // so want_v is forced on for the inner call.
+    SvdOptions inner = options;
+    inner.want_v = true;
+    Svd t = svd(linalg::transpose(a), inner);
+    std::swap(t.u, t.v);
+    if (!options.want_v) t.v = linalg::MatrixF();
+    return t;
+  }
+  accel::HeteroSvdConfig cfg = choose_config(a.rows(), a.cols(), 1, options);
+  cfg.precision = options.precision;
+  accel::HeteroSvdAccelerator acc(cfg);
+  auto run = acc.run({a});
+  return from_task(run.tasks.front(), a, options.want_v);
+}
+
+BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
+                   const SvdOptions& options) {
+  HSVD_REQUIRE(!batch.empty(), "empty batch");
+  const std::size_t rows = batch.front().rows();
+  const std::size_t cols = batch.front().cols();
+  for (const auto& m : batch) {
+    HSVD_REQUIRE(m.rows() == rows && m.cols() == cols,
+                 "all batch matrices must share one shape");
+  }
+  accel::HeteroSvdConfig cfg =
+      choose_config(rows, cols, static_cast<int>(batch.size()), options);
+  cfg.precision = options.precision;
+  accel::HeteroSvdAccelerator acc(cfg);
+  auto run = acc.run(batch);
+  BatchSvd out;
+  out.config = cfg;
+  out.batch_seconds = run.batch_seconds;
+  out.throughput_tasks_per_s = run.throughput_tasks_per_s;
+  out.results.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out.results.push_back(from_task(run.tasks[i], batch[i], options.want_v));
+  }
+  return out;
+}
+
+linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
+                         const std::vector<float>& sigma) {
+  HSVD_REQUIRE(u.rows() == a.rows(), "U row count must match A");
+  HSVD_REQUIRE(sigma.size() <= u.cols(), "sigma longer than U");
+  linalg::MatrixF v(a.cols(), sigma.size());
+  for (std::size_t t = 0; t < sigma.size(); ++t) {
+    if (sigma[t] <= 1e-12f) continue;
+    const float inv = 1.0f / sigma[t];
+    auto ut = u.col(t);
+    auto vt = v.col(t);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      float s = 0.0f;
+      auto aj = a.col(j);
+      for (std::size_t i = 0; i < a.rows(); ++i) s += aj[i] * ut[i];
+      vt[j] = s * inv;
+    }
+  }
+  return v;
+}
+
+}  // namespace hsvd

@@ -1,0 +1,70 @@
+// HeteroSVD -- public API facade.
+//
+// One include for downstream users:
+//
+//   #include "heterosvd.hpp"
+//
+//   hsvd::linalg::MatrixF a = ...;           // rows >= cols, column-major
+//   hsvd::Svd result = hsvd::svd(a);         // DSE-chosen accelerator run
+//   // result.u, result.sigma (descending), result.v
+//
+// svd() picks the accelerator micro-architecture with the DSE flow
+// (latency objective for a single matrix, throughput objective for
+// batches) and executes functionally on the simulated Versal fabric.
+// Lower-level control: build an accel::HeteroSvdConfig yourself and use
+// accel::HeteroSvdAccelerator directly; every layer below is public.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/config.hpp"
+#include "dse/explorer.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hsvd {
+
+struct SvdOptions {
+  // Convergence threshold on the pair coherence of eq. (6).
+  double precision = 1e-6;
+  // Device to target; defaults to the VCK190 of the paper.
+  versal::DeviceResources device = versal::vck190();
+  // When set, skip the DSE and use this configuration (its rows/cols are
+  // overwritten to match the input).
+  std::optional<accel::HeteroSvdConfig> config;
+  // Accumulate V (adds an A^T U Sigma^-1 pass on the host; the hardware
+  // computes U and Sigma only, exactly as the paper's Algorithm 1).
+  bool want_v = true;
+};
+
+struct Svd {
+  linalg::MatrixF u;          // rows x cols, orthonormal columns
+  std::vector<float> sigma;   // descending
+  linalg::MatrixF v;          // cols x cols (empty if !want_v)
+  int iterations = 0;
+  double convergence_rate = 0.0;
+  // Accelerator-clock latency of this matrix (simulated seconds).
+  double accelerator_seconds = 0.0;
+};
+
+// Singular value decomposition of one tall-or-square matrix.
+Svd svd(const linalg::MatrixF& a, const SvdOptions& options = {});
+
+// Batched decomposition: all matrices share one shape and one
+// accelerator configuration (chosen by the DSE throughput objective).
+struct BatchSvd {
+  std::vector<Svd> results;
+  double batch_seconds = 0.0;              // simulated makespan
+  double throughput_tasks_per_s = 0.0;
+  accel::HeteroSvdConfig config;           // what the DSE picked
+};
+BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
+                   const SvdOptions& options = {});
+
+// Recovers V from A ~ U diag(sigma) V^T (V = A^T U Sigma^-1). Columns
+// belonging to (near-)zero singular values are left zero.
+linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
+                         const std::vector<float>& sigma);
+
+}  // namespace hsvd

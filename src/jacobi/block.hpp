@@ -1,0 +1,39 @@
+// Block Hestenes-Jacobi (paper Algorithm 1, host-side executable model).
+//
+// A large matrix A (m x n) is split into p = n / block_cols column blocks.
+// Each sweep enumerates block pairs round-robin; for every block pair the
+// union of its 2*block_cols columns is orthogonalized with a full
+// tournament ordering -- the same schedule the orth-AIE array executes.
+// Convergence (eq. (6)) is tracked per block pair and merged (Algorithm 1
+// lines 10/15).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "jacobi/hestenes.hpp"
+#include "jacobi/ordering.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hsvd::jacobi {
+
+struct BlockOptions {
+  int block_cols = 8;  // k: columns per block (= P_eng on hardware)
+  OrderingKind ordering = OrderingKind::kShiftingRing;
+  double precision = 1e-6;
+  double rotation_threshold = 0.0;  // threshold Jacobi (see HestenesOptions)
+  int max_sweeps = 30;
+  std::optional<int> fixed_sweeps;
+  bool accumulate_v = true;
+};
+
+// Round-robin enumeration of block pairs: rounds of disjoint pairs so that
+// every unordered block pair appears exactly once per sweep. Handles odd p
+// with a bye. Returns rounds[r] = list of (u, v), u < v.
+std::vector<std::vector<std::pair<int, int>>> block_pair_rounds(int blocks);
+
+// Requires a.cols() divisible by block_cols and rows >= cols.
+HestenesResult block_hestenes_svd(const linalg::MatrixF& a,
+                                  const BlockOptions& opts = {});
+
+}  // namespace hsvd::jacobi

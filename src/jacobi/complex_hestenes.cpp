@@ -1,0 +1,164 @@
+#include "jacobi/complex_hestenes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "jacobi/convergence.hpp"
+#include "jacobi/rotation.hpp"
+
+namespace hsvd::jacobi {
+
+ComplexF cdot(std::span<const ComplexF> x, std::span<const ComplexF> y) {
+  HSVD_REQUIRE(x.size() == y.size(), "cdot: length mismatch");
+  ComplexF s{0.0f, 0.0f};
+  for (std::size_t i = 0; i < x.size(); ++i) s += std::conj(x[i]) * y[i];
+  return s;
+}
+
+float cnorm2(std::span<const ComplexF> x) {
+  float s = 0.0f;
+  for (const auto& v : x) s += std::norm(v);
+  return s;
+}
+
+namespace {
+
+// Applies the phase twist a_j *= e^{-i phi} followed by the real plane
+// rotation [x, y] <- [c x - s y, s x + c y] to a column pair.
+void apply_complex_rotation(std::span<ComplexF> x, std::span<ComplexF> y,
+                            ComplexF phase, float c, float s) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const ComplexF yi = y[i] * phase;
+    const ComplexF xi = x[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+}  // namespace
+
+ComplexHestenesResult complex_hestenes_svd(const ComplexMatrix& a,
+                                           const ComplexHestenesOptions& opts) {
+  HSVD_REQUIRE(a.rows() >= a.cols(), "complex_hestenes_svd expects rows >= cols");
+  HSVD_REQUIRE(a.cols() >= 2 && a.cols() % 2 == 0,
+               "complex_hestenes_svd expects an even column count >= 2");
+  const int n = static_cast<int>(a.cols());
+  const EngineSchedule schedule = make_schedule(opts.ordering, n);
+
+  ComplexMatrix b = a;
+  ComplexMatrix v;
+  if (opts.accumulate_v) v = ComplexMatrix::identity(static_cast<std::size_t>(n));
+
+  ConvergenceTracker tracker(opts.precision);
+  const int budget = opts.fixed_sweeps.value_or(opts.max_sweeps);
+  HSVD_REQUIRE(budget >= 1, "sweep budget must be positive");
+
+  int sweep = 0;
+  for (; sweep < budget; ++sweep) {
+    tracker.begin_sweep();
+    for (const auto& round : schedule) {
+      for (const auto& pair : round) {
+        auto bi = b.col(static_cast<std::size_t>(pair.left));
+        auto bj = b.col(static_cast<std::size_t>(pair.right));
+        const ComplexF gij = cdot(bi, bj);
+        const float gii = cnorm2(bi);
+        const float gjj = cnorm2(bj);
+        const float mag = std::abs(gij);
+        const double denom = std::sqrt(static_cast<double>(gii) * gjj);
+        const double coherence = denom > 0.0 ? mag / denom : 0.0;
+        tracker.observe(coherence);
+        if (denom <= 0.0 || mag == 0.0f) continue;
+        // Phase twist makes the pair's Gram off-diagonal real positive,
+        // then the real closed form applies.
+        const ComplexF phase = std::conj(gij) / mag;
+        const Rotation<float> rot = compute_rotation(gii, gjj, mag);
+        if (rot.identity && phase == ComplexF{1.0f, 0.0f}) continue;
+        apply_complex_rotation(bi, bj, phase, rot.c, rot.s);
+        if (opts.accumulate_v) {
+          apply_complex_rotation(v.col(static_cast<std::size_t>(pair.left)),
+                                 v.col(static_cast<std::size_t>(pair.right)),
+                                 phase, rot.c, rot.s);
+        }
+      }
+    }
+    if (!opts.fixed_sweeps.has_value() && tracker.converged()) {
+      ++sweep;
+      break;
+    }
+  }
+
+  // Normalization and descending sort.
+  std::vector<float> sigma(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    sigma[static_cast<std::size_t>(j)] =
+        std::sqrt(cnorm2(b.col(static_cast<std::size_t>(j))));
+  }
+  std::vector<std::size_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  ComplexHestenesResult out;
+  out.sweeps = sweep;
+  out.final_convergence_rate = tracker.sweep_rate();
+  out.converged = tracker.converged();
+  out.sigma.resize(static_cast<std::size_t>(n));
+  out.u = ComplexMatrix(a.rows(), static_cast<std::size_t>(n));
+  if (opts.accumulate_v) out.v = ComplexMatrix(static_cast<std::size_t>(n),
+                                               static_cast<std::size_t>(n));
+  for (std::size_t t = 0; t < static_cast<std::size_t>(n); ++t) {
+    const std::size_t src = order[t];
+    out.sigma[t] = sigma[src];
+    const float inv = sigma[src] > 0.0f ? 1.0f / sigma[src] : 0.0f;
+    auto bcol = b.col(src);
+    auto ucol = out.u.col(t);
+    for (std::size_t i = 0; i < a.rows(); ++i) ucol[i] = bcol[i] * inv;
+    if (opts.accumulate_v) {
+      auto vsrc = v.col(src);
+      auto vdst = out.v.col(t);
+      for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i)
+        vdst[i] = vsrc[i];
+    }
+  }
+  return out;
+}
+
+double complex_orthogonality_error(const ComplexMatrix& q) {
+  const std::size_t n = q.cols();
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const ComplexF g = cdot(q.col(i), q.col(j));
+      const ComplexF target = i == j ? ComplexF{1.0f, 0.0f} : ComplexF{0.0f, 0.0f};
+      const double d = std::norm(g - target);
+      err += (i == j) ? d : 2.0 * d;
+    }
+  }
+  return std::sqrt(err);
+}
+
+double complex_reconstruction_error(const ComplexMatrix& a,
+                                    const ComplexMatrix& u,
+                                    const std::vector<float>& sigma,
+                                    const ComplexMatrix& v) {
+  HSVD_REQUIRE(u.rows() == a.rows() && v.rows() == a.cols(),
+               "factor shapes inconsistent with A");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      ComplexF rec{0.0f, 0.0f};
+      for (std::size_t t = 0; t < sigma.size(); ++t) {
+        rec += u(i, t) * sigma[t] * std::conj(v(j, t));
+      }
+      num += std::norm(a(i, j) - rec);
+      den += std::norm(a(i, j));
+    }
+  }
+  HSVD_REQUIRE(den > 0.0, "reconstruction error of zero matrix");
+  return std::sqrt(num / den);
+}
+
+}  // namespace hsvd::jacobi

@@ -1,0 +1,60 @@
+// Complex one-sided Jacobi SVD.
+//
+// The paper's wireless applications ([1]-[3]) operate on complex channel
+// matrices; the hardware processes real data, so complex workloads are
+// handled at the library level. The algorithm is the classical complex
+// extension of Hestenes-Jacobi: for a column pair with complex Gram
+// off-diagonal a_ij = |a_ij| e^{i phi}, first rotate column j's phase by
+// e^{-i phi} (making the pair's Gram real), then apply the real rotation
+// closed form of eqs. (4)-(5). V accumulates both the phase twist and
+// the rotation, so A = U diag(sigma) V^H holds with unitary factors.
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "jacobi/ordering.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hsvd::jacobi {
+
+using ComplexF = std::complex<float>;
+using ComplexMatrix = linalg::Matrix<ComplexF>;
+
+struct ComplexHestenesOptions {
+  OrderingKind ordering = OrderingKind::kShiftingRing;
+  double precision = 1e-6;
+  int max_sweeps = 40;
+  std::optional<int> fixed_sweeps;
+  bool accumulate_v = true;
+};
+
+struct ComplexHestenesResult {
+  ComplexMatrix u;            // rows x cols, unitary columns
+  std::vector<float> sigma;   // real, descending
+  ComplexMatrix v;            // cols x cols (empty if accumulate_v = false)
+  int sweeps = 0;
+  double final_convergence_rate = 0.0;
+  bool converged = false;
+};
+
+// Requires rows >= cols and an even column count (pad upstream).
+ComplexHestenesResult complex_hestenes_svd(
+    const ComplexMatrix& a, const ComplexHestenesOptions& opts = {});
+
+// Helpers shared with tests: Hermitian inner product sum conj(x_i) y_i
+// and squared norm.
+ComplexF cdot(std::span<const ComplexF> x, std::span<const ComplexF> y);
+float cnorm2(std::span<const ComplexF> x);
+
+// || Q^H Q - I ||_F for complex factors.
+double complex_orthogonality_error(const ComplexMatrix& q);
+
+// || A - U diag(sigma) V^H ||_F / ||A||_F.
+double complex_reconstruction_error(const ComplexMatrix& a,
+                                    const ComplexMatrix& u,
+                                    const std::vector<float>& sigma,
+                                    const ComplexMatrix& v);
+
+}  // namespace hsvd::jacobi

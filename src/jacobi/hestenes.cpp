@@ -1,0 +1,64 @@
+#include "jacobi/hestenes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "jacobi/convergence.hpp"
+#include "jacobi/normalization.hpp"
+#include "jacobi/rotation.hpp"
+#include "linalg/ops.hpp"
+
+namespace hsvd::jacobi {
+
+HestenesResult hestenes_svd(const linalg::MatrixF& a, const HestenesOptions& opts) {
+  HSVD_REQUIRE(a.rows() >= a.cols(), "hestenes_svd expects rows >= cols");
+  HSVD_REQUIRE(a.cols() >= 2 && a.cols() % 2 == 0,
+               "hestenes_svd expects an even column count >= 2");
+  const int n = static_cast<int>(a.cols());
+  const EngineSchedule schedule = make_schedule(opts.ordering, n);
+
+  linalg::MatrixF b = a;
+  linalg::MatrixF v;
+  if (opts.accumulate_v) v = linalg::MatrixF::identity(static_cast<std::size_t>(n));
+
+  ConvergenceTracker tracker(opts.precision);
+  const int sweep_budget = opts.fixed_sweeps.value_or(opts.max_sweeps);
+  HSVD_REQUIRE(sweep_budget >= 1, "sweep budget must be positive");
+
+  int sweep = 0;
+  for (; sweep < sweep_budget; ++sweep) {
+    tracker.begin_sweep();
+    for (const auto& round : schedule) {
+      for (const auto& pair : round) {
+        auto bi = b.col(static_cast<std::size_t>(pair.left));
+        auto bj = b.col(static_cast<std::size_t>(pair.right));
+        const float aij = linalg::dot<float>(bi, bj);
+        const float aii = linalg::dot<float>(bi, bi);
+        const float ajj = linalg::dot<float>(bj, bj);
+        tracker.observe(pair_coherence(aii, ajj, aij));
+        const Rotation<float> rot = compute_rotation(
+            aii, ajj, aij, static_cast<float>(opts.rotation_threshold));
+        if (rot.identity) continue;
+        linalg::apply_rotation(bi, bj, rot.c, rot.s);
+        if (opts.accumulate_v) {
+          linalg::apply_rotation(v.col(static_cast<std::size_t>(pair.left)),
+                                 v.col(static_cast<std::size_t>(pair.right)),
+                                 rot.c, rot.s);
+        }
+      }
+    }
+    if (!opts.fixed_sweeps.has_value() && tracker.converged()) {
+      ++sweep;
+      break;
+    }
+  }
+
+  HestenesResult out;
+  out.sweeps = sweep;
+  out.final_convergence_rate = tracker.sweep_rate();
+  out.converged = tracker.converged();
+  normalize_in_place(b, v, opts.accumulate_v, out.u, out.sigma, out.v);
+  return out;
+}
+
+}  // namespace hsvd::jacobi

@@ -1,0 +1,37 @@
+#include "jacobi/movement.hpp"
+
+#include "common/assert.hpp"
+
+namespace hsvd::jacobi {
+
+std::vector<SlotPosition> slot_map(const EngineSchedule& schedule,
+                                   std::size_t round) {
+  HSVD_REQUIRE(round < schedule.size(), "round out of range");
+  const auto& row = schedule[round];
+  const int columns = static_cast<int>(row.size()) * 2;
+  std::vector<SlotPosition> where(static_cast<std::size_t>(columns));
+  for (int slot = 0; slot < static_cast<int>(row.size()); ++slot) {
+    const auto& pair = row[static_cast<std::size_t>(slot)];
+    HSVD_ASSERT(pair.left < columns && pair.right < columns,
+                "schedule references column beyond matrix width");
+    where[static_cast<std::size_t>(pair.left)] = {slot, Side::kLeft};
+    where[static_cast<std::size_t>(pair.right)] = {slot, Side::kRight};
+  }
+  return where;
+}
+
+std::vector<Move> moves_between(const EngineSchedule& schedule, std::size_t r,
+                                std::size_t r_next) {
+  const auto from = slot_map(schedule, r);
+  const auto to = slot_map(schedule, r_next);
+  HSVD_ASSERT(from.size() == to.size(), "round widths differ");
+  std::vector<Move> moves;
+  moves.reserve(from.size());
+  for (std::size_t col = 0; col < from.size(); ++col) {
+    if (from[col] == to[col]) continue;
+    moves.push_back({static_cast<int>(col), from[col], to[col]});
+  }
+  return moves;
+}
+
+}  // namespace hsvd::jacobi

@@ -1,0 +1,41 @@
+// Inter-round data movement induced by an ordering.
+//
+// Between two consecutive rounds of a schedule every column travels from
+// the engine slot that just processed it to the slot that processes it
+// next. This module extracts those moves in hardware-neutral form; the
+// accelerator's dataflow builder (src/accel) classifies each move as
+// neighbour access vs. DMA given the physical AIE topology.
+#pragma once
+
+#include <vector>
+
+#include "jacobi/ordering.hpp"
+
+namespace hsvd::jacobi {
+
+enum class Side { kLeft, kRight };
+
+struct SlotPosition {
+  int slot = 0;  // engine index within the row, 0..k-1
+  Side side = Side::kLeft;
+  friend bool operator==(const SlotPosition&, const SlotPosition&) = default;
+};
+
+struct Move {
+  int column = 0;
+  SlotPosition from;
+  SlotPosition to;
+  friend bool operator==(const Move&, const Move&) = default;
+};
+
+// Where each column sits in the given round; index = column id.
+std::vector<SlotPosition> slot_map(const EngineSchedule& schedule,
+                                   std::size_t round);
+
+// Moves from round r to round r_next (use r_next = 0 with r = last round
+// for the sweep wrap-around). Columns that stay in place (same slot and
+// side) are omitted: they involve no data transfer.
+std::vector<Move> moves_between(const EngineSchedule& schedule, std::size_t r,
+                                std::size_t r_next);
+
+}  // namespace hsvd::jacobi

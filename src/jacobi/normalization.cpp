@@ -1,0 +1,42 @@
+#include "jacobi/normalization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/ops.hpp"
+
+namespace hsvd::jacobi {
+
+void normalize_in_place(linalg::MatrixF& b, linalg::MatrixF& v, bool with_v,
+                        linalg::MatrixF& u_out, std::vector<float>& sigma_out,
+                        linalg::MatrixF& v_out) {
+  const std::size_t n = b.cols();
+  std::vector<float> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) sigma[j] = linalg::norm2<float>(b.col(j));
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  u_out = linalg::MatrixF(b.rows(), n);
+  sigma_out.resize(n);
+  if (with_v) v_out = linalg::MatrixF(v.rows(), n);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t src = order[t];
+    sigma_out[t] = sigma[src];
+    const float inv = sigma[src] > 0.0f ? 1.0f / sigma[src] : 0.0f;
+    auto bcol = b.col(src);
+    auto ucol = u_out.col(t);
+    for (std::size_t i = 0; i < b.rows(); ++i) ucol[i] = bcol[i] * inv;
+    if (with_v) {
+      auto vsrc = v.col(src);
+      auto vdst = v_out.col(t);
+      for (std::size_t i = 0; i < v.rows(); ++i) vdst[i] = vsrc[i];
+    }
+  }
+}
+
+}  // namespace hsvd::jacobi

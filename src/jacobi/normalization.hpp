@@ -1,0 +1,19 @@
+// Normalization stage (paper eq. (7)): from B = A V recover
+//   sigma_j = ||B_j||,  U_j = B_j / sigma_j,
+// then sort all factors by descending singular value. Shared by the serial
+// algorithm layer and the accelerator's norm-AIE kernels.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hsvd::jacobi {
+
+// Consumes b (and v when with_v) and fills the sorted outputs. Zero
+// columns produce sigma = 0 and a zero U column.
+void normalize_in_place(linalg::MatrixF& b, linalg::MatrixF& v, bool with_v,
+                        linalg::MatrixF& u_out, std::vector<float>& sigma_out,
+                        linalg::MatrixF& v_out);
+
+}  // namespace hsvd::jacobi

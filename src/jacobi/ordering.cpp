@@ -1,0 +1,156 @@
+#include "jacobi/ordering.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hsvd::jacobi {
+
+std::string to_string(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kRing: return "ring";
+    case OrderingKind::kRoundRobin: return "round-robin";
+    case OrderingKind::kShiftingRing: return "shifting-ring";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Parallel ring ordering [16]: k sites each hold two columns; between
+// rounds each site keeps one resident and passes the other to its LEFT
+// neighbour (cyclically). The inter-round movement is therefore
+// monolithic -- every transfer is "stay" or "one site leftward" -- which
+// is the property Fig. 3 exploits. The eviction rule that makes this a
+// valid tournament (every unordered pair meets exactly once over 2k-1
+// rounds): on the first transition every site passes its initial first
+// resident; afterwards every site passes its newest arrival, except one
+// "relay" site per transition, b(j) = k-1-floor((j-1)/2), which passes
+// its parked resident instead.
+EngineSchedule ring_schedule(int n) {
+  const int k = n / 2;
+  EngineSchedule rounds;
+  rounds.reserve(static_cast<std::size_t>(n - 1));
+  // state: per site, {parked resident, newest arrival}.
+  std::vector<std::pair<int, int>> state(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) state[static_cast<std::size_t>(s)] = {2 * s, 2 * s + 1};
+  for (int r = 0; r < n - 1; ++r) {
+    std::vector<ColumnPair> row(static_cast<std::size_t>(k));
+    for (int s = 0; s < k; ++s) {
+      row[static_cast<std::size_t>(s)] = {state[static_cast<std::size_t>(s)].first,
+                                          state[static_cast<std::size_t>(s)].second};
+    }
+    rounds.push_back(std::move(row));
+    if (r == n - 2) break;
+    const int j = r;  // transition index
+    const int relay = j == 0 ? -1 : k - 1 - (j - 1) / 2;
+    std::vector<int> mover(static_cast<std::size_t>(k));
+    std::vector<int> stay(static_cast<std::size_t>(k));
+    for (int s = 0; s < k; ++s) {
+      auto& [parked, arrival] = state[static_cast<std::size_t>(s)];
+      const bool pass_parked = (j == 0) || (s == relay);
+      mover[static_cast<std::size_t>(s)] = pass_parked ? parked : arrival;
+      stay[static_cast<std::size_t>(s)] = pass_parked ? arrival : parked;
+    }
+    for (int s = 0; s < k; ++s) {
+      state[static_cast<std::size_t>(s)] = {stay[static_cast<std::size_t>(s)],
+                                            mover[static_cast<std::size_t>((s + 1) % k)]};
+    }
+  }
+  return rounds;
+}
+
+// Caterpillar-track tournament: hold slot 0's left column, rotate the rest
+// of the ring by one between rounds. Same pair coverage as ring_schedule
+// but a different slot assignment -- this is the Brent-Luk exchange
+// pattern expressed as a schedule.
+EngineSchedule caterpillar_schedule(int n) {
+  const int k = n / 2;
+  std::vector<int> ring(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ring[static_cast<std::size_t>(i)] = i;
+  EngineSchedule rounds(static_cast<std::size_t>(n - 1));
+  for (int r = 0; r < n - 1; ++r) {
+    auto& row = rounds[static_cast<std::size_t>(r)];
+    row.resize(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      row[static_cast<std::size_t>(i)] = {ring[static_cast<std::size_t>(i)],
+                                          ring[static_cast<std::size_t>(n - 1 - i)]};
+    }
+    // Rotate all positions except ring[0]: last element moves to slot 1.
+    const int last = ring[static_cast<std::size_t>(n - 1)];
+    for (int i = n - 1; i >= 2; --i)
+      ring[static_cast<std::size_t>(i)] = ring[static_cast<std::size_t>(i - 1)];
+    ring[1] = last;
+  }
+  return rounds;
+}
+
+// The paper's shifting ring ordering (Fig. 3(b)): start from the ring
+// schedule and cyclically shift the slot assignment of row i (1-indexed)
+// right by floor(i/2). The cumulative shift increments exactly on the
+// transitions that leave an odd physical array row, which converts the
+// ring ordering's leftward moves into straight/rightward moves there --
+// the directions the mirrored AIE rows support without DMA.
+// `first_row_parity` is the physical parity of the row hosting layer 0.
+EngineSchedule shifting_ring_schedule(int n, int first_row_parity) {
+  EngineSchedule base = ring_schedule(n);
+  const int k = n / 2;
+  EngineSchedule shifted(base.size());
+  for (std::size_t r = 0; r < base.size(); ++r) {
+    // Number of shift increments before round r: one per earlier
+    // transition whose source row (first_row_parity + j) is odd.
+    const int shift =
+        ((static_cast<int>(r) + (first_row_parity % 2 == 1 ? 1 : 0)) / 2) % k;
+    auto& row = shifted[r];
+    row.resize(static_cast<std::size_t>(k));
+    for (int slot = 0; slot < k; ++slot) {
+      row[static_cast<std::size_t>((slot + shift) % k)] =
+          base[r][static_cast<std::size_t>(slot)];
+    }
+  }
+  return shifted;
+}
+
+}  // namespace
+
+EngineSchedule make_schedule(OrderingKind kind, int columns,
+                             int first_row_parity) {
+  HSVD_REQUIRE(columns >= 2, "need at least two columns");
+  HSVD_REQUIRE(columns % 2 == 0, "ordering requires an even column count");
+  HSVD_REQUIRE(first_row_parity == 0 || first_row_parity == 1,
+               "row parity must be 0 or 1");
+  switch (kind) {
+    case OrderingKind::kRing: return ring_schedule(columns);
+    case OrderingKind::kRoundRobin: return caterpillar_schedule(columns);
+    case OrderingKind::kShiftingRing:
+      return shifting_ring_schedule(columns, first_row_parity);
+  }
+  HSVD_ASSERT(false, "unreachable ordering kind");
+}
+
+bool is_valid_tournament(const EngineSchedule& schedule, int columns) {
+  if (columns < 2 || columns % 2 != 0) return false;
+  const std::size_t k = static_cast<std::size_t>(columns) / 2;
+  if (schedule.size() != static_cast<std::size_t>(columns - 1)) return false;
+  std::set<std::pair<int, int>> seen;
+  for (const auto& round : schedule) {
+    if (round.size() != k) return false;
+    std::set<int> used;
+    for (const auto& pair : round) {
+      if (pair.left < 0 || pair.left >= columns) return false;
+      if (pair.right < 0 || pair.right >= columns) return false;
+      if (pair.left == pair.right) return false;
+      if (!used.insert(pair.left).second) return false;
+      if (!used.insert(pair.right).second) return false;
+      auto key = std::minmax(pair.left, pair.right);
+      if (!seen.insert({key.first, key.second}).second) return false;
+    }
+  }
+  const std::size_t expected =
+      static_cast<std::size_t>(columns) * (static_cast<std::size_t>(columns) - 1) / 2;
+  return seen.size() == expected;
+}
+
+}  // namespace hsvd::jacobi

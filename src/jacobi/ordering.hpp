@@ -1,0 +1,51 @@
+// SVD orderings: which column pairs are orthogonalized in which round,
+// and on which engine slot each pair sits.
+//
+// An ordering for 2k columns is a schedule of (2k-1) rounds; each round
+// holds k disjoint pairs, one per engine slot, and across a full sweep
+// every unordered column pair appears exactly once (a round-robin
+// tournament). The paper's co-design contribution (shifting ring
+// ordering, Fig. 3) changes only the *slot assignment* per round --
+// pair coverage is identical -- so orderings here carry both.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hsvd::jacobi {
+
+struct ColumnPair {
+  int left = 0;
+  int right = 0;
+  friend bool operator==(const ColumnPair&, const ColumnPair&) = default;
+};
+
+// rounds[r][slot] -> the pair processed by engine `slot` in round r.
+using EngineSchedule = std::vector<std::vector<ColumnPair>>;
+
+enum class OrderingKind {
+  kRing,         // classic ring ordering [16]: canonical slot assignment
+  kRoundRobin,   // Brent-Luk round-robin [17]: same tournament, exchange
+                 // pattern expressed with the fixed-player convention
+  kShiftingRing  // the paper's ordering: round i shifted right by i/2
+};
+
+std::string to_string(OrderingKind kind);
+
+// Builds the schedule for `columns` columns (must be even, >= 2).
+//
+// `first_row_parity` matters only for kShiftingRing: the shifting ring
+// aligns its cyclic shifts with the mirrored core/memory layout of the
+// physical AIE rows, so the schedule must know whether its first layer
+// lands on an odd or even array row. The default (1) is the paper's
+// placement, whose first orth-layer sits at array row 1.
+EngineSchedule make_schedule(OrderingKind kind, int columns,
+                             int first_row_parity = 1);
+
+// Validation helpers (used by tests and HSVD_ASSERTed by consumers):
+// - every round has columns/2 disjoint pairs
+// - across the sweep every unordered pair appears exactly once
+bool is_valid_tournament(const EngineSchedule& schedule, int columns);
+
+}  // namespace hsvd::jacobi

@@ -1,0 +1,56 @@
+// Jacobi plane-rotation parameters (paper eqs. (3)-(5)).
+//
+// Given the Gram entries of a column pair
+//   aii = a_i^T a_i,  ajj = a_j^T a_j,  aij = a_i^T a_j,
+// produce (c, s) such that rotating [a_i, a_j] by [[c, -s], [s, c]]
+// orthogonalizes the pair. The closed form picks the smaller rotation
+// angle, which is what gives Jacobi its quadratic convergence.
+#pragma once
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hsvd::jacobi {
+
+template <typename T>
+struct Rotation {
+  T c{1};
+  T s{0};
+  T t{0};    // tan(theta)
+  T tau{0};  // (ajj - aii) / (2 aij)
+  bool identity = true;  // true when the pair was already orthogonal
+};
+
+// `threshold` guards the division by |aij|: pairs whose coherence
+// |aij| / sqrt(aii*ajj) is below it are left untouched (eq. (6) is then
+// already satisfied for the pair).
+template <typename T>
+Rotation<T> compute_rotation(T aii, T ajj, T aij, T threshold = T{0}) {
+  HSVD_ASSERT(aii >= T{0} && ajj >= T{0}, "Gram diagonal must be nonnegative");
+  Rotation<T> r;
+  const T denom = std::sqrt(aii * ajj);
+  if (denom <= T{0} || std::fabs(aij) <= threshold * denom ||
+      aij == T{0}) {
+    return r;  // identity
+  }
+  const T tau = (ajj - aii) / (2 * aij);
+  const T t = (tau >= T{0} ? T{1} : T{-1}) /
+              (std::fabs(tau) + std::sqrt(T{1} + tau * tau));
+  r.tau = tau;
+  r.t = t;
+  r.c = T{1} / std::sqrt(T{1} + t * t);
+  r.s = t * r.c;
+  r.identity = false;
+  return r;
+}
+
+// Coherence of a pair: the convergence measure of eq. (6).
+template <typename T>
+T pair_coherence(T aii, T ajj, T aij) {
+  const T denom = std::sqrt(aii * ajj);
+  if (denom <= T{0}) return T{0};
+  return std::fabs(aij) / denom;
+}
+
+}  // namespace hsvd::jacobi

@@ -1,0 +1,102 @@
+#include "linalg/generators.hpp"
+
+#include <cmath>
+
+#include "linalg/ops.hpp"
+
+namespace hsvd::linalg {
+
+MatrixD random_gaussian(std::size_t rows, std::size_t cols, Rng& rng) {
+  MatrixD m(rows, cols);
+  for (double& v : m.data()) v = rng.gaussian();
+  return m;
+}
+
+MatrixD random_uniform(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                       double hi) {
+  MatrixD m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+namespace {
+
+// In-place modified Gram-Schmidt QR; returns Q (rows x cols), diag(R) signs
+// are used by the caller for Haar correction. MGS is numerically adequate
+// here because callers re-orthogonalize once.
+MatrixD gram_schmidt_q(const MatrixD& a, std::vector<double>& rdiag) {
+  MatrixD q = a;
+  const std::size_t n = a.cols();
+  rdiag.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto qj = q.col(j);
+    for (int pass = 0; pass < 2; ++pass) {  // re-orthogonalize for stability
+      for (std::size_t k = 0; k < j; ++k) {
+        auto qk = q.col(k);
+        const double r = dot<double>(qk, qj);
+        for (std::size_t i = 0; i < qj.size(); ++i) qj[i] -= r * qk[i];
+      }
+    }
+    const double nrm = norm2<double>(qj);
+    rdiag[j] = nrm;
+    HSVD_ASSERT(nrm > 1e-12, "rank-deficient matrix in gram_schmidt_q");
+    for (double& v : qj) v /= nrm;
+  }
+  return q;
+}
+
+}  // namespace
+
+MatrixD random_orthogonal(std::size_t n, Rng& rng) {
+  MatrixD g = random_gaussian(n, n, rng);
+  std::vector<double> rdiag;
+  MatrixD q = gram_schmidt_q(g, rdiag);
+  // Sign correction: multiply each column by sign of the corresponding R
+  // diagonal entry of the *Gaussian* factorization. With MGS rdiag is
+  // always positive, so instead randomize signs directly to avoid bias.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (rng.uniform() < 0.5) scale_col(q, j, -1.0);
+  }
+  return q;
+}
+
+MatrixD matrix_with_spectrum(std::size_t rows, std::size_t cols,
+                             const std::vector<double>& sigma, Rng& rng) {
+  const std::size_t k = std::min(rows, cols);
+  HSVD_REQUIRE(sigma.size() <= k, "spectrum longer than min(rows, cols)");
+  MatrixD u = random_orthogonal(rows, rng);
+  MatrixD v = random_orthogonal(cols, rng);
+  // A = U(:, :k) * diag(sigma padded with 0) * V(:, :k)^T
+  MatrixD a(rows, cols);
+  for (std::size_t t = 0; t < sigma.size(); ++t) {
+    const double s = sigma[t];
+    auto ut = u.col(t);
+    auto vt = v.col(t);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double svj = s * vt[j];
+      auto aj = a.col(j);
+      for (std::size_t i = 0; i < rows; ++i) aj[i] += ut[i] * svj;
+    }
+  }
+  return a;
+}
+
+std::vector<double> geometric_spectrum(std::size_t count, double condition) {
+  HSVD_REQUIRE(count >= 1, "empty spectrum");
+  HSVD_REQUIRE(condition >= 1.0, "condition number must be >= 1");
+  std::vector<double> s(count);
+  if (count == 1) {
+    s[0] = 1.0;
+    return s;
+  }
+  const double ratio = std::pow(1.0 / condition,
+                                1.0 / static_cast<double>(count - 1));
+  double v = 1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    s[i] = v;
+    v *= ratio;
+  }
+  return s;
+}
+
+}  // namespace hsvd::linalg

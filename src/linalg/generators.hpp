@@ -1,0 +1,34 @@
+// Test-matrix generators.
+//
+// The paper evaluates on dense random matrices (128..1024 square). For
+// tests we additionally need matrices with a *known* spectrum, which we
+// build as U * diag(sigma) * V^T from random orthogonal factors.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hsvd::linalg {
+
+// I.I.D. standard-normal entries.
+MatrixD random_gaussian(std::size_t rows, std::size_t cols, Rng& rng);
+
+// Uniform entries in [lo, hi).
+MatrixD random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                       double lo = -1.0, double hi = 1.0);
+
+// A random orthogonal matrix (Haar-ish: QR of a Gaussian matrix with sign
+// correction so the distribution is not biased by the QR convention).
+MatrixD random_orthogonal(std::size_t n, Rng& rng);
+
+// rows x cols matrix whose singular values are exactly `sigma`
+// (sigma.size() <= min(rows, cols); remaining singular values are zero).
+MatrixD matrix_with_spectrum(std::size_t rows, std::size_t cols,
+                             const std::vector<double>& sigma, Rng& rng);
+
+// Geometrically-spaced spectrum from 1 down to 1/condition.
+std::vector<double> geometric_spectrum(std::size_t count, double condition);
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,100 @@
+// Dense column-major matrix.
+//
+// Hestenes-Jacobi SVD is a column-pair algorithm: every kernel in this
+// library reads and writes whole columns. Column-major storage makes a
+// column a contiguous std::span, which is what the simulated AIE kernels
+// (and the real ones in the paper) operate on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hsvd::linalg {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    HSVD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    HSVD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[c * rows_ + r];
+  }
+
+  std::span<T> col(std::size_t c) {
+    HSVD_ASSERT(c < cols_, "column index out of range");
+    return {data_.data() + c * rows_, rows_};
+  }
+  std::span<const T> col(std::size_t c) const {
+    HSVD_ASSERT(c < cols_, "column index out of range");
+    return {data_.data() + c * rows_, rows_};
+  }
+
+  std::span<T> data() { return data_; }
+  std::span<const T> data() const { return data_; }
+
+  // Copies columns [first, first+count) into a new rows() x count matrix.
+  Matrix slice_cols(std::size_t first, std::size_t count) const {
+    HSVD_REQUIRE(first + count <= cols_, "column slice out of range");
+    Matrix out(rows_, count);
+    for (std::size_t c = 0; c < count; ++c) {
+      auto src = col(first + c);
+      auto dst = out.col(c);
+      for (std::size_t r = 0; r < rows_; ++r) dst[r] = src[r];
+    }
+    return out;
+  }
+
+  // Writes `block` over columns [first, first+block.cols()).
+  void assign_cols(std::size_t first, const Matrix& block) {
+    HSVD_REQUIRE(block.rows() == rows_, "row mismatch in assign_cols");
+    HSVD_REQUIRE(first + block.cols() <= cols_, "column range out of bounds");
+    for (std::size_t c = 0; c < block.cols(); ++c) {
+      auto src = block.col(c);
+      auto dst = col(first + c);
+      for (std::size_t r = 0; r < rows_; ++r) dst[r] = src[r];
+    }
+  }
+
+  template <typename U>
+  Matrix<U> cast() const {
+    Matrix<U> out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      out.data()[i] = static_cast<U>(data_[i]);
+    return out;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,98 @@
+#include "linalg/matrix_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/format.hpp"
+
+namespace hsvd::linalg {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(cat("matrix I/O: ", what, " (", path, ")"));
+}
+
+}  // namespace
+
+void save_matrix_market(const MatrixF& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) io_fail("cannot open for writing", path);
+  out << "%%MatrixMarket matrix array real general\n";
+  out << m.rows() << " " << m.cols() << "\n";
+  out.precision(9);
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t r = 0; r < m.rows(); ++r) out << m(r, c) << "\n";
+  }
+  if (!out) io_fail("write failed", path);
+}
+
+MatrixF load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) io_fail("cannot open for reading", path);
+  std::string line;
+  if (!std::getline(in, line)) io_fail("empty file", path);
+  if (line.rfind("%%MatrixMarket", 0) != 0) io_fail("missing header", path);
+  if (line.find("array") == std::string::npos ||
+      line.find("real") == std::string::npos) {
+    io_fail("only 'array real' MatrixMarket files are supported", path);
+  }
+  // Skip comment lines.
+  do {
+    if (!std::getline(in, line)) io_fail("missing size line", path);
+  } while (!line.empty() && line[0] == '%');
+  std::istringstream dims(line);
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (!(dims >> rows >> cols) || rows == 0 || cols == 0) {
+    io_fail("bad dimensions", path);
+  }
+  MatrixF m(rows, cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      double v;
+      if (!(in >> v)) io_fail("truncated body", path);
+      m(r, c) = static_cast<float>(v);
+    }
+  }
+  return m;
+}
+
+void save_binary(const MatrixF& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) io_fail("cannot open for writing", path);
+  const char magic[4] = {'H', 'S', 'V', 'D'};
+  const std::uint64_t rows = m.rows();
+  const std::uint64_t cols = m.cols();
+  out.write(magic, 4);
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.data().data()),
+            static_cast<std::streamsize>(m.data().size() * sizeof(float)));
+  if (!out) io_fail("write failed", path);
+}
+
+MatrixF load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail("cannot open for reading", path);
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, "HSVD", 4) != 0) io_fail("bad magic", path);
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows == 0 || cols == 0 || rows > (1u << 24) || cols > (1u << 24)) {
+    io_fail("bad dimensions", path);
+  }
+  MatrixF m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  in.read(reinterpret_cast<char*>(m.data().data()),
+          static_cast<std::streamsize>(m.data().size() * sizeof(float)));
+  if (!in) io_fail("truncated body", path);
+  return m;
+}
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,26 @@
+// Matrix file I/O.
+//
+// Two formats:
+//  - MatrixMarket "array real general" text (interoperable with SciPy,
+//    Julia, MATLAB): human-readable, column-major body.
+//  - A raw little-endian binary ("HSVD" magic, dims, float payload) for
+//    large matrices fed to the CLI tool.
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace hsvd::linalg {
+
+// MatrixMarket array format. Throws std::runtime_error on I/O failure
+// or malformed content.
+void save_matrix_market(const MatrixF& m, const std::string& path);
+MatrixF load_matrix_market(const std::string& path);
+
+// Raw binary format: "HSVD" magic, uint64 rows, uint64 cols, fp32 body
+// (column-major).
+void save_binary(const MatrixF& m, const std::string& path);
+MatrixF load_binary(const std::string& path);
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,76 @@
+#include "linalg/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/ops.hpp"
+
+namespace hsvd::linalg {
+
+double orthogonality_error(const MatrixD& q) {
+  const std::size_t n = q.cols();
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double g = dot<double>(q.col(i), q.col(j));
+      const double target = (i == j) ? 1.0 : 0.0;
+      const double d = g - target;
+      err += (i == j) ? d * d : 2.0 * d * d;
+    }
+  }
+  return std::sqrt(err);
+}
+
+double reconstruction_error(const MatrixD& a, const MatrixD& u,
+                            const std::vector<double>& sigma,
+                            const MatrixD& v) {
+  HSVD_REQUIRE(u.rows() == a.rows() && v.rows() == a.cols(),
+               "factor shapes inconsistent with A");
+  HSVD_REQUIRE(sigma.size() <= u.cols() && sigma.size() <= v.cols(),
+               "spectrum longer than factors");
+  const double denom = frobenius_norm(a);
+  HSVD_REQUIRE(denom > 0.0, "reconstruction error of zero matrix");
+  double err = 0.0;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    auto aj = a.col(j);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      double rec = 0.0;
+      for (std::size_t t = 0; t < sigma.size(); ++t)
+        rec += u(i, t) * sigma[t] * v(j, t);
+      const double d = aj[i] - rec;
+      err += d * d;
+    }
+  }
+  return std::sqrt(err) / denom;
+}
+
+double spectrum_distance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = i < a.size() ? a[i] : 0.0;
+    const double y = i < b.size() ? b[i] : 0.0;
+    const double scale = std::max({std::fabs(x), std::fabs(y), 1e-12});
+    worst = std::max(worst, std::fabs(x - y) / scale);
+  }
+  return worst;
+}
+
+double max_pair_coherence(const MatrixD& b) {
+  const std::size_t n = b.cols();
+  std::vector<double> nrm(n);
+  for (std::size_t j = 0; j < n; ++j) nrm[j] = dot<double>(b.col(j), b.col(j));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double denom = std::sqrt(nrm[i] * nrm[j]);
+      if (denom < 1e-300) continue;  // zero column: orthogonal by convention
+      const double g = std::fabs(dot<double>(b.col(i), b.col(j)));
+      worst = std::max(worst, g / denom);
+    }
+  }
+  return worst;
+}
+
+}  // namespace hsvd::linalg

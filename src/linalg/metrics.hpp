@@ -1,0 +1,26 @@
+// Accuracy metrics for judging an SVD result against its input, used by
+// every functional test (library, accelerator, examples).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hsvd::linalg {
+
+// || Q^T Q - I ||_F  -- 0 for a perfectly orthonormal column set.
+double orthogonality_error(const MatrixD& q);
+
+// || A - U diag(sigma) V^T ||_F / || A ||_F.
+double reconstruction_error(const MatrixD& a, const MatrixD& u,
+                            const std::vector<double>& sigma, const MatrixD& v);
+
+// Max relative difference between two descending spectra (pads with zero).
+double spectrum_distance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+// Off-diagonal mass of B^T B relative to column norms: the convergence
+// measure of eq. (6), maximized over all column pairs.
+double max_pair_coherence(const MatrixD& b);
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,79 @@
+// Basic dense operations on Matrix<T>: products, transpose, norms, and the
+// vector kernels the Jacobi rotations are built from. These are reference
+// implementations -- clarity over speed; the throughput-critical path in
+// the accelerator has its own kernels.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace hsvd::linalg {
+
+template <typename T>
+T dot(std::span<const T> a, std::span<const T> b) {
+  HSVD_REQUIRE(a.size() == b.size(), "dot: length mismatch");
+  T s{};
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+template <typename T>
+T norm2(std::span<const T> a) {
+  return std::sqrt(dot(a, a));
+}
+
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  HSVD_REQUIRE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T bkj = b(k, j);
+      if (bkj == T{}) continue;
+      auto ak = a.col(k);
+      auto cj = c.col(j);
+      for (std::size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+    }
+  }
+  return c;
+}
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i) t(j, i) = a(i, j);
+  return t;
+}
+
+template <typename T>
+T frobenius_norm(const Matrix<T>& a) {
+  T s{};
+  for (T v : a.data()) s += v * v;
+  return std::sqrt(s);
+}
+
+// Scales column c of m in place.
+template <typename T>
+void scale_col(Matrix<T>& m, std::size_t c, T factor) {
+  for (T& v : m.col(c)) v *= factor;
+}
+
+// Applies a plane rotation to two equal-length columns in place:
+//   [x, y] <- [c*x - s*y, s*x + c*y].
+// This is the sign convention under which the closed form of the paper's
+// eqs. (4)-(5) orthogonalizes the pair (t solves t^2 + 2*tau*t - 1 = 0).
+template <typename T>
+void apply_rotation(std::span<T> x, std::span<T> y, T c, T s) {
+  HSVD_REQUIRE(x.size() == y.size(), "rotation: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const T xi = x[i];
+    const T yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+}  // namespace hsvd::linalg

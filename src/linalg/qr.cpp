@@ -1,0 +1,77 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/ops.hpp"
+
+namespace hsvd::linalg {
+
+QrResult householder_qr(const MatrixD& a) {
+  HSVD_REQUIRE(a.rows() >= a.cols(), "householder_qr expects rows >= cols");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  MatrixD work = a;                       // becomes R in its upper triangle
+  std::vector<std::vector<double>> vs;    // Householder vectors
+  vs.reserve(n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Build the reflector for column j below the diagonal.
+    std::vector<double> v(m - j);
+    double norm = 0.0;
+    for (std::size_t i = j; i < m; ++i) {
+      v[i - j] = work(i, j);
+      norm += v[i - j] * v[i - j];
+    }
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      const double alpha = v[0] >= 0.0 ? -norm : norm;
+      v[0] -= alpha;
+      double vnorm2 = 0.0;
+      for (double x : v) vnorm2 += x * x;
+      if (vnorm2 > 0.0) {
+        // Apply (I - 2 v v^T / v^T v) to the trailing columns.
+        for (std::size_t c = j; c < n; ++c) {
+          double dotv = 0.0;
+          for (std::size_t i = j; i < m; ++i) dotv += v[i - j] * work(i, c);
+          const double scale = 2.0 * dotv / vnorm2;
+          for (std::size_t i = j; i < m; ++i) work(i, c) -= scale * v[i - j];
+        }
+      }
+    }
+    vs.push_back(std::move(v));
+  }
+
+  QrResult out;
+  out.r = MatrixD(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) out.r(i, j) = work(i, j);
+
+  // Q = H_0 H_1 ... H_{n-1} applied to the first n identity columns.
+  out.q = MatrixD(m, n);
+  for (std::size_t j = 0; j < n; ++j) out.q(j, j) = 1.0;
+  for (std::size_t j = n; j-- > 0;) {
+    const auto& v = vs[j];
+    double vnorm2 = 0.0;
+    for (double x : v) vnorm2 += x * x;
+    if (vnorm2 == 0.0) continue;
+    for (std::size_t c = 0; c < n; ++c) {
+      double dotv = 0.0;
+      for (std::size_t i = j; i < m; ++i) dotv += v[i - j] * out.q(i, c);
+      const double scale = 2.0 * dotv / vnorm2;
+      for (std::size_t i = j; i < m; ++i) out.q(i, c) -= scale * v[i - j];
+    }
+  }
+
+  // Normalize signs so diag(R) >= 0 (unique factorization).
+  for (std::size_t j = 0; j < n; ++j) {
+    if (out.r(j, j) < 0.0) {
+      for (std::size_t c = j; c < n; ++c) out.r(j, c) = -out.r(j, c);
+      scale_col(out.q, j, -1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,19 @@
+// Householder QR factorization (double precision).
+//
+// Used by the generators to build genuinely orthogonal factors and
+// available standalone: A (m x n, m >= n) = Q (m x n, orthonormal
+// columns) * R (n x n, upper triangular, nonnegative diagonal).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace hsvd::linalg {
+
+struct QrResult {
+  MatrixD q;  // m x n, orthonormal columns
+  MatrixD r;  // n x n, upper triangular, diag >= 0
+};
+
+QrResult householder_qr(const MatrixD& a);
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,75 @@
+#include "linalg/reference_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/ops.hpp"
+
+namespace hsvd::linalg {
+
+SvdResult reference_svd(const MatrixD& a, const ReferenceSvdOptions& opts) {
+  HSVD_REQUIRE(a.rows() >= a.cols(), "reference_svd expects rows >= cols");
+  HSVD_REQUIRE(a.cols() >= 1, "empty matrix");
+  const std::size_t n = a.cols();
+
+  MatrixD b = a;                       // becomes B = A V
+  MatrixD v = MatrixD::identity(n);    // accumulates the rotations
+
+  int sweep = 0;
+  for (; sweep < opts.max_sweeps; ++sweep) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        auto bi = b.col(i);
+        auto bj = b.col(j);
+        const double aij = dot<double>(bi, bj);
+        const double aii = dot<double>(bi, bi);
+        const double ajj = dot<double>(bj, bj);
+        const double denom = std::sqrt(aii * ajj);
+        if (denom < 1e-300) continue;
+        const double coherence = std::fabs(aij) / denom;
+        worst = std::max(worst, coherence);
+        if (coherence < opts.tolerance) continue;
+        // Two-sided-safe rotation computation (eqs. (4)-(5)).
+        const double tau = (ajj - aii) / (2.0 * aij);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        apply_rotation<double>(bi, bj, c, s);
+        apply_rotation<double>(v.col(i), v.col(j), c, s);
+      }
+    }
+    if (worst < opts.tolerance) break;
+  }
+
+  // Normalization (eq. (7)), then sort by descending singular value.
+  std::vector<double> sigma(n);
+  for (std::size_t j = 0; j < n; ++j) sigma[j] = norm2<double>(b.col(j));
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.sweeps = sweep;
+  out.sigma.resize(n);
+  out.u = MatrixD(a.rows(), n);
+  out.v = MatrixD(n, n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t src = order[t];
+    out.sigma[t] = sigma[src];
+    auto bcol = b.col(src);
+    auto ucol = out.u.col(t);
+    const double inv = sigma[src] > 1e-300 ? 1.0 / sigma[src] : 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) ucol[i] = bcol[i] * inv;
+    auto vsrc = v.col(src);
+    auto vdst = out.v.col(t);
+    for (std::size_t i = 0; i < n; ++i) vdst[i] = vsrc[i];
+  }
+  return out;
+}
+
+}  // namespace hsvd::linalg

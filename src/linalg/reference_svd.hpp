@@ -1,0 +1,27 @@
+// Double-precision reference SVD (serial one-sided Jacobi with cyclic
+// sweeps). Ground truth for every other SVD path in the library.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hsvd::linalg {
+
+struct SvdResult {
+  MatrixD u;                  // rows x min(rows, cols), orthonormal columns
+  std::vector<double> sigma;  // descending, >= 0
+  MatrixD v;                  // cols x min(rows, cols), orthonormal columns
+  int sweeps = 0;             // cyclic sweeps until convergence
+};
+
+struct ReferenceSvdOptions {
+  double tolerance = 1e-12;  // eq. (6) threshold on pair coherence
+  int max_sweeps = 60;
+};
+
+// Computes A = U diag(sigma) V^T. Requires rows >= cols (the accelerator
+// paths have the same convention; callers transpose wide inputs).
+SvdResult reference_svd(const MatrixD& a, const ReferenceSvdOptions& opts = {});
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,74 @@
+#include "linalg/svd_utils.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hsvd::linalg {
+
+MatrixF low_rank_approx(const MatrixF& u, const std::vector<float>& sigma,
+                        const MatrixF& v, std::size_t rank) {
+  HSVD_REQUIRE(sigma.size() <= u.cols() && sigma.size() <= v.cols(),
+               "spectrum longer than factors");
+  rank = std::min(rank, sigma.size());
+  MatrixF out(u.rows(), v.rows());
+  for (std::size_t t = 0; t < rank; ++t) {
+    const float s = sigma[t];
+    auto ut = u.col(t);
+    auto vt = v.col(t);
+    for (std::size_t j = 0; j < v.rows(); ++j) {
+      const float svj = s * vt[j];
+      auto oj = out.col(j);
+      for (std::size_t i = 0; i < u.rows(); ++i) oj[i] += ut[i] * svj;
+    }
+  }
+  return out;
+}
+
+double captured_energy(const std::vector<float>& sigma, std::size_t rank) {
+  HSVD_REQUIRE(!sigma.empty(), "empty spectrum");
+  rank = std::min(rank, sigma.size());
+  double head = 0.0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < sigma.size(); ++t) {
+    const double s2 = static_cast<double>(sigma[t]) * sigma[t];
+    total += s2;
+    if (t < rank) head += s2;
+  }
+  if (total == 0.0) return 1.0;  // zero matrix: any rank captures it
+  return head / total;
+}
+
+std::size_t rank_for_energy(const std::vector<float>& sigma, double fraction) {
+  HSVD_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+               "energy fraction must be in (0, 1]");
+  for (std::size_t r = 1; r <= sigma.size(); ++r) {
+    if (captured_energy(sigma, r) >= fraction) return r;
+  }
+  return sigma.size();
+}
+
+double psnr_db(const MatrixF& reference, const MatrixF& approx) {
+  HSVD_REQUIRE(reference.rows() == approx.rows() &&
+                   reference.cols() == approx.cols(),
+               "psnr shapes must match");
+  HSVD_REQUIRE(!reference.empty(), "psnr of empty matrix");
+  double mse = 0.0;
+  float lo = reference.data()[0];
+  float hi = lo;
+  for (std::size_t i = 0; i < reference.data().size(); ++i) {
+    const double d = static_cast<double>(reference.data()[i]) -
+                     static_cast<double>(approx.data()[i]);
+    mse += d * d;
+    lo = std::min(lo, reference.data()[i]);
+    hi = std::max(hi, reference.data()[i]);
+  }
+  mse /= static_cast<double>(reference.data().size());
+  const double peak = static_cast<double>(hi) - lo;
+  if (mse == 0.0) return 99.0;  // conventional cap for an exact match
+  HSVD_REQUIRE(peak > 0.0, "constant reference has no dynamic range");
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+}  // namespace hsvd::linalg

@@ -1,0 +1,28 @@
+// Utilities on top of an SVD: truncation, low-rank reconstruction, and
+// approximation-quality metrics (used by the compression/denoising
+// examples and their tests).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hsvd::linalg {
+
+// Rank-r reconstruction sum_{t<r} sigma_t u_t v_t^T. Requires descending
+// sigma and matching factor shapes; r is clamped to sigma.size().
+MatrixF low_rank_approx(const MatrixF& u, const std::vector<float>& sigma,
+                        const MatrixF& v, std::size_t rank);
+
+// Energy captured by the leading r singular values:
+// sum_{t<r} sigma_t^2 / sum_t sigma_t^2 (1.0 for full rank).
+double captured_energy(const std::vector<float>& sigma, std::size_t rank);
+
+// Smallest rank whose captured energy reaches `fraction` (0 < f <= 1).
+std::size_t rank_for_energy(const std::vector<float>& sigma, double fraction);
+
+// Peak signal-to-noise ratio in dB between a reference and an
+// approximation, with the reference's value range as the peak.
+double psnr_db(const MatrixF& reference, const MatrixF& approx);
+
+}  // namespace hsvd::linalg

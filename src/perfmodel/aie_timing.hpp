@@ -1,0 +1,70 @@
+// AIE kernel timing model.
+//
+// The paper obtains per-kernel execution times from the AIE cycle
+// simulator "in advance" (section IV-B) and feeds them to the analytic
+// performance model. We play the same role with a vector-lane model of
+// the AIE1 core: 8 fp32 MAC lanes at 1.25 GHz, plus fixed per-invocation
+// overhead (kernel entry, lock acquire/release, scalar rotation math).
+// Both the cycle-approximate simulator and the analytic model consume
+// THIS model, mirroring the paper's methodology; the constants below are
+// calibrated so absolute times land in the range of the paper's Table IV.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "versal/resources.hpp"
+
+namespace hsvd::perf {
+
+struct AieKernelModel {
+  double clock_hz = 1.25e9;
+  int vector_lanes = 8;  // fp32 MACs per cycle
+
+  // Orthogonalization kernel: one fused pass for the three Gram dot
+  // products (3 MACs/element) + one update pass (4 mul + 2 add per
+  // element over two columns), plus scalar rotation math and lock/entry
+  // overhead per invocation.
+  double gram_passes = 3.0;
+  double update_passes = 6.0;
+  double orth_overhead_cycles = 450.0;
+
+  // Normalization kernel per column: norm pass (1 MAC/elem) + scale pass.
+  double norm_passes = 2.0;
+  double norm_overhead_cycles = 320.0;
+
+  double orth_seconds(std::size_t column_rows) const {
+    const double mac_cycles =
+        (gram_passes + update_passes) * static_cast<double>(column_rows) /
+        vector_lanes;
+    return (mac_cycles + orth_overhead_cycles) / clock_hz;
+  }
+
+  double norm_seconds(std::size_t column_rows) const {
+    const double mac_cycles =
+        norm_passes * static_cast<double>(column_rows) / vector_lanes;
+    return (mac_cycles + norm_overhead_cycles) / clock_hz;
+  }
+};
+
+// PL-side interface model: each PLIO moves `plio_bits` per PL cycle
+// (eq. (8): t = databits / (bandwidth * frequency)), capped by the
+// physical AIE-side bandwidth of section II-B.
+struct PlioModel {
+  double plio_bits = 128.0;  // effective payload bits per PL cycle
+
+  double tx_seconds(double bytes, double pl_frequency_hz,
+                    const versal::DeviceResources& dev) const {
+    const double rate =
+        std::min(plio_bits / 8.0 * pl_frequency_hz, dev.plio_pl_to_aie_bytes_per_s);
+    return bytes / rate;
+  }
+  double rx_seconds(double bytes, double pl_frequency_hz,
+                    const versal::DeviceResources& dev) const {
+    const double rate =
+        std::min(plio_bits / 8.0 * pl_frequency_hz, dev.plio_aie_to_pl_bytes_per_s);
+    return bytes / rate;
+  }
+};
+
+}  // namespace hsvd::perf

@@ -1,0 +1,99 @@
+#include "perfmodel/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jacobi/block.hpp"
+
+namespace hsvd::perf {
+
+LatencyBreakdown PerformanceModel::evaluate(
+    const accel::HeteroSvdConfig& config, int batch) const {
+  config.validate();
+  HSVD_REQUIRE(batch >= 1, "batch must be positive");
+
+  const auto& dev = config.device;
+  const double m = static_cast<double>(config.rows);
+  const int k = config.p_eng;
+  const int p = config.blocks();
+  const int layers = config.orth_layers();
+
+  LatencyBreakdown b;
+  const double col_bytes = m * sizeof(float);
+  const double blk_bytes = col_bytes * k;
+  b.t_tx_col = plio_.tx_seconds(col_bytes, config.pl_frequency_hz, dev);
+  b.t_tx_blk = plio_.tx_seconds(blk_bytes, config.pl_frequency_hz, dev);
+  b.t_rx_blk = plio_.rx_seconds(blk_bytes, config.pl_frequency_hz, dev);
+  b.t_orth = kernels_.orth_seconds(config.rows);
+  b.t_norm_kernel = kernels_.norm_seconds(config.rows);
+
+  // DMA cost of one column (setup + transfer) and the per-pair occupancy
+  // of the busiest tile DMA engine: at a band crossing each crossing
+  // tile pushes both of its columns through its own DMA (two serialized
+  // transfers); otherwise the shifting ring leaves one residual DMA.
+  const double t_dma_col =
+      300.0 / dev.aie_clock_hz + col_bytes / (4.0 * dev.aie_clock_hz);
+  const int rows_per_band = dev.aie_rows - 2;
+  const int band_crossings = (layers + rows_per_band - 1) / rows_per_band - 1;
+  const double t_dma_stage = (band_crossings > 0 ? 2.0 : 1.0) * t_dma_col;
+
+  // eq. (9): if a layer's kernels (or its DMA engines) take longer than
+  // feeding all P_eng engines, transmission stalls behind the AIEs.
+  const double t_array_stage = std::max(b.t_orth, t_dma_stage);
+  b.t_aie_wait =
+      std::max(t_array_stage - static_cast<double>(k) * b.t_tx_col, 0.0);
+  // eq. (10): the round-robin reuse dependency.
+  b.t_algo = b.t_tx_blk + b.t_aie_wait;
+
+  // One block pair's latency through the array: Tx, `layers` kernel
+  // stages, DMA on the critical path, Rx. Each transition hides its
+  // neighbour moves; the shifting ring's residual DMA adds one column
+  // DMA per transition, and a band crossing (placement section III-C)
+  // funnels both of a tile's columns through its DMA engine (two
+  // serialized transfers).
+  const int normal_transitions = layers - 1 - band_crossings;
+  b.t_pipeline = b.t_tx_blk + layers * b.t_orth +
+                 normal_transitions * t_dma_col +
+                 band_crossings * 2.0 * t_dma_col + b.t_rx_blk;
+
+  // One block round: q = p/2 pairs stream through the two Tx channels.
+  // Each pair occupies its channel for t_tx_blk (+ AIE backpressure).
+  const auto rounds = jacobi::block_pair_rounds(p);
+  const double q = static_cast<double>(rounds.front().size());
+  const double round_stream = q * (b.t_tx_blk + b.t_aie_wait);
+  // eq. (11): if the round streams out faster than one pair's pipeline
+  // latency, the next round waits on block reuse (data-wait).
+  b.t_datawait = std::max(b.t_pipeline + b.t_algo - round_stream, 0.0);
+  b.t_round = round_stream + b.t_datawait;
+
+  // eq. (13): all block rounds plus the final drain.
+  const double block_round_count = static_cast<double>(rounds.size());
+  b.t_iter = block_round_count * b.t_round + b.t_pipeline;
+
+  // eq. (12): initial staging of the p blocks from DDR.
+  b.t_ddr = p * (blk_bytes / dev.ddr_bytes_per_s + dev.ddr_latency_s);
+
+  // Normalization stage: blocks stream over one Tx PLIO, k norm kernels
+  // run in parallel, results return over one Rx PLIO.
+  b.t_norm_stage = p * b.t_tx_blk + b.t_norm_kernel + b.t_rx_blk;
+
+  // HLS loop-switching overhead: one fixed stall per block-pair launch
+  // that is not hidden by channel backpressure (calibrated constant).
+  const double hls_per_launch = 64.0 / config.pl_frequency_hz;
+  b.t_hls = config.iterations * block_round_count * hls_per_launch;
+
+  // eq. (14). The DDR port is shared by all P_task slots, so within a
+  // wave the last task's staging starts after the earlier tasks': the
+  // wave makespan carries (P_task - 1) extra staging slots.
+  b.t_task = b.t_ddr + config.iterations * b.t_iter + b.t_norm_stage + b.t_hls;
+  const double waves =
+      std::ceil(static_cast<double>(batch) / config.p_task);
+  // Slots sharing a NoC DDRMC port serialize their staging.
+  const double slots_per_port =
+      std::ceil(static_cast<double>(config.p_task) / dev.ddr_ports);
+  const double t_wave = b.t_task + (slots_per_port - 1) * b.t_ddr;
+  b.t_sys = batch == 1 ? b.t_task : waves * t_wave;
+  return b;
+}
+
+}  // namespace hsvd::perf

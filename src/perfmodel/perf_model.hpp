@@ -1,0 +1,64 @@
+// Analytic performance model (paper section IV-B, eqs. (8)-(14)).
+//
+// Estimates the latency of a HeteroSVD configuration without running the
+// cycle-approximate simulator, in microseconds-fast time. The paper uses
+// this model (validated against the board, Tables IV/V) inside the DSE
+// loop; we validate ours against the simulator the same way.
+//
+// Symbol conventions (the paper overloads t_Tx; we split it):
+//   t_tx_col  -- one column PL->AIE over one PLIO (eq. (8))
+//   t_tx_blk  -- one block = P_eng columns serial on its PLIO
+//   t_orth    -- orth kernel time (AIE simulator stand-in)
+//   t_aie_wait-- eq. (9): kernels outpaced by transmission
+//   t_algo    -- eq. (10): Tx->Rx data dependency of round-robin
+//   t_datawait-- eq. (11): pipeline drain when a round is too short to
+//                hide the block-pair latency
+//   t_ddr     -- eq. (12): initial staging of all blocks
+//   t_iter    -- eq. (13)
+//   t_task / t_sys -- eq. (14)
+#pragma once
+
+#include "accel/config.hpp"
+#include "perfmodel/aie_timing.hpp"
+
+namespace hsvd::perf {
+
+struct LatencyBreakdown {
+  double t_tx_col = 0;
+  double t_tx_blk = 0;
+  double t_rx_blk = 0;
+  double t_orth = 0;
+  double t_norm_kernel = 0;
+  double t_aie_wait = 0;
+  double t_algo = 0;
+  double t_datawait = 0;
+  double t_pipeline = 0;   // one block pair through the layer array
+  double t_round = 0;      // one block round (p/2 concurrent pairs)
+  double t_iter = 0;       // eq. (13)
+  double t_ddr = 0;        // eq. (12)
+  double t_norm_stage = 0;
+  double t_hls = 0;
+  double t_task = 0;       // eq. (14), one matrix
+  double t_sys = 0;        // eq. (14), whole batch
+
+  double throughput_tasks_per_s(int batch) const {
+    return batch / t_sys;
+  }
+};
+
+class PerformanceModel {
+ public:
+  PerformanceModel(AieKernelModel kernels = {}, PlioModel plio = {})
+      : kernels_(kernels), plio_(plio) {}
+
+  // Latency of one task and of a batch of `batch` tasks under `config`.
+  // `config.iterations` is the ITER of eq. (14).
+  LatencyBreakdown evaluate(const accel::HeteroSvdConfig& config,
+                            int batch = 1) const;
+
+ private:
+  AieKernelModel kernels_;
+  PlioModel plio_;
+};
+
+}  // namespace hsvd::perf

@@ -1,0 +1,46 @@
+#include "perfmodel/resource_model.hpp"
+
+namespace hsvd::perf {
+
+int uram_per_task(std::size_t rows, std::size_t cols,
+                  const versal::DeviceResources& dev) {
+  const std::uint64_t matrix_bytes =
+      static_cast<std::uint64_t>(rows) * cols * sizeof(float);
+  // Double buffering (ping-pong between iterations) over 4 PLIO lanes.
+  const std::uint64_t per_lane = 2 * matrix_bytes / 4;
+  const std::uint64_t blocks_per_lane =
+      (per_lane + dev.uram_bytes - 1) / dev.uram_bytes;
+  return static_cast<int>(4 * blocks_per_lane);
+}
+
+int bram_per_task(std::size_t rows, int p_eng,
+                  const versal::DeviceResources& dev) {
+  const std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(p_eng) *
+      sizeof(float);
+  // Two sender FIFOs + two receiver FIFOs, one block deep each, plus two
+  // control/convergence buffers.
+  const std::uint64_t fifo_blocks =
+      4 * ((block_bytes + dev.bram_bytes - 1) / dev.bram_bytes);
+  return static_cast<int>(fifo_blocks + 2);
+}
+
+ResourceUsage estimate_resources(const accel::HeteroSvdConfig& config,
+                                 const accel::PlacementResult& placement) {
+  ResourceUsage usage;
+  usage.aie_orth = placement.num_orth;
+  usage.aie_norm = placement.num_norm;
+  usage.aie_mem = placement.num_mem;
+  usage.plio = placement.num_plio;
+  usage.uram =
+      config.p_task * uram_per_task(config.rows, config.cols, config.device);
+  usage.bram =
+      config.p_task * bram_per_task(config.rows, config.p_eng, config.device);
+  // PL logic is dominated by the fixed data-arrangement/sender/receiver
+  // state machines; it grows mildly with the matrix dimension (wider
+  // counters/addresses). Calibrated to Table II's 15.1K-15.7K LUT range.
+  usage.lut = 15000 + static_cast<std::uint64_t>(config.cols) * 7 / 10;
+  return usage;
+}
+
+}  // namespace hsvd::perf

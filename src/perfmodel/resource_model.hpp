@@ -1,0 +1,51 @@
+// Resource usage model (paper Table I second-order parameters and the
+// PL-side memory estimation used by the DSE constraints, eq. (16)).
+//
+// AIE counts come from the placement engine (single source of truth);
+// this module adds the PL-side estimates: URAM for the double-buffered
+// matrix storage of each task (split across the four orth PLIO lanes),
+// BRAM for the sender/receiver FIFOs and convergence bookkeeping, and
+// the near-constant LUT footprint of the PL data-movement logic.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/config.hpp"
+#include "accel/placement.hpp"
+
+namespace hsvd::perf {
+
+struct ResourceUsage {
+  int aie_orth = 0;
+  int aie_norm = 0;
+  int aie_mem = 0;
+  int plio = 0;
+  int uram = 0;
+  int bram = 0;
+  std::uint64_t lut = 0;
+
+  int aie_total() const { return aie_orth + aie_norm + aie_mem; }
+
+  bool fits(const versal::DeviceResources& dev) const {
+    return aie_total() <= dev.total_aie && plio <= dev.total_plio &&
+           uram <= dev.total_uram && bram <= dev.total_bram &&
+           lut <= dev.lut_total;
+  }
+};
+
+// URAM blocks needed by one task: double-buffered m x n fp32 matrix,
+// partitioned over the four orth PLIO lanes (each lane needs its own
+// URAM group, so each lane's share rounds up separately).
+int uram_per_task(std::size_t rows, std::size_t cols,
+                  const versal::DeviceResources& dev);
+
+// BRAM blocks for one task's FIFOs: sender/receiver FIFOs sized to one
+// block (m x P_eng fp32) each, plus fixed control buffers.
+int bram_per_task(std::size_t rows, int p_eng,
+                  const versal::DeviceResources& dev);
+
+// Full usage for a placed configuration.
+ResourceUsage estimate_resources(const accel::HeteroSvdConfig& config,
+                                 const accel::PlacementResult& placement);
+
+}  // namespace hsvd::perf

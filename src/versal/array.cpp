@@ -1,0 +1,131 @@
+#include "versal/array.hpp"
+
+#include "common/format.hpp"
+
+namespace hsvd::versal {
+
+AieArraySim::AieArraySim(const ArrayGeometry& geometry,
+                         const DeviceResources& device)
+    : geometry_(geometry), device_(device) {
+  memories_.reserve(static_cast<std::size_t>(geometry_.tile_count()));
+  cores_.reserve(static_cast<std::size_t>(geometry_.tile_count()));
+  stream_ports_.reserve(static_cast<std::size_t>(geometry_.tile_count()));
+  dma_engines_.reserve(static_cast<std::size_t>(geometry_.tile_count()));
+  for (int i = 0; i < geometry_.tile_count(); ++i) {
+    memories_.emplace_back(device_.tile_memory_bytes());
+    cores_.emplace_back(cat("core", i));
+    stream_ports_.emplace_back(cat("stream", i));
+    dma_engines_.emplace_back(cat("dma", i));
+  }
+}
+
+TileMemory& AieArraySim::memory(const TileCoord& t) {
+  return memories_[static_cast<std::size_t>(geometry_.index_of(t))];
+}
+
+Timeline& AieArraySim::core(const TileCoord& t) {
+  return cores_[static_cast<std::size_t>(geometry_.index_of(t))];
+}
+
+void AieArraySim::neighbour_move(const TileCoord& src, const TileCoord& dst,
+                                 const std::string& key) {
+  HSVD_REQUIRE(geometry_.neighbour_transfer_possible(src, dst),
+               cat("tiles ", to_string(src), " -> ", to_string(dst),
+                   " are not neighbour-accessible"));
+  ++stats_.neighbour_transfers;
+  if (src == dst) return;
+  TileMemory& sm = memory(src);
+  if (!sm.contains(key)) return;  // timing-only execution: no payload
+  std::vector<float> data = sm.load(key);
+  sm.erase(key);
+  memory(dst).store(key, std::move(data));
+}
+
+double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
+                             const std::string& key, double ready,
+                             std::uint64_t bytes_hint) {
+  ++stats_.dma_transfers;
+  TileMemory& sm = memory(src);
+  std::uint64_t bytes = bytes_hint;
+  if (sm.contains(key)) {
+    const std::vector<float>& data = sm.load(key);
+    bytes = data.size() * sizeof(float);
+    // The shadow copy lives in the destination while the source keeps its
+    // original until the consumer releases it: the 2x memory cost of DMA.
+    memory(dst).store(key + "#dma", data);
+  }
+  stats_.dma_bytes += bytes;
+  Timeline& engine =
+      dma_engines_[static_cast<std::size_t>(geometry_.index_of(src))];
+  const double duration =
+      dma_setup_seconds() + static_cast<double>(bytes) / dma_rate();
+  const double done = engine.schedule(ready, duration);
+  if (trace_ != nullptr) {
+    trace_->record(TraceKind::kDma, cat("dma", to_string(src)),
+                   cat(key, " -> ", to_string(dst)), done - duration, duration);
+  }
+  return done;
+}
+
+double AieArraySim::stream_packet(const TileCoord& dst, const Packet& packet,
+                                  double ready, bool store_payload,
+                                  std::uint64_t payload_bytes_hint) {
+  ++stats_.stream_packets;
+  const std::uint64_t wire_bytes =
+      packet.payload.empty() ? 16 + payload_bytes_hint : packet.bytes();
+  stats_.stream_bytes += wire_bytes;
+  if (store_payload && !packet.payload.empty()) {
+    memory(dst).store(cat("c", packet.header.column, ".t", packet.header.task),
+                      packet.payload);
+  }
+  // Stream ports move 32 bits per AIE cycle.
+  const double rate = 4.0 * device_.aie_clock_hz;
+  Timeline& port = stream_ports_[static_cast<std::size_t>(geometry_.index_of(dst))];
+  const double duration = static_cast<double>(wire_bytes) / rate;
+  const double done = port.schedule(ready, duration);
+  if (trace_ != nullptr) {
+    trace_->record(TraceKind::kStream, cat("stream", to_string(dst)),
+                   cat("pkt c", packet.header.column, " t", packet.header.task),
+                   done - duration, duration);
+  }
+  return done;
+}
+
+double AieArraySim::run_kernel(const TileCoord& tile, double ready,
+                               double duration) {
+  ++stats_.kernel_invocations;
+  const double done = core(tile).schedule(ready, duration);
+  if (trace_ != nullptr) {
+    trace_->record(TraceKind::kKernel, cat("core", to_string(tile)), "kernel",
+                   done - duration, duration);
+  }
+  return done;
+}
+
+void AieArraySim::reset_time() {
+  for (auto& c : cores_) c.reset();
+  for (auto& p : stream_ports_) p.reset();
+  for (auto& d : dma_engines_) d.reset();
+}
+
+std::uint64_t AieArraySim::peak_memory_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& m : memories_) total += m.peak_bytes();
+  return total;
+}
+
+double AieArraySim::core_utilization(double makespan) const {
+  if (makespan <= 0) return 0.0;
+  double busy = 0.0;
+  int active = 0;
+  for (const auto& c : cores_) {
+    if (c.busy_seconds() > 0) {
+      busy += c.busy_seconds();
+      ++active;
+    }
+  }
+  if (active == 0) return 0.0;
+  return busy / (static_cast<double>(active) * makespan);
+}
+
+}  // namespace hsvd::versal

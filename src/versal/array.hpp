@@ -1,0 +1,101 @@
+// The AIE array simulator: tiles with core timelines and checked
+// memories, plus the three inter-tile transfer mechanisms of Fig. 1
+// (neighbour access, DMA, packet streams) with their cost asymmetry.
+//
+// Functional payloads are optional: when a transfer is issued without
+// data the simulator still performs all capacity accounting and timing,
+// which is how the large-size benches run (timing is data-independent
+// once the iteration count is fixed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "versal/geometry.hpp"
+#include "versal/memory.hpp"
+#include "versal/packet.hpp"
+#include "versal/resources.hpp"
+#include "versal/timeline.hpp"
+#include "versal/trace.hpp"
+
+namespace hsvd::versal {
+
+struct ArrayStats {
+  std::uint64_t neighbour_transfers = 0;
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t stream_packets = 0;
+  std::uint64_t stream_bytes = 0;
+  std::uint64_t kernel_invocations = 0;
+};
+
+class AieArraySim {
+ public:
+  AieArraySim(const ArrayGeometry& geometry, const DeviceResources& device);
+
+  const ArrayGeometry& geometry() const { return geometry_; }
+  const DeviceResources& device() const { return device_; }
+
+  TileMemory& memory(const TileCoord& t);
+  Timeline& core(const TileCoord& t);
+
+  // --- Functional + accounted transfers -------------------------------
+  // Neighbour transfer: requires geometric adjacency (throws otherwise).
+  // Zero-copy in time (the consuming kernel reads the shared memory
+  // module directly); the buffer ownership moves to dst.
+  void neighbour_move(const TileCoord& src, const TileCoord& dst,
+                      const std::string& key);
+
+  // DMA transfer: allowed between any two tiles. Duplicates the buffer
+  // (shadow copy in dst) -- the "twice the memory" cost -- and occupies
+  // the source tile's DMA engine for bytes / dma_rate. Returns completion
+  // time.
+  double dma_move(const TileCoord& src, const TileCoord& dst,
+                  const std::string& key, double ready,
+                  std::uint64_t bytes_hint = 0);
+
+  // Stream packet from PL into a tile (or between tiles) through the
+  // packet-switched network; serializes on the destination's stream port.
+  // `payload_bytes_hint` supplies the wire size when the packet carries
+  // no payload (timing-only execution).
+  double stream_packet(const TileCoord& dst, const Packet& packet,
+                       double ready, bool store_payload,
+                       std::uint64_t payload_bytes_hint = 0);
+
+  // Records a kernel run on the tile's core timeline.
+  double run_kernel(const TileCoord& tile, double ready, double duration);
+
+  const ArrayStats& stats() const { return stats_; }
+  void reset_time();
+
+  // Aggregate peak memory over all tiles (bytes) -- resource report.
+  std::uint64_t peak_memory_bytes() const;
+
+  // Busy-time utilization of the cores that ran at least one kernel,
+  // relative to `makespan` seconds.
+  double core_utilization(double makespan) const;
+
+  // DMA engine rate (bytes/s): 32-bit per AIE clock cycle.
+  double dma_rate() const { return 4.0 * device_.aie_clock_hz; }
+
+  // Optional execution tracing: when attached, every kernel, DMA, and
+  // stream packet is recorded (not owned; pass nullptr to detach).
+  void attach_trace(TraceRecorder* recorder) { trace_ = recorder; }
+
+  // Per-transfer DMA setup: buffer-descriptor programming plus lock
+  // acquire/release (~300 AIE cycles). Part of why DMA is the slow path.
+  double dma_setup_seconds() const { return 300.0 / device_.aie_clock_hz; }
+
+ private:
+  ArrayGeometry geometry_;
+  DeviceResources device_;
+  std::vector<TileMemory> memories_;
+  std::vector<Timeline> cores_;
+  std::vector<Timeline> stream_ports_;
+  std::vector<Timeline> dma_engines_;  // one per tile (mm2s side)
+  ArrayStats stats_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace hsvd::versal

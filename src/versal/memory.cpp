@@ -1,0 +1,42 @@
+#include "versal/memory.hpp"
+
+#include <stdexcept>
+
+#include "common/format.hpp"
+
+namespace hsvd::versal {
+
+void TileMemory::store(const std::string& key, std::vector<float> values) {
+  const std::uint64_t incoming = values.size() * sizeof(float);
+  std::uint64_t after = used_ + incoming;
+  auto it = buffers_.find(key);
+  if (it != buffers_.end()) after -= it->second.size() * sizeof(float);
+  if (after > capacity_) {
+    throw std::runtime_error(
+        cat("tile memory overflow: need ", after, " bytes of ", capacity_,
+            " storing '", key, "'"));
+  }
+  used_ = after;
+  peak_ = peak_ > used_ ? peak_ : used_;
+  buffers_[key] = std::move(values);
+}
+
+const std::vector<float>& TileMemory::load(const std::string& key) const {
+  auto it = buffers_.find(key);
+  HSVD_REQUIRE(it != buffers_.end(), cat("missing buffer '", key, "'"));
+  return it->second;
+}
+
+void TileMemory::erase(const std::string& key) {
+  auto it = buffers_.find(key);
+  if (it == buffers_.end()) return;
+  used_ -= it->second.size() * sizeof(float);
+  buffers_.erase(it);
+}
+
+void TileMemory::clear() {
+  buffers_.clear();
+  used_ = 0;
+}
+
+}  // namespace hsvd::versal

@@ -1,0 +1,47 @@
+// Per-tile data memory with capacity accounting.
+//
+// A tile's memory holds named buffers (one per column of the working
+// matrix, plus DMA shadow copies). Allocation is checked against the
+// 4 x 8 KB budget so placement bugs that would not fit on silicon fail
+// loudly in simulation. Peak usage is tracked for the resource reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace hsvd::versal {
+
+class TileMemory {
+ public:
+  explicit TileMemory(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  // Allocates (or replaces) a buffer of `values.size()` floats under `key`.
+  // Throws std::runtime_error if the tile memory would overflow.
+  void store(const std::string& key, std::vector<float> values);
+
+  bool contains(const std::string& key) const { return buffers_.count(key) > 0; }
+
+  const std::vector<float>& load(const std::string& key) const;
+
+  // Removes a buffer; no-op if absent.
+  void erase(const std::string& key);
+
+  void clear();
+
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t peak_bytes() const { return peak_; }
+  std::uint64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_ = 0;
+  std::map<std::string, std::vector<float>> buffers_;
+};
+
+}  // namespace hsvd::versal

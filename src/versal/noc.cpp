@@ -1,0 +1,30 @@
+#include "versal/noc.hpp"
+
+#include "common/format.hpp"
+
+namespace hsvd::versal {
+
+NocModel::NocModel(int ports, double port_bytes_per_s,
+                   double traversal_latency_s)
+    : bandwidth_(port_bytes_per_s), latency_(traversal_latency_s) {
+  HSVD_REQUIRE(ports >= 1, "NoC needs at least one DDR port");
+  HSVD_REQUIRE(port_bytes_per_s > 0, "port bandwidth must be positive");
+  channels_.reserve(static_cast<std::size_t>(ports));
+  for (int p = 0; p < ports; ++p) {
+    channels_.push_back(std::make_unique<Channel>(
+        cat("ddrmc", p), port_bytes_per_s, traversal_latency_s));
+  }
+}
+
+NocModel NocModel::vck190() { return NocModel(4, 12.0 * kGBps, 150e-9); }
+
+double NocModel::transfer(int port, double ready, double bytes) {
+  HSVD_REQUIRE(port >= 0 && port < ports(), "DDR port out of range");
+  return channels_[static_cast<std::size_t>(port)]->transfer(ready, bytes);
+}
+
+void NocModel::reset_time() {
+  for (auto& ch : channels_) ch->timeline().reset();
+}
+
+}  // namespace hsvd::versal

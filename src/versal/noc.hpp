@@ -1,0 +1,58 @@
+// Network-on-chip and DDR memory controller model (paper section II-B:
+// PS, PL, and AIEs are connected by a high-bandwidth NoC).
+//
+// The VC1902 NoC exposes multiple DDR memory controller (DDRMC) ports;
+// PL masters reach DRAM through them. We model each port as a
+// bandwidth-limited channel plus a fixed NoC traversal latency, with
+// round-robin port assignment for the accelerator's task slots -- so
+// parallel tasks only contend for DDR when they share a port, matching
+// the hardware's behaviour instead of a single global DDR bottleneck.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "versal/resources.hpp"
+#include "versal/timeline.hpp"
+
+namespace hsvd::versal {
+
+class NocModel {
+ public:
+  // `ports`: number of DDRMC ports (VCK190 exposes 2 controllers with 2
+  // ports each -> 4). `port_bytes_per_s`: sustained bandwidth per port.
+  NocModel(int ports, double port_bytes_per_s, double traversal_latency_s);
+
+  // Default VCK190 NoC: 4 DDRMC ports at 12 GB/s, 150 ns traversal.
+  static NocModel vck190();
+
+  int ports() const { return static_cast<int>(channels_.size()); }
+
+  // The port a task slot is wired to (round-robin).
+  int port_for_slot(int slot) const {
+    HSVD_REQUIRE(slot >= 0, "slot must be nonnegative");
+    return slot % ports();
+  }
+
+  // Schedules a DDR transfer of `bytes` on the given port; returns the
+  // completion time (ready + queueing + traversal + transfer).
+  double transfer(int port, double ready, double bytes);
+
+  // Convenience: transfer on the slot's assigned port.
+  double transfer_for_slot(int slot, double ready, double bytes) {
+    return transfer(port_for_slot(slot), ready, bytes);
+  }
+
+  double port_bandwidth() const { return bandwidth_; }
+  double traversal_latency() const { return latency_; }
+
+  void reset_time();
+
+ private:
+  double bandwidth_;
+  double latency_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace hsvd::versal

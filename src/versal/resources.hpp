@@ -1,0 +1,52 @@
+// Hardware budget of the target device (AMD Versal AI Core VCK190, the
+// paper's evaluation board). Encoded once here; the placement engine, the
+// resource model (Table I) and the DSE constraints (eq. (16)) all consume
+// this struct, so experiments can also retarget a hypothetical device.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace hsvd::versal {
+
+struct DeviceResources {
+  // AIE array: 8 rows x 50 columns on the VC1902 device.
+  int aie_rows = 8;
+  int aie_cols = 50;
+
+  double aie_clock_hz = 1.25 * kGHz;
+
+  // Per-tile data memory: four banks of 8 KB.
+  int mem_banks_per_tile = 4;
+  std::uint64_t mem_bank_bytes = KiB(8);
+
+  // PL <-> AIE interface bandwidth (paper section II-B).
+  double plio_pl_to_aie_bytes_per_s = 32.0 * kGBps;
+  double plio_aie_to_pl_bytes_per_s = 24.0 * kGBps;
+
+  // Budgets used by the DSE constraints (eq. (16)).
+  int total_aie = 400;       // 8 x 50
+  int total_plio = 156;      // usable PLIO channels
+  int total_bram = 967;      // BRAM36 blocks
+  int total_uram = 463;      // URAM288 blocks
+  std::uint64_t lut_total = 899840;
+
+  std::uint64_t uram_bytes = 288 * 1024 / 8;  // 288 Kb per URAM block
+  std::uint64_t bram_bytes = 36 * 1024 / 8;   // 36 Kb per BRAM block
+
+  // DDR staging model: effective sequential bandwidth seen by the data
+  // arrangement module and first-touch latency.
+  double ddr_bytes_per_s = 12.0 * kGBps;
+  double ddr_latency_s = 2e-7;
+  int ddr_ports = 4;  // DDRMC ports exposed through the NoC
+
+  std::uint64_t tile_memory_bytes() const {
+    return static_cast<std::uint64_t>(mem_banks_per_tile) * mem_bank_bytes;
+  }
+};
+
+// The default experiment target.
+inline DeviceResources vck190() { return DeviceResources{}; }
+
+}  // namespace hsvd::versal

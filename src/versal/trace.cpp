@@ -1,0 +1,82 @@
+#include "versal/trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace hsvd::versal {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kKernel: return "kernel";
+    case TraceKind::kDma: return "dma";
+    case TraceKind::kStream: return "stream";
+    case TraceKind::kPlio: return "plio";
+    case TraceKind::kDdr: return "ddr";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::record(TraceKind kind, std::string lane, std::string label,
+                           double start_s, double duration_s) {
+  events_.push_back(
+      {kind, std::move(lane), std::move(label), start_s, duration_s});
+}
+
+double TraceRecorder::busy_seconds(TraceKind kind) const {
+  double total = 0.0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) total += e.duration_s;
+  }
+  return total;
+}
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json() const {
+  // Stable tid per lane, in first-seen order.
+  std::map<std::string, int> tids;
+  for (const auto& e : events_) {
+    tids.emplace(e.lane, static_cast<int>(tids.size()));
+  }
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [lane, tid] : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(os, lane);
+    os << "\"}}";
+  }
+  for (const auto& e : events_) {
+    os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[e.lane] << ",\"ts\":"
+       << e.start_s * 1e6 << ",\"dur\":" << e.duration_s * 1e6
+       << ",\"cat\":\"" << to_string(e.kind) << "\",\"name\":\"";
+    append_escaped(os, e.label);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_chrome_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace hsvd::versal

@@ -1,0 +1,49 @@
+// Execution tracing for the simulator.
+//
+// A TraceRecorder collects timestamped events (kernel executions, DMA
+// transfers, stream packets, PLIO transfers) and exports them in the
+// Chrome trace-event JSON format (chrome://tracing, Perfetto), with one
+// lane per hardware resource. Attach one to an AieArraySim to see where
+// a configuration's time actually goes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsvd::versal {
+
+enum class TraceKind { kKernel, kDma, kStream, kPlio, kDdr };
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kKernel;
+  std::string lane;   // resource name, e.g. "core(2,3)" or "tx0.0"
+  std::string label;  // what ran, e.g. "orth c5/c9"
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceKind kind, std::string lane, std::string label,
+              double start_s, double duration_s);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // Total busy time per kind (seconds) -- a quick where-does-time-go.
+  double busy_seconds(TraceKind kind) const;
+
+  // Chrome trace-event JSON ("traceEvents" array of complete events,
+  // microsecond timestamps). One pid, one tid per lane.
+  std::string to_chrome_json() const;
+
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+const char* to_string(TraceKind kind);
+
+}  // namespace hsvd::versal

@@ -1,0 +1,159 @@
+// Tests for block Hestenes-Jacobi (Algorithm 1 host model) and block-pair
+// round-robin enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "jacobi/block.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/reference_svd.hpp"
+
+namespace hsvd::jacobi {
+namespace {
+
+using hsvd::Rng;
+using hsvd::linalg::geometric_spectrum;
+using hsvd::linalg::matrix_with_spectrum;
+using hsvd::linalg::MatrixD;
+using hsvd::linalg::MatrixF;
+using hsvd::linalg::orthogonality_error;
+using hsvd::linalg::reconstruction_error;
+using hsvd::linalg::spectrum_distance;
+
+TEST(BlockPairs, CoversAllPairsExactlyOnce) {
+  for (int p : {2, 3, 4, 5, 8, 13}) {
+    auto rounds = block_pair_rounds(p);
+    std::set<std::pair<int, int>> seen;
+    for (const auto& round : rounds) {
+      std::set<int> used;
+      for (const auto& [u, v] : round) {
+        EXPECT_LT(u, v);
+        EXPECT_LT(v, p);
+        EXPECT_TRUE(used.insert(u).second);
+        EXPECT_TRUE(used.insert(v).second);
+        EXPECT_TRUE(seen.insert({u, v}).second);
+      }
+    }
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(p) * static_cast<std::size_t>(p - 1) / 2)
+        << "p=" << p;
+  }
+}
+
+TEST(BlockPairs, RoundCountMatchesTournament) {
+  EXPECT_EQ(block_pair_rounds(4).size(), 3u);
+  EXPECT_EQ(block_pair_rounds(5).size(), 5u);  // odd: bye inflates rounds
+  EXPECT_THROW(block_pair_rounds(1), std::invalid_argument);
+}
+
+TEST(BlockSvd, SingleBlockDegeneratesToHestenes) {
+  Rng rng(50);
+  MatrixF a = hsvd::linalg::random_gaussian(16, 8, rng).cast<float>();
+  BlockOptions opts;
+  opts.block_cols = 8;  // p = 1
+  HestenesResult r = block_hestenes_svd(a, opts);
+  auto ref = hsvd::linalg::reference_svd(a.cast<double>());
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(spectrum_distance(sigma, ref.sigma), 1e-4);
+}
+
+TEST(BlockSvd, MultiBlockMatchesReference) {
+  Rng rng(51);
+  MatrixF a = hsvd::linalg::random_gaussian(24, 16, rng).cast<float>();
+  BlockOptions opts;
+  opts.block_cols = 4;  // p = 4 blocks
+  HestenesResult r = block_hestenes_svd(a, opts);
+  auto ref = hsvd::linalg::reference_svd(a.cast<double>());
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(spectrum_distance(sigma, ref.sigma), 1e-4);
+  EXPECT_LT(reconstruction_error(a.cast<double>(), r.u.cast<double>(), sigma,
+                                 r.v.cast<double>()),
+            1e-5);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(BlockSvd, OddBlockCountWorks) {
+  Rng rng(52);
+  MatrixF a = hsvd::linalg::random_gaussian(20, 12, rng).cast<float>();
+  BlockOptions opts;
+  opts.block_cols = 4;  // p = 3 (odd -> bye path)
+  HestenesResult r = block_hestenes_svd(a, opts);
+  auto ref = hsvd::linalg::reference_svd(a.cast<double>());
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(spectrum_distance(sigma, ref.sigma), 1e-4);
+}
+
+TEST(BlockSvd, FixedSweepsHonored) {
+  Rng rng(53);
+  MatrixF a = hsvd::linalg::random_gaussian(16, 8, rng).cast<float>();
+  BlockOptions opts;
+  opts.block_cols = 4;
+  opts.fixed_sweeps = 6;
+  HestenesResult r = block_hestenes_svd(a, opts);
+  EXPECT_EQ(r.sweeps, 6);
+}
+
+TEST(BlockSvd, RejectsIndivisibleBlockWidth) {
+  MatrixF a(8, 6);
+  BlockOptions opts;
+  opts.block_cols = 4;  // 6 % 4 != 0
+  EXPECT_THROW(block_hestenes_svd(a, opts), std::invalid_argument);
+}
+
+TEST(BlockSvd, KnownSpectrumRecovered) {
+  Rng rng(54);
+  const auto spectrum = geometric_spectrum(12, 100.0);
+  MatrixD ad = matrix_with_spectrum(18, 12, spectrum, rng);
+  BlockOptions opts;
+  opts.block_cols = 6;
+  HestenesResult r = block_hestenes_svd(ad.cast<float>(), opts);
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(spectrum_distance(sigma, spectrum), 5e-4);
+}
+
+struct BlockCase {
+  std::size_t rows;
+  std::size_t cols;
+  int block_cols;
+  OrderingKind kind;
+};
+
+class BlockSweep : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(BlockSweep, ConvergesToReference) {
+  const auto& p = GetParam();
+  Rng rng(700 + p.rows * 3 + p.cols + static_cast<std::uint64_t>(p.block_cols));
+  MatrixF a = hsvd::linalg::random_gaussian(p.rows, p.cols, rng).cast<float>();
+  BlockOptions opts;
+  opts.block_cols = p.block_cols;
+  opts.ordering = p.kind;
+  HestenesResult r = block_hestenes_svd(a, opts);
+  auto ref = hsvd::linalg::reference_svd(a.cast<double>());
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(spectrum_distance(sigma, ref.sigma), 2e-4);
+  EXPECT_LT(orthogonality_error(r.u.cast<double>()), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBlockWidths, BlockSweep,
+    ::testing::Values(BlockCase{16, 8, 2, OrderingKind::kShiftingRing},
+                      BlockCase{16, 8, 4, OrderingKind::kShiftingRing},
+                      BlockCase{24, 16, 4, OrderingKind::kRing},
+                      BlockCase{24, 16, 8, OrderingKind::kShiftingRing},
+                      BlockCase{32, 24, 6, OrderingKind::kRoundRobin},
+                      BlockCase{40, 32, 8, OrderingKind::kShiftingRing},
+                      BlockCase{20, 10, 5, OrderingKind::kShiftingRing}),
+    [](const auto& info) {
+      std::string name = std::to_string(info.param.rows) + "x" +
+                         std::to_string(info.param.cols) + "_k" +
+                         std::to_string(info.param.block_cols) + "_" +
+                         to_string(info.param.kind);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace hsvd::jacobi

@@ -1,0 +1,141 @@
+// Unit tests for src/common: formatting, RNG determinism, tables, CSV,
+// statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace hsvd {
+namespace {
+
+TEST(Format, CatConcatenatesStreamables) {
+  EXPECT_EQ(cat("n=", 42, ", x=", 1.5), "n=42, x=1.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(3.14159, 0), "3");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Scientific) { EXPECT_EQ(sci(0.00123, 2), "1.23e-03"); }
+
+TEST(Format, PercentAndTimes) {
+  EXPECT_EQ(pct(0.3141, 1), "31.4%");
+  EXPECT_EQ(times(1.98), "1.98x");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(5);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  EXPECT_NE(s0.next_u64(), s1.next_u64());
+}
+
+TEST(Units, CycleConversionRoundTrips) {
+  const double s = cycles_to_seconds(1250.0, 1.25 * kGHz);
+  EXPECT_DOUBLE_EQ(s, 1e-6);
+  EXPECT_DOUBLE_EQ(seconds_to_cycles(s, 1.25 * kGHz), 1250.0);
+}
+
+TEST(Units, ByteHelpers) {
+  EXPECT_EQ(KiB(8), 8192u);
+  EXPECT_EQ(MiB(1), 1048576u);
+}
+
+TEST(Table, RendersAlignedColumnsWithRule) {
+  Table t({"size", "latency"});
+  t.add_row({"128", "0.0011"});
+  t.add_row({"1024", "0.3415"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("size"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("0.3415"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"name", "value"});
+  w.add_row({"plain", "1"});
+  w.add_row({"has,comma", "quote\"inside"});
+  const std::string s = w.render();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Csv, RejectsMismatchedRow) {
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(Stats, MeanMaxGeomean) {
+  const double xs[] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 4.0);
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_THROW(relative_error(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+  EXPECT_THROW(geomean({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsvd

@@ -1,0 +1,114 @@
+// Tests for the complex one-sided Jacobi SVD.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "jacobi/complex_hestenes.hpp"
+#include "jacobi/hestenes.hpp"
+
+namespace hsvd::jacobi {
+namespace {
+
+ComplexMatrix random_complex(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  ComplexMatrix m(rows, cols);
+  for (auto& v : m.data()) {
+    v = ComplexF{static_cast<float>(rng.gaussian()),
+                 static_cast<float>(rng.gaussian())};
+  }
+  return m;
+}
+
+TEST(ComplexHestenes, HermitianHelpers) {
+  ComplexMatrix m(2, 2);
+  m(0, 0) = {1.0f, 2.0f};
+  m(1, 0) = {0.0f, -1.0f};
+  m(0, 1) = {3.0f, 0.0f};
+  // cdot(x, x) is the squared norm (real).
+  const ComplexF g = cdot(m.col(0), m.col(0));
+  EXPECT_FLOAT_EQ(g.real(), 6.0f);
+  EXPECT_NEAR(g.imag(), 0.0f, 1e-7f);
+  EXPECT_FLOAT_EQ(cnorm2(m.col(0)), 6.0f);
+  // conj-linearity: cdot(x, y) = conj(cdot(y, x)).
+  const ComplexF xy = cdot(m.col(0), m.col(1));
+  const ComplexF yx = cdot(m.col(1), m.col(0));
+  EXPECT_NEAR(xy.real(), yx.real(), 1e-6f);
+  EXPECT_NEAR(xy.imag(), -yx.imag(), 1e-6f);
+}
+
+TEST(ComplexHestenes, DecomposesRandomMatrix) {
+  auto a = random_complex(12, 8, 71);
+  auto r = complex_hestenes_svd(a);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(complex_orthogonality_error(r.u), 1e-3);
+  EXPECT_LT(complex_orthogonality_error(r.v), 1e-3);
+  EXPECT_LT(complex_reconstruction_error(a, r.u, r.sigma, r.v), 1e-5);
+  for (std::size_t i = 1; i < r.sigma.size(); ++i)
+    EXPECT_LE(r.sigma[i], r.sigma[i - 1]);
+}
+
+TEST(ComplexHestenes, RealInputMatchesRealPath) {
+  // A real-valued complex matrix must produce the same spectrum as the
+  // real algorithm.
+  Rng rng(72);
+  ComplexMatrix a(10, 6);
+  linalg::MatrixF ar(10, 6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      const float x = static_cast<float>(rng.gaussian());
+      a(i, j) = {x, 0.0f};
+      ar(i, j) = x;
+    }
+  }
+  auto rc = complex_hestenes_svd(a);
+  jacobi::HestenesOptions real_opts;
+  auto rr = hestenes_svd(ar, real_opts);
+  for (std::size_t t = 0; t < 6; ++t)
+    EXPECT_NEAR(rc.sigma[t], rr.sigma[t], 1e-3f) << t;
+}
+
+TEST(ComplexHestenes, UnitaryInvariance) {
+  // Multiplying a column by a unit phase must not change the spectrum.
+  auto a = random_complex(8, 4, 73);
+  auto b = a;
+  const ComplexF phase = std::polar(1.0f, 1.1f);
+  for (std::size_t i = 0; i < 8; ++i) b(i, 2) *= phase;
+  auto ra = complex_hestenes_svd(a);
+  auto rb = complex_hestenes_svd(b);
+  for (std::size_t t = 0; t < 4; ++t)
+    EXPECT_NEAR(ra.sigma[t], rb.sigma[t], 1e-4f);
+}
+
+TEST(ComplexHestenes, AllOrderingsAgree) {
+  auto a = random_complex(16, 8, 74);
+  std::vector<float> base;
+  for (auto kind : {OrderingKind::kRing, OrderingKind::kRoundRobin,
+                    OrderingKind::kShiftingRing}) {
+    ComplexHestenesOptions opts;
+    opts.ordering = kind;
+    auto r = complex_hestenes_svd(a, opts);
+    if (base.empty()) {
+      base = r.sigma;
+    } else {
+      for (std::size_t t = 0; t < base.size(); ++t)
+        EXPECT_NEAR(r.sigma[t], base[t], 1e-3f) << to_string(kind);
+    }
+  }
+}
+
+TEST(ComplexHestenes, FixedSweepsAndValidation) {
+  auto a = random_complex(8, 4, 75);
+  ComplexHestenesOptions opts;
+  opts.fixed_sweeps = 5;
+  EXPECT_EQ(complex_hestenes_svd(a, opts).sweeps, 5);
+  opts.accumulate_v = false;
+  auto r = complex_hestenes_svd(a, opts);
+  EXPECT_TRUE(r.v.empty());
+  EXPECT_THROW(complex_hestenes_svd(random_complex(4, 8, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(complex_hestenes_svd(random_complex(8, 5, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsvd::jacobi

@@ -1,0 +1,139 @@
+// Tests for the dataflow builder -- including the paper's headline DMA
+// closed forms (Fig. 3 / Fig. 4): ring + naive memory = 2k(k-1) DMAs per
+// sweep, shifting ring + relocated output = 2(k-1).
+#include <gtest/gtest.h>
+
+#include "accel/dataflow.hpp"
+#include "accel/placement.hpp"
+
+namespace hsvd::accel {
+namespace {
+
+using jacobi::OrderingKind;
+
+TEST(Dataflow, EveryColumnMovesEveryTransition) {
+  HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 64;
+  cfg.p_eng = 4;
+  cfg.p_task = 1;
+  auto placement = place(cfg);
+  const auto& task = placement.tasks[0];
+  const int parity = task.orth[0][0].row % 2;
+  auto schedule = jacobi::make_schedule(cfg.ordering, cfg.pair_width(), parity);
+  const versal::ArrayGeometry geo(cfg.device.aie_rows, cfg.device.aie_cols);
+  auto plan = build_dataflow(schedule, task, geo, MemoryStrategy::kRelocated);
+  ASSERT_EQ(plan.transitions.size(), schedule.size() - 1);
+  for (const auto& tr : plan.transitions) {
+    EXPECT_EQ(tr.moves.size(), static_cast<std::size_t>(cfg.pair_width()));
+  }
+}
+
+TEST(Dataflow, MismatchedLayerCountRejected) {
+  HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 64;
+  cfg.p_eng = 4;
+  cfg.p_task = 1;
+  auto placement = place(cfg);
+  auto schedule = jacobi::make_schedule(OrderingKind::kRing, 4);  // too short
+  const versal::ArrayGeometry geo(cfg.device.aie_rows, cfg.device.aie_cols);
+  EXPECT_THROW(build_dataflow(schedule, placement.tasks[0], geo,
+                              MemoryStrategy::kRelocated),
+               std::invalid_argument);
+}
+
+// The co-design's central claim (Fig. 3): the joint ordering + dataflow
+// optimization reduces per-sweep DMA from 2k(k-1) to 2(k-1).
+TEST(Dataflow, PaperClosedFormsHold) {
+  for (int k = 2; k <= 11; ++k) {
+    EXPECT_EQ(count_sweep_dma(OrderingKind::kRing, k, MemoryStrategy::kNaive),
+              2 * k * (k - 1))
+        << "ring+naive k=" << k;
+    EXPECT_EQ(count_sweep_dma(OrderingKind::kShiftingRing, k,
+                              MemoryStrategy::kRelocated),
+              2 * (k - 1))
+        << "shifting+relocated k=" << k;
+  }
+}
+
+// Ablation: each co-design element alone is insufficient.
+TEST(Dataflow, AblationNeedsBothElements) {
+  for (int k = 3; k <= 8; ++k) {
+    const int full = count_sweep_dma(OrderingKind::kShiftingRing, k,
+                                     MemoryStrategy::kRelocated);
+    const int ordering_only = count_sweep_dma(OrderingKind::kShiftingRing, k,
+                                              MemoryStrategy::kNaive);
+    const int dataflow_only =
+        count_sweep_dma(OrderingKind::kRing, k, MemoryStrategy::kRelocated);
+    EXPECT_EQ(ordering_only, 2 * k * (k - 1));  // shifting alone: no gain
+    EXPECT_EQ(dataflow_only, k * k - 1);        // relocation alone: ~half
+    EXPECT_LT(full, dataflow_only);
+    EXPECT_LT(full, ordering_only);
+  }
+}
+
+TEST(Dataflow, RoundRobinOrderingIsQuadratic) {
+  for (int k = 3; k <= 8; ++k) {
+    EXPECT_EQ(count_sweep_dma(OrderingKind::kRoundRobin, k,
+                              MemoryStrategy::kRelocated),
+              2 * (k - 1) * (k - 1));
+  }
+}
+
+TEST(Dataflow, BandCrossingsForceDma) {
+  // P_eng = 8 -> 15 layers over 3 bands: the transitions that cross a
+  // band boundary move all 2k columns by DMA.
+  HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 128;
+  cfg.p_eng = 8;
+  cfg.p_task = 1;
+  auto placement = place(cfg);
+  const auto& task = placement.tasks[0];
+  auto schedule = jacobi::make_schedule(cfg.ordering, cfg.pair_width(),
+                                        task.orth[0][0].row % 2);
+  const versal::ArrayGeometry geo(cfg.device.aie_rows, cfg.device.aie_cols);
+  auto plan = build_dataflow(schedule, task, geo, MemoryStrategy::kRelocated);
+  // Layers 5->6 and 11->12 cross bands.
+  EXPECT_EQ(plan.transitions[5].dma_count(), 16);
+  EXPECT_EQ(plan.transitions[11].dma_count(), 16);
+  // All other transitions have the single shifting-ring wrap DMA.
+  for (std::size_t l = 0; l < plan.transitions.size(); ++l) {
+    if (l == 5 || l == 11) continue;
+    EXPECT_EQ(plan.transitions[l].dma_count(), 1) << "layer " << l;
+  }
+}
+
+TEST(Dataflow, ShadowBytesScaleWithColumnLength) {
+  HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 64;
+  cfg.p_eng = 4;
+  cfg.p_task = 1;
+  auto placement = place(cfg);
+  const auto& task = placement.tasks[0];
+  auto schedule = jacobi::make_schedule(cfg.ordering, cfg.pair_width(),
+                                        task.orth[0][0].row % 2);
+  const versal::ArrayGeometry geo(cfg.device.aie_rows, cfg.device.aie_cols);
+  auto plan = build_dataflow(schedule, task, geo, MemoryStrategy::kRelocated);
+  EXPECT_EQ(plan.dma_shadow_bytes(64),
+            static_cast<std::uint64_t>(plan.total_dma()) * 64 * 4);
+  EXPECT_EQ(plan.total_dma() + plan.total_neighbour(),
+            static_cast<int>(plan.transitions.size()) * cfg.pair_width());
+}
+
+// Property sweep over P_eng: DMA reduction factor grows linearly with k,
+// i.e. the co-design's advantage widens with engine parallelism.
+class DmaReduction : public ::testing::TestWithParam<int> {};
+
+TEST_P(DmaReduction, ReductionFactorIsK) {
+  const int k = GetParam();
+  const int naive = count_sweep_dma(OrderingKind::kRing, k, MemoryStrategy::kNaive);
+  const int codesigned = count_sweep_dma(OrderingKind::kShiftingRing, k,
+                                         MemoryStrategy::kRelocated);
+  EXPECT_EQ(naive / codesigned, k);
+  EXPECT_EQ(naive % codesigned, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(EngineParallelism, DmaReduction,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11));
+
+}  // namespace
+}  // namespace hsvd::accel

@@ -1,0 +1,129 @@
+// Tests for the two-stage design space exploration (section IV-C).
+#include <gtest/gtest.h>
+
+#include "dse/explorer.hpp"
+
+namespace hsvd::dse {
+namespace {
+
+TEST(FrequencyModel, MatchesTableVTrends) {
+  FrequencyModel f;
+  // Single-task frequencies fall with matrix size (Table V: 450 -> 310).
+  EXPECT_NEAR(f.max_frequency_hz(128, 1), 450e6, 1e-6);
+  EXPECT_GT(f.max_frequency_hz(128, 1), f.max_frequency_hz(256, 1));
+  EXPECT_GT(f.max_frequency_hz(256, 1), f.max_frequency_hz(512, 1));
+  EXPECT_GT(f.max_frequency_hz(512, 1), f.max_frequency_hz(1024, 1));
+  // Task parallelism costs frequency (Table V: 450 -> 330 at P_task 9).
+  EXPECT_LT(f.max_frequency_hz(128, 9), f.max_frequency_hz(128, 1));
+  // Floor holds.
+  EXPECT_GE(f.max_frequency_hz(4096, 26), f.floor_hz);
+}
+
+TEST(Dse, Stage1MaximizesTaskParallelism) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 128;
+  auto max2 = ex.max_task_parallelism(req, 2);
+  ASSERT_TRUE(max2.has_value());
+  EXPECT_GE(*max2, 20);  // small tasks stack: high parallelism
+  auto max8 = ex.max_task_parallelism(req, 8);
+  ASSERT_TRUE(max8.has_value());
+  EXPECT_LE(*max8, 2);  // three bands wide: at most two fit
+  EXPECT_LT(*max8, *max2);
+}
+
+TEST(Dse, UramConstraintBindsAtLargeSizes) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 1024;  // 228 URAM per task of 463
+  auto max2 = ex.max_task_parallelism(req, 2);
+  ASSERT_TRUE(max2.has_value());
+  EXPECT_LE(*max2, 2);  // PL memory, not AIE area, limits parallelism
+}
+
+TEST(Dse, LatencyObjectivePrefersHighPeng) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 256;
+  req.batch = 1;
+  req.objective = Objective::kLatency;
+  auto best = ex.optimize(req);
+  EXPECT_GE(best.p_eng, 6);
+  EXPECT_EQ(best.p_task, 1);  // parallel tasks do not help one matrix
+}
+
+TEST(Dse, ThroughputObjectivePrefersHighPtask) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 128;
+  req.batch = 100;
+  req.objective = Objective::kThroughput;
+  auto best = ex.optimize(req);
+  EXPECT_GE(best.p_task, 4);
+  DseRequest lat = req;
+  lat.objective = Objective::kLatency;
+  auto fast = ex.optimize(lat);
+  EXPECT_LE(best.latency_seconds, 10 * fast.latency_seconds);
+  EXPECT_GT(best.throughput_tasks_per_s, fast.throughput_tasks_per_s);
+}
+
+TEST(Dse, EnumerationSortedByObjective) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 256;
+  req.batch = 50;
+  req.objective = Objective::kThroughput;
+  auto points = ex.enumerate(req);
+  ASSERT_GE(points.size(), 3u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i - 1].throughput_tasks_per_s,
+              points[i].throughput_tasks_per_s);
+  }
+  // Every enumerated point respects the budgets (eq. (16)).
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.resources.fits(req.device));
+    EXPECT_GT(p.power_watts, 0.0);
+  }
+}
+
+TEST(Dse, FixedFrequencyIsHonored) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 256;
+  req.frequency_hz = 208.3e6;
+  auto points = ex.enumerate(req);
+  for (const auto& p : points) EXPECT_DOUBLE_EQ(p.frequency_hz, 208.3e6);
+}
+
+TEST(Dse, EnergyEfficiencyComputed) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 128;
+  req.batch = 100;
+  req.objective = Objective::kThroughput;
+  auto best = ex.optimize(req);
+  EXPECT_NEAR(best.energy_efficiency(),
+              best.throughput_tasks_per_s / best.power_watts, 1e-12);
+  // HeteroSVD's headline: well above the GPU's 5.005 tasks/s/W at 128.
+  EXPECT_GT(best.energy_efficiency(), 5.0);
+}
+
+TEST(Dse, TinyProblemStillHasAPoint) {
+  // Even a 2x2 matrix admits P_eng = 1 (two single-column blocks).
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 2;
+  auto best = ex.optimize(req);
+  EXPECT_EQ(best.p_eng, 1);
+}
+
+TEST(Dse, ImpossibleDeviceRejected) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 128;
+  req.device.total_aie = 0;  // nothing places on an empty array
+  EXPECT_THROW(ex.optimize(req), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsvd::dse

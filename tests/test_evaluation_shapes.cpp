@@ -1,0 +1,126 @@
+// Shape assertions for the reproduced evaluation: the qualitative claims
+// of the paper's section V that DESIGN.md commits to. (Absolute numbers
+// live in the benches; these tests pin the orderings and crossovers so a
+// regression in any model or the simulator is caught by ctest.)
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hpp"
+#include "baselines/fpga_model.hpp"
+#include "baselines/gpu_model.hpp"
+#include "dse/explorer.hpp"
+#include "perfmodel/power_model.hpp"
+
+namespace hsvd {
+namespace {
+
+double hsvd_latency(std::size_t n, int iterations, double freq_hz) {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = n;
+  cfg.p_eng = 8;
+  cfg.p_task = 1;
+  cfg.iterations = iterations;
+  cfg.pl_frequency_hz = freq_hz;
+  return accel::HeteroSvdAccelerator(cfg).estimate(1).task_seconds;
+}
+
+// Table II: HeteroSVD beats the FPGA baseline at every evaluated size.
+TEST(EvaluationShapes, BeatsFpgaAtEverySize) {
+  baselines::FpgaBcvModel fpga;
+  dse::FrequencyModel freq;
+  for (std::size_t n : {128u, 256u, 512u}) {
+    const double ours = hsvd_latency(n, 6, freq.max_frequency_hz(n, 1));
+    EXPECT_LT(ours, fpga.latency_seconds(n, 6)) << n;
+  }
+}
+
+// Table III latency: the advantage over the GPU shrinks with size
+// (kernel-launch amortization on the GPU side).
+TEST(EvaluationShapes, GpuLatencyAdvantageShrinksWithSize) {
+  baselines::GpuWcycleModel gpu;
+  dse::FrequencyModel freq;
+  double prev_ratio = 1e9;
+  for (std::size_t n : {128u, 256u, 512u}) {
+    const int sweeps = n == 128 ? 7 : n == 256 ? 11 : 14;
+    const double ours = hsvd_latency(n, sweeps, freq.max_frequency_hz(n, 1));
+    const double ratio = gpu.latency_seconds(n) / ours;
+    EXPECT_GT(ratio, 1.0) << "HeteroSVD should lead latency at " << n;
+    EXPECT_LT(ratio, prev_ratio) << "advantage must shrink at " << n;
+    prev_ratio = ratio;
+  }
+}
+
+// Table III energy efficiency: HeteroSVD wins at every size, with the
+// gain shrinking as the GPU's utilization climbs.
+TEST(EvaluationShapes, EnergyEfficiencyGainEverywhereAndShrinking) {
+  baselines::GpuWcycleModel gpu;
+  dse::DesignSpaceExplorer explorer;
+  perf::PowerModel power;
+  double prev_gain = 1e9;
+  for (std::size_t n : {128u, 256u}) {
+    dse::DseRequest req;
+    req.rows = req.cols = n;
+    req.batch = 100;
+    req.iterations = n == 128 ? 7 : 11;
+    req.objective = dse::Objective::kThroughput;
+    auto point = explorer.optimize(req);
+    const double gain = point.energy_efficiency() / gpu.energy_efficiency(n);
+    EXPECT_GT(gain, 2.0) << n;
+    EXPECT_LT(gain, prev_gain) << n;
+    prev_gain = gain;
+  }
+}
+
+// Table VI trends on the modeled design points at 208.3 MHz.
+TEST(EvaluationShapes, TableViTrends) {
+  dse::DesignSpaceExplorer explorer;
+  dse::DseRequest req;
+  req.rows = req.cols = 256;
+  req.batch = 100;
+  req.frequency_hz = 208.3e6;
+  auto points = explorer.enumerate(req);
+  auto find = [&](int pe, int pt) -> const dse::DesignPoint* {
+    for (const auto& p : points)
+      if (p.p_eng == pe && p.p_task == pt) return &p;
+    return nullptr;
+  };
+  const auto* low = find(2, 26);
+  const auto* high = find(8, 2);
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  // Higher P_eng: lower latency. Higher P_task: higher throughput, more
+  // URAM, more power.
+  EXPECT_LT(high->latency_seconds, low->latency_seconds);
+  EXPECT_GT(low->throughput_tasks_per_s, high->throughput_tasks_per_s);
+  EXPECT_GT(low->resources.uram, high->resources.uram);
+  EXPECT_GT(low->power_watts, high->power_watts);
+  // Power stays inside Table VI's measured band.
+  EXPECT_GT(high->power_watts, 20.0);
+  EXPECT_LT(low->power_watts, 50.0);
+}
+
+// Fig. 9: HeteroSVD's core utilization falls with size (URAM-bound task
+// parallelism) while the GPU's rises -- the crossover mechanism.
+TEST(EvaluationShapes, UtilizationCurvesCross) {
+  baselines::GpuWcycleModel gpu;
+  EXPECT_LT(gpu.core_utilization(128), gpu.core_utilization(1024));
+  dse::DesignSpaceExplorer explorer;
+  auto util_for = [&](std::size_t n) {
+    dse::DseRequest req;
+    req.rows = req.cols = n;
+    req.batch = 100;
+    req.iterations = 2;
+    req.objective = dse::Objective::kThroughput;
+    auto point = explorer.optimize(req);
+    accel::HeteroSvdConfig cfg;
+    cfg.rows = cfg.cols = n;
+    cfg.p_eng = point.p_eng;
+    cfg.p_task = point.p_task;
+    cfg.iterations = 2;
+    cfg.pl_frequency_hz = point.frequency_hz;
+    return accel::HeteroSvdAccelerator(cfg).estimate(cfg.p_task).core_utilization;
+  };
+  EXPECT_GT(util_for(128), util_for(512));
+}
+
+}  // namespace
+}  // namespace hsvd

@@ -1,0 +1,125 @@
+// Tests for the public API facade (heterosvd.hpp): svd(), svd_batch(),
+// derive_v(), wide-matrix handling, option plumbing.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "heterosvd.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/reference_svd.hpp"
+
+namespace hsvd {
+namespace {
+
+linalg::MatrixF random_matrix(std::size_t rows, std::size_t cols,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  return linalg::random_gaussian(rows, cols, rng).cast<float>();
+}
+
+TEST(Facade, SvdMatchesReference) {
+  auto a = random_matrix(24, 16, 600);
+  Svd r = svd(a);
+  auto ref = linalg::reference_svd(a.cast<double>());
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(linalg::spectrum_distance(sigma, ref.sigma), 1e-4);
+  EXPECT_LT(linalg::orthogonality_error(r.u.cast<double>()), 1e-4);
+  EXPECT_LT(linalg::orthogonality_error(r.v.cast<double>()), 1e-3);
+  EXPECT_LT(linalg::reconstruction_error(a.cast<double>(), r.u.cast<double>(),
+                                         sigma, r.v.cast<double>()),
+            1e-5);
+  EXPECT_GT(r.accelerator_seconds, 0.0);
+  EXPECT_LT(r.convergence_rate, 1e-6);
+}
+
+TEST(Facade, WideMatrixTransposesAndSwapsFactors) {
+  auto a = random_matrix(12, 20, 601);  // wide
+  Svd r = svd(a);
+  auto ref = linalg::reference_svd(linalg::transpose(a.cast<double>()));
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(linalg::spectrum_distance(sigma, ref.sigma), 1e-4);
+  // U spans the 12-dim row space, V the 20-dim column space.
+  EXPECT_EQ(r.u.rows(), 12u);
+  EXPECT_EQ(r.v.rows(), 20u);
+  EXPECT_LT(linalg::reconstruction_error(a.cast<double>(), r.u.cast<double>(),
+                                         sigma, r.v.cast<double>()),
+            1e-5);
+}
+
+TEST(Facade, WideMatrixWithoutV) {
+  auto a = random_matrix(8, 14, 602);
+  SvdOptions opts;
+  opts.want_v = false;
+  Svd r = svd(a, opts);
+  EXPECT_TRUE(r.v.empty());
+  EXPECT_EQ(r.u.rows(), 8u);
+}
+
+TEST(Facade, ExplicitConfigOverridesDse) {
+  auto a = random_matrix(16, 8, 603);
+  SvdOptions opts;
+  accel::HeteroSvdConfig cfg;
+  cfg.p_eng = 2;
+  cfg.p_task = 1;
+  cfg.iterations = 12;
+  opts.config = cfg;
+  Svd r = svd(a, opts);
+  auto ref = linalg::reference_svd(a.cast<double>());
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(linalg::spectrum_distance(sigma, ref.sigma), 1e-4);
+}
+
+TEST(Facade, BatchSharedShapeEnforced) {
+  std::vector<linalg::MatrixF> batch = {random_matrix(8, 4, 604),
+                                        random_matrix(8, 6, 605)};
+  EXPECT_THROW(svd_batch(batch), std::invalid_argument);
+  EXPECT_THROW(svd_batch({}), std::invalid_argument);
+}
+
+TEST(Facade, BatchDecomposesEveryTask) {
+  std::vector<linalg::MatrixF> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(random_matrix(12, 8, 700 + i));
+  BatchSvd out = svd_batch(batch);
+  ASSERT_EQ(out.results.size(), 4u);
+  EXPECT_GT(out.throughput_tasks_per_s, 0.0);
+  EXPECT_GT(out.config.p_task, 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto ref = linalg::reference_svd(batch[i].cast<double>());
+    std::vector<double> sigma(out.results[i].sigma.begin(),
+                              out.results[i].sigma.end());
+    EXPECT_LT(linalg::spectrum_distance(sigma, ref.sigma), 1e-4) << i;
+  }
+}
+
+TEST(Facade, DeriveVRecoversRightFactor) {
+  Rng rng(606);
+  auto ad = linalg::matrix_with_spectrum(10, 6,
+                                         linalg::geometric_spectrum(6, 10.0),
+                                         rng);
+  auto ref = linalg::reference_svd(ad);
+  linalg::MatrixF u = ref.u.cast<float>();
+  std::vector<float> sigma(ref.sigma.begin(), ref.sigma.end());
+  linalg::MatrixF v = derive_v(ad.cast<float>(), u, sigma);
+  EXPECT_LT(linalg::orthogonality_error(v.cast<double>()), 1e-3);
+  // Matches the reference V up to column signs.
+  for (std::size_t t = 0; t < 6; ++t) {
+    double dot = 0;
+    for (std::size_t j = 0; j < 6; ++j)
+      dot += static_cast<double>(v(j, t)) * ref.v(j, t);
+    EXPECT_NEAR(std::fabs(dot), 1.0, 1e-4) << "column " << t;
+  }
+}
+
+TEST(Facade, DeriveVLeavesZeroSigmaColumnsZero) {
+  auto a = random_matrix(6, 4, 607);
+  linalg::MatrixF u(6, 2);
+  u(0, 0) = 1;
+  u(1, 1) = 1;
+  std::vector<float> sigma = {2.0f, 0.0f};
+  auto v = derive_v(a, u, sigma);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(v(j, 1), 0.0f);
+}
+
+}  // namespace
+}  // namespace hsvd

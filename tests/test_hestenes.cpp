@@ -1,0 +1,135 @@
+// Tests for the serial Hestenes-Jacobi SVD against the double-precision
+// reference, across all orderings (the co-designed ordering must be
+// numerically equivalent to the classics).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "jacobi/hestenes.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/reference_svd.hpp"
+
+namespace hsvd::jacobi {
+namespace {
+
+using hsvd::Rng;
+using hsvd::linalg::geometric_spectrum;
+using hsvd::linalg::matrix_with_spectrum;
+using hsvd::linalg::MatrixD;
+using hsvd::linalg::MatrixF;
+using hsvd::linalg::orthogonality_error;
+using hsvd::linalg::random_gaussian;
+using hsvd::linalg::reconstruction_error;
+using hsvd::linalg::spectrum_distance;
+
+MatrixF random_case(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_gaussian(rows, cols, rng).cast<float>();
+}
+
+TEST(Hestenes, MatchesReferenceSpectrum) {
+  MatrixF a = random_case(16, 8, 31);
+  HestenesResult r = hestenes_svd(a);
+  auto ref = hsvd::linalg::reference_svd(a.cast<double>());
+  std::vector<double> got(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(spectrum_distance(got, ref.sigma), 1e-4);  // float arithmetic
+}
+
+TEST(Hestenes, FactorsReconstruct) {
+  MatrixF a = random_case(20, 10, 32);
+  HestenesResult r = hestenes_svd(a);
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(reconstruction_error(a.cast<double>(), r.u.cast<double>(), sigma,
+                                 r.v.cast<double>()),
+            1e-5);
+  EXPECT_LT(orthogonality_error(r.u.cast<double>()), 1e-4);
+  EXPECT_LT(orthogonality_error(r.v.cast<double>()), 1e-4);
+}
+
+TEST(Hestenes, ConvergesAndReportsRate) {
+  MatrixF a = random_case(12, 6, 33);
+  HestenesOptions opts;
+  opts.precision = 1e-6;
+  HestenesResult r = hestenes_svd(a, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.final_convergence_rate, 1e-6);
+  EXPECT_GE(r.sweeps, 2);
+}
+
+TEST(Hestenes, FixedSweepsRunExactly) {
+  MatrixF a = random_case(12, 6, 34);
+  HestenesOptions opts;
+  opts.fixed_sweeps = 6;  // the paper's Tables II/VI protocol
+  HestenesResult r = hestenes_svd(a, opts);
+  EXPECT_EQ(r.sweeps, 6);
+}
+
+TEST(Hestenes, SkipsVAccumulationWhenDisabled) {
+  MatrixF a = random_case(8, 4, 35);
+  HestenesOptions opts;
+  opts.accumulate_v = false;
+  HestenesResult r = hestenes_svd(a, opts);
+  EXPECT_TRUE(r.v.empty());
+  EXPECT_EQ(r.u.cols(), 4u);
+}
+
+TEST(Hestenes, RejectsOddColumns) {
+  MatrixF a(6, 5);
+  EXPECT_THROW(hestenes_svd(a), std::invalid_argument);
+}
+
+TEST(Hestenes, RejectsWideMatrix) {
+  MatrixF a(4, 6);
+  EXPECT_THROW(hestenes_svd(a), std::invalid_argument);
+}
+
+struct HestenesCase {
+  OrderingKind kind;
+  std::size_t rows;
+  std::size_t cols;
+  double condition;
+};
+
+class HestenesSweep : public ::testing::TestWithParam<HestenesCase> {};
+
+TEST_P(HestenesSweep, AllOrderingsReachTheSameDecomposition) {
+  const auto& p = GetParam();
+  Rng rng(400 + p.rows + p.cols + static_cast<std::uint64_t>(p.kind));
+  const auto spectrum = geometric_spectrum(p.cols, p.condition);
+  MatrixD ad = matrix_with_spectrum(p.rows, p.cols, spectrum, rng);
+  MatrixF a = ad.cast<float>();
+
+  HestenesOptions opts;
+  opts.ordering = p.kind;
+  HestenesResult r = hestenes_svd(a, opts);
+
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  EXPECT_LT(spectrum_distance(sigma, spectrum), 5e-4)
+      << to_string(p.kind) << " " << p.rows << "x" << p.cols;
+  EXPECT_LT(reconstruction_error(ad, r.u.cast<double>(), sigma,
+                                 r.v.cast<double>()),
+            5e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderingsAndShapes, HestenesSweep,
+    ::testing::Values(
+        HestenesCase{OrderingKind::kRing, 8, 8, 10.0},
+        HestenesCase{OrderingKind::kRoundRobin, 8, 8, 10.0},
+        HestenesCase{OrderingKind::kShiftingRing, 8, 8, 10.0},
+        HestenesCase{OrderingKind::kRing, 24, 16, 100.0},
+        HestenesCase{OrderingKind::kRoundRobin, 24, 16, 100.0},
+        HestenesCase{OrderingKind::kShiftingRing, 24, 16, 100.0},
+        HestenesCase{OrderingKind::kShiftingRing, 32, 32, 1e3},
+        HestenesCase{OrderingKind::kRing, 48, 32, 1e3},
+        HestenesCase{OrderingKind::kShiftingRing, 40, 20, 1e4}),
+    [](const auto& info) {
+      std::string name = to_string(info.param.kind) + "_" +
+                         std::to_string(info.param.rows) + "x" +
+                         std::to_string(info.param.cols);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace hsvd::jacobi

@@ -1,0 +1,181 @@
+// Unit tests for src/linalg: matrix container, ops, generators, metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/ops.hpp"
+
+namespace hsvd::linalg {
+namespace {
+
+TEST(Matrix, ColumnMajorLayout) {
+  MatrixF m(3, 2);
+  m(0, 0) = 1;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  auto c0 = m.col(0);
+  auto c1 = m.col(1);
+  EXPECT_FLOAT_EQ(c0[0], 1);
+  EXPECT_FLOAT_EQ(c0[2], 3);
+  EXPECT_FLOAT_EQ(c1[0], 4);
+  EXPECT_EQ(m.data().size(), 6u);
+}
+
+TEST(Matrix, IdentityAndEquality) {
+  auto i3 = MatrixD::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  EXPECT_EQ(i3, MatrixD::identity(3));
+  EXPECT_FALSE(i3 == MatrixD::identity(4));
+}
+
+TEST(Matrix, SliceAndAssignColsRoundTrip) {
+  MatrixF m(2, 4);
+  for (std::size_t c = 0; c < 4; ++c)
+    for (std::size_t r = 0; r < 2; ++r) m(r, c) = static_cast<float>(10 * c + r);
+  MatrixF mid = m.slice_cols(1, 2);
+  EXPECT_FLOAT_EQ(mid(1, 0), 11.0f);
+  EXPECT_FLOAT_EQ(mid(0, 1), 20.0f);
+  MatrixF m2(2, 4);
+  m2.assign_cols(1, mid);
+  EXPECT_FLOAT_EQ(m2(1, 1), 11.0f);
+  EXPECT_FLOAT_EQ(m2(0, 2), 20.0f);
+  EXPECT_FLOAT_EQ(m2(0, 0), 0.0f);
+}
+
+TEST(Matrix, SliceOutOfRangeThrows) {
+  MatrixF m(2, 3);
+  EXPECT_THROW(m.slice_cols(2, 2), std::invalid_argument);
+}
+
+TEST(Matrix, CastPreservesValues) {
+  MatrixD d(2, 2);
+  d(0, 0) = 1.5;
+  d(1, 1) = -2.25;
+  MatrixF f = d.cast<float>();
+  EXPECT_FLOAT_EQ(f(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(f(1, 1), -2.25f);
+}
+
+TEST(Ops, DotAndNorm) {
+  MatrixD m(3, 2);
+  m(0, 0) = 3;
+  m(1, 0) = 4;
+  m(0, 1) = 1;
+  EXPECT_DOUBLE_EQ(dot<double>(m.col(0), m.col(1)), 3.0);
+  EXPECT_DOUBLE_EQ(norm2<double>(m.col(0)), 5.0);
+}
+
+TEST(Ops, MatmulAgainstHandComputed) {
+  MatrixD a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  MatrixD c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(1);
+  MatrixD a = random_gaussian(4, 3, rng);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Ops, RotationPreservesFrobeniusNorm) {
+  Rng rng(2);
+  MatrixD a = random_gaussian(16, 2, rng);
+  const double before = frobenius_norm(a);
+  const double theta = 0.7;
+  apply_rotation<double>(a.col(0), a.col(1), std::cos(theta), std::sin(theta));
+  EXPECT_NEAR(frobenius_norm(a), before, 1e-12);
+}
+
+TEST(Generators, GaussianHasExpectedShapeAndSpread) {
+  Rng rng(3);
+  MatrixD g = random_gaussian(50, 40, rng);
+  EXPECT_EQ(g.rows(), 50u);
+  EXPECT_EQ(g.cols(), 40u);
+  double s2 = 0;
+  for (double v : g.data()) s2 += v * v;
+  EXPECT_NEAR(s2 / (50.0 * 40.0), 1.0, 0.1);
+}
+
+TEST(Generators, OrthogonalMatrixIsOrthogonal) {
+  Rng rng(4);
+  MatrixD q = random_orthogonal(12, rng);
+  EXPECT_LT(orthogonality_error(q), 1e-10);
+}
+
+TEST(Generators, SpectrumMatrixHasRequestedSingularValues) {
+  Rng rng(5);
+  const std::vector<double> sigma = {5.0, 2.0, 1.0, 0.5};
+  MatrixD a = matrix_with_spectrum(8, 6, sigma, rng);
+  // Singular values of A equal sigma (padded with zeros): check via the
+  // Gram matrix trace and Frobenius norm identities.
+  double fro2 = 0;
+  for (double v : a.data()) fro2 += v * v;
+  double expect = 0;
+  for (double s : sigma) expect += s * s;
+  EXPECT_NEAR(fro2, expect, 1e-9);
+}
+
+TEST(Generators, GeometricSpectrumEndpointsAndMonotone) {
+  auto s = geometric_spectrum(5, 100.0);
+  EXPECT_DOUBLE_EQ(s.front(), 1.0);
+  EXPECT_NEAR(s.back(), 0.01, 1e-12);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i], s[i - 1]);
+}
+
+TEST(Generators, GeometricSpectrumSingleton) {
+  auto s = geometric_spectrum(1, 10.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+}
+
+TEST(Metrics, OrthogonalityErrorZeroForIdentity) {
+  EXPECT_NEAR(orthogonality_error(MatrixD::identity(6)), 0.0, 1e-15);
+}
+
+TEST(Metrics, OrthogonalityErrorDetectsScaling) {
+  MatrixD m = MatrixD::identity(3);
+  m(0, 0) = 2.0;  // column norm 2 -> Gram(0,0) = 4, error 3
+  EXPECT_NEAR(orthogonality_error(m), 3.0, 1e-12);
+}
+
+TEST(Metrics, ReconstructionErrorZeroForExactFactors) {
+  Rng rng(6);
+  const std::vector<double> sigma = {3.0, 1.0};
+  MatrixD u = random_orthogonal(4, rng);
+  MatrixD v = random_orthogonal(4, rng);
+  MatrixD a(4, 4);
+  for (std::size_t t = 0; t < sigma.size(); ++t)
+    for (std::size_t j = 0; j < 4; ++j)
+      for (std::size_t i = 0; i < 4; ++i) a(i, j) += u(i, t) * sigma[t] * v(j, t);
+  EXPECT_LT(reconstruction_error(a, u, sigma, v), 1e-12);
+}
+
+TEST(Metrics, SpectrumDistancePadsWithZeros) {
+  EXPECT_NEAR(spectrum_distance({1.0, 0.5}, {1.0}), 0.5 / 0.5, 1e-12);
+  EXPECT_NEAR(spectrum_distance({2.0}, {2.0}), 0.0, 1e-15);
+}
+
+TEST(Metrics, MaxPairCoherenceBounds) {
+  Rng rng(7);
+  MatrixD q = random_orthogonal(8, rng);
+  EXPECT_LT(max_pair_coherence(q), 1e-10);
+  MatrixD dup(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    dup(i, 0) = static_cast<double>(i + 1);
+    dup(i, 1) = static_cast<double>(i + 1);
+  }
+  EXPECT_NEAR(max_pair_coherence(dup), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hsvd::linalg

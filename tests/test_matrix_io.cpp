@@ -1,0 +1,101 @@
+// Tests for matrix file I/O (MatrixMarket text and raw binary).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/matrix_io.hpp"
+
+namespace hsvd::linalg {
+namespace {
+
+MatrixF sample_matrix() {
+  Rng rng(81);
+  return random_gaussian(7, 5, rng).cast<float>();
+}
+
+TEST(MatrixIo, MatrixMarketRoundTrip) {
+  const MatrixF m = sample_matrix();
+  const std::string path = "/tmp/hsvd_io_test.mtx";
+  save_matrix_market(m, path);
+  const MatrixF back = load_matrix_market(path);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  for (std::size_t i = 0; i < m.data().size(); ++i)
+    EXPECT_NEAR(back.data()[i], m.data()[i], 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, MatrixMarketSkipsComments) {
+  const std::string path = "/tmp/hsvd_io_comments.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix array real general\n"
+        << "% a comment line\n"
+        << "2 2\n1.5\n2.5\n-3.0\n4.0\n";
+  }
+  const MatrixF m = load_matrix_market(path);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(m(1, 0), 2.5f);
+  EXPECT_FLOAT_EQ(m(0, 1), -3.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0f);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, MatrixMarketRejectsMalformed) {
+  const std::string path = "/tmp/hsvd_io_bad.mtx";
+  {
+    std::ofstream out(path);
+    out << "not a matrix market file\n";
+  }
+  EXPECT_THROW(load_matrix_market(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix array real general\n2 2\n1.0\n";  // short
+  }
+  EXPECT_THROW(load_matrix_market(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n";
+  }
+  EXPECT_THROW(load_matrix_market(path), std::runtime_error);
+  EXPECT_THROW(load_matrix_market("/nonexistent/path.mtx"),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, BinaryRoundTripIsExact) {
+  const MatrixF m = sample_matrix();
+  const std::string path = "/tmp/hsvd_io_test.bin";
+  save_binary(m, path);
+  const MatrixF back = load_binary(path);
+  EXPECT_EQ(back, m);  // bitwise identical
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, BinaryRejectsCorruption) {
+  const std::string path = "/tmp/hsvd_io_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "XXXX garbage";
+  }
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+  // Truncated body.
+  const MatrixF m = sample_matrix();
+  save_binary(m, path);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    content.resize(content.size() - 8);
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+  EXPECT_THROW(load_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hsvd::linalg

@@ -1,0 +1,69 @@
+// Tests for inter-round movement extraction.
+#include <gtest/gtest.h>
+
+#include "jacobi/movement.hpp"
+#include "jacobi/ordering.hpp"
+
+namespace hsvd::jacobi {
+namespace {
+
+TEST(Movement, SlotMapCoversEveryColumnOnce) {
+  auto s = make_schedule(OrderingKind::kShiftingRing, 8);
+  for (std::size_t r = 0; r < s.size(); ++r) {
+    auto where = slot_map(s, r);
+    ASSERT_EQ(where.size(), 8u);
+    std::vector<int> seen(4, 0);
+    for (const auto& pos : where) {
+      ASSERT_GE(pos.slot, 0);
+      ASSERT_LT(pos.slot, 4);
+      ++seen[static_cast<std::size_t>(pos.slot)];
+    }
+    for (int count : seen) EXPECT_EQ(count, 2);  // one left + one right
+  }
+}
+
+TEST(Movement, SlotMapMatchesSchedule) {
+  auto s = make_schedule(OrderingKind::kRing, 6);
+  auto where = slot_map(s, 2);
+  for (std::size_t slot = 0; slot < s[2].size(); ++slot) {
+    const auto& pair = s[2][slot];
+    EXPECT_EQ(where[static_cast<std::size_t>(pair.left)].slot,
+              static_cast<int>(slot));
+    EXPECT_EQ(where[static_cast<std::size_t>(pair.left)].side, Side::kLeft);
+    EXPECT_EQ(where[static_cast<std::size_t>(pair.right)].side, Side::kRight);
+  }
+}
+
+TEST(Movement, MovesOmitStationaryColumns) {
+  auto s = make_schedule(OrderingKind::kRing, 8);
+  auto moves = moves_between(s, 0, 1);
+  for (const auto& m : moves) EXPECT_FALSE(m.from == m.to);
+  EXPECT_LE(moves.size(), 8u);
+}
+
+TEST(Movement, EveryColumnAccountedAcrossRounds) {
+  auto s = make_schedule(OrderingKind::kShiftingRing, 12);
+  for (std::size_t r = 0; r + 1 < s.size(); ++r) {
+    auto from = slot_map(s, r);
+    auto to = slot_map(s, r + 1);
+    auto moves = moves_between(s, r, r + 1);
+    std::size_t stationary = 0;
+    for (std::size_t c = 0; c < from.size(); ++c)
+      if (from[c] == to[c]) ++stationary;
+    EXPECT_EQ(moves.size() + stationary, from.size());
+  }
+}
+
+TEST(Movement, WrapAroundMovesExist) {
+  auto s = make_schedule(OrderingKind::kRing, 6);
+  auto moves = moves_between(s, s.size() - 1, 0);
+  EXPECT_FALSE(moves.empty());
+}
+
+TEST(Movement, RoundOutOfRangeThrows) {
+  auto s = make_schedule(OrderingKind::kRing, 4);
+  EXPECT_THROW(slot_map(s, s.size()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsvd::jacobi

@@ -1,0 +1,125 @@
+// Tests for the NoC/DDRMC model and the threshold-Jacobi option, plus a
+// convergence-rate property test (Jacobi's quadratic tail).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "jacobi/convergence.hpp"
+#include "jacobi/hestenes.hpp"
+#include "jacobi/rotation.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/reference_svd.hpp"
+#include "versal/noc.hpp"
+
+namespace hsvd {
+namespace {
+
+TEST(Noc, PortsServeSlotsRoundRobin) {
+  versal::NocModel noc(4, 1e9, 0.0);
+  EXPECT_EQ(noc.ports(), 4);
+  EXPECT_EQ(noc.port_for_slot(0), 0);
+  EXPECT_EQ(noc.port_for_slot(5), 1);
+  EXPECT_EQ(noc.port_for_slot(11), 3);
+  EXPECT_THROW(noc.port_for_slot(-1), std::invalid_argument);
+}
+
+TEST(Noc, PortsAreIndependentChannels) {
+  versal::NocModel noc(2, 1e9, 0.0);
+  const double a = noc.transfer(0, 0.0, 1e6);  // 1 ms
+  const double b = noc.transfer(0, 0.0, 1e6);  // queued: 2 ms
+  const double c = noc.transfer(1, 0.0, 1e6);  // parallel port: 1 ms
+  EXPECT_NEAR(a, 1e-3, 1e-12);
+  EXPECT_NEAR(b, 2e-3, 1e-12);
+  EXPECT_NEAR(c, 1e-3, 1e-12);
+  EXPECT_THROW(noc.transfer(2, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Noc, TraversalLatencyCharged) {
+  versal::NocModel noc(1, 1e9, 150e-9);
+  EXPECT_NEAR(noc.transfer(0, 0.0, 1e3), 150e-9 + 1e-6, 1e-15);
+}
+
+TEST(Noc, ResetClearsQueues) {
+  versal::NocModel noc = versal::NocModel::vck190();
+  noc.transfer(0, 0.0, 1e6);
+  noc.reset_time();
+  const double after = noc.transfer(0, 0.0, 1e3);
+  EXPECT_LT(after, 1e-5);
+}
+
+TEST(Noc, Vck190DefaultsMatchDeviceResources) {
+  auto noc = versal::NocModel::vck190();
+  auto dev = versal::vck190();
+  EXPECT_EQ(noc.ports(), dev.ddr_ports);
+  EXPECT_DOUBLE_EQ(noc.port_bandwidth(), dev.ddr_bytes_per_s);
+}
+
+TEST(ThresholdJacobi, SkipsSmallRotationsButStillConverges) {
+  Rng rng(91);
+  auto a = linalg::random_gaussian(24, 12, rng).cast<float>();
+  jacobi::HestenesOptions plain;
+  jacobi::HestenesOptions thresholded = plain;
+  thresholded.rotation_threshold = 1e-7;  // below the 1e-6 precision target
+  auto r_plain = jacobi::hestenes_svd(a, plain);
+  auto r_thresh = jacobi::hestenes_svd(a, thresholded);
+  EXPECT_TRUE(r_thresh.converged);
+  auto ref = linalg::reference_svd(a.cast<double>());
+  std::vector<double> sigma(r_thresh.sigma.begin(), r_thresh.sigma.end());
+  EXPECT_LT(linalg::spectrum_distance(sigma, ref.sigma), 1e-4);
+  // The thresholded run cannot take more sweeps than a few extra.
+  EXPECT_LE(r_thresh.sweeps, r_plain.sweeps + 2);
+}
+
+TEST(ThresholdJacobi, RotationLevelSkipBehaviour) {
+  // Coherence 1e-4 with threshold 1e-3 -> identity; with 1e-5 -> rotate.
+  const float aii = 1.0f, ajj = 1.0f;
+  const float aij = 1e-4f;  // coherence 1e-4
+  EXPECT_TRUE(jacobi::compute_rotation(aii, ajj, aij, 1e-3f).identity);
+  EXPECT_FALSE(jacobi::compute_rotation(aii, ajj, aij, 1e-5f).identity);
+}
+
+TEST(ConvergenceRate, JacobiTailIsSuperlinear) {
+  // Track the sweep-max coherence of a serial Hestenes run: once below
+  // ~1e-1 the classical quadratic convergence should roughly square the
+  // rate per sweep (we assert a conservative super-linear factor).
+  Rng rng(92);
+  auto a = linalg::random_gaussian(32, 16, rng).cast<float>();
+  linalg::MatrixF b = a;
+  auto schedule = jacobi::make_schedule(jacobi::OrderingKind::kShiftingRing, 16);
+  std::vector<double> rates;
+  for (int sweep = 0; sweep < 8; ++sweep) {
+    jacobi::ConvergenceTracker tracker(0.0);
+    tracker.begin_sweep();
+    for (const auto& round : schedule) {
+      for (const auto& pair : round) {
+        auto bi = b.col(static_cast<std::size_t>(pair.left));
+        auto bj = b.col(static_cast<std::size_t>(pair.right));
+        const float aij = linalg::dot<float>(bi, bj);
+        const float aii = linalg::dot<float>(bi, bi);
+        const float ajj = linalg::dot<float>(bj, bj);
+        tracker.observe(jacobi::pair_coherence(aii, ajj, aij));
+        auto rot = jacobi::compute_rotation(aii, ajj, aij);
+        if (!rot.identity) linalg::apply_rotation(bi, bj, rot.c, rot.s);
+      }
+    }
+    rates.push_back(tracker.sweep_rate());
+  }
+  // Find the first sweep with rate < 0.2 and require at least a 10x drop
+  // within the following two sweeps (the quadratic tail; the sweep-max
+  // statistic is noisy enough that single-sweep ratios wobble).
+  for (std::size_t s = 0; s + 2 < rates.size(); ++s) {
+    if (rates[s] < 0.2 && rates[s] > 1e-12) {
+      EXPECT_LT(rates[s + 2], rates[s] * 0.1)
+          << "sweep " << s << ": " << rates[s] << " -> " << rates[s + 2];
+      break;
+    }
+  }
+  // And the final rate is tiny (float roundoff floor).
+  EXPECT_LT(rates.back(), 1e-5);
+}
+
+}  // namespace
+}  // namespace hsvd

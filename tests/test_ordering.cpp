@@ -1,0 +1,118 @@
+// Tests for SVD orderings: tournament validity (property-based across
+// sizes and kinds) plus the structural facts Fig. 3 relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "jacobi/ordering.hpp"
+
+namespace hsvd::jacobi {
+namespace {
+
+TEST(Ordering, RejectsOddOrTinyColumnCounts) {
+  EXPECT_THROW(make_schedule(OrderingKind::kRing, 5), std::invalid_argument);
+  EXPECT_THROW(make_schedule(OrderingKind::kRing, 0), std::invalid_argument);
+  EXPECT_THROW(make_schedule(OrderingKind::kShiftingRing, 7),
+               std::invalid_argument);
+}
+
+TEST(Ordering, TwoColumnsSingleRound) {
+  for (auto kind : {OrderingKind::kRing, OrderingKind::kRoundRobin,
+                    OrderingKind::kShiftingRing}) {
+    auto s = make_schedule(kind, 2);
+    ASSERT_EQ(s.size(), 1u);
+    ASSERT_EQ(s[0].size(), 1u);
+    auto [lo, hi] = std::minmax(s[0][0].left, s[0][0].right);
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 1);
+  }
+}
+
+TEST(Ordering, ShapeIsRoundsByEngines) {
+  auto s = make_schedule(OrderingKind::kShiftingRing, 6);
+  EXPECT_EQ(s.size(), 5u);  // 2k-1 rounds
+  for (const auto& round : s) EXPECT_EQ(round.size(), 3u);  // k engines
+}
+
+TEST(Ordering, ShiftingRingIsAPermutationOfRingRows) {
+  // Same pairs per round, different slot assignment: the shift only
+  // permutes the row (Fig. 3(b) vs (a)).
+  const int n = 8;
+  auto ring = make_schedule(OrderingKind::kRing, n);
+  auto shifting = make_schedule(OrderingKind::kShiftingRing, n);
+  ASSERT_EQ(ring.size(), shifting.size());
+  for (std::size_t r = 0; r < ring.size(); ++r) {
+    std::multiset<std::pair<int, int>> a, b;
+    for (const auto& p : ring[r]) a.insert(std::minmax(p.left, p.right));
+    for (const auto& p : shifting[r]) b.insert(std::minmax(p.left, p.right));
+    EXPECT_EQ(a, b) << "round " << r;
+  }
+}
+
+TEST(Ordering, ShiftingRingShiftAmountsFollowFloorHalf) {
+  // Row i (1-indexed) is the ring row shifted right by floor(i/2) mod k.
+  const int n = 10;
+  const int k = n / 2;
+  auto ring = make_schedule(OrderingKind::kRing, n);
+  auto shifting = make_schedule(OrderingKind::kShiftingRing, n);
+  for (std::size_t r = 0; r < ring.size(); ++r) {
+    const int shift = (static_cast<int>(r + 1) / 2) % k;
+    for (int slot = 0; slot < k; ++slot) {
+      EXPECT_EQ(shifting[r][static_cast<std::size_t>((slot + shift) % k)],
+                ring[r][static_cast<std::size_t>(slot)])
+          << "round " << r << " slot " << slot;
+    }
+  }
+}
+
+TEST(Ordering, KindNames) {
+  EXPECT_EQ(to_string(OrderingKind::kRing), "ring");
+  EXPECT_EQ(to_string(OrderingKind::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(OrderingKind::kShiftingRing), "shifting-ring");
+}
+
+TEST(Ordering, ValidatorCatchesBrokenSchedules) {
+  auto s = make_schedule(OrderingKind::kRing, 6);
+  EXPECT_TRUE(is_valid_tournament(s, 6));
+  auto dup = s;
+  dup[1] = dup[0];  // duplicate round -> pairs repeat
+  EXPECT_FALSE(is_valid_tournament(dup, 6));
+  auto clipped = s;
+  clipped.pop_back();
+  EXPECT_FALSE(is_valid_tournament(clipped, 6));
+  auto self_pair = s;
+  self_pair[0][0] = {2, 2};
+  EXPECT_FALSE(is_valid_tournament(self_pair, 6));
+  auto out_of_range = s;
+  out_of_range[0][0] = {0, 6};
+  EXPECT_FALSE(is_valid_tournament(out_of_range, 6));
+}
+
+// Property sweep: every ordering kind yields a valid tournament for all
+// even sizes up to 64 (covers the paper's P_eng range and beyond).
+class OrderingProperty
+    : public ::testing::TestWithParam<std::tuple<OrderingKind, int>> {};
+
+TEST_P(OrderingProperty, IsValidTournament) {
+  const auto [kind, n] = GetParam();
+  auto s = make_schedule(kind, n);
+  EXPECT_TRUE(is_valid_tournament(s, n))
+      << to_string(kind) << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllSizes, OrderingProperty,
+    ::testing::Combine(::testing::Values(OrderingKind::kRing,
+                                         OrderingKind::kRoundRobin,
+                                         OrderingKind::kShiftingRing),
+                       ::testing::Values(2, 4, 6, 8, 10, 12, 16, 22, 32, 64)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_n" +
+                         std::to_string(std::get<1>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace hsvd::jacobi

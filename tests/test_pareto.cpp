@@ -1,0 +1,76 @@
+// Tests for Pareto-front extraction over DSE design points.
+#include <gtest/gtest.h>
+
+#include "dse/pareto.hpp"
+
+namespace hsvd::dse {
+namespace {
+
+DesignPoint make_point(double latency, double throughput, double power) {
+  DesignPoint p;
+  p.latency_seconds = latency;
+  p.throughput_tasks_per_s = throughput;
+  p.power_watts = power;
+  return p;
+}
+
+TEST(Pareto, DominationRules) {
+  const auto a = make_point(1.0, 10.0, 20.0);
+  const auto better = make_point(0.5, 12.0, 18.0);
+  const auto mixed = make_point(0.5, 8.0, 25.0);
+  const auto equal = make_point(1.0, 10.0, 20.0);
+  EXPECT_TRUE(dominates(better, a));
+  EXPECT_FALSE(dominates(a, better));
+  EXPECT_FALSE(dominates(mixed, a));
+  EXPECT_FALSE(dominates(a, mixed));
+  EXPECT_FALSE(dominates(equal, a));  // equality does not dominate
+}
+
+TEST(Pareto, FrontDropsDominatedPoints) {
+  std::vector<DesignPoint> points = {
+      make_point(1.0, 100.0, 30.0),  // fast but hot
+      make_point(2.0, 200.0, 40.0),  // high throughput
+      make_point(3.0, 50.0, 20.0),   // low power
+      make_point(4.0, 40.0, 45.0),   // dominated by all of the above
+  };
+  auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  for (const auto& p : front) EXPECT_NE(p.latency_seconds, 4.0);
+  // Sorted by latency.
+  EXPECT_DOUBLE_EQ(front[0].latency_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(front[2].latency_seconds, 3.0);
+}
+
+TEST(Pareto, DuplicatesCollapse) {
+  std::vector<DesignPoint> points = {make_point(1, 10, 20),
+                                     make_point(1, 10, 20)};
+  EXPECT_EQ(pareto_front(points).size(), 1u);
+}
+
+TEST(Pareto, SinglePointSurvives) {
+  std::vector<DesignPoint> points = {make_point(1, 1, 1)};
+  EXPECT_EQ(pareto_front(points).size(), 1u);
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Pareto, RealDseSpaceHasNontrivialFront) {
+  DesignSpaceExplorer ex;
+  DseRequest req;
+  req.rows = req.cols = 256;
+  req.batch = 50;
+  auto points = ex.enumerate(req);
+  auto front = pareto_front(points);
+  ASSERT_GE(front.size(), 2u);   // latency/throughput/power trade off
+  EXPECT_LE(front.size(), points.size());
+  // Nothing on the front is dominated by anything in the full set.
+  for (const auto& f : front) {
+    for (const auto& p : points) {
+      EXPECT_FALSE(dominates(p, f));
+    }
+  }
+  // The front spans a real latency/throughput trade-off.
+  EXPECT_LT(front.front().latency_seconds, front.back().latency_seconds);
+}
+
+}  // namespace
+}  // namespace hsvd::dse

@@ -1,0 +1,134 @@
+// Tests for the AIE placement engine (section III-C): layer/band
+// structure, boundary rules, stacking, resource counts, feasibility.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accel/placement.hpp"
+
+namespace hsvd::accel {
+namespace {
+
+HeteroSvdConfig base_config(std::size_t n, int p_eng, int p_task) {
+  HeteroSvdConfig c;
+  c.rows = n;
+  c.cols = n;
+  c.p_eng = p_eng;
+  c.p_task = p_task;
+  return c;
+}
+
+TEST(Placement, LayerAndEngineCounts) {
+  auto cfg = base_config(128, 8, 1);
+  auto result = place(cfg);
+  ASSERT_EQ(result.tasks.size(), 1u);
+  const auto& task = result.tasks[0];
+  EXPECT_EQ(task.orth.size(), 15u);  // 2k-1 layers
+  for (const auto& layer : task.orth) EXPECT_EQ(layer.size(), 8u);
+  EXPECT_EQ(task.norm.size(), 8u);  // one norm-AIE per engine column
+  EXPECT_EQ(result.num_orth, 120);
+  EXPECT_EQ(result.num_norm, 8);
+  EXPECT_EQ(result.num_plio, 6);  // 4 orth + 2 norm (Table I)
+}
+
+TEST(Placement, TableIOrthCountFormula) {
+  // Table I: num_orth = n(2n-1)k with n = P_eng, k = P_task.
+  for (auto [pe, pt] : {std::pair{2, 3}, {4, 2}, {8, 2}}) {
+    auto cfg = base_config(128, pe, pt);
+    auto result = place(cfg);
+    EXPECT_EQ(result.num_orth, pe * (2 * pe - 1) * pt) << pe << "," << pt;
+    EXPECT_EQ(result.num_norm, pe * pt);
+    EXPECT_EQ(result.num_plio, 6 * pt);
+  }
+}
+
+TEST(Placement, NoTileUsedTwice) {
+  auto cfg = base_config(256, 8, 2);
+  auto result = place(cfg);
+  std::set<versal::TileCoord> used;
+  for (const auto& task : result.tasks) {
+    for (const auto& layer : task.orth)
+      for (const auto& t : layer) EXPECT_TRUE(used.insert(t).second);
+    for (const auto& t : task.norm) EXPECT_TRUE(used.insert(t).second);
+    for (const auto& t : task.mem) EXPECT_TRUE(used.insert(t).second);
+  }
+  EXPECT_EQ(static_cast<int>(used.size()), result.total_aie());
+}
+
+TEST(Placement, OrthLayersAvoidBoundaryRows) {
+  // Multi-band tasks: no orth-AIE in the array's last row (its output
+  // would have nowhere to go) and none in a continuation band's top row.
+  auto cfg = base_config(128, 8, 1);  // 15 layers -> 3 bands
+  auto result = place(cfg);
+  for (const auto& layer : result.tasks[0].orth)
+    for (const auto& t : layer) EXPECT_LT(t.row, 7);
+  EXPECT_EQ(result.bands_per_task, 3);
+  // Band crossings need mem-AIEs: 2k per crossing.
+  EXPECT_EQ(result.num_mem, 2 * 8 * (3 - 1));
+}
+
+TEST(Placement, SingleBandTasksStackVertically) {
+  // P_eng = 2: 3 layers + norm row = 4 rows -> two tasks per strip.
+  auto cfg = base_config(128, 2, 26);
+  auto result = place(cfg);
+  ASSERT_EQ(result.tasks.size(), 26u);
+  // 26 tasks of width 2, stacked 2-high: 13 strips x 2 columns = 26 <= 50.
+  int max_col = 0;
+  for (const auto& task : result.tasks)
+    for (const auto& layer : task.orth)
+      for (const auto& t : layer) max_col = std::max(max_col, t.col);
+  EXPECT_LT(max_col, 26);
+}
+
+TEST(Placement, InfeasibleConfigurationsRejected) {
+  // P_eng = 8 needs 3 bands = 24 columns per task: three tasks do not fit
+  // the 50-column array width.
+  auto cfg = base_config(256, 8, 3);
+  EXPECT_FALSE(try_place(cfg).has_value());
+  EXPECT_THROW(place(cfg), std::invalid_argument);
+}
+
+TEST(Placement, MaxPengFitsAlone) {
+  auto cfg = base_config(176, 11, 1);  // 21 layers -> 4 bands, 44 columns
+  auto result = try_place(cfg);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->num_orth, 11 * 21);
+  EXPECT_LE(result->total_aie(), 400);
+}
+
+TEST(Placement, TotalsStayWithinDevice) {
+  for (int pe : {1, 2, 3, 4, 6, 8}) {
+    for (int pt = 1; pt <= 26; ++pt) {
+      auto cfg = base_config(128, pe, pt);
+      auto result = try_place(cfg);
+      if (!result.has_value()) continue;
+      EXPECT_LE(result->total_aie(), cfg.device.total_aie);
+      EXPECT_LE(result->num_plio, cfg.device.total_plio);
+    }
+  }
+}
+
+TEST(Placement, PaddedColumnCountsWork) {
+  // 256 is not divisible by 6; the config pads to 258 (43 blocks).
+  auto cfg = base_config(256, 6, 1);
+  EXPECT_EQ(cfg.padded_cols(), 258u);
+  EXPECT_EQ(cfg.blocks(), 43);
+  EXPECT_TRUE(try_place(cfg).has_value());
+}
+
+TEST(Placement, ConfigValidation) {
+  auto cfg = base_config(128, 8, 1);
+  cfg.p_eng = 12;  // beyond Table I's range
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = base_config(128, 8, 27);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = base_config(8, 8, 1);  // single block: not a block-pair workload
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  HeteroSvdConfig wide;
+  wide.rows = 64;
+  wide.cols = 128;
+  EXPECT_THROW(wide.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hsvd::accel

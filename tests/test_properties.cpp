@@ -1,0 +1,176 @@
+// Cross-module property tests: invariants that hold across the whole
+// parameter space rather than at hand-picked points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "accel/dataflow.hpp"
+#include "accel/placement.hpp"
+#include "common/rng.hpp"
+#include "jacobi/movement.hpp"
+#include "jacobi/ordering.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/reference_svd.hpp"
+#include "versal/geometry.hpp"
+
+namespace hsvd {
+namespace {
+
+// Every interior core reaches exactly four memory modules: its own, the
+// two vertical neighbours', and one horizontal neighbour's (the AIE1
+// connectivity the whole co-design is built on).
+TEST(GeometryProperty, InteriorCoresReachExactlyFourMemories) {
+  versal::ArrayGeometry geo(8, 12);
+  for (int r = 1; r < geo.rows() - 1; ++r) {
+    for (int c = 1; c < geo.cols() - 1; ++c) {
+      int reachable = 0;
+      for (int mr = 0; mr < geo.rows(); ++mr) {
+        for (int mc = 0; mc < geo.cols(); ++mc) {
+          if (geo.core_can_access_memory({r, c}, {mr, mc})) ++reachable;
+        }
+      }
+      EXPECT_EQ(reachable, 4) << "core (" << r << "," << c << ")";
+    }
+  }
+}
+
+// Neighbour-transfer reachability is at most one column apart and one
+// row apart: no teleporting.
+TEST(GeometryProperty, NeighbourTransfersAreLocal) {
+  versal::ArrayGeometry geo(6, 10);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 10; ++c) {
+      for (int dc = -3; dc <= 3; ++dc) {
+        const versal::TileCoord dst{r + 1, c + dc};
+        if (!geo.contains(dst)) continue;
+        if (geo.neighbour_transfer_possible({r, c}, dst)) {
+          EXPECT_LE(std::abs(dc), 1);
+        }
+      }
+    }
+  }
+}
+
+// A schedule reused cyclically across iterations keeps covering every
+// pair exactly once per sweep (the accelerator repeats the same rounds).
+TEST(OrderingProperty2, CyclicReuseKeepsCoverage) {
+  const int n = 12;
+  auto s = jacobi::make_schedule(jacobi::OrderingKind::kShiftingRing, n);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    std::set<std::pair<int, int>> seen;
+    for (const auto& round : s) {
+      for (const auto& pair : round) {
+        auto key = std::minmax(pair.left, pair.right);
+        EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n * (n - 1) / 2));
+  }
+}
+
+// The ring ordering's movement really is monolithic: every inter-round
+// move is "stay" or "one slot leftward (cyclic)".
+TEST(OrderingProperty2, RingMovementIsUnidirectional) {
+  for (int k : {2, 3, 5, 8}) {
+    auto s = jacobi::make_schedule(jacobi::OrderingKind::kRing, 2 * k);
+    for (std::size_t r = 0; r + 1 < s.size(); ++r) {
+      for (const auto& mv : jacobi::moves_between(s, r, r + 1)) {
+        const int delta = (mv.to.slot - mv.from.slot + k) % k;
+        // Either a side swap within the site (delta 0) or one site
+        // leftward (delta -1 mod k); never rightward or long.
+        EXPECT_TRUE(delta == 0 || delta == k - 1)
+            << "k=" << k << " round " << r << " delta " << delta;
+      }
+    }
+  }
+}
+
+// The shifting ring's physical movement per transition is a single wrap
+// plus aligned moves: at most one column changes physical slot by more
+// than one position.
+TEST(OrderingProperty2, ShiftingRingHasOneWrapPerTransition) {
+  for (int k : {3, 4, 6, 8, 11}) {
+    auto s = jacobi::make_schedule(jacobi::OrderingKind::kShiftingRing, 2 * k, 1);
+    for (std::size_t r = 0; r + 1 < s.size(); ++r) {
+      const auto from = jacobi::slot_map(s, r);
+      const auto to = jacobi::slot_map(s, r + 1);
+      int long_moves = 0;
+      for (std::size_t col = 0; col < from.size(); ++col) {
+        if (std::abs(to[col].slot - from[col].slot) > 1) ++long_moves;
+      }
+      EXPECT_LE(long_moves, 1) << "k=" << k << " round " << r;
+    }
+  }
+}
+
+// Placement determinism: the same config always yields the same tiles
+// (the accelerator and the DSE rely on this).
+TEST(PlacementProperty, Deterministic) {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 256;
+  cfg.p_eng = 6;
+  cfg.p_task = 3;
+  auto a = accel::place(cfg);
+  auto b = accel::place(cfg);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    EXPECT_EQ(a.tasks[t].orth, b.tasks[t].orth);
+    EXPECT_EQ(a.tasks[t].norm, b.tasks[t].norm);
+    EXPECT_EQ(a.tasks[t].mem, b.tasks[t].mem);
+  }
+}
+
+// Stacked single-band slots start at different row parities, yet the
+// parity-aware shifting ring keeps the per-sweep DMA minimal for both.
+TEST(PlacementProperty, StackedSlotsKeepMinimalDma) {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 64;
+  cfg.p_eng = 2;
+  cfg.p_task = 2;  // stacked: slot 0 at row 0, slot 1 at row 4
+  auto placement = accel::place(cfg);
+  versal::ArrayGeometry geo(cfg.device.aie_rows, cfg.device.aie_cols);
+  for (const auto& task : placement.tasks) {
+    const int parity = task.orth[0][0].row % 2;
+    auto schedule =
+        jacobi::make_schedule(cfg.ordering, cfg.pair_width(), parity);
+    auto plan =
+        accel::build_dataflow(schedule, task, geo,
+                              accel::MemoryStrategy::kRelocated);
+    EXPECT_EQ(plan.total_dma(), 2 * (cfg.p_eng - 1))
+        << "slot starting at row " << task.orth[0][0].row;
+  }
+}
+
+// Spectrum scale-equivariance of the whole numeric stack: svd(c*A) has
+// singular values c*sigma(A).
+TEST(NumericsProperty, SpectrumScalesLinearly) {
+  Rng rng(321);
+  auto ad = linalg::random_gaussian(16, 8, rng);
+  auto scaled = ad;
+  for (double& v : scaled.data()) v *= 3.5;
+  auto r1 = linalg::reference_svd(ad);
+  auto r2 = linalg::reference_svd(scaled);
+  for (std::size_t t = 0; t < r1.sigma.size(); ++t) {
+    EXPECT_NEAR(r2.sigma[t], 3.5 * r1.sigma[t], 1e-8 * (1 + r1.sigma[t]));
+  }
+}
+
+// Orthogonal invariance: multiplying by an orthogonal matrix on the left
+// preserves the spectrum.
+TEST(NumericsProperty, OrthogonalInvariance) {
+  Rng rng(322);
+  auto ad = linalg::random_gaussian(12, 6, rng);
+  auto q = linalg::random_orthogonal(12, rng);
+  auto qa = linalg::matmul(q, ad);
+  auto r1 = linalg::reference_svd(ad);
+  auto r2 = linalg::reference_svd(qa);
+  EXPECT_LT(linalg::spectrum_distance(r1.sigma, r2.sigma), 1e-8);
+}
+
+}  // namespace
+}  // namespace hsvd

@@ -1,0 +1,122 @@
+// Tests for Householder QR and the SVD utility helpers.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/reference_svd.hpp"
+#include "linalg/svd_utils.hpp"
+
+namespace hsvd::linalg {
+namespace {
+
+TEST(Qr, ReconstructsInput) {
+  Rng rng(31);
+  MatrixD a = random_gaussian(10, 6, rng);
+  auto qr = householder_qr(a);
+  MatrixD rec = matmul(qr.q, qr.r);
+  double err = 0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = rec.data()[i] - a.data()[i];
+    err += d * d;
+  }
+  EXPECT_LT(std::sqrt(err), 1e-10);
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  Rng rng(32);
+  MatrixD a = random_gaussian(12, 12, rng);
+  auto qr = householder_qr(a);
+  EXPECT_LT(orthogonality_error(qr.q), 1e-11);
+}
+
+TEST(Qr, RIsUpperTriangularWithNonnegativeDiagonal) {
+  Rng rng(33);
+  MatrixD a = random_gaussian(8, 5, rng);
+  auto qr = householder_qr(a);
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_GE(qr.r(j, j), 0.0);
+    for (std::size_t i = j + 1; i < 5; ++i) EXPECT_DOUBLE_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+TEST(Qr, HandlesRankDeficiency) {
+  // Two identical columns: still a valid factorization.
+  MatrixD a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  auto qr = householder_qr(a);
+  MatrixD rec = matmul(qr.q, qr.r);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(rec(i, 1), a(i, 1), 1e-12);
+  EXPECT_NEAR(qr.r(1, 1), 0.0, 1e-12);
+}
+
+TEST(Qr, RejectsWideInput) {
+  EXPECT_THROW(householder_qr(MatrixD(2, 4)), std::invalid_argument);
+}
+
+TEST(SvdUtils, LowRankApproxReconstruction) {
+  // Test the reconstruction identity algebraically with sparse factors.
+  MatrixF u(5, 2), v(4, 2);
+  u(0, 0) = 1;
+  u(1, 1) = 1;
+  v(2, 0) = 1;
+  v(3, 1) = 1;
+  std::vector<float> sigma = {2.0f, 0.5f};
+  MatrixF rec = low_rank_approx(u, sigma, v, 2);
+  EXPECT_FLOAT_EQ(rec(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(rec(1, 3), 0.5f);
+  EXPECT_FLOAT_EQ(rec(0, 3), 0.0f);
+  // Rank clamping.
+  MatrixF rec1 = low_rank_approx(u, sigma, v, 1);
+  EXPECT_FLOAT_EQ(rec1(1, 3), 0.0f);
+  MatrixF rec9 = low_rank_approx(u, sigma, v, 9);
+  EXPECT_FLOAT_EQ(rec9(1, 3), 0.5f);
+}
+
+TEST(SvdUtils, CapturedEnergyAndRankForEnergy) {
+  const std::vector<float> sigma = {3.0f, 2.0f, 1.0f};  // energies 9, 4, 1
+  EXPECT_NEAR(captured_energy(sigma, 1), 9.0 / 14.0, 1e-12);
+  EXPECT_NEAR(captured_energy(sigma, 2), 13.0 / 14.0, 1e-12);
+  EXPECT_NEAR(captured_energy(sigma, 3), 1.0, 1e-12);
+  EXPECT_NEAR(captured_energy(sigma, 99), 1.0, 1e-12);
+  EXPECT_EQ(rank_for_energy(sigma, 0.5), 1u);
+  EXPECT_EQ(rank_for_energy(sigma, 0.9), 2u);
+  EXPECT_EQ(rank_for_energy(sigma, 1.0), 3u);
+  EXPECT_THROW(rank_for_energy(sigma, 0.0), std::invalid_argument);
+}
+
+TEST(SvdUtils, PsnrBehaviour) {
+  MatrixF ref(4, 4);
+  for (std::size_t i = 0; i < ref.data().size(); ++i)
+    ref.data()[i] = static_cast<float>(i) / 15.0f;  // range [0, 1]
+  EXPECT_DOUBLE_EQ(psnr_db(ref, ref), 99.0);  // exact match cap
+  MatrixF noisy = ref;
+  noisy(0, 0) += 0.1f;
+  const double p1 = psnr_db(ref, noisy);
+  noisy(1, 1) += 0.3f;
+  const double p2 = psnr_db(ref, noisy);
+  EXPECT_GT(p1, p2);  // more error, lower PSNR
+  EXPECT_GT(p1, 20.0);
+  EXPECT_THROW(psnr_db(ref, MatrixF(2, 2)), std::invalid_argument);
+}
+
+TEST(SvdUtils, PsnrImprovesWithRank) {
+  Rng rng(35);
+  MatrixD ad = matrix_with_spectrum(16, 16, geometric_spectrum(16, 1e3), rng);
+  MatrixF a = ad.cast<float>();
+  auto ref = reference_svd(ad);
+  MatrixF u = ref.u.cast<float>();
+  MatrixF v = ref.v.cast<float>();
+  std::vector<float> sigma(ref.sigma.begin(), ref.sigma.end());
+  const double p4 = psnr_db(a, low_rank_approx(u, sigma, v, 4));
+  const double p12 = psnr_db(a, low_rank_approx(u, sigma, v, 12));
+  EXPECT_GT(p12, p4);
+}
+
+}  // namespace
+}  // namespace hsvd::linalg

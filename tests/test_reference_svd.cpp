@@ -1,0 +1,89 @@
+// Tests for the double-precision reference SVD, including parameterized
+// sweeps over sizes and conditioning.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/reference_svd.hpp"
+
+namespace hsvd::linalg {
+namespace {
+
+TEST(ReferenceSvd, RecoversKnownSpectrum) {
+  Rng rng(10);
+  const std::vector<double> sigma = {4.0, 3.0, 2.0, 1.0};
+  MatrixD a = matrix_with_spectrum(6, 4, sigma, rng);
+  SvdResult r = reference_svd(a);
+  ASSERT_EQ(r.sigma.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(r.sigma[i], sigma[i], 1e-9);
+}
+
+TEST(ReferenceSvd, FactorsReconstructInput) {
+  Rng rng(11);
+  MatrixD a = random_gaussian(10, 8, rng);
+  SvdResult r = reference_svd(a);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v), 1e-10);
+  EXPECT_LT(orthogonality_error(r.u), 1e-10);
+  EXPECT_LT(orthogonality_error(r.v), 1e-10);
+}
+
+TEST(ReferenceSvd, SigmaDescendingAndNonnegative) {
+  Rng rng(12);
+  MatrixD a = random_gaussian(9, 6, rng);
+  SvdResult r = reference_svd(a);
+  for (std::size_t i = 1; i < r.sigma.size(); ++i)
+    EXPECT_LE(r.sigma[i], r.sigma[i - 1]);
+  EXPECT_GE(r.sigma.back(), 0.0);
+}
+
+TEST(ReferenceSvd, HandlesRankDeficiency) {
+  Rng rng(13);
+  const std::vector<double> sigma = {2.0, 1.0};  // rank 2 in a 5x4 matrix
+  MatrixD a = matrix_with_spectrum(5, 4, sigma, rng);
+  SvdResult r = reference_svd(a);
+  EXPECT_NEAR(r.sigma[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.sigma[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.sigma[2], 0.0, 1e-9);
+  EXPECT_NEAR(r.sigma[3], 0.0, 1e-9);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v), 1e-9);
+}
+
+TEST(ReferenceSvd, IdentityHasUnitSpectrum) {
+  SvdResult r = reference_svd(MatrixD::identity(5));
+  for (double s : r.sigma) EXPECT_NEAR(s, 1.0, 1e-12);
+  EXPECT_LE(r.sweeps, 2);
+}
+
+TEST(ReferenceSvd, RejectsWideMatrices) {
+  MatrixD wide(2, 5);
+  EXPECT_THROW(reference_svd(wide), std::invalid_argument);
+}
+
+struct RefSvdCase {
+  std::size_t rows;
+  std::size_t cols;
+  double condition;
+};
+
+class ReferenceSvdSweep : public ::testing::TestWithParam<RefSvdCase> {};
+
+TEST_P(ReferenceSvdSweep, ReconstructsAcrossShapesAndConditioning) {
+  const auto& p = GetParam();
+  Rng rng(100 + p.rows * 7 + p.cols);
+  const auto spectrum = geometric_spectrum(p.cols, p.condition);
+  MatrixD a = matrix_with_spectrum(p.rows, p.cols, spectrum, rng);
+  SvdResult r = reference_svd(a);
+  EXPECT_LT(reconstruction_error(a, r.u, r.sigma, r.v), 1e-8);
+  EXPECT_LT(spectrum_distance(r.sigma, spectrum), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndConditioning, ReferenceSvdSweep,
+    ::testing::Values(RefSvdCase{4, 4, 1.0}, RefSvdCase{8, 8, 10.0},
+                      RefSvdCase{16, 16, 1e3}, RefSvdCase{32, 32, 1e6},
+                      RefSvdCase{12, 8, 100.0}, RefSvdCase{40, 16, 1e4},
+                      RefSvdCase{64, 32, 1e2}, RefSvdCase{33, 7, 50.0}));
+
+}  // namespace
+}  // namespace hsvd::linalg

@@ -1,0 +1,74 @@
+// Tests for the ASCII configuration reports.
+#include <gtest/gtest.h>
+
+#include "accel/placement.hpp"
+#include "accel/report.hpp"
+
+namespace hsvd::accel {
+namespace {
+
+TEST(Report, FloorplanMarksEveryRole) {
+  HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 256;
+  cfg.p_eng = 8;
+  cfg.p_task = 2;
+  auto placement = place(cfg);
+  versal::ArrayGeometry geo(cfg.device.aie_rows, cfg.device.aie_cols);
+  const std::string plan = render_floorplan(placement, geo);
+  // Header + 8 rows.
+  EXPECT_EQ(std::count(plan.begin(), plan.end(), '\n'), 9);
+  // Character counts in the grid body match the placement exactly.
+  const std::string body = plan.substr(plan.find('\n') + 1);
+  EXPECT_EQ(std::count(body.begin(), body.end(), '0'),
+            placement.num_orth / 2);
+  EXPECT_EQ(std::count(body.begin(), body.end(), '1'),
+            placement.num_orth / 2);
+  EXPECT_EQ(std::count(body.begin(), body.end(), 'N'), placement.num_norm);
+  EXPECT_EQ(std::count(body.begin(), body.end(), 'M'), placement.num_mem);
+}
+
+TEST(Report, FloorplanIdleCountConsistent) {
+  HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 128;
+  cfg.p_eng = 2;
+  cfg.p_task = 4;
+  auto placement = place(cfg);
+  versal::ArrayGeometry geo(cfg.device.aie_rows, cfg.device.aie_cols);
+  const std::string plan = render_floorplan(placement, geo);
+  const auto body = plan.substr(plan.find('\n') + 1);
+  EXPECT_EQ(std::count(body.begin(), body.end(), '.'),
+            geo.tile_count() - placement.total_aie());
+}
+
+TEST(Report, ScheduleRenderingShowsPairsAndMoves) {
+  const std::string s =
+      render_schedule(jacobi::OrderingKind::kShiftingRing, 3);
+  // 2k-1 = 5 rows, 1-indexed columns like the paper's Fig. 3.
+  EXPECT_NE(s.find("row-1: (1,2) (3,4) (5,6)"), std::string::npos);
+  EXPECT_NE(s.find("row-5:"), std::string::npos);
+  EXPECT_EQ(s.find("row-6:"), std::string::npos);
+  // Each of the 4 transitions has exactly one DMA (2(k-1) = 4 total).
+  std::size_t pos = 0;
+  int dma_lines = 0;
+  while ((pos = s.find("1 DMA", pos)) != std::string::npos) {
+    ++dma_lines;
+    pos += 5;
+  }
+  EXPECT_EQ(dma_lines, 4);
+}
+
+TEST(Report, NaiveRingScheduleShowsQuadraticDma) {
+  const std::string s = render_schedule(jacobi::OrderingKind::kRing, 3,
+                                        MemoryStrategy::kNaive);
+  // 2k(k-1) = 12 DMAs over 4 transitions -> 3 per transition.
+  std::size_t pos = 0;
+  int count = 0;
+  while ((pos = s.find("3 DMA", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, 4);
+}
+
+}  // namespace
+}  // namespace hsvd::accel

@@ -1,0 +1,100 @@
+// Tests for the Jacobi rotation closed form (paper eqs. (3)-(5)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "jacobi/rotation.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/ops.hpp"
+
+namespace hsvd::jacobi {
+namespace {
+
+TEST(Rotation, IdentityWhenAlreadyOrthogonal) {
+  auto r = compute_rotation<double>(2.0, 3.0, 0.0);
+  EXPECT_TRUE(r.identity);
+  EXPECT_DOUBLE_EQ(r.c, 1.0);
+  EXPECT_DOUBLE_EQ(r.s, 0.0);
+}
+
+TEST(Rotation, ThresholdSuppressesTinyCoherence) {
+  // coherence = 1e-9 / sqrt(1*1) = 1e-9 < 1e-6 threshold
+  auto r = compute_rotation<double>(1.0, 1.0, 1e-9, 1e-6);
+  EXPECT_TRUE(r.identity);
+  // Same Gram entries without threshold rotate.
+  auto r2 = compute_rotation<double>(1.0, 1.0, 1e-9);
+  EXPECT_FALSE(r2.identity);
+}
+
+TEST(Rotation, OrthogonalizesRandomPairs) {
+  hsvd::Rng rng(21);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = hsvd::linalg::random_gaussian(32, 2, rng);
+    auto ai = a.col(0);
+    auto aj = a.col(1);
+    const double aij = hsvd::linalg::dot<double>(ai, aj);
+    const double aii = hsvd::linalg::dot<double>(ai, ai);
+    const double ajj = hsvd::linalg::dot<double>(aj, aj);
+    auto rot = compute_rotation(aii, ajj, aij);
+    if (rot.identity) continue;
+    hsvd::linalg::apply_rotation<double>(ai, aj, rot.c, rot.s);
+    EXPECT_NEAR(hsvd::linalg::dot<double>(ai, aj), 0.0,
+                1e-10 * std::sqrt(aii * ajj));
+  }
+}
+
+TEST(Rotation, CSIsUnitVector) {
+  hsvd::Rng rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double aii = rng.uniform(0.1, 10.0);
+    const double ajj = rng.uniform(0.1, 10.0);
+    const double aij = rng.uniform(-3.0, 3.0);
+    auto r = compute_rotation(aii, ajj, aij);
+    EXPECT_NEAR(r.c * r.c + r.s * r.s, 1.0, 1e-12);
+    EXPECT_GT(r.c, 0.0);  // smaller-angle branch keeps c positive
+  }
+}
+
+TEST(Rotation, PicksSmallerAngle) {
+  // |t| = |tan(theta)| <= 1 always holds for the inner-rotation formula.
+  hsvd::Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double aii = rng.uniform(0.1, 10.0);
+    const double ajj = rng.uniform(0.1, 10.0);
+    const double aij = rng.uniform(-3.0, 3.0);
+    auto r = compute_rotation(aii, ajj, aij);
+    if (r.identity) continue;
+    EXPECT_LE(std::fabs(r.t), 1.0 + 1e-12);
+  }
+}
+
+TEST(Rotation, PreservesGramTrace) {
+  // Rotation is orthogonal: aii + ajj is invariant.
+  hsvd::Rng rng(24);
+  auto a = hsvd::linalg::random_gaussian(16, 2, rng);
+  const double aii = hsvd::linalg::dot<double>(a.col(0), a.col(0));
+  const double ajj = hsvd::linalg::dot<double>(a.col(1), a.col(1));
+  const double aij = hsvd::linalg::dot<double>(a.col(0), a.col(1));
+  auto r = compute_rotation(aii, ajj, aij);
+  hsvd::linalg::apply_rotation<double>(a.col(0), a.col(1), r.c, r.s);
+  const double bii = hsvd::linalg::dot<double>(a.col(0), a.col(0));
+  const double bjj = hsvd::linalg::dot<double>(a.col(1), a.col(1));
+  EXPECT_NEAR(bii + bjj, aii + ajj, 1e-10);
+}
+
+TEST(Rotation, CoherenceMeasure) {
+  EXPECT_DOUBLE_EQ(pair_coherence(4.0, 9.0, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(pair_coherence(0.0, 9.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pair_coherence(1.0, 1.0, -1.0), 1.0);
+}
+
+TEST(Rotation, FloatSpecializationMatchesDouble) {
+  auto rf = compute_rotation<float>(2.0f, 5.0f, 1.5f);
+  auto rd = compute_rotation<double>(2.0, 5.0, 1.5);
+  EXPECT_NEAR(rf.c, rd.c, 1e-6);
+  EXPECT_NEAR(rf.s, rd.s, 1e-6);
+}
+
+}  // namespace
+}  // namespace hsvd::jacobi

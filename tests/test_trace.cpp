@@ -1,0 +1,101 @@
+// Tests for the execution trace recorder and its simulator integration.
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hpp"
+#include "versal/array.hpp"
+#include "versal/trace.hpp"
+
+namespace hsvd::versal {
+namespace {
+
+TEST(Trace, RecordsAndAggregates) {
+  TraceRecorder trace;
+  trace.record(TraceKind::kKernel, "core(0,0)", "orth", 0.0, 1e-6);
+  trace.record(TraceKind::kKernel, "core(0,1)", "orth", 1e-6, 2e-6);
+  trace.record(TraceKind::kDma, "dma(0,0)", "c1", 0.0, 5e-7);
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_NEAR(trace.busy_seconds(TraceKind::kKernel), 3e-6, 1e-15);
+  EXPECT_NEAR(trace.busy_seconds(TraceKind::kDma), 5e-7, 1e-15);
+  EXPECT_DOUBLE_EQ(trace.busy_seconds(TraceKind::kDdr), 0.0);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(Trace, ChromeJsonStructure) {
+  TraceRecorder trace;
+  trace.record(TraceKind::kKernel, "core(0,0)", "orth c1/c2", 1e-6, 2e-6);
+  trace.record(TraceKind::kStream, "stream(1,1)", "pkt \"x\"", 0.0, 1e-7);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stream\""), std::string::npos);
+  // Quotes inside labels must be escaped.
+  EXPECT_NE(json.find("pkt \\\"x\\\""), std::string::npos);
+  // Timestamps are microseconds: 1e-6 s -> 1.
+  EXPECT_NE(json.find("\"ts\":1,"), std::string::npos);
+}
+
+TEST(Trace, LanesGetStableThreadNames) {
+  TraceRecorder trace;
+  trace.record(TraceKind::kKernel, "laneA", "x", 0, 1);
+  trace.record(TraceKind::kKernel, "laneB", "y", 0, 1);
+  trace.record(TraceKind::kKernel, "laneA", "z", 1, 1);
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"laneA\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"laneB\""), std::string::npos);
+}
+
+TEST(Trace, AttachesToArraySim) {
+  ArrayGeometry geo(4, 4);
+  AieArraySim sim(geo, vck190());
+  TraceRecorder trace;
+  sim.attach_trace(&trace);
+  sim.run_kernel({1, 1}, 0.0, 1e-6);
+  sim.dma_move({0, 0}, {2, 2}, "k", 0.0, 1024);
+  Packet p;
+  p.payload.assign(8, 0.0f);
+  sim.stream_packet({1, 0}, p, 0.0, false);
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_GT(trace.busy_seconds(TraceKind::kKernel), 0.0);
+  EXPECT_GT(trace.busy_seconds(TraceKind::kDma), 0.0);
+  EXPECT_GT(trace.busy_seconds(TraceKind::kStream), 0.0);
+  // Detach stops recording.
+  sim.attach_trace(nullptr);
+  sim.run_kernel({1, 1}, 0.0, 1e-6);
+  EXPECT_EQ(trace.events().size(), 3u);
+}
+
+TEST(Trace, AcceleratorEndToEndTrace) {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 16;
+  cfg.p_eng = 2;
+  cfg.p_task = 1;
+  cfg.iterations = 1;
+  accel::HeteroSvdAccelerator acc(cfg);
+  TraceRecorder trace;
+  acc.attach_trace(&trace);
+  auto run = acc.estimate(1);
+  EXPECT_GT(trace.events().size(), 100u);  // kernels + packets + DMA
+  // Every event ends within the simulated makespan.
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.start_s, 0.0);
+    EXPECT_LE(e.start_s + e.duration_s, run.task_seconds * 1.0001);
+  }
+}
+
+TEST(Trace, WriteFileRoundTrip) {
+  TraceRecorder trace;
+  trace.record(TraceKind::kPlio, "tx0", "block", 0.0, 1e-6);
+  const std::string path = "/tmp/hsvd_trace_test.json";
+  ASSERT_TRUE(trace.write_chrome_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf).substr(0, 15), "{\"traceEvents\":");
+}
+
+}  // namespace
+}  // namespace hsvd::versal

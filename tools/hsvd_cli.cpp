@@ -1,0 +1,183 @@
+// hsvd -- command-line front end for the HeteroSVD library.
+//
+//   hsvd gen <rows> <cols> <out.{mtx|bin}> [condition]
+//       Generate a random test matrix (optionally with a geometric
+//       spectrum of the given condition number).
+//   hsvd svd <in.{mtx|bin}> [out_prefix]
+//       Decompose a matrix on the simulated accelerator; writes
+//       <prefix>_u.mtx, <prefix>_sigma.txt, <prefix>_v.mtx.
+//   hsvd dse <n> [batch] [latency|throughput]
+//       Run the design space exploration and print the best points.
+//   hsvd estimate <n> <p_eng> <p_task> [freq_mhz] [iterations]
+//       Simulated latency + analytic model for one configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "accel/accelerator.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dse/explorer.hpp"
+#include "dse/pareto.hpp"
+#include "heterosvd.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/matrix_io.hpp"
+#include "perfmodel/perf_model.hpp"
+
+namespace {
+
+using namespace hsvd;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+linalg::MatrixF load_any(const std::string& path) {
+  return ends_with(path, ".bin") ? linalg::load_binary(path)
+                                 : linalg::load_matrix_market(path);
+}
+
+void save_any(const linalg::MatrixF& m, const std::string& path) {
+  if (ends_with(path, ".bin")) {
+    linalg::save_binary(m, path);
+  } else {
+    linalg::save_matrix_market(m, path);
+  }
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: hsvd gen <rows> <cols> <out> [condition]\n");
+    return 2;
+  }
+  const auto rows = std::strtoul(argv[1], nullptr, 10);
+  const auto cols = std::strtoul(argv[2], nullptr, 10);
+  const std::string out = argv[3];
+  Rng rng(42);
+  linalg::MatrixD m =
+      argc > 4 ? linalg::matrix_with_spectrum(
+                     rows, cols,
+                     linalg::geometric_spectrum(cols, std::atof(argv[4])), rng)
+               : linalg::random_gaussian(rows, cols, rng);
+  save_any(m.cast<float>(), out);
+  std::printf("wrote %zux%zu matrix to %s\n", static_cast<std::size_t>(rows),
+              static_cast<std::size_t>(cols), out.c_str());
+  return 0;
+}
+
+int cmd_svd(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: hsvd svd <in> [out_prefix]\n");
+    return 2;
+  }
+  const linalg::MatrixF a = load_any(argv[1]);
+  const std::string prefix = argc > 2 ? argv[2] : "hsvd_out";
+  std::printf("decomposing %zux%zu...\n", a.rows(), a.cols());
+  Svd r = svd(a);
+  std::printf("converged in %d sweeps (rate %.2e); simulated accelerator "
+              "latency %.3f ms\n",
+              r.iterations, r.convergence_rate, r.accelerator_seconds * 1e3);
+  linalg::save_matrix_market(r.u, prefix + "_u.mtx");
+  if (!r.v.empty()) linalg::save_matrix_market(r.v, prefix + "_v.mtx");
+  std::ofstream sig(prefix + "_sigma.txt");
+  for (float s : r.sigma) sig << s << "\n";
+  std::printf("wrote %s_u.mtx, %s_sigma.txt%s\n", prefix.c_str(), prefix.c_str(),
+              r.v.empty() ? "" : (", " + prefix + "_v.mtx").c_str());
+  return 0;
+}
+
+int cmd_dse(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: hsvd dse <n> [batch] [latency|throughput]\n");
+    return 2;
+  }
+  dse::DseRequest req;
+  req.rows = req.cols = std::strtoul(argv[1], nullptr, 10);
+  req.batch = argc > 2 ? std::atoi(argv[2]) : 1;
+  req.objective = (argc > 3 && std::strcmp(argv[3], "throughput") == 0)
+                      ? dse::Objective::kThroughput
+                      : dse::Objective::kLatency;
+  dse::DesignSpaceExplorer explorer;
+  auto points = explorer.enumerate(req);
+  if (points.empty()) {
+    std::fprintf(stderr, "no feasible design point\n");
+    return 1;
+  }
+  auto front = dse::pareto_front(points);
+  Table table({"P_eng", "P_task", "MHz", "latency(ms)", "thr(t/s)", "power(W)",
+               "pareto"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, points.size()); ++i) {
+    const auto& p = points[i];
+    bool on_front = false;
+    for (const auto& f : front) {
+      on_front |= f.p_eng == p.p_eng && f.p_task == p.p_task;
+    }
+    table.add_row({cat(p.p_eng), cat(p.p_task), fixed(p.frequency_hz / 1e6, 0),
+                   fixed(p.latency_seconds * 1e3, 3),
+                   fixed(p.throughput_tasks_per_s, 1),
+                   fixed(p.power_watts, 1), on_front ? "*" : ""});
+  }
+  table.print();
+  std::printf("(%zu feasible points, %zu on the Pareto front)\n", points.size(),
+              front.size());
+  return 0;
+}
+
+int cmd_estimate(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: hsvd estimate <n> <p_eng> <p_task> [freq_mhz] "
+                 "[iterations]\n");
+    return 2;
+  }
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = std::strtoul(argv[1], nullptr, 10);
+  cfg.p_eng = std::atoi(argv[2]);
+  cfg.p_task = std::atoi(argv[3]);
+  cfg.pl_frequency_hz = argc > 4 ? std::atof(argv[4]) * 1e6 : 208.3e6;
+  cfg.iterations = argc > 5 ? std::atoi(argv[5]) : 6;
+  accel::HeteroSvdAccelerator acc(cfg);
+  auto run = acc.estimate(cfg.p_task);
+  perf::PerformanceModel model;
+  auto lb = model.evaluate(cfg, cfg.p_task);
+  std::printf("simulated: task %.3f ms, wave %.3f ms, throughput %.2f t/s\n",
+              run.task_seconds * 1e3, run.batch_seconds * 1e3,
+              run.throughput_tasks_per_s);
+  std::printf("model:     task %.3f ms (iter %.3f ms, ddr %.3f ms, norm %.3f "
+              "ms)\n",
+              lb.t_task * 1e3, lb.t_iter * 1e3, lb.t_ddr * 1e3,
+              lb.t_norm_stage * 1e3);
+  std::printf("resources: %d AIE (%d orth, %d norm, %d mem), %d PLIO, %d "
+              "URAM\n",
+              run.resources.aie_total(), run.resources.aie_orth,
+              run.resources.aie_norm, run.resources.aie_mem,
+              run.resources.plio, run.resources.uram);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: hsvd <gen|svd|dse|estimate> ...\n"
+                 "run a subcommand without arguments for its usage\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc - 1, argv + 1);
+    if (cmd == "svd") return cmd_svd(argc - 1, argv + 1);
+    if (cmd == "dse") return cmd_dse(argc - 1, argv + 1);
+    if (cmd == "estimate") return cmd_estimate(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+  return 2;
+}
