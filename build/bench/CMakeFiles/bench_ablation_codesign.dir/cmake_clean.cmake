@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_codesign.dir/bench_ablation_codesign.cpp.o"
+  "CMakeFiles/bench_ablation_codesign.dir/bench_ablation_codesign.cpp.o.d"
+  "bench_ablation_codesign"
+  "bench_ablation_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

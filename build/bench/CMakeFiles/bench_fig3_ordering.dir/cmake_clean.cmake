@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ordering.dir/bench_fig3_ordering.cpp.o"
+  "CMakeFiles/bench_fig3_ordering.dir/bench_fig3_ordering.cpp.o.d"
+  "bench_fig3_ordering"
+  "bench_fig3_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_dataflow.dir/bench_fig4_dataflow.cpp.o"
+  "CMakeFiles/bench_fig4_dataflow.dir/bench_fig4_dataflow.cpp.o.d"
+  "bench_fig4_dataflow"
+  "bench_fig4_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

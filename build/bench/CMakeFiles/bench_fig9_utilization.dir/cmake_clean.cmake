@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_utilization.dir/bench_fig9_utilization.cpp.o"
+  "CMakeFiles/bench_fig9_utilization.dir/bench_fig9_utilization.cpp.o.d"
+  "bench_fig9_utilization"
+  "bench_fig9_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_fpga.cpp" "bench/CMakeFiles/bench_table2_fpga.dir/bench_table2_fpga.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_fpga.dir/bench_table2_fpga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hsvd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/jacobi/CMakeFiles/hsvd_jacobi.dir/DependInfo.cmake"
+  "/root/repo/build/src/versal/CMakeFiles/hsvd_versal.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/hsvd_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/hsvd_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/hsvd_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hsvd_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimo_beamforming.dir/mimo_beamforming.cpp.o"
+  "CMakeFiles/mimo_beamforming.dir/mimo_beamforming.cpp.o.d"
+  "mimo_beamforming"
+  "mimo_beamforming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimo_beamforming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

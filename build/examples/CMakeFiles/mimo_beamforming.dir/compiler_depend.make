@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mimo_beamforming.
+# This may be replaced when dependencies are built.

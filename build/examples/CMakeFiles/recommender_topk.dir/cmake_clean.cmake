@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_topk.dir/recommender_topk.cpp.o"
+  "CMakeFiles/recommender_topk.dir/recommender_topk.cpp.o.d"
+  "recommender_topk"
+  "recommender_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterosvd.dir/heterosvd.cpp.o"
+  "CMakeFiles/heterosvd.dir/heterosvd.cpp.o.d"
+  "libheterosvd.a"
+  "libheterosvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterosvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

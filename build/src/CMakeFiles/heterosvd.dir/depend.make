@@ -1,0 +1,2 @@
+# Empty dependencies file for heterosvd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cpp" "src/accel/CMakeFiles/hsvd_accel.dir/accelerator.cpp.o" "gcc" "src/accel/CMakeFiles/hsvd_accel.dir/accelerator.cpp.o.d"
+  "/root/repo/src/accel/dataflow.cpp" "src/accel/CMakeFiles/hsvd_accel.dir/dataflow.cpp.o" "gcc" "src/accel/CMakeFiles/hsvd_accel.dir/dataflow.cpp.o.d"
+  "/root/repo/src/accel/kernels.cpp" "src/accel/CMakeFiles/hsvd_accel.dir/kernels.cpp.o" "gcc" "src/accel/CMakeFiles/hsvd_accel.dir/kernels.cpp.o.d"
+  "/root/repo/src/accel/pl_modules.cpp" "src/accel/CMakeFiles/hsvd_accel.dir/pl_modules.cpp.o" "gcc" "src/accel/CMakeFiles/hsvd_accel.dir/pl_modules.cpp.o.d"
+  "/root/repo/src/accel/placement.cpp" "src/accel/CMakeFiles/hsvd_accel.dir/placement.cpp.o" "gcc" "src/accel/CMakeFiles/hsvd_accel.dir/placement.cpp.o.d"
+  "/root/repo/src/accel/report.cpp" "src/accel/CMakeFiles/hsvd_accel.dir/report.cpp.o" "gcc" "src/accel/CMakeFiles/hsvd_accel.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/jacobi/CMakeFiles/hsvd_jacobi.dir/DependInfo.cmake"
+  "/root/repo/build/src/versal/CMakeFiles/hsvd_versal.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/hsvd_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hsvd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

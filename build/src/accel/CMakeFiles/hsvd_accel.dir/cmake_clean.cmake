@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_accel.dir/accelerator.cpp.o"
+  "CMakeFiles/hsvd_accel.dir/accelerator.cpp.o.d"
+  "CMakeFiles/hsvd_accel.dir/dataflow.cpp.o"
+  "CMakeFiles/hsvd_accel.dir/dataflow.cpp.o.d"
+  "CMakeFiles/hsvd_accel.dir/kernels.cpp.o"
+  "CMakeFiles/hsvd_accel.dir/kernels.cpp.o.d"
+  "CMakeFiles/hsvd_accel.dir/pl_modules.cpp.o"
+  "CMakeFiles/hsvd_accel.dir/pl_modules.cpp.o.d"
+  "CMakeFiles/hsvd_accel.dir/placement.cpp.o"
+  "CMakeFiles/hsvd_accel.dir/placement.cpp.o.d"
+  "CMakeFiles/hsvd_accel.dir/report.cpp.o"
+  "CMakeFiles/hsvd_accel.dir/report.cpp.o.d"
+  "libhsvd_accel.a"
+  "libhsvd_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

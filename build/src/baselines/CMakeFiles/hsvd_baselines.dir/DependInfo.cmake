@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bcv.cpp" "src/baselines/CMakeFiles/hsvd_baselines.dir/bcv.cpp.o" "gcc" "src/baselines/CMakeFiles/hsvd_baselines.dir/bcv.cpp.o.d"
+  "/root/repo/src/baselines/cpu_reference.cpp" "src/baselines/CMakeFiles/hsvd_baselines.dir/cpu_reference.cpp.o" "gcc" "src/baselines/CMakeFiles/hsvd_baselines.dir/cpu_reference.cpp.o.d"
+  "/root/repo/src/baselines/fpga_model.cpp" "src/baselines/CMakeFiles/hsvd_baselines.dir/fpga_model.cpp.o" "gcc" "src/baselines/CMakeFiles/hsvd_baselines.dir/fpga_model.cpp.o.d"
+  "/root/repo/src/baselines/gpu_model.cpp" "src/baselines/CMakeFiles/hsvd_baselines.dir/gpu_model.cpp.o" "gcc" "src/baselines/CMakeFiles/hsvd_baselines.dir/gpu_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/jacobi/CMakeFiles/hsvd_jacobi.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hsvd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_baselines.dir/bcv.cpp.o"
+  "CMakeFiles/hsvd_baselines.dir/bcv.cpp.o.d"
+  "CMakeFiles/hsvd_baselines.dir/cpu_reference.cpp.o"
+  "CMakeFiles/hsvd_baselines.dir/cpu_reference.cpp.o.d"
+  "CMakeFiles/hsvd_baselines.dir/fpga_model.cpp.o"
+  "CMakeFiles/hsvd_baselines.dir/fpga_model.cpp.o.d"
+  "CMakeFiles/hsvd_baselines.dir/gpu_model.cpp.o"
+  "CMakeFiles/hsvd_baselines.dir/gpu_model.cpp.o.d"
+  "libhsvd_baselines.a"
+  "libhsvd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

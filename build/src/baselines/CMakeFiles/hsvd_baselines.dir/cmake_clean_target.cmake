@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsvd_baselines.a"
+)

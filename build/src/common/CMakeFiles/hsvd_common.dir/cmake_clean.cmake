@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_common.dir/csv.cpp.o"
+  "CMakeFiles/hsvd_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hsvd_common.dir/table.cpp.o"
+  "CMakeFiles/hsvd_common.dir/table.cpp.o.d"
+  "libhsvd_common.a"
+  "libhsvd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

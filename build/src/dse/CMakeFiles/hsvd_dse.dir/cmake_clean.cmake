@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_dse.dir/explorer.cpp.o"
+  "CMakeFiles/hsvd_dse.dir/explorer.cpp.o.d"
+  "CMakeFiles/hsvd_dse.dir/pareto.cpp.o"
+  "CMakeFiles/hsvd_dse.dir/pareto.cpp.o.d"
+  "libhsvd_dse.a"
+  "libhsvd_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jacobi/block.cpp" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/block.cpp.o" "gcc" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/block.cpp.o.d"
+  "/root/repo/src/jacobi/complex_hestenes.cpp" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/complex_hestenes.cpp.o" "gcc" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/complex_hestenes.cpp.o.d"
+  "/root/repo/src/jacobi/hestenes.cpp" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/hestenes.cpp.o" "gcc" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/hestenes.cpp.o.d"
+  "/root/repo/src/jacobi/movement.cpp" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/movement.cpp.o" "gcc" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/movement.cpp.o.d"
+  "/root/repo/src/jacobi/normalization.cpp" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/normalization.cpp.o" "gcc" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/normalization.cpp.o.d"
+  "/root/repo/src/jacobi/ordering.cpp" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/ordering.cpp.o" "gcc" "src/jacobi/CMakeFiles/hsvd_jacobi.dir/ordering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hsvd_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_jacobi.dir/block.cpp.o"
+  "CMakeFiles/hsvd_jacobi.dir/block.cpp.o.d"
+  "CMakeFiles/hsvd_jacobi.dir/complex_hestenes.cpp.o"
+  "CMakeFiles/hsvd_jacobi.dir/complex_hestenes.cpp.o.d"
+  "CMakeFiles/hsvd_jacobi.dir/hestenes.cpp.o"
+  "CMakeFiles/hsvd_jacobi.dir/hestenes.cpp.o.d"
+  "CMakeFiles/hsvd_jacobi.dir/movement.cpp.o"
+  "CMakeFiles/hsvd_jacobi.dir/movement.cpp.o.d"
+  "CMakeFiles/hsvd_jacobi.dir/normalization.cpp.o"
+  "CMakeFiles/hsvd_jacobi.dir/normalization.cpp.o.d"
+  "CMakeFiles/hsvd_jacobi.dir/ordering.cpp.o"
+  "CMakeFiles/hsvd_jacobi.dir/ordering.cpp.o.d"
+  "libhsvd_jacobi.a"
+  "libhsvd_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/generators.cpp" "src/linalg/CMakeFiles/hsvd_linalg.dir/generators.cpp.o" "gcc" "src/linalg/CMakeFiles/hsvd_linalg.dir/generators.cpp.o.d"
+  "/root/repo/src/linalg/matrix_io.cpp" "src/linalg/CMakeFiles/hsvd_linalg.dir/matrix_io.cpp.o" "gcc" "src/linalg/CMakeFiles/hsvd_linalg.dir/matrix_io.cpp.o.d"
+  "/root/repo/src/linalg/metrics.cpp" "src/linalg/CMakeFiles/hsvd_linalg.dir/metrics.cpp.o" "gcc" "src/linalg/CMakeFiles/hsvd_linalg.dir/metrics.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/hsvd_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/hsvd_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/reference_svd.cpp" "src/linalg/CMakeFiles/hsvd_linalg.dir/reference_svd.cpp.o" "gcc" "src/linalg/CMakeFiles/hsvd_linalg.dir/reference_svd.cpp.o.d"
+  "/root/repo/src/linalg/svd_utils.cpp" "src/linalg/CMakeFiles/hsvd_linalg.dir/svd_utils.cpp.o" "gcc" "src/linalg/CMakeFiles/hsvd_linalg.dir/svd_utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsvd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

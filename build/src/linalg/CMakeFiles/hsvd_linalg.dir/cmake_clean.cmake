@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_linalg.dir/generators.cpp.o"
+  "CMakeFiles/hsvd_linalg.dir/generators.cpp.o.d"
+  "CMakeFiles/hsvd_linalg.dir/matrix_io.cpp.o"
+  "CMakeFiles/hsvd_linalg.dir/matrix_io.cpp.o.d"
+  "CMakeFiles/hsvd_linalg.dir/metrics.cpp.o"
+  "CMakeFiles/hsvd_linalg.dir/metrics.cpp.o.d"
+  "CMakeFiles/hsvd_linalg.dir/qr.cpp.o"
+  "CMakeFiles/hsvd_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/hsvd_linalg.dir/reference_svd.cpp.o"
+  "CMakeFiles/hsvd_linalg.dir/reference_svd.cpp.o.d"
+  "CMakeFiles/hsvd_linalg.dir/svd_utils.cpp.o"
+  "CMakeFiles/hsvd_linalg.dir/svd_utils.cpp.o.d"
+  "libhsvd_linalg.a"
+  "libhsvd_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_perfmodel.dir/perf_model.cpp.o"
+  "CMakeFiles/hsvd_perfmodel.dir/perf_model.cpp.o.d"
+  "CMakeFiles/hsvd_perfmodel.dir/resource_model.cpp.o"
+  "CMakeFiles/hsvd_perfmodel.dir/resource_model.cpp.o.d"
+  "libhsvd_perfmodel.a"
+  "libhsvd_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

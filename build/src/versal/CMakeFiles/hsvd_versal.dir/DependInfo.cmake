@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/versal/array.cpp" "src/versal/CMakeFiles/hsvd_versal.dir/array.cpp.o" "gcc" "src/versal/CMakeFiles/hsvd_versal.dir/array.cpp.o.d"
+  "/root/repo/src/versal/geometry.cpp" "src/versal/CMakeFiles/hsvd_versal.dir/geometry.cpp.o" "gcc" "src/versal/CMakeFiles/hsvd_versal.dir/geometry.cpp.o.d"
+  "/root/repo/src/versal/memory.cpp" "src/versal/CMakeFiles/hsvd_versal.dir/memory.cpp.o" "gcc" "src/versal/CMakeFiles/hsvd_versal.dir/memory.cpp.o.d"
+  "/root/repo/src/versal/noc.cpp" "src/versal/CMakeFiles/hsvd_versal.dir/noc.cpp.o" "gcc" "src/versal/CMakeFiles/hsvd_versal.dir/noc.cpp.o.d"
+  "/root/repo/src/versal/packet.cpp" "src/versal/CMakeFiles/hsvd_versal.dir/packet.cpp.o" "gcc" "src/versal/CMakeFiles/hsvd_versal.dir/packet.cpp.o.d"
+  "/root/repo/src/versal/trace.cpp" "src/versal/CMakeFiles/hsvd_versal.dir/trace.cpp.o" "gcc" "src/versal/CMakeFiles/hsvd_versal.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsvd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_versal.dir/array.cpp.o"
+  "CMakeFiles/hsvd_versal.dir/array.cpp.o.d"
+  "CMakeFiles/hsvd_versal.dir/geometry.cpp.o"
+  "CMakeFiles/hsvd_versal.dir/geometry.cpp.o.d"
+  "CMakeFiles/hsvd_versal.dir/memory.cpp.o"
+  "CMakeFiles/hsvd_versal.dir/memory.cpp.o.d"
+  "CMakeFiles/hsvd_versal.dir/noc.cpp.o"
+  "CMakeFiles/hsvd_versal.dir/noc.cpp.o.d"
+  "CMakeFiles/hsvd_versal.dir/packet.cpp.o"
+  "CMakeFiles/hsvd_versal.dir/packet.cpp.o.d"
+  "CMakeFiles/hsvd_versal.dir/trace.cpp.o"
+  "CMakeFiles/hsvd_versal.dir/trace.cpp.o.d"
+  "libhsvd_versal.a"
+  "libhsvd_versal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_versal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hsvd_versal.
+# This may be replaced when dependencies are built.

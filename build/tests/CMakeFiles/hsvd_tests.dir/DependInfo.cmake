@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accelerator.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_accelerator.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_accelerator.cpp.o.d"
+  "/root/repo/tests/test_accelerator_sweep.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_accelerator_sweep.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_accelerator_sweep.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_block.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_block.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_block.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_complex_hestenes.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_complex_hestenes.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_complex_hestenes.cpp.o.d"
+  "/root/repo/tests/test_dataflow.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_dataflow.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_dataflow.cpp.o.d"
+  "/root/repo/tests/test_dse.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_dse.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_dse.cpp.o.d"
+  "/root/repo/tests/test_evaluation_shapes.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_evaluation_shapes.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_evaluation_shapes.cpp.o.d"
+  "/root/repo/tests/test_facade.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_facade.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_facade.cpp.o.d"
+  "/root/repo/tests/test_hestenes.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_hestenes.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_hestenes.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_matrix_io.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_matrix_io.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_matrix_io.cpp.o.d"
+  "/root/repo/tests/test_movement.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_movement.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_movement.cpp.o.d"
+  "/root/repo/tests/test_noc_threshold.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_noc_threshold.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_noc_threshold.cpp.o.d"
+  "/root/repo/tests/test_ordering.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_ordering.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_ordering.cpp.o.d"
+  "/root/repo/tests/test_pareto.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_pareto.cpp.o.d"
+  "/root/repo/tests/test_perf_model.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_perf_model.cpp.o.d"
+  "/root/repo/tests/test_pl_modules.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_pl_modules.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_pl_modules.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_placement.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_qr_svd_utils.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_qr_svd_utils.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_qr_svd_utils.cpp.o.d"
+  "/root/repo/tests/test_reference_svd.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_reference_svd.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_reference_svd.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rotation.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_rotation.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_rotation.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_versal_geometry.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_versal_geometry.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_versal_geometry.cpp.o.d"
+  "/root/repo/tests/test_versal_sim.cpp" "tests/CMakeFiles/hsvd_tests.dir/test_versal_sim.cpp.o" "gcc" "tests/CMakeFiles/hsvd_tests.dir/test_versal_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsvd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hsvd_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/jacobi/CMakeFiles/hsvd_jacobi.dir/DependInfo.cmake"
+  "/root/repo/build/src/versal/CMakeFiles/hsvd_versal.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/hsvd_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/hsvd_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/hsvd_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hsvd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/heterosvd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

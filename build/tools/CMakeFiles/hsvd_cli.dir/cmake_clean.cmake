@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsvd_cli.dir/hsvd_cli.cpp.o"
+  "CMakeFiles/hsvd_cli.dir/hsvd_cli.cpp.o.d"
+  "hsvd"
+  "hsvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsvd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
