@@ -1,0 +1,153 @@
+// Machine-readable micro-benchmark emitter.
+//
+// Writes BENCH_micro.json (path overridable via argv[1]) with the hot-path
+// kernel costs (ns/op), the Hestenes sweep rate, and the 16-task batch
+// wall-clock at 1 thread vs all hardware threads -- the perf trajectory
+// future PRs compare against. Timers are hand-rolled steady_clock loops so
+// the numbers do not depend on the google-benchmark harness.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "heterosvd.hpp"
+#include "jacobi/hestenes.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/ops.hpp"
+
+namespace {
+
+using namespace hsvd;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Runs fn repeatedly until ~40 ms have elapsed (minimum 16 iterations)
+// and returns the best-of-3 mean ns per call.
+template <typename Fn>
+double time_ns(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    // Warm-up + calibration pass.
+    fn();
+    std::size_t iters = 16;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < iters; ++i) fn();
+      const double elapsed = seconds_since(t0);
+      if (elapsed >= 0.04) {
+        best = std::min(best, elapsed * 1e9 / static_cast<double>(iters));
+        break;
+      }
+      iters *= 4;
+    }
+  }
+  return best;
+}
+
+linalg::MatrixF random_matrix(std::size_t rows, std::size_t cols,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  return linalg::random_gaussian(rows, cols, rng).cast<float>();
+}
+
+struct JsonWriter {
+  std::string out = "{\n";
+  bool first_in_scope = true;
+  void comma() {
+    if (!first_in_scope) out += ",\n";
+    first_in_scope = false;
+  }
+  void number(const std::string& key, double v) {
+    comma();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g", key.c_str(), v);
+    out += buf;
+  }
+  std::string finish() { return out + "\n}\n"; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_micro.json";
+  volatile float sinkf = 0.0f;
+
+  // ---- kernel ns/op -------------------------------------------------------
+  constexpr std::size_t kN = 512;
+  const auto xm = random_matrix(kN, 1, 11);
+  const auto ym = random_matrix(kN, 1, 12);
+  auto xw = xm;
+  auto yw = ym;
+  const std::span<const float> cx = xm.col(0);
+  const std::span<const float> cy = ym.col(0);
+
+  JsonWriter json;
+  json.number("dot_n512_ns", time_ns([&] { sinkf = sinkf + linalg::dot(cx, cy); }));
+  json.number("dot3_n512_ns", time_ns([&] {
+                const auto g = linalg::dot3(cx, cy);
+                sinkf = sinkf + g.aii + g.ajj + g.aij;
+              }));
+  json.number("apply_rotation_n512_ns", time_ns([&] {
+                linalg::apply_rotation(xw.col(0), yw.col(0), 0.8f, 0.6f);
+                sinkf = sinkf + xw.col(0)[0];
+              }));
+
+  // ---- Hestenes sweep rate ------------------------------------------------
+  const auto a = random_matrix(128, 64, 13);
+  jacobi::HestenesOptions hopts;
+  hopts.fixed_sweeps = 4;
+  hopts.accumulate_v = false;
+  const double hestenes_ns =
+      time_ns([&] { sinkf = sinkf + jacobi::hestenes_svd(a, hopts).sigma[0]; });
+  json.number("hestenes_128x64_sweeps_per_s",
+              4.0 / (hestenes_ns * 1e-9));
+
+  // ---- 16-task batch wall-clock: 1 thread vs all cores --------------------
+  std::vector<linalg::MatrixF> batch;
+  for (int i = 0; i < 16; ++i) batch.push_back(random_matrix(48, 24, 100 + i));
+  SvdOptions opts;
+  accel::HeteroSvdConfig cfg;
+  cfg.p_eng = 2;
+  cfg.p_task = 4;  // matches the NoC port count: parallel chains engage
+  cfg.iterations = 8;
+  opts.config = cfg;
+
+  const auto time_batch = [&](int threads) {
+    opts.threads = threads;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      const auto r = svd_batch(batch, opts);
+      best = std::min(best, seconds_since(t0));
+      sinkf = sinkf + r.results.front().sigma.front();
+    }
+    return best;
+  };
+  const int hw = common::ThreadPool::hardware_threads();
+  const double t1 = time_batch(1);
+  const double tn = time_batch(hw);
+  json.number("batch16_threads", 1);
+  json.number("batch16_wall_s_1thread", t1);
+  json.number("batch16_hw_threads", hw);
+  json.number("batch16_wall_s_hw_threads", tn);
+  json.number("batch16_speedup", t1 / tn);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const std::string text = json.finish();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("%s", text.c_str());
+  std::printf("wrote %s (sink %.3f)\n", path.c_str(),
+              static_cast<double>(sinkf));
+  return 0;
+}

@@ -5,9 +5,11 @@
 
 #include "accel/kernels.hpp"
 #include "common/format.hpp"
+#include "common/thread_pool.hpp"
 #include "jacobi/block.hpp"
 #include "jacobi/convergence.hpp"
 #include "jacobi/movement.hpp"
+#include "linalg/ops.hpp"
 
 namespace hsvd::accel {
 
@@ -87,7 +89,8 @@ const DataflowPlan& HeteroSvdAccelerator::dataflow(std::size_t task_slot) const 
 }
 
 TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
-                                              const linalg::MatrixF* matrix) {
+                                              const linalg::MatrixF* matrix,
+                                              int task_id) {
   const bool functional = matrix != nullptr;
   const int k = config_.p_eng;
   const int p = config_.blocks();
@@ -102,13 +105,17 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   const double block_bytes = col_bytes * k;
   const double t_orth = kernels_.orth_seconds(m);
   const double t_norm = kernels_.norm_seconds(m);
-  const int task_id = next_task_id_++;
 
   TaskResult result;
   result.start_seconds = ready;
 
   const std::size_t n_pad = config_.padded_cols();
   linalg::MatrixF b;
+  // Incremental Gram-norm cache for the orth kernels: one entry per
+  // padded column, refreshed at each iteration start and updated by the
+  // rotation closed form in between, so each pair visit costs a single
+  // O(rows) dot.
+  std::vector<float> colnorm;
   if (functional) {
     HSVD_REQUIRE(matrix->rows() == m && matrix->cols() == config_.cols,
                  "matrix shape does not match the accelerator configuration");
@@ -116,6 +123,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
     // of the Jacobi rotations and drop out after normalization.
     b = linalg::MatrixF(m, n_pad);
     b.assign_cols(0, *matrix);
+    colnorm.resize(n_pad);
   }
 
   // Stage DDR -> PL URAM buffers, one block at a time (eq. (12)), via
@@ -136,6 +144,12 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   int iterations_run = 0;
   for (int iter = 0; iter < max_iters; ++iter) {
     system.begin_iteration();
+    if (functional) {
+      for (std::size_t gc = 0; gc < n_pad; ++gc) {
+        auto col = b.col(gc);
+        colnorm[gc] = linalg::dot<float>(col, col);
+      }
+    }
     for (const auto& round : block_rounds_) {
       for (const auto& [bu, bv] : round) {
         // ---- Tx: both blocks of the pair over their own PLIOs ---------
@@ -183,8 +197,11 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
                               mem.contains(column_key(task_id, gr)),
                           cat("routing bug: tile ", versal::to_string(tile),
                               " is missing its input columns"));
-              const auto r = orth_kernel(b.col(static_cast<std::size_t>(gl)),
-                                         b.col(static_cast<std::size_t>(gr)));
+              const auto r = orth_kernel(
+                  b.col(static_cast<std::size_t>(gl)),
+                  b.col(static_cast<std::size_t>(gr)),
+                  colnorm[static_cast<std::size_t>(gl)],
+                  colnorm[static_cast<std::size_t>(gr)]);
               system.observe_pair(r.coherence);
             }
             arrival[static_cast<std::size_t>(pair.left)] = end;
@@ -304,17 +321,63 @@ RunResult HeteroSvdAccelerator::execute_batch(
   }
   noc_.reset_time();
 
+  // Task ids are assigned up front (batch order) so the id sequence is
+  // identical whether the slot chains below run sequentially or on
+  // concurrent host threads.
+  const int base_id = next_task_id_;
+  next_task_id_ += batch_size;
+
   RunResult run;
-  std::vector<double> slot_free(static_cast<std::size_t>(config_.p_task), 0.0);
-  for (int t = 0; t < batch_size; ++t) {
-    const int slot = t % config_.p_task;
-    const linalg::MatrixF* matrix =
-        batch != nullptr ? &(*batch)[static_cast<std::size_t>(t)] : nullptr;
-    TaskResult task =
-        execute_task(slot, slot_free[static_cast<std::size_t>(slot)], matrix);
-    slot_free[static_cast<std::size_t>(slot)] = task.end_seconds;
+  run.tasks.resize(static_cast<std::size_t>(batch_size));
+
+  // Task-level host parallelism: tasks are round-robined over the
+  // P_task hardware slots exactly as before, but each slot's chain of
+  // tasks is independent of every other slot's -- a slot owns its PLIO
+  // channels, its placement tiles (and thus its tile memories, core /
+  // stream / DMA timelines), and, when P_task <= NoC ports, its DDRMC
+  // port. Running the chains concurrently therefore reproduces the
+  // sequential results and simulated timings bit for bit; only the
+  // simulation's wall-clock changes. Slots sharing a DDR port (P_task >
+  // ports) or an attached trace recorder would interleave on shared
+  // state, so those cases keep the sequential path.
+  const int chains = std::min(config_.p_task, batch_size);
+  const int threads = common::ThreadPool::resolve_threads(config_.host_threads);
+  const bool parallel_chains = threads > 1 && chains > 1 &&
+                               config_.p_task <= noc_.ports() &&
+                               array_->trace() == nullptr;
+  const auto run_chain = [&](std::size_t slot_index) {
+    const int slot = static_cast<int>(slot_index);
+    double slot_free = 0.0;
+    for (int t = slot; t < batch_size; t += config_.p_task) {
+      const linalg::MatrixF* matrix =
+          batch != nullptr ? &(*batch)[static_cast<std::size_t>(t)] : nullptr;
+      TaskResult task = execute_task(slot, slot_free, matrix, base_id + t);
+      slot_free = task.end_seconds;
+      run.tasks[static_cast<std::size_t>(t)] = std::move(task);
+    }
+  };
+  if (parallel_chains) {
+    common::ThreadPool::shared().parallel_for(
+        static_cast<std::size_t>(chains), threads, run_chain);
+  } else {
+    // Sequential path: keep the legacy batch-order interleaving. When
+    // slots share a DDRMC port (P_task > NoC ports) the port serializes
+    // transfers in issue order, so chain-by-chain execution would change
+    // the simulated queueing (and batch_seconds) relative to the
+    // round-robin wave order.
+    std::vector<double> slot_free(static_cast<std::size_t>(chains), 0.0);
+    for (int t = 0; t < batch_size; ++t) {
+      const int slot = t % config_.p_task;
+      const linalg::MatrixF* matrix =
+          batch != nullptr ? &(*batch)[static_cast<std::size_t>(t)] : nullptr;
+      TaskResult task = execute_task(slot, slot_free[static_cast<std::size_t>(slot)],
+                                     matrix, base_id + t);
+      slot_free[static_cast<std::size_t>(slot)] = task.end_seconds;
+      run.tasks[static_cast<std::size_t>(t)] = std::move(task);
+    }
+  }
+  for (const auto& task : run.tasks) {
     run.batch_seconds = std::max(run.batch_seconds, task.end_seconds);
-    run.tasks.push_back(std::move(task));
   }
   run.task_seconds = run.tasks.front().latency_seconds();
   run.throughput_tasks_per_s = batch_size / run.batch_seconds;

@@ -70,8 +70,11 @@ class HeteroSvdAccelerator {
   struct TaskContext;
 
   // Executes one task on hardware slot `slot`, starting no earlier than
-  // `ready`. `matrix` is null in timing-only mode.
-  TaskResult execute_task(int slot, double ready, const linalg::MatrixF* matrix);
+  // `ready`. `matrix` is null in timing-only mode. `task_id` tags the
+  // task's column buffers in tile memories; ids are assigned up front by
+  // execute_batch so slot chains can run on concurrent host threads.
+  TaskResult execute_task(int slot, double ready, const linalg::MatrixF* matrix,
+                          int task_id);
 
   RunResult execute_batch(int batch_size,
                           const std::vector<linalg::MatrixF>* batch);

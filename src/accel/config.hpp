@@ -27,6 +27,12 @@ struct HeteroSvdConfig {
   int p_task = 1;                // k_task in [1, 26]
   double pl_frequency_hz = 208.3e6;
 
+  // Host worker threads for executing independent task slots in parallel
+  // (simulation wall-clock only; simulated timing is unaffected).
+  // 0 = auto: the HSVD_THREADS environment variable, else all hardware
+  // cores. 1 forces the sequential path.
+  int host_threads = 0;
+
   // Algorithm choice; the co-designed default.
   jacobi::OrderingKind ordering = jacobi::OrderingKind::kShiftingRing;
   // Output-memory strategy (Fig. 4); naive is the ablation baseline where
@@ -65,6 +71,7 @@ struct HeteroSvdConfig {
                  "need at least two blocks (cols >= 2 * P_eng); the block "
                  "pair is the accelerator's unit of work");
     HSVD_REQUIRE(pl_frequency_hz > 0, "PL frequency must be positive");
+    HSVD_REQUIRE(host_threads >= 0, "host_threads must be nonnegative");
     HSVD_REQUIRE(iterations >= 1 || precision.has_value(),
                  "need a sweep budget or a precision target");
   }

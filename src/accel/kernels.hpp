@@ -17,8 +17,17 @@ struct OrthKernelResult {
 };
 
 // Orthogonalizes the column pair in place (lines 9-12 of Algorithm 1):
-// Gram dot products, rotation closed form, update.
+// fused Gram dot products (one traversal for aii/ajj/aij), rotation
+// closed form, update.
 OrthKernelResult orth_kernel(std::span<float> left, std::span<float> right);
+
+// Cached-norm variant: `aii` / `ajj` carry the squared column norms in
+// and are updated in place from the rotation closed form, so only the
+// off-diagonal dot touches the column data. This is the accelerator's
+// per-task Gram cache (the host analogue of keeping the diagonal in the
+// orth-AIE's registers across visits).
+OrthKernelResult orth_kernel(std::span<float> left, std::span<float> right,
+                             float& aii, float& ajj);
 
 struct NormKernelResult {
   float sigma = 0.0f;

@@ -1,0 +1,144 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace hsvd::common {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+namespace {
+
+// Shared between the caller and its helper jobs. Heap-owned so that a
+// helper job which only gets scheduled after the loop already finished
+// (every index claimed by faster participants) still has valid state to
+// look at -- it sees no work left and exits. This is what makes nested
+// parallel_for deadlock-free: a caller never waits on helpers that were
+// queued but not started, only on helpers actively running indices.
+struct LoopWork {
+  explicit LoopWork(std::size_t count, std::function<void(std::size_t)> body)
+      : n(count), fn(std::move(body)) {}
+
+  const std::size_t n;
+  const std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable idle_cv;
+  int active = 0;  // helpers currently inside drain (guarded by mutex)
+  std::exception_ptr error;  // first failure (guarded by mutex)
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  bool exhausted() const {
+    return next.load(std::memory_order_relaxed) >= n;
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n, int threads,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t width = threads <= 1 ? 1 : static_cast<std::size_t>(threads);
+  width = std::min(width, n);
+  width = std::min(width, static_cast<std::size_t>(size()) + 1);
+  if (width <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto work = std::make_shared<LoopWork>(n, fn);
+  for (std::size_t h = 0; h + 1 < width; ++h) {
+    submit([work] {
+      if (work->exhausted()) return;
+      {
+        std::lock_guard<std::mutex> lock(work->mutex);
+        ++work->active;
+      }
+      work->drain();
+      {
+        std::lock_guard<std::mutex> lock(work->mutex);
+        --work->active;
+      }
+      work->idle_cv.notify_all();
+    });
+  }
+  work->drain();  // the calling thread always participates
+  {
+    std::unique_lock<std::mutex> lock(work->mutex);
+    work->idle_cv.wait(lock, [&work] { return work->active == 0; });
+    if (work->error) std::rethrow_exception(work->error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("HSVD_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<int>(v);
+  }
+  return hardware_threads();
+}
+
+}  // namespace hsvd::common

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 
-#include "accel/placement.hpp"
 #include "common/format.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hsvd::dse {
+
+namespace {
+// Architectural parameter ranges of Table I.
+constexpr int kMaxPeng = 11;
+constexpr int kMaxPtask = 26;
+}  // namespace
 
 accel::HeteroSvdConfig DesignSpaceExplorer::make_config(
     const DseRequest& request, int p_eng, int p_task) const {
@@ -21,48 +27,99 @@ accel::HeteroSvdConfig DesignSpaceExplorer::make_config(
   return config;
 }
 
-std::optional<int> DesignSpaceExplorer::max_task_parallelism(
-    const DseRequest& request, int p_eng) const {
+std::shared_ptr<const DesignSpaceExplorer::PlacedPoint>
+DesignSpaceExplorer::place_cached(const DseRequest& request, int p_eng,
+                                  int p_task, SliceCache& cache) const {
+  auto it = cache.find(p_task);
+  if (it != cache.end()) {
+    counters_->placement_reuses.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  counters_->placement_calls.fetch_add(1, std::memory_order_relaxed);
+  auto point = std::make_shared<PlacedPoint>();
+  point->config = make_config(request, p_eng, p_task);
+  point->placement = accel::try_place(point->config);
+  if (point->placement.has_value()) {
+    point->resources =
+        perf::estimate_resources(point->config, *point->placement);
+    point->feasible = point->resources.fits(request.device);
+  }
+  cache.emplace(p_task, point);
+  return point;
+}
+
+std::optional<int> DesignSpaceExplorer::max_task_parallelism_cached(
+    const DseRequest& request, int p_eng, SliceCache& cache) const {
   // Walk down from the architectural limit; the first P_task whose
-  // placement and PL memory fit is the stage-1 answer.
-  for (int p_task = 26; p_task >= 1; --p_task) {
-    const auto config = make_config(request, p_eng, p_task);
-    auto placement = accel::try_place(config);
-    if (!placement.has_value()) continue;
-    const auto usage = perf::estimate_resources(config, *placement);
-    if (usage.fits(request.device)) return p_task;
+  // placement and PL memory fit is the stage-1 answer. Every attempt
+  // (feasible or not) lands in the slice cache for stage 2 to reuse.
+  for (int p_task = kMaxPtask; p_task >= 1; --p_task) {
+    if (place_cached(request, p_eng, p_task, cache)->feasible) return p_task;
   }
   return std::nullopt;
+}
+
+std::optional<int> DesignSpaceExplorer::max_task_parallelism(
+    const DseRequest& request, int p_eng) const {
+  SliceCache cache;
+  return max_task_parallelism_cached(request, p_eng, cache);
+}
+
+DseStats DesignSpaceExplorer::last_stats() const {
+  DseStats out;
+  out.placement_calls =
+      counters_->placement_calls.load(std::memory_order_relaxed);
+  out.placement_reuses =
+      counters_->placement_reuses.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
     const DseRequest& request) const {
   HSVD_REQUIRE(request.batch >= 1, "batch must be positive");
-  std::vector<DesignPoint> points;
-  for (int p_eng = 1; p_eng <= 11; ++p_eng) {
-    if (request.cols < 2 * static_cast<std::size_t>(p_eng)) continue;
-    const auto max_tasks = max_task_parallelism(request, p_eng);
-    if (!max_tasks.has_value()) continue;
+  counters_->placement_calls.store(0, std::memory_order_relaxed);
+  counters_->placement_reuses.store(0, std::memory_order_relaxed);
+
+  // Each P_eng slice of the design space is self-contained (its own
+  // placements, its own P_task scan), so slices evaluate in parallel on
+  // the pool; slice outputs are concatenated in P_eng order, keeping the
+  // enumeration deterministic for any thread count.
+  std::vector<std::vector<DesignPoint>> slices(
+      static_cast<std::size_t>(kMaxPeng));
+  const auto evaluate_slice = [&](std::size_t slice) {
+    const int p_eng = static_cast<int>(slice) + 1;
+    if (request.cols < 2 * static_cast<std::size_t>(p_eng)) return;
+    SliceCache cache;
+    const auto max_tasks = max_task_parallelism_cached(request, p_eng, cache);
+    if (!max_tasks.has_value()) return;
     // Stage 2 scores every P_task up to the stage-1 maximum: latency-
-    // optimal points often use fewer tasks than fit (Table VI).
+    // optimal points often use fewer tasks than fit (Table VI). The
+    // stage-1 placement of the maximum is reused from the cache instead
+    // of being recomputed.
     for (int p_task = 1; p_task <= *max_tasks; ++p_task) {
-      const auto config = make_config(request, p_eng, p_task);
-      auto placement = accel::try_place(config);
-      if (!placement.has_value()) continue;
+      const auto placed = place_cached(request, p_eng, p_task, cache);
+      if (!placed->feasible) continue;
       DesignPoint point;
       point.p_eng = p_eng;
       point.p_task = p_task;
-      point.frequency_hz = config.pl_frequency_hz;
-      point.resources = perf::estimate_resources(config, *placement);
-      if (!point.resources.fits(request.device)) continue;
-      point.latency = perf_.evaluate(config, request.batch);
+      point.frequency_hz = placed->config.pl_frequency_hz;
+      point.resources = placed->resources;
+      point.latency = perf_.evaluate(placed->config, request.batch);
       point.latency_seconds = point.latency.t_task;
       point.throughput_tasks_per_s =
           point.latency.throughput_tasks_per_s(request.batch);
       point.power_watts =
-          power_.system_watts(point.resources, config.pl_frequency_hz);
-      points.push_back(point);
+          power_.system_watts(point.resources, placed->config.pl_frequency_hz);
+      slices[slice].push_back(point);
     }
+  };
+  const int threads = common::ThreadPool::resolve_threads(request.threads);
+  common::ThreadPool::shared().parallel_for(
+      static_cast<std::size_t>(kMaxPeng), threads, evaluate_slice);
+
+  std::vector<DesignPoint> points;
+  for (const auto& slice : slices) {
+    points.insert(points.end(), slice.begin(), slice.end());
   }
   const auto better = [&](const DesignPoint& a, const DesignPoint& b) {
     if (request.objective == Objective::kLatency) {

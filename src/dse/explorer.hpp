@@ -11,10 +11,15 @@
 // by the requested objective.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "accel/config.hpp"
+#include "accel/placement.hpp"
 #include "dse/frequency_model.hpp"
 #include "perfmodel/perf_model.hpp"
 #include "perfmodel/power_model.hpp"
@@ -51,6 +56,18 @@ struct DseRequest {
   // supplies the maximum achievable per design point.
   std::optional<double> frequency_hz;
   versal::DeviceResources device = versal::vck190();
+  // Host threads for evaluating independent P_eng slices of the design
+  // space in parallel (0 = auto via HSVD_THREADS/hardware, 1 = inline).
+  // The enumeration order and scores are thread-count invariant.
+  int threads = 0;
+};
+
+// Placement-effort accounting for the most recent enumerate() on an
+// explorer: every feasible or infeasible (P_eng, P_task) point is placed
+// at most once; stage 2 reuses the placements stage 1 already computed.
+struct DseStats {
+  std::uint64_t placement_calls = 0;   // try_place + estimate_resources runs
+  std::uint64_t placement_reuses = 0;  // served from the memo instead
 };
 
 class DesignSpaceExplorer {
@@ -72,13 +89,43 @@ class DesignSpaceExplorer {
   std::optional<int> max_task_parallelism(const DseRequest& request,
                                           int p_eng) const;
 
+  // Placement-call accounting of the most recent enumerate().
+  DseStats last_stats() const;
+
  private:
+  // One memoized placement attempt: the config it was derived from, the
+  // placement (when one exists) and whether the point fits the device.
+  struct PlacedPoint {
+    accel::HeteroSvdConfig config;
+    std::optional<accel::PlacementResult> placement;
+    perf::ResourceUsage resources;
+    bool feasible = false;
+  };
+  // Per-P_eng-slice memo: P_task -> placement attempt. Slices are
+  // independent, so each parallel slice owns its own cache and there is
+  // no cross-thread sharing to synchronize.
+  using SliceCache = std::map<int, std::shared_ptr<const PlacedPoint>>;
+
   accel::HeteroSvdConfig make_config(const DseRequest& request, int p_eng,
                                      int p_task) const;
+  std::shared_ptr<const PlacedPoint> place_cached(const DseRequest& request,
+                                                  int p_eng, int p_task,
+                                                  SliceCache& cache) const;
+  std::optional<int> max_task_parallelism_cached(const DseRequest& request,
+                                                 int p_eng,
+                                                 SliceCache& cache) const;
 
   FrequencyModel freq_;
   perf::PowerModel power_;
   perf::PerformanceModel perf_;
+  // Shared (not copied per explorer value) so that the counters survive
+  // the copies the by-value API encourages; atomics because P_eng slices
+  // run concurrently.
+  struct Counters {
+    std::atomic<std::uint64_t> placement_calls{0};
+    std::atomic<std::uint64_t> placement_reuses{0};
+  };
+  std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
 };
 
 }  // namespace hsvd::dse

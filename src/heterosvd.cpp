@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "linalg/ops.hpp"
 
 namespace hsvd {
@@ -24,6 +25,7 @@ accel::HeteroSvdConfig choose_config(std::size_t rows, std::size_t cols,
   req.objective =
       batch > 1 ? dse::Objective::kThroughput : dse::Objective::kLatency;
   req.device = options.device;
+  req.threads = options.threads;
   const auto point = dse::DesignSpaceExplorer{}.optimize(req);
   accel::HeteroSvdConfig cfg;
   cfg.rows = rows;
@@ -36,14 +38,14 @@ accel::HeteroSvdConfig choose_config(std::size_t rows, std::size_t cols,
 }
 
 Svd from_task(const accel::TaskResult& task, const linalg::MatrixF& a,
-              bool want_v) {
+              bool want_v, int threads) {
   Svd out;
   out.u = task.u;
   out.sigma = task.sigma;
   out.iterations = task.iterations;
   out.convergence_rate = task.convergence_rate;
   out.accelerator_seconds = task.latency_seconds();
-  if (want_v) out.v = derive_v(a, out.u, out.sigma);
+  if (want_v) out.v = derive_v(a, out.u, out.sigma, threads);
   return out;
 }
 
@@ -63,9 +65,10 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
   }
   accel::HeteroSvdConfig cfg = choose_config(a.rows(), a.cols(), 1, options);
   cfg.precision = options.precision;
+  cfg.host_threads = options.threads;
   accel::HeteroSvdAccelerator acc(cfg);
   auto run = acc.run({a});
-  return from_task(run.tasks.front(), a, options.want_v);
+  return from_task(run.tasks.front(), a, options.want_v, options.threads);
 }
 
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
@@ -80,36 +83,44 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   accel::HeteroSvdConfig cfg =
       choose_config(rows, cols, static_cast<int>(batch.size()), options);
   cfg.precision = options.precision;
+  cfg.host_threads = options.threads;
   accel::HeteroSvdAccelerator acc(cfg);
   auto run = acc.run(batch);
   BatchSvd out;
   out.config = cfg;
   out.batch_seconds = run.batch_seconds;
   out.throughput_tasks_per_s = run.throughput_tasks_per_s;
-  out.results.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    out.results.push_back(from_task(run.tasks[i], batch[i], options.want_v));
-  }
+  out.results.resize(batch.size());
+  // The host-side post-pass (factor copies + derive_v) is independent
+  // per task; fan it out over the pool. derive_v runs inline (threads=1)
+  // inside each task since the batch loop already saturates the pool.
+  const int threads = common::ThreadPool::resolve_threads(options.threads);
+  common::ThreadPool::shared().parallel_for(
+      batch.size(), threads, [&](std::size_t i) {
+        out.results[i] = from_task(run.tasks[i], batch[i], options.want_v, 1);
+      });
   return out;
 }
 
 linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
-                         const std::vector<float>& sigma) {
+                         const std::vector<float>& sigma, int threads) {
   HSVD_REQUIRE(u.rows() == a.rows(), "U row count must match A");
   HSVD_REQUIRE(sigma.size() <= u.cols(), "sigma longer than U");
   linalg::MatrixF v(a.cols(), sigma.size());
-  for (std::size_t t = 0; t < sigma.size(); ++t) {
-    if (sigma[t] <= 1e-12f) continue;
-    const float inv = 1.0f / sigma[t];
-    auto ut = u.col(t);
-    auto vt = v.col(t);
-    for (std::size_t j = 0; j < a.cols(); ++j) {
-      float s = 0.0f;
-      auto aj = a.col(j);
-      for (std::size_t i = 0; i < a.rows(); ++i) s += aj[i] * ut[i];
-      vt[j] = s * inv;
-    }
-  }
+  // Row j of V needs one fused dot per kept singular value:
+  // v(j, t) = (a.col(j) . u.col(t)) / sigma[t]. Rows are independent, so
+  // they are distributed over the pool; each entry's arithmetic is a
+  // self-contained dot, making the result thread-count invariant.
+  const int width = common::ThreadPool::resolve_threads(threads);
+  common::ThreadPool::shared().parallel_for(
+      a.cols(), width, [&](std::size_t j) {
+        auto aj = a.col(j);
+        for (std::size_t t = 0; t < sigma.size(); ++t) {
+          if (sigma[t] <= 1e-12f) continue;
+          const float inv = 1.0f / sigma[t];
+          v(j, t) = linalg::dot<float>(aj, u.col(t)) * inv;
+        }
+      });
   return v;
 }
 

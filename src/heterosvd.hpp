@@ -36,6 +36,12 @@ struct SvdOptions {
   // Accumulate V (adds an A^T U Sigma^-1 pass on the host; the hardware
   // computes U and Sigma only, exactly as the paper's Algorithm 1).
   bool want_v = true;
+  // Host worker threads for the batch engine and the derive_v pass.
+  // 0 = auto (HSVD_THREADS env var, else all hardware cores); 1 forces
+  // single-threaded execution. Results are bit-identical for any value:
+  // parallel work is partitioned over independent task slots / columns
+  // and the simulated timing model is untouched.
+  int threads = 0;
 };
 
 struct Svd {
@@ -63,8 +69,11 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
                    const SvdOptions& options = {});
 
 // Recovers V from A ~ U diag(sigma) V^T (V = A^T U Sigma^-1). Columns
-// belonging to (near-)zero singular values are left zero.
+// belonging to (near-)zero singular values are left zero. Rows of V are
+// computed with the fused dot kernel and distributed over `threads` pool
+// workers (0 = auto, 1 = inline); every entry is an independent dot, so
+// the result is identical for any thread count.
 linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
-                         const std::vector<float>& sigma);
+                         const std::vector<float>& sigma, int threads = 1);
 
 }  // namespace hsvd

@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "jacobi/convergence.hpp"
 #include "jacobi/rotation.hpp"
+#include "linalg/ops.hpp"
 
 namespace hsvd::jacobi {
 
@@ -21,6 +22,17 @@ float cnorm2(std::span<const ComplexF> x) {
   float s = 0.0f;
   for (const auto& v : x) s += std::norm(v);
   return s;
+}
+
+ComplexGram cdot3(std::span<const ComplexF> x, std::span<const ComplexF> y) {
+  HSVD_REQUIRE(x.size() == y.size(), "cdot3: length mismatch");
+  ComplexGram g;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    g.gii += std::norm(x[i]);
+    g.gjj += std::norm(y[i]);
+    g.gij += std::conj(x[i]) * y[i];
+  }
+  return g;
 }
 
 namespace {
@@ -55,16 +67,28 @@ ComplexHestenesResult complex_hestenes_svd(const ComplexMatrix& a,
   const int budget = opts.fixed_sweeps.value_or(opts.max_sweeps);
   HSVD_REQUIRE(budget >= 1, "sweep budget must be positive");
 
+  // Incremental Gram-diagonal cache, mirroring the real Hestenes sweep:
+  // after the phase twist the pair's off-diagonal is real (= |gij|), so
+  // the real closed-form norm update applies verbatim and the pair loop
+  // needs one fused Hermitian dot instead of three traversals.
+  std::vector<float> colnorm(static_cast<std::size_t>(n));
+
   int sweep = 0;
   for (; sweep < budget; ++sweep) {
     tracker.begin_sweep();
+    for (int j = 0; j < n; ++j) {
+      colnorm[static_cast<std::size_t>(j)] =
+          cnorm2(b.col(static_cast<std::size_t>(j)));
+    }
     for (const auto& round : schedule) {
       for (const auto& pair : round) {
-        auto bi = b.col(static_cast<std::size_t>(pair.left));
-        auto bj = b.col(static_cast<std::size_t>(pair.right));
+        const std::size_t li = static_cast<std::size_t>(pair.left);
+        const std::size_t ri = static_cast<std::size_t>(pair.right);
+        auto bi = b.col(li);
+        auto bj = b.col(ri);
         const ComplexF gij = cdot(bi, bj);
-        const float gii = cnorm2(bi);
-        const float gjj = cnorm2(bj);
+        const float gii = colnorm[li];
+        const float gjj = colnorm[ri];
         const float mag = std::abs(gij);
         const double denom = std::sqrt(static_cast<double>(gii) * gjj);
         const double coherence = denom > 0.0 ? mag / denom : 0.0;
@@ -76,10 +100,10 @@ ComplexHestenesResult complex_hestenes_svd(const ComplexMatrix& a,
         const Rotation<float> rot = compute_rotation(gii, gjj, mag);
         if (rot.identity && phase == ComplexF{1.0f, 0.0f}) continue;
         apply_complex_rotation(bi, bj, phase, rot.c, rot.s);
+        linalg::rotated_norms(gii, gjj, mag, rot.c, rot.s, colnorm[li],
+                              colnorm[ri]);
         if (opts.accumulate_v) {
-          apply_complex_rotation(v.col(static_cast<std::size_t>(pair.left)),
-                                 v.col(static_cast<std::size_t>(pair.right)),
-                                 phase, rot.c, rot.s);
+          apply_complex_rotation(v.col(li), v.col(ri), phase, rot.c, rot.s);
         }
       }
     }

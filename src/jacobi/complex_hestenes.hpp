@@ -48,6 +48,15 @@ ComplexHestenesResult complex_hestenes_svd(
 ComplexF cdot(std::span<const ComplexF> x, std::span<const ComplexF> y);
 float cnorm2(std::span<const ComplexF> x);
 
+// The pair's complex Gram entries from one fused traversal:
+//   gii = ||x||^2, gjj = ||y||^2, gij = sum conj(x_i) y_i.
+struct ComplexGram {
+  float gii = 0.0f;
+  float gjj = 0.0f;
+  ComplexF gij{0.0f, 0.0f};
+};
+ComplexGram cdot3(std::span<const ComplexF> x, std::span<const ComplexF> y);
+
 // || Q^H Q - I ||_F for complex factors.
 double complex_orthogonality_error(const ComplexMatrix& q);
 

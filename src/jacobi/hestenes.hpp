@@ -6,6 +6,7 @@
 // in the loop. Works in float (the AIE datatype) by default.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,14 @@ struct HestenesResult {
   int sweeps = 0;
   double final_convergence_rate = 0.0;
   bool converged = false;
+  // Instrumentation of the O(rows) column traversals, for asserting the
+  // incremental-norm invariant: the pair loop issues exactly one dot per
+  // pair visit (the off-diagonal aij); the diagonal Gram entries come
+  // from the per-column norm cache, which is refreshed by `norm_dots`
+  // full dots once per sweep to bound float drift.
+  std::uint64_t pair_visits = 0;
+  std::uint64_t pair_dots = 0;
+  std::uint64_t norm_dots = 0;
 };
 
 // Requires a.rows() >= a.cols() and an even column count (pad one zero

@@ -1,7 +1,12 @@
 // Basic dense operations on Matrix<T>: products, transpose, norms, and the
-// vector kernels the Jacobi rotations are built from. These are reference
-// implementations -- clarity over speed; the throughput-critical path in
-// the accelerator has its own kernels.
+// vector kernels the Jacobi rotations are built from.
+//
+// The column kernels (dot, dot3, apply_rotation) are the host's hot path:
+// they mirror the paper's 8-lane fp32 vector units (Table IV) with 8
+// independent accumulator lanes, which the compiler maps onto SIMD
+// registers. The lane split changes the summation tree relative to a
+// strict left-to-right reduction, so values can differ from a scalar loop
+// in the last ulp; all consumers tolerate that (and tests pin it down).
 #pragma once
 
 #include <cmath>
@@ -11,12 +16,83 @@
 
 namespace hsvd::linalg {
 
+inline constexpr std::size_t kDotLanes = 8;
+
 template <typename T>
 T dot(std::span<const T> a, std::span<const T> b) {
   HSVD_REQUIRE(a.size() == b.size(), "dot: length mismatch");
+  const std::size_t n = a.size();
+  const T* pa = a.data();
+  const T* pb = b.data();
+  T lane[kDotLanes] = {};
+  std::size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (std::size_t l = 0; l < kDotLanes; ++l) {
+      lane[l] += pa[i + l] * pb[i + l];
+    }
+  }
   T s{};
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  const T* qa = pa + i;
+  const T* qb = pb + i;
+  for (const T* end = pa + n; qa != end; ++qa, ++qb) s += *qa * *qb;
+  // Pairwise lane reduction: (0+1)+(2+3) ... matches the AIE kernel's
+  // adder tree and keeps the result independent of vector width.
+  for (std::size_t step = 1; step < kDotLanes; step *= 2) {
+    for (std::size_t l = 0; l + step < kDotLanes; l += 2 * step) {
+      lane[l] += lane[l + step];
+    }
+  }
+  return lane[0] + s;
+}
+
+// The three Gram entries of a column pair from one fused traversal:
+//   aii = x.x, ajj = y.y, aij = x.y.
+// One pass instead of three is what cuts the Hestenes per-pair memory
+// traffic; the rotation closed form (eqs. (3)-(5)) needs all three.
+template <typename T>
+struct DotTriple {
+  T aii{};
+  T ajj{};
+  T aij{};
+};
+
+template <typename T>
+DotTriple<T> dot3(std::span<const T> x, std::span<const T> y) {
+  HSVD_REQUIRE(x.size() == y.size(), "dot3: length mismatch");
+  const std::size_t n = x.size();
+  T lxx[kDotLanes] = {};
+  T lyy[kDotLanes] = {};
+  T lxy[kDotLanes] = {};
+  std::size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (std::size_t l = 0; l < kDotLanes; ++l) {
+      const T xi = x[i + l];
+      const T yi = y[i + l];
+      lxx[l] += xi * xi;
+      lyy[l] += yi * yi;
+      lxy[l] += xi * yi;
+    }
+  }
+  T sxx{}, syy{}, sxy{};
+  for (; i < n; ++i) {
+    const T xi = x[i];
+    const T yi = y[i];
+    sxx += xi * xi;
+    syy += yi * yi;
+    sxy += xi * yi;
+  }
+  for (std::size_t step = 1; step < kDotLanes; step *= 2) {
+    for (std::size_t l = 0; l + step < kDotLanes; l += 2 * step) {
+      lxx[l] += lxx[l + step];
+      lyy[l] += lyy[l + step];
+      lxy[l] += lxy[l + step];
+    }
+  }
+  DotTriple<T> out;
+  out.aii = lxx[0] + sxx;
+  out.ajj = lyy[0] + syy;
+  out.aij = lxy[0] + sxy;
+  return out;
 }
 
 template <typename T>
@@ -65,15 +141,46 @@ void scale_col(Matrix<T>& m, std::size_t c, T factor) {
 //   [x, y] <- [c*x - s*y, s*x + c*y].
 // This is the sign convention under which the closed form of the paper's
 // eqs. (4)-(5) orthogonalizes the pair (t solves t^2 + 2*tau*t - 1 = 0).
+// Fused: both columns are read and written in one 8-lane pass (each
+// element is touched exactly once), instead of a rotate-x pass followed
+// by a rotate-y pass. Per-element arithmetic is unchanged, so this is
+// bit-identical to the scalar reference loop.
 template <typename T>
 void apply_rotation(std::span<T> x, std::span<T> y, T c, T s) {
   HSVD_REQUIRE(x.size() == y.size(), "rotation: length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) {
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  for (; i + kDotLanes <= n; i += kDotLanes) {
+    for (std::size_t l = 0; l < kDotLanes; ++l) {
+      const T xi = x[i + l];
+      const T yi = y[i + l];
+      x[i + l] = c * xi - s * yi;
+      y[i + l] = s * xi + c * yi;
+    }
+  }
+  for (; i < n; ++i) {
     const T xi = x[i];
     const T yi = y[i];
     x[i] = c * xi - s * yi;
     y[i] = s * xi + c * yi;
   }
+}
+
+// Closed-form update of the squared column norms after apply_rotation
+// with parameters (c, s): given the pre-rotation Gram entries, the new
+// diagonal entries are
+//   ||x'||^2 = c^2 aii - 2cs aij + s^2 ajj
+//   ||y'||^2 = s^2 aii + 2cs aij + c^2 ajj.
+// This is what lets the Hestenes sweep maintain per-column norms
+// incrementally (one O(rows) dot per pair for aij) instead of re-deriving
+// aii/ajj by two more dots at every visit.
+template <typename T>
+void rotated_norms(T aii, T ajj, T aij, T c, T s, T& aii_out, T& ajj_out) {
+  const T cc = c * c;
+  const T ss = s * s;
+  const T cs2 = T{2} * c * s * aij;
+  aii_out = cc * aii - cs2 + ss * ajj;
+  ajj_out = ss * aii + cs2 + cc * ajj;
 }
 
 }  // namespace hsvd::linalg

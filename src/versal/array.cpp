@@ -32,7 +32,7 @@ void AieArraySim::neighbour_move(const TileCoord& src, const TileCoord& dst,
   HSVD_REQUIRE(geometry_.neighbour_transfer_possible(src, dst),
                cat("tiles ", to_string(src), " -> ", to_string(dst),
                    " are not neighbour-accessible"));
-  ++stats_.neighbour_transfers;
+  stats_.neighbour_transfers.fetch_add(1, std::memory_order_relaxed);
   if (src == dst) return;
   TileMemory& sm = memory(src);
   if (!sm.contains(key)) return;  // timing-only execution: no payload
@@ -44,7 +44,7 @@ void AieArraySim::neighbour_move(const TileCoord& src, const TileCoord& dst,
 double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
                              const std::string& key, double ready,
                              std::uint64_t bytes_hint) {
-  ++stats_.dma_transfers;
+  stats_.dma_transfers.fetch_add(1, std::memory_order_relaxed);
   TileMemory& sm = memory(src);
   std::uint64_t bytes = bytes_hint;
   if (sm.contains(key)) {
@@ -54,7 +54,7 @@ double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
     // original until the consumer releases it: the 2x memory cost of DMA.
     memory(dst).store(key + "#dma", data);
   }
-  stats_.dma_bytes += bytes;
+  stats_.dma_bytes.fetch_add(bytes, std::memory_order_relaxed);
   Timeline& engine =
       dma_engines_[static_cast<std::size_t>(geometry_.index_of(src))];
   const double duration =
@@ -70,10 +70,10 @@ double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
 double AieArraySim::stream_packet(const TileCoord& dst, const Packet& packet,
                                   double ready, bool store_payload,
                                   std::uint64_t payload_bytes_hint) {
-  ++stats_.stream_packets;
+  stats_.stream_packets.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t wire_bytes =
       packet.payload.empty() ? 16 + payload_bytes_hint : packet.bytes();
-  stats_.stream_bytes += wire_bytes;
+  stats_.stream_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
   if (store_payload && !packet.payload.empty()) {
     memory(dst).store(cat("c", packet.header.column, ".t", packet.header.task),
                       packet.payload);
@@ -93,13 +93,28 @@ double AieArraySim::stream_packet(const TileCoord& dst, const Packet& packet,
 
 double AieArraySim::run_kernel(const TileCoord& tile, double ready,
                                double duration) {
-  ++stats_.kernel_invocations;
+  stats_.kernel_invocations.fetch_add(1, std::memory_order_relaxed);
   const double done = core(tile).schedule(ready, duration);
   if (trace_ != nullptr) {
     trace_->record(TraceKind::kKernel, cat("core", to_string(tile)), "kernel",
                    done - duration, duration);
   }
   return done;
+}
+
+const ArrayStats& AieArraySim::stats() const {
+  stats_snapshot_.neighbour_transfers =
+      stats_.neighbour_transfers.load(std::memory_order_relaxed);
+  stats_snapshot_.dma_transfers =
+      stats_.dma_transfers.load(std::memory_order_relaxed);
+  stats_snapshot_.dma_bytes = stats_.dma_bytes.load(std::memory_order_relaxed);
+  stats_snapshot_.stream_packets =
+      stats_.stream_packets.load(std::memory_order_relaxed);
+  stats_snapshot_.stream_bytes =
+      stats_.stream_bytes.load(std::memory_order_relaxed);
+  stats_snapshot_.kernel_invocations =
+      stats_.kernel_invocations.load(std::memory_order_relaxed);
+  return stats_snapshot_;
 }
 
 void AieArraySim::reset_time() {

@@ -8,6 +8,7 @@
 // once the iteration count is fixed).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -66,7 +67,7 @@ class AieArraySim {
   // Records a kernel run on the tile's core timeline.
   double run_kernel(const TileCoord& tile, double ready, double duration);
 
-  const ArrayStats& stats() const { return stats_; }
+  const ArrayStats& stats() const;
   void reset_time();
 
   // Aggregate peak memory over all tiles (bytes) -- resource report.
@@ -81,7 +82,11 @@ class AieArraySim {
 
   // Optional execution tracing: when attached, every kernel, DMA, and
   // stream packet is recorded (not owned; pass nullptr to detach).
+  // Tracing serializes execution: the accelerator's parallel batch path
+  // checks trace() and falls back to sequential task chains so the
+  // recorded event order stays reproducible.
   void attach_trace(TraceRecorder* recorder) { trace_ = recorder; }
+  TraceRecorder* trace() const { return trace_; }
 
   // Per-transfer DMA setup: buffer-descriptor programming plus lock
   // acquire/release (~300 AIE cycles). Part of why DMA is the slow path.
@@ -94,7 +99,19 @@ class AieArraySim {
   std::vector<Timeline> cores_;
   std::vector<Timeline> stream_ports_;
   std::vector<Timeline> dma_engines_;  // one per tile (mm2s side)
-  ArrayStats stats_;
+  // Counters are atomic so that task slots touching disjoint tiles can
+  // execute concurrently (the accelerator's parallel batch engine); sums
+  // are order-independent, so totals match the sequential run exactly.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> neighbour_transfers{0};
+    std::atomic<std::uint64_t> dma_transfers{0};
+    std::atomic<std::uint64_t> dma_bytes{0};
+    std::atomic<std::uint64_t> stream_packets{0};
+    std::atomic<std::uint64_t> stream_bytes{0};
+    std::atomic<std::uint64_t> kernel_invocations{0};
+  };
+  AtomicStats stats_;
+  mutable ArrayStats stats_snapshot_;  // materialized by stats()
   TraceRecorder* trace_ = nullptr;
 };
 

@@ -10,6 +10,10 @@
 //       Run the design space exploration and print the best points.
 //   hsvd estimate <n> <p_eng> <p_task> [freq_mhz] [iterations]
 //       Simulated latency + analytic model for one configuration.
+//
+// The global --threads N option (before the subcommand) sets the host
+// worker-thread count for svd/dse; 0 (default) resolves via HSVD_THREADS
+// or the hardware concurrency. Results are thread-count invariant.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +34,10 @@
 namespace {
 
 using namespace hsvd;
+
+// Host worker threads (--threads N, before the subcommand). 0 = auto via
+// HSVD_THREADS / hardware concurrency; results are identical either way.
+int g_threads = 0;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -77,7 +85,9 @@ int cmd_svd(int argc, char** argv) {
   const linalg::MatrixF a = load_any(argv[1]);
   const std::string prefix = argc > 2 ? argv[2] : "hsvd_out";
   std::printf("decomposing %zux%zu...\n", a.rows(), a.cols());
-  Svd r = svd(a);
+  SvdOptions opts;
+  opts.threads = g_threads;
+  Svd r = svd(a, opts);
   std::printf("converged in %d sweeps (rate %.2e); simulated accelerator "
               "latency %.3f ms\n",
               r.iterations, r.convergence_rate, r.accelerator_seconds * 1e3);
@@ -101,6 +111,7 @@ int cmd_dse(int argc, char** argv) {
   req.objective = (argc > 3 && std::strcmp(argv[3], "throughput") == 0)
                       ? dse::Objective::kThroughput
                       : dse::Objective::kLatency;
+  req.threads = g_threads;
   dse::DesignSpaceExplorer explorer;
   auto points = explorer.enumerate(req);
   if (points.empty()) {
@@ -162,9 +173,22 @@ int cmd_estimate(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global options come before the subcommand: hsvd [--threads N] <cmd> ...
+  int arg0 = 1;
+  while (arg0 < argc && std::strncmp(argv[arg0], "--", 2) == 0) {
+    if (std::strcmp(argv[arg0], "--threads") == 0 && arg0 + 1 < argc) {
+      g_threads = std::atoi(argv[arg0 + 1]);
+      arg0 += 2;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[arg0]);
+      return 2;
+    }
+  }
+  argv += arg0 - 1;
+  argc -= arg0 - 1;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: hsvd <gen|svd|dse|estimate> ...\n"
+                 "usage: hsvd [--threads N] <gen|svd|dse|estimate> ...\n"
                  "run a subcommand without arguments for its usage\n");
     return 2;
   }
