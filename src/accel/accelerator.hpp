@@ -11,9 +11,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "accel/config.hpp"
+#include "common/error.hpp"
 #include "accel/dataflow.hpp"
 #include "accel/placement.hpp"
 #include "accel/pl_modules.hpp"
@@ -32,6 +35,20 @@ struct TaskResult {
   double convergence_rate = 0.0;
   double start_seconds = 0.0;
   double end_seconds = 0.0;
+  // Per-task robustness outcome. kFailed tasks have empty factors and a
+  // diagnostic in `message`; `fault_tile` names the AIE tile the
+  // detection point blamed (input to re-placement). `converged` is the
+  // SystemModule decision in precision mode (always true in
+  // fixed-iteration mode, which has no target). `recovery_attempts` is 0
+  // for first-try results and n > 0 when the task succeeded on the nth
+  // re-placed retry.
+  hsvd::SvdStatus status = hsvd::SvdStatus::kOk;
+  std::string message;
+  std::optional<versal::TileCoord> fault_tile;
+  bool converged = true;
+  bool watchdog_stalled = false;
+  int recovery_attempts = 0;
+  bool ok() const { return status != hsvd::SvdStatus::kFailed; }
   double latency_seconds() const { return end_seconds - start_seconds; }
 };
 
@@ -44,13 +61,22 @@ struct RunResult {
   perf::ResourceUsage resources;
   double core_utilization = 0.0;   // busy fraction of active AIE cores
   double memory_utilization = 0.0; // URAM usage fraction of the device
+  int failed_tasks = 0;            // tasks still kFailed after recovery
+  int recovery_runs = 0;           // re-placement + re-run rounds consumed
 };
 
 class HeteroSvdAccelerator {
  public:
   explicit HeteroSvdAccelerator(const HeteroSvdConfig& config);
 
-  // Functional batch execution. Every matrix must be rows x cols.
+  // Functional batch execution with per-task fault isolation. Every
+  // matrix must be rows x cols. A task whose execution trips a detection
+  // point (checksum mismatch, lost buffer, hung core, non-finite output)
+  // is recorded as SvdStatus::kFailed without disturbing the other
+  // tasks; when the detection attributes a tile and
+  // config().fault_retries allows, the accelerator masks the tile,
+  // re-places the design on the healthy array (degrading P_task then
+  // P_eng as needed) and re-runs only the failed tasks.
   RunResult run(const std::vector<linalg::MatrixF>& batch);
 
   // Timing-only execution of `batch_size` tasks.
@@ -59,12 +85,16 @@ class HeteroSvdAccelerator {
   const HeteroSvdConfig& config() const { return config_; }
   // Attach an execution trace recorder (kernels/DMA/streams land in it;
   // export with TraceRecorder::write_chrome_json). Not owned.
-  void attach_trace(versal::TraceRecorder* recorder) {
-    array_->attach_trace(recorder);
-  }
+  void attach_trace(versal::TraceRecorder* recorder);
+  // Attach a fault injector (not owned; nullptr detaches). PLIO
+  // degradation faults are applied to the task slots' channels
+  // immediately; tile-level faults fire from inside the array simulator.
+  void attach_faults(versal::FaultInjector* faults);
   const PlacementResult& placement() const { return placement_; }
   const DataflowPlan& dataflow(std::size_t task_slot) const;
   const perf::AieKernelModel& kernel_model() const { return kernels_; }
+  // Tiles diagnosed faulty so far; re-placement never uses them.
+  const std::vector<versal::TileCoord>& masked_tiles() const { return masked_; }
 
  private:
   struct TaskContext;
@@ -73,11 +103,27 @@ class HeteroSvdAccelerator {
   // `ready`. `matrix` is null in timing-only mode. `task_id` tags the
   // task's column buffers in tile memories; ids are assigned up front by
   // execute_batch so slot chains can run on concurrent host threads.
+  // Throws hsvd::FaultDetected when a detection point fires.
   TaskResult execute_task(int slot, double ready, const linalg::MatrixF* matrix,
                           int task_id);
 
   RunResult execute_batch(int batch_size,
                           const std::vector<linalg::MatrixF>* batch);
+
+  // (Re)derives placement, schedules, dataflows, the array simulator and
+  // the PLIO channels from config_ and masked_. Called by the
+  // constructor and after every successful mask_and_replace().
+  void rebuild();
+
+  // Adds `bad` to the masked set and attempts to re-place. Degrades
+  // config_.p_task down to 1, then config_.p_eng, when the healthy array
+  // no longer fits the current shape. Returns false when no degraded
+  // configuration fits (recovery impossible).
+  bool mask_and_replace(const std::vector<versal::TileCoord>& bad);
+
+  // Releases every buffer a failed task left in its slot's tile
+  // memories, so later tasks on the same tiles start clean.
+  void purge_task_buffers(int slot, int task_id);
 
   HeteroSvdConfig config_;
   PlacementResult placement_;
@@ -103,6 +149,9 @@ class HeteroSvdAccelerator {
   versal::NocModel noc_;
   // HLS loop-switching overhead applied at block-round boundaries.
   double hls_overhead_s_ = 0.0;
+  versal::TraceRecorder* trace_ = nullptr;
+  versal::FaultInjector* faults_ = nullptr;
+  std::vector<versal::TileCoord> masked_;
 };
 
 }  // namespace hsvd::accel

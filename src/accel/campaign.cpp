@@ -1,0 +1,207 @@
+#include "accel/campaign.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "accel/accelerator.hpp"
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hsvd::accel {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic well-conditioned test matrix: entries in [-1, 1].
+linalg::MatrixF make_matrix(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  linalg::MatrixF m(rows, cols);
+  std::uint64_t state = mix64(seed ^ 0xc0ffee);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      state = mix64(state);
+      m(r, c) = static_cast<float>(static_cast<double>(state >> 11) /
+                                       static_cast<double>(1ull << 53) *
+                                       2.0 -
+                                   1.0);
+    }
+  }
+  return m;
+}
+
+bool same_matrix(const linalg::MatrixF& a, const linalg::MatrixF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto da = a.data();
+  const auto db = b.data();
+  return da.empty() ||
+         std::memcmp(da.data(), db.data(), da.size_bytes()) == 0;
+}
+
+// Picks the injection target for `kind` out of the canonical placement:
+// stream/store/hang faults hit layer-0 orth tiles (the packet-switched
+// entry points), DMA faults hit an inter-band DMA source, PLIO
+// degradation hits a task slot.
+versal::FaultSpec make_spec(versal::FaultKind kind,
+                            const HeteroSvdAccelerator& acc,
+                            std::uint64_t salt) {
+  versal::FaultSpec spec;
+  spec.kind = kind;
+  spec.after_op = mix64(salt ^ 0xad) % 4;
+  const auto& tasks = acc.placement().tasks;
+  const std::size_t slot = mix64(salt ^ 0x5107) % tasks.size();
+  switch (kind) {
+    case versal::FaultKind::kTileHang: {
+      // Any orth tile: every layer runs kernels each block pair.
+      const auto& task = tasks[slot];
+      const auto& layer =
+          task.orth[mix64(salt ^ 0x1a) % task.orth.size()];
+      spec.tile = layer[mix64(salt ^ 0xe9) % layer.size()];
+      break;
+    }
+    case versal::FaultKind::kMemoryBitFlip:
+    case versal::FaultKind::kStreamDrop:
+    case versal::FaultKind::kStreamStall: {
+      const auto& layer0 = tasks[slot].orth.front();
+      spec.tile = layer0[mix64(salt ^ 0x3c) % layer0.size()];
+      break;
+    }
+    case versal::FaultKind::kDmaDrop:
+    case versal::FaultKind::kDmaStall: {
+      // Collect DMA sources from the slot's dataflow; fall back to a
+      // layer-0 tile (the fault then simply never fires) when the
+      // placement is single-band and has no inter-band DMA.
+      std::vector<versal::TileCoord> sources;
+      for (const auto& tr : acc.dataflow(slot).transitions) {
+        for (const auto& mv : tr.moves) {
+          if (mv.is_dma) sources.push_back(mv.src);
+        }
+      }
+      if (sources.empty()) {
+        spec.tile = tasks[slot].orth.front().front();
+      } else {
+        spec.tile = sources[mix64(salt ^ 0x77) % sources.size()];
+      }
+      break;
+    }
+    case versal::FaultKind::kPlioDegrade: {
+      spec.slot = static_cast<int>(slot);
+      spec.tile = versal::TileCoord{-1, -1};
+      spec.bandwidth_scale = 0.25 + 0.5 * (mix64(salt ^ 0xbb) % 3) / 2.0;
+      break;
+    }
+  }
+  if (kind == versal::FaultKind::kStreamStall ||
+      kind == versal::FaultKind::kDmaStall) {
+    spec.stall_seconds = 1e-6 * (1 + mix64(salt ^ 0xd1) % 5);
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
+  options.config.validate();
+  HSVD_REQUIRE(options.batch >= 1, "campaign batch must be non-empty");
+  HSVD_REQUIRE(options.trials_per_kind >= 1, "need at least one trial");
+
+  std::vector<versal::FaultKind> kinds = options.kinds;
+  if (kinds.empty()) {
+    kinds = {versal::FaultKind::kTileHang,      versal::FaultKind::kMemoryBitFlip,
+             versal::FaultKind::kStreamDrop,    versal::FaultKind::kStreamStall,
+             versal::FaultKind::kDmaDrop,       versal::FaultKind::kDmaStall,
+             versal::FaultKind::kPlioDegrade};
+  }
+
+  std::vector<linalg::MatrixF> batch;
+  batch.reserve(static_cast<std::size_t>(options.batch));
+  for (int i = 0; i < options.batch; ++i) {
+    batch.push_back(make_matrix(options.config.rows, options.config.cols,
+                                mix64(options.seed) + static_cast<std::uint64_t>(i)));
+  }
+
+  // Fault-free reference for the bit-identity check.
+  HeteroSvdAccelerator reference_acc(options.config);
+  const RunResult reference = reference_acc.run(batch);
+
+  std::vector<CampaignOutcome> outcomes;
+  for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+    for (int trial = 0; trial < options.trials_per_kind; ++trial) {
+      const std::uint64_t salt =
+          mix64(options.seed ^ (ki * 1000003ull + static_cast<std::uint64_t>(trial)));
+
+      HeteroSvdAccelerator acc(options.config);
+      versal::FaultPlan plan;
+      plan.seed = salt;
+      plan.faults.push_back(make_spec(kinds[ki], acc, salt));
+      versal::FaultInjector injector(plan);
+      acc.attach_faults(&injector);
+
+      const RunResult run = acc.run(batch);
+
+      CampaignOutcome out;
+      out.kind = kinds[ki];
+      out.plan_seed = salt;
+      out.target = plan.faults.front().tile;
+      out.after_op = plan.faults.front().after_op;
+      out.events_fired = static_cast<int>(injector.event_count());
+      out.failed_tasks = run.failed_tasks;
+      out.recovery_runs = run.recovery_runs;
+      out.masked_tiles = static_cast<int>(acc.masked_tiles().size());
+      out.batch_seconds = run.batch_seconds;
+      const bool fault_noticed =
+          run.failed_tasks > 0 || run.recovery_runs > 0;
+      out.detected = !versal::corrupts(kinds[ki]) ||
+                     out.events_fired == 0 || fault_noticed;
+      for (std::size_t t = 0; t < run.tasks.size(); ++t) {
+        const auto& task = run.tasks[t];
+        if (!task.message.empty() && out.note.empty()) out.note = task.message;
+        // First-attempt successes must match the reference exactly;
+        // retried tasks re-ran on a re-placed (possibly degraded)
+        // floorplan and are checked for success, not bit identity.
+        if (task.status == hsvd::SvdStatus::kOk &&
+            task.recovery_attempts == 0) {
+          if (!same_matrix(task.u, reference.tasks[t].u) ||
+              task.sigma != reference.tasks[t].sigma ||
+              task.iterations != reference.tasks[t].iterations) {
+            out.healthy_bit_identical = false;
+          }
+        }
+      }
+      outcomes.push_back(std::move(out));
+    }
+  }
+  return outcomes;
+}
+
+std::string campaign_csv(const std::vector<CampaignOutcome>& outcomes) {
+  CsvWriter csv({"kind", "plan_seed", "target_row", "target_col", "after_op",
+                 "events_fired", "failed_tasks", "recovery_runs",
+                 "masked_tiles", "detected", "healthy_bit_identical",
+                 "batch_seconds", "note"});
+  for (const auto& out : outcomes) {
+    csv.add_row({versal::to_string(out.kind), cat(out.plan_seed),
+                 cat(out.target.row), cat(out.target.col), cat(out.after_op),
+                 cat(out.events_fired), cat(out.failed_tasks),
+                 cat(out.recovery_runs), cat(out.masked_tiles),
+                 out.detected ? "1" : "0",
+                 out.healthy_bit_identical ? "1" : "0",
+                 sci(out.batch_seconds, 6), out.note});
+  }
+  return csv.render();
+}
+
+bool campaign_clean(const std::vector<CampaignOutcome>& outcomes) {
+  return std::all_of(outcomes.begin(), outcomes.end(),
+                     [](const CampaignOutcome& out) {
+                       return out.detected && out.healthy_bit_identical;
+                     });
+}
+
+}  // namespace hsvd::accel

@@ -33,6 +33,14 @@ struct HeteroSvdConfig {
   // cores. 1 forces the sequential path.
   int host_threads = 0;
 
+  // Bounded recovery: after a detected hardware fault with tile
+  // attribution, run() masks the faulty tiles, re-places the design on
+  // the healthy array (degrading P_task, then P_eng, when the original
+  // shape no longer fits) and re-runs only the failed tasks -- at most
+  // this many times. 0 disables recovery: failed tasks keep
+  // SvdStatus::kFailed and the rest of the batch still completes.
+  int fault_retries = 2;
+
   // Algorithm choice; the co-designed default.
   jacobi::OrderingKind ordering = jacobi::OrderingKind::kShiftingRing;
   // Output-memory strategy (Fig. 4); naive is the ablation baseline where
@@ -72,6 +80,7 @@ struct HeteroSvdConfig {
                  "pair is the accelerator's unit of work");
     HSVD_REQUIRE(pl_frequency_hz > 0, "PL frequency must be positive");
     HSVD_REQUIRE(host_threads >= 0, "host_threads must be nonnegative");
+    HSVD_REQUIRE(fault_retries >= 0, "fault_retries must be nonnegative");
     HSVD_REQUIRE(iterations >= 1 || precision.has_value(),
                  "need a sweep budget or a precision target");
   }

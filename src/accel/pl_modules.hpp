@@ -102,8 +102,35 @@ class SystemModule {
   }
   double convergence_rate() const { return tracker_.sweep_rate(); }
 
+  // Convergence watchdog: closes one sweep and updates the stall counter.
+  // A sweep "stalls" when its off-diagonal coherence fails to drop
+  // meaningfully below the previous sweep's -- the signature of a
+  // corrupted iteration (or a matrix that cannot reach the precision
+  // target at this datatype). Jacobi sweeps are not strictly monotone,
+  // so only `stall_limit()` *consecutive* stalled sweeps trip the
+  // watchdog; one improving sweep resets the counter.
+  void end_iteration() {
+    const double rate = tracker_.sweep_rate();
+    if (have_last_ && rate >= last_rate_ * kStallShrink) {
+      ++stalled_sweeps_;
+    } else {
+      stalled_sweeps_ = 0;
+    }
+    last_rate_ = rate;
+    have_last_ = true;
+  }
+  int stalled_sweeps() const { return stalled_sweeps_; }
+  static constexpr int stall_limit() { return 5; }
+  bool stalled() const { return stalled_sweeps_ >= stall_limit(); }
+
  private:
+  // A sweep must shrink the coherence by at least this factor to count
+  // as progress.
+  static constexpr double kStallShrink = 0.999;
   jacobi::ConvergenceTracker tracker_;
+  double last_rate_ = 0.0;
+  bool have_last_ = false;
+  int stalled_sweeps_ = 0;
 };
 
 }  // namespace hsvd::accel

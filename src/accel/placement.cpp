@@ -1,7 +1,9 @@
 #include "accel/placement.hpp"
 
 #include <algorithm>
+#include <set>
 
+#include "common/error.hpp"
 #include "common/format.hpp"
 
 namespace hsvd::accel {
@@ -67,11 +69,11 @@ bool place_task(const HeteroSvdConfig& config, const versal::ArrayGeometry& geo,
   return true;
 }
 
-}  // namespace
-
-std::optional<PlacementResult> try_place(const HeteroSvdConfig& config) {
-  config.validate();
-  const versal::ArrayGeometry geo(config.device.aie_rows, config.device.aie_cols);
+// One full-floorplan attempt with the task grid shifted by
+// (row_shift, col_shift) tiles. Shift (0, 0) is the canonical layout.
+std::optional<PlacementResult> attempt_place(const HeteroSvdConfig& config,
+                                             const versal::ArrayGeometry& geo,
+                                             int row_shift, int col_shift) {
   const int k = config.p_eng;
   const int layers = config.orth_layers();
   const int rows_per_band = geo.rows() - 2;
@@ -86,7 +88,7 @@ std::optional<PlacementResult> try_place(const HeteroSvdConfig& config) {
                               ? layers + 1
                               : 1 + std::min(layers, rows_per_band) + 1;
   const int stack =
-      nbands == 1 ? std::max(1, geo.rows() / task_height) : 1;
+      nbands == 1 ? std::max(1, (geo.rows() - row_shift) / task_height) : 1;
   const int task_width = nbands * k;
 
   PlacementResult result;
@@ -94,8 +96,8 @@ std::optional<PlacementResult> try_place(const HeteroSvdConfig& config) {
   for (int t = 0; t < config.p_task; ++t) {
     const int strip = t / stack;
     const int slot = t % stack;
-    const int col0 = strip * task_width;
-    const int row0 = slot * task_height;
+    const int col0 = col_shift + strip * task_width;
+    const int row0 = row_shift + slot * task_height;
     if (col0 + task_width > geo.cols()) return std::nullopt;
     if (row0 + task_height > geo.rows()) return std::nullopt;
     TaskPlacement task;
@@ -118,12 +120,61 @@ std::optional<PlacementResult> try_place(const HeteroSvdConfig& config) {
   return result;
 }
 
+}  // namespace
+
+std::vector<versal::TileCoord> used_tiles(const PlacementResult& placement) {
+  std::vector<versal::TileCoord> tiles;
+  for (const auto& task : placement.tasks) {
+    for (const auto& layer : task.orth)
+      tiles.insert(tiles.end(), layer.begin(), layer.end());
+    tiles.insert(tiles.end(), task.norm.begin(), task.norm.end());
+    tiles.insert(tiles.end(), task.mem.begin(), task.mem.end());
+  }
+  return tiles;
+}
+
+std::optional<PlacementResult> try_place(const HeteroSvdConfig& config) {
+  config.validate();
+  const versal::ArrayGeometry geo(config.device.aie_rows, config.device.aie_cols);
+  return attempt_place(config, geo, 0, 0);
+}
+
+std::optional<PlacementResult> try_place(
+    const HeteroSvdConfig& config,
+    const std::vector<versal::TileCoord>& masked) {
+  if (masked.empty()) return try_place(config);
+  config.validate();
+  const versal::ArrayGeometry geo(config.device.aie_rows, config.device.aie_cols);
+  const std::set<versal::TileCoord> bad(masked.begin(), masked.end());
+  // Search floorplan offsets nearest the canonical layout first: column
+  // shifts move whole task strips sideways (the array is much wider than
+  // tall), row shifts handle faults in the top rows.
+  for (int row_shift = 0; row_shift < geo.rows(); ++row_shift) {
+    for (int col_shift = 0; col_shift < geo.cols(); ++col_shift) {
+      auto result = attempt_place(config, geo, row_shift, col_shift);
+      if (!result.has_value()) {
+        // Wider column shifts only push the layout further off the right
+        // edge; move on to the next row shift.
+        break;
+      }
+      const auto tiles = used_tiles(*result);
+      const bool clean = std::none_of(
+          tiles.begin(), tiles.end(),
+          [&bad](const versal::TileCoord& t) { return bad.count(t) > 0; });
+      if (clean) return result;
+    }
+  }
+  return std::nullopt;
+}
+
 PlacementResult place(const HeteroSvdConfig& config) {
   auto result = try_place(config);
-  HSVD_REQUIRE(result.has_value(),
-               cat("configuration does not fit the device: P_eng=", config.p_eng,
-                   " P_task=", config.p_task, " (", config.orth_layers(),
-                   " orth-layers)"));
+  if (!result.has_value()) {
+    throw PlacementError(
+        cat("configuration does not fit the device: P_eng=", config.p_eng,
+            " P_task=", config.p_task, " (", config.orth_layers(),
+            " orth-layers)"));
+  }
   return std::move(*result);
 }
 

@@ -51,8 +51,22 @@ struct PlacementResult {
 // budget exceeded).
 std::optional<PlacementResult> try_place(const HeteroSvdConfig& config);
 
-// As try_place but throws std::invalid_argument with a diagnostic when
-// the configuration does not fit.
+// Fault-aware placement: as try_place, but no returned tile is ever one
+// of `masked` (tiles diagnosed faulty). The layout keeps the band
+// structure intact and searches vertical/horizontal offsets of the whole
+// floorplan until it clears the masked set; returns nullopt when the
+// healthy part of the array no longer fits the configuration (callers
+// degrade P_task / P_eng and retry).
+std::optional<PlacementResult> try_place(
+    const HeteroSvdConfig& config,
+    const std::vector<versal::TileCoord>& masked);
+
+// Every physical tile a placement assigns (orth + norm + mem), for
+// overlap checks and fault-campaign reporting.
+std::vector<versal::TileCoord> used_tiles(const PlacementResult& placement);
+
+// As try_place but throws hsvd::PlacementError (IS-A std::invalid_argument)
+// with a diagnostic when the configuration does not fit.
 PlacementResult place(const HeteroSvdConfig& config);
 
 }  // namespace hsvd::accel

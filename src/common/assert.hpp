@@ -1,7 +1,8 @@
 // Lightweight contract-checking macros used across the library.
 //
 // HSVD_REQUIRE  -- precondition on user-supplied input; throws
-//                  std::invalid_argument so callers can recover.
+//                  hsvd::InputError (IS-A std::invalid_argument) so
+//                  callers can recover.
 // HSVD_ASSERT   -- internal invariant; failure is a library bug, aborts
 //                  with a diagnostic (kept on in release builds: the cost
 //                  is negligible next to the simulation work).
@@ -11,6 +12,8 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "common/error.hpp"
 
 namespace hsvd {
 
@@ -30,10 +33,10 @@ namespace hsvd {
     }                                                        \
   } while (0)
 
-#define HSVD_REQUIRE(expr, msg)                                               \
-  do {                                                                        \
-    if (!(expr)) {                                                            \
-      throw std::invalid_argument(std::string("HeteroSVD precondition: ") +   \
-                                  (msg) + " (" #expr ")");                    \
-    }                                                                         \
+#define HSVD_REQUIRE(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      throw ::hsvd::InputError(std::string("HeteroSVD precondition: ") + \
+                               (msg) + " (" #expr ")");                  \
+    }                                                                    \
   } while (0)

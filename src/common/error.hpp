@@ -1,0 +1,93 @@
+// Typed error taxonomy for the HeteroSVD library.
+//
+// Every recoverable failure the library raises carries a type describing
+// *what went wrong*, so callers can route recovery instead of string-
+// matching what():
+//
+//   InputError        -- the caller's data or options are invalid
+//                        (NaN/Inf matrices, shape mismatches, parameter
+//                        ranges). Derives std::invalid_argument.
+//   PlacementError    -- no placement of the requested configuration fits
+//                        the (healthy part of the) device.
+//   ConvergenceError  -- the iteration diverged or provably cannot reach
+//                        the requested precision.
+//   FaultDetected     -- a hardware-level fault was caught at a dataflow
+//                        boundary (checksum mismatch, lost buffer, hung
+//                        core, non-finite kernel output); carries the
+//                        faulty tile when attribution is possible, which
+//                        drives re-placement.
+//
+// `hsvd::Error` is a mixin base: `catch (const hsvd::Error&)` handles the
+// whole taxonomy, while each type also derives the std exception callers
+// historically caught (InputError IS-A std::invalid_argument, the rest
+// ARE std::runtime_error), so existing call sites keep working.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hsvd {
+
+// Completion status of one SVD task, surfaced on hsvd::Svd and
+// accel::TaskResult. kFailed results carry a diagnostic message and have
+// empty factors; kNotConverged results are usable but did not reach the
+// requested precision within the sweep budget.
+enum class SvdStatus { kOk, kNotConverged, kFailed };
+
+inline const char* to_string(SvdStatus s) {
+  switch (s) {
+    case SvdStatus::kOk: return "ok";
+    case SvdStatus::kNotConverged: return "not-converged";
+    case SvdStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+class Error {
+ public:
+  virtual ~Error() = default;
+  // Short machine-readable tag of the error class ("input", "placement",
+  // "convergence", "fault").
+  virtual const char* kind() const noexcept = 0;
+};
+
+class InputError : public std::invalid_argument, public Error {
+ public:
+  explicit InputError(const std::string& msg) : std::invalid_argument(msg) {}
+  const char* kind() const noexcept override { return "input"; }
+};
+
+class PlacementError : public InputError {
+ public:
+  explicit PlacementError(const std::string& msg) : InputError(msg) {}
+  const char* kind() const noexcept override { return "placement"; }
+};
+
+class ConvergenceError : public std::runtime_error, public Error {
+ public:
+  explicit ConvergenceError(const std::string& msg) : std::runtime_error(msg) {}
+  const char* kind() const noexcept override { return "convergence"; }
+};
+
+class FaultDetected : public std::runtime_error, public Error {
+ public:
+  explicit FaultDetected(const std::string& msg) : std::runtime_error(msg) {}
+  // With tile attribution: (row, col) of the AIE tile the detection point
+  // blames; the accelerator's recovery masks it out of the placement.
+  FaultDetected(const std::string& msg, int tile_row, int tile_col)
+      : std::runtime_error(msg),
+        has_tile_(true),
+        tile_row_(tile_row),
+        tile_col_(tile_col) {}
+  const char* kind() const noexcept override { return "fault"; }
+  bool has_tile() const noexcept { return has_tile_; }
+  int tile_row() const noexcept { return tile_row_; }
+  int tile_col() const noexcept { return tile_col_; }
+
+ private:
+  bool has_tile_ = false;
+  int tile_row_ = 0;
+  int tile_col_ = 0;
+};
+
+}  // namespace hsvd

@@ -1,14 +1,32 @@
 #include "heterosvd.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
+#include "common/format.hpp"
 #include "common/thread_pool.hpp"
 #include "linalg/ops.hpp"
 
 namespace hsvd {
 
 namespace {
+
+// Rejects NaN/Inf entries up front: a single non-finite value poisons
+// every rotation it touches and would otherwise surface much later as a
+// (misattributed) in-fabric fault detection. `what` names the argument
+// in the diagnostic ("matrix", "batch[3]", ...).
+void require_finite(const linalg::MatrixF& a, const std::string& what) {
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const auto col = a.col(c);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      if (!std::isfinite(col[r])) {
+        throw InputError(cat(what, " contains a non-finite entry at (", r,
+                             ", ", c, ")"));
+      }
+    }
+  }
+}
 
 accel::HeteroSvdConfig choose_config(std::size_t rows, std::size_t cols,
                                      int batch, const SvdOptions& options) {
@@ -45,13 +63,20 @@ Svd from_task(const accel::TaskResult& task, const linalg::MatrixF& a,
   out.iterations = task.iterations;
   out.convergence_rate = task.convergence_rate;
   out.accelerator_seconds = task.latency_seconds();
-  if (want_v) out.v = derive_v(a, out.u, out.sigma, threads);
+  out.status = task.status;
+  out.converged = task.converged;
+  out.message = task.message;
+  out.recovery_attempts = task.recovery_attempts;
+  // A failed task has no factors; deriving V needs U.
+  if (want_v && task.ok()) out.v = derive_v(a, out.u, out.sigma, threads);
   return out;
 }
 
 }  // namespace
 
 Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
+  HSVD_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "matrix must be non-empty");
+  require_finite(a, "matrix");
   if (a.cols() > a.rows()) {
     // Wide input: decompose the transpose and swap the factors
     // (A = U S V^T  <=>  A^T = V S U^T). V is needed to produce U here,
@@ -66,9 +91,21 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
   accel::HeteroSvdConfig cfg = choose_config(a.rows(), a.cols(), 1, options);
   cfg.precision = options.precision;
   cfg.host_threads = options.threads;
+  cfg.fault_retries = options.fault_retries;
   accel::HeteroSvdAccelerator acc(cfg);
+  if (options.fault_injector != nullptr) {
+    acc.attach_faults(options.fault_injector);
+  }
   auto run = acc.run({a});
-  return from_task(run.tasks.front(), a, options.want_v, options.threads);
+  const auto& task = run.tasks.front();
+  if (!task.ok()) {
+    // A single-matrix call has no partial batch to salvage: surface the
+    // unrecovered fault as the typed exception.
+    throw FaultDetected(task.message.empty()
+                            ? std::string("hardware fault detected")
+                            : task.message);
+  }
+  return from_task(task, a, options.want_v, options.threads);
 }
 
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
@@ -76,20 +113,29 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   HSVD_REQUIRE(!batch.empty(), "empty batch");
   const std::size_t rows = batch.front().rows();
   const std::size_t cols = batch.front().cols();
-  for (const auto& m : batch) {
+  HSVD_REQUIRE(rows >= 1 && cols >= 1, "batch matrices must be non-empty");
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& m = batch[i];
     HSVD_REQUIRE(m.rows() == rows && m.cols() == cols,
                  "all batch matrices must share one shape");
+    require_finite(m, cat("batch[", i, "]"));
   }
   accel::HeteroSvdConfig cfg =
       choose_config(rows, cols, static_cast<int>(batch.size()), options);
   cfg.precision = options.precision;
   cfg.host_threads = options.threads;
+  cfg.fault_retries = options.fault_retries;
   accel::HeteroSvdAccelerator acc(cfg);
+  if (options.fault_injector != nullptr) {
+    acc.attach_faults(options.fault_injector);
+  }
   auto run = acc.run(batch);
   BatchSvd out;
   out.config = cfg;
   out.batch_seconds = run.batch_seconds;
   out.throughput_tasks_per_s = run.throughput_tasks_per_s;
+  out.failed_tasks = run.failed_tasks;
+  out.recovery_runs = run.recovery_runs;
   out.results.resize(batch.size());
   // The host-side post-pass (factor copies + derive_v) is independent
   // per task; fan it out over the pool. derive_v runs inline (threads=1)
@@ -106,6 +152,11 @@ linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
                          const std::vector<float>& sigma, int threads) {
   HSVD_REQUIRE(u.rows() == a.rows(), "U row count must match A");
   HSVD_REQUIRE(sigma.size() <= u.cols(), "sigma longer than U");
+  for (std::size_t t = 0; t < sigma.size(); ++t) {
+    if (!std::isfinite(sigma[t])) {
+      throw InputError(cat("sigma contains a non-finite entry at ", t));
+    }
+  }
   linalg::MatrixF v(a.cols(), sigma.size());
   // Row j of V needs one fused dot per kept singular value:
   // v(j, t) = (a.col(j) . u.col(t)) / sigma[t]. Rows are independent, so

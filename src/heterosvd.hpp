@@ -16,12 +16,15 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "accel/accelerator.hpp"
 #include "accel/config.hpp"
+#include "common/error.hpp"
 #include "dse/explorer.hpp"
 #include "linalg/matrix.hpp"
+#include "versal/faults.hpp"
 
 namespace hsvd {
 
@@ -42,6 +45,13 @@ struct SvdOptions {
   // parallel work is partitioned over independent task slots / columns
   // and the simulated timing model is untouched.
   int threads = 0;
+  // Fault injector to attach to the accelerator (not owned; nullptr =
+  // fault-free). Injected faults are detected at the dataflow boundaries
+  // and surface per result as SvdStatus::kFailed after recovery runs out.
+  versal::FaultInjector* fault_injector = nullptr;
+  // Recovery budget: masked-tile re-placement + re-run rounds (see
+  // accel::HeteroSvdConfig::fault_retries).
+  int fault_retries = 2;
 };
 
 struct Svd {
@@ -52,9 +62,31 @@ struct Svd {
   double convergence_rate = 0.0;
   // Accelerator-clock latency of this matrix (simulated seconds).
   double accelerator_seconds = 0.0;
+  // Robustness outcome. kOk: factors valid and (in precision mode) the
+  // coherence target was reached. kNotConverged: factors are the best
+  // available but the sweep budget ran out or the convergence watchdog
+  // tripped (`converged` is false, `message` says which). kFailed: a
+  // hardware fault was detected and recovery was exhausted -- factors
+  // are empty, `message` carries the diagnostic. Only svd_batch()
+  // returns kFailed results; svd() throws FaultDetected instead.
+  SvdStatus status = SvdStatus::kOk;
+  bool converged = true;
+  std::string message;
+  // 0 when the first attempt succeeded; n when the result came from the
+  // nth masked-tile re-placement retry.
+  int recovery_attempts = 0;
+  bool ok() const { return status != SvdStatus::kFailed; }
 };
 
 // Singular value decomposition of one tall-or-square matrix.
+//
+// Errors: throws hsvd::InputError (an std::invalid_argument) for invalid
+// input -- empty matrices, NaN/Inf entries, malformed options -- and
+// hsvd::FaultDetected (an std::runtime_error) when an injected hardware
+// fault is detected and the recovery budget is exhausted. A matrix that
+// merely fails to reach the precision target is NOT an error: the result
+// comes back with status == SvdStatus::kNotConverged and converged ==
+// false.
 Svd svd(const linalg::MatrixF& a, const SvdOptions& options = {});
 
 // Batched decomposition: all matrices share one shape and one
@@ -64,7 +96,18 @@ struct BatchSvd {
   double batch_seconds = 0.0;              // simulated makespan
   double throughput_tasks_per_s = 0.0;
   accel::HeteroSvdConfig config;           // what the DSE picked
+  // Fault outcome of the batch: a detected fault fails only its own
+  // task; the rest of the batch completes with results bit-identical to
+  // a fault-free run. results[i].status says which tasks survived.
+  int failed_tasks = 0;                    // still kFailed after recovery
+  int recovery_runs = 0;                   // re-placement rounds consumed
 };
+//
+// Errors: throws hsvd::InputError for invalid input (empty batch, mixed
+// shapes, NaN/Inf entries). Detected hardware faults never throw here --
+// each one fails only its own task (results[i].status ==
+// SvdStatus::kFailed with the diagnostic in message) and every healthy
+// task completes bit-identical to a fault-free run.
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
                    const SvdOptions& options = {});
 

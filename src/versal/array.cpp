@@ -1,5 +1,7 @@
 #include "versal/array.hpp"
 
+#include <limits>
+
 #include "common/format.hpp"
 
 namespace hsvd::versal {
@@ -45,6 +47,9 @@ double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
                              const std::string& key, double ready,
                              std::uint64_t bytes_hint) {
   stats_.dma_transfers.fetch_add(1, std::memory_order_relaxed);
+  bool drop = false;
+  double stall = 0.0;
+  if (faults_ != nullptr) stall = faults_->on_dma(src, &drop);
   TileMemory& sm = memory(src);
   std::uint64_t bytes = bytes_hint;
   if (sm.contains(key)) {
@@ -52,13 +57,19 @@ double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
     bytes = data.size() * sizeof(float);
     // The shadow copy lives in the destination while the source keeps its
     // original until the consumer releases it: the 2x memory cost of DMA.
-    memory(dst).store(key + "#dma", data);
+    // A dropped DMA consumes the engine's time but never lands the
+    // shadow; a staged shadow can take an injected SEU.
+    if (!drop) {
+      std::vector<float> shadow = data;
+      if (faults_ != nullptr) faults_->corrupt_payload(dst, shadow);
+      memory(dst).store(key + "#dma", std::move(shadow));
+    }
   }
   stats_.dma_bytes.fetch_add(bytes, std::memory_order_relaxed);
   Timeline& engine =
       dma_engines_[static_cast<std::size_t>(geometry_.index_of(src))];
   const double duration =
-      dma_setup_seconds() + static_cast<double>(bytes) / dma_rate();
+      stall + dma_setup_seconds() + static_cast<double>(bytes) / dma_rate();
   const double done = engine.schedule(ready, duration);
   if (trace_ != nullptr) {
     trace_->record(TraceKind::kDma, cat("dma", to_string(src)),
@@ -74,14 +85,19 @@ double AieArraySim::stream_packet(const TileCoord& dst, const Packet& packet,
   const std::uint64_t wire_bytes =
       packet.payload.empty() ? 16 + payload_bytes_hint : packet.bytes();
   stats_.stream_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
-  if (store_payload && !packet.payload.empty()) {
+  bool drop = false;
+  double stall = 0.0;
+  if (faults_ != nullptr) stall = faults_->on_stream(dst, &drop);
+  if (store_payload && !packet.payload.empty() && !drop) {
+    std::vector<float> data = packet.payload;
+    if (faults_ != nullptr) faults_->corrupt_payload(dst, data);
     memory(dst).store(cat("c", packet.header.column, ".t", packet.header.task),
-                      packet.payload);
+                      std::move(data));
   }
   // Stream ports move 32 bits per AIE cycle.
   const double rate = 4.0 * device_.aie_clock_hz;
   Timeline& port = stream_ports_[static_cast<std::size_t>(geometry_.index_of(dst))];
-  const double duration = static_cast<double>(wire_bytes) / rate;
+  const double duration = stall + static_cast<double>(wire_bytes) / rate;
   const double done = port.schedule(ready, duration);
   if (trace_ != nullptr) {
     trace_->record(TraceKind::kStream, cat("stream", to_string(dst)),
@@ -94,6 +110,11 @@ double AieArraySim::stream_packet(const TileCoord& dst, const Packet& packet,
 double AieArraySim::run_kernel(const TileCoord& tile, double ready,
                                double duration) {
   stats_.kernel_invocations.fetch_add(1, std::memory_order_relaxed);
+  if (faults_ != nullptr && faults_->hang_core(tile)) {
+    // The core never completes: report an unreachable completion time and
+    // leave the timeline untouched so healthy tiles stay unperturbed.
+    return std::numeric_limits<double>::infinity();
+  }
   const double done = core(tile).schedule(ready, duration);
   if (trace_ != nullptr) {
     trace_->record(TraceKind::kKernel, cat("core", to_string(tile)), "kernel",

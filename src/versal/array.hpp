@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "versal/faults.hpp"
 #include "versal/geometry.hpp"
 #include "versal/memory.hpp"
 #include "versal/packet.hpp"
@@ -92,6 +93,14 @@ class AieArraySim {
   // acquire/release (~300 AIE cycles). Part of why DMA is the slow path.
   double dma_setup_seconds() const { return 300.0 / device_.aie_clock_hz; }
 
+  // Optional fault injection: when attached, kernels, DMA transfers,
+  // packet stores, and staged payloads are perturbed per the injector's
+  // FaultPlan (not owned; pass nullptr to detach). A hung core reports
+  // +infinity as its kernel completion time -- the accelerator's
+  // detection points treat a non-finite timestamp as a dead tile.
+  void attach_faults(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* faults() const { return faults_; }
+
  private:
   ArrayGeometry geometry_;
   DeviceResources device_;
@@ -113,6 +122,7 @@ class AieArraySim {
   AtomicStats stats_;
   mutable ArrayStats stats_snapshot_;  // materialized by stats()
   TraceRecorder* trace_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace hsvd::versal

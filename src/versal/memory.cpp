@@ -34,6 +34,21 @@ void TileMemory::erase(const std::string& key) {
   buffers_.erase(it);
 }
 
+std::size_t TileMemory::erase_if(
+    const std::function<bool(const std::string&)>& pred) {
+  std::size_t removed = 0;
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (pred(it->first)) {
+      used_ -= it->second.size() * sizeof(float);
+      it = buffers_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 void TileMemory::clear() {
   buffers_.clear();
   used_ = 0;

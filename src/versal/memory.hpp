@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,6 +31,11 @@ class TileMemory {
 
   // Removes a buffer; no-op if absent.
   void erase(const std::string& key);
+
+  // Removes every buffer whose key satisfies `pred`; returns the number
+  // removed. Used to purge a failed task's stranded columns so later
+  // tasks on the same tiles do not inherit its memory footprint.
+  std::size_t erase_if(const std::function<bool(const std::string&)>& pred);
 
   void clear();
 

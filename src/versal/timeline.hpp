@@ -66,6 +66,12 @@ class Channel {
   const Timeline& timeline() const { return timeline_; }
   double rate() const { return rate_; }
 
+  // Permanently scales the channel's bandwidth (degraded link fault
+  // model); `factor` must be in (0, 1].
+  void degrade(double factor) {
+    if (factor > 0.0 && factor <= 1.0) rate_ *= factor;
+  }
+
  private:
   Timeline timeline_;
   double rate_;

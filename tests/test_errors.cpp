@@ -1,0 +1,221 @@
+// Tests for the typed error taxonomy (common/error.hpp), the facade's
+// input validation, non-convergence reporting, and exception behaviour
+// of the host thread pool under concurrent failures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "accel/pl_modules.hpp"
+#include "accel/placement.hpp"
+#include "heterosvd.hpp"
+#include "linalg/generators.hpp"
+
+namespace hsvd {
+namespace {
+
+linalg::MatrixF random_matrix(std::size_t rows, std::size_t cols,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  return linalg::random_gaussian(rows, cols, rng).cast<float>();
+}
+
+// --- taxonomy ----------------------------------------------------------
+
+TEST(ErrorTaxonomy, TypedErrorsKeepStandardBaseClasses) {
+  // Every typed error stays catchable by the standard class pre-existing
+  // callers (and tests) already handle.
+  static_assert(std::is_base_of_v<std::invalid_argument, InputError>);
+  static_assert(std::is_base_of_v<InputError, PlacementError>);
+  static_assert(std::is_base_of_v<std::runtime_error, ConvergenceError>);
+  static_assert(std::is_base_of_v<std::runtime_error, FaultDetected>);
+  static_assert(std::is_base_of_v<Error, InputError>);
+  static_assert(std::is_base_of_v<Error, ConvergenceError>);
+  static_assert(std::is_base_of_v<Error, FaultDetected>);
+
+  EXPECT_STREQ(InputError("x").kind(), "input");
+  EXPECT_STREQ(PlacementError("x").kind(), "placement");
+  EXPECT_STREQ(ConvergenceError("x").kind(), "convergence");
+  EXPECT_STREQ(FaultDetected("x").kind(), "fault");
+}
+
+TEST(ErrorTaxonomy, FaultDetectedCarriesTileAttribution) {
+  FaultDetected plain("no tile");
+  EXPECT_FALSE(plain.has_tile());
+  FaultDetected at("hang", 3, 17);
+  ASSERT_TRUE(at.has_tile());
+  EXPECT_EQ(at.tile_row(), 3);
+  EXPECT_EQ(at.tile_col(), 17);
+  EXPECT_STREQ(at.what(), "hang");
+}
+
+TEST(ErrorTaxonomy, StatusNames) {
+  EXPECT_STREQ(to_string(SvdStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(SvdStatus::kNotConverged), "not-converged");
+  EXPECT_STREQ(to_string(SvdStatus::kFailed), "failed");
+}
+
+TEST(ErrorTaxonomy, RequireThrowsTypedInputError) {
+  const auto fails = [] { HSVD_REQUIRE(1 == 2, "one is not two"); };
+  EXPECT_THROW(fails(), InputError);
+  EXPECT_THROW(fails(), std::invalid_argument);  // legacy contract
+  try {
+    fails();
+    FAIL() << "HSVD_REQUIRE did not throw";
+  } catch (const InputError& e) {
+    // The diagnostic carries both the human message and the expression.
+    EXPECT_NE(std::string(e.what()).find("one is not two"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorTaxonomy, PlacementFailureIsTypedAndLegacyCatchable) {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = cfg.cols = 128;
+  cfg.p_eng = 11;
+  cfg.p_task = 26;  // far beyond the device
+  EXPECT_THROW(accel::place(cfg), PlacementError);
+  EXPECT_THROW(accel::place(cfg), std::invalid_argument);
+}
+
+// --- facade validation -------------------------------------------------
+
+TEST(ErrorFacade, SvdRejectsNonFiniteInput) {
+  auto a = random_matrix(12, 8, 700);
+  a(3, 2) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(svd(a), InputError);
+  a(3, 2) = std::numeric_limits<float>::infinity();
+  try {
+    svd(a);
+    FAIL() << "svd accepted an Inf entry";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("(3, 2)"), std::string::npos);
+  }
+}
+
+TEST(ErrorFacade, BatchValidationNamesTheOffendingMatrix) {
+  std::vector<linalg::MatrixF> batch;
+  EXPECT_THROW(svd_batch(batch), InputError);  // empty batch
+
+  batch.push_back(random_matrix(12, 8, 701));
+  batch.push_back(random_matrix(10, 8, 702));  // shape mismatch
+  EXPECT_THROW(svd_batch(batch), InputError);
+  EXPECT_THROW(svd_batch(batch), std::invalid_argument);
+
+  batch[1] = random_matrix(12, 8, 703);
+  batch[1](0, 0) = std::numeric_limits<float>::quiet_NaN();
+  try {
+    svd_batch(batch);
+    FAIL() << "svd_batch accepted a NaN entry";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("batch[1]"), std::string::npos);
+  }
+}
+
+TEST(ErrorFacade, DeriveVRejectsNonFiniteSigma) {
+  auto a = random_matrix(8, 4, 704);
+  linalg::MatrixF u(8, 2);
+  u(0, 0) = 1;
+  u(1, 1) = 1;
+  std::vector<float> sigma = {1.0f,
+                              std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_THROW(derive_v(a, u, sigma), InputError);
+}
+
+// --- non-convergence reporting ------------------------------------------
+
+TEST(ErrorFacade, UnreachablePrecisionReportsNotConverged) {
+  auto a = random_matrix(12, 8, 705);
+  SvdOptions options;
+  options.precision = 1e-300;  // unreachable in float arithmetic
+  options.want_v = false;
+  accel::HeteroSvdConfig cfg;
+  cfg.p_eng = 2;
+  cfg.p_task = 1;
+  options.config = cfg;
+  const Svd r = svd(a, options);  // NOT an exception: factors are usable
+  EXPECT_EQ(r.status, SvdStatus::kNotConverged);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.message.empty());
+  EXPECT_GT(r.iterations, 1);
+  EXPECT_FALSE(r.u.empty());
+}
+
+TEST(ErrorFacade, ConvergedRunReportsOkStatus) {
+  auto a = random_matrix(12, 8, 706);
+  SvdOptions options;
+  options.want_v = false;
+  const Svd r = svd(a, options);
+  EXPECT_EQ(r.status, SvdStatus::kOk);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.message.empty());
+  EXPECT_EQ(r.recovery_attempts, 0);
+}
+
+// --- convergence watchdog ------------------------------------------------
+
+TEST(ErrorWatchdog, TripsOnlyAfterConsecutiveStalledSweeps) {
+  accel::SystemModule system(1e-12);
+  const auto sweep = [&](double rate) {
+    system.begin_iteration();
+    system.observe_pair(rate);
+    system.end_iteration();
+  };
+  // Healthy convergence: each sweep shrinks the coherence.
+  double rate = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    sweep(rate);
+    rate *= 0.5;
+    EXPECT_FALSE(system.stalled());
+  }
+  // Plateau: the first flat sweep is still an improvement over the last
+  // halved one (it resets the counter); the next stall_limit() repeats
+  // must all stall before the watchdog trips.
+  sweep(rate);
+  for (int i = 0; i < accel::SystemModule::stall_limit(); ++i) {
+    EXPECT_FALSE(system.stalled());
+    sweep(rate);
+  }
+  EXPECT_TRUE(system.stalled());
+  // One improving sweep resets the watchdog.
+  sweep(rate * 0.1);
+  EXPECT_FALSE(system.stalled());
+  EXPECT_EQ(system.stalled_sweeps(), 0);
+}
+
+// --- thread pool under concurrent failures -------------------------------
+
+TEST(ErrorThreadPool, ConcurrentExceptionsPropagateAndPoolSurvives) {
+  auto& pool = common::ThreadPool::shared();
+  std::atomic<int> ran{0};
+  const auto faulty = [&](std::size_t i) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (i % 2 == 0) {
+      throw FaultDetected("injected failure", static_cast<int>(i), 0);
+    }
+  };
+  EXPECT_THROW(pool.parallel_for(16, 4, faulty), FaultDetected);
+  EXPECT_THROW(pool.parallel_for(16, 4, faulty), std::runtime_error);
+
+  // The pool is not poisoned: a clean parallel_for still completes and
+  // visits every index exactly once.
+  std::atomic<int> sum{0};
+  pool.parallel_for(64, 4, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  EXPECT_GE(ran.load(), 2);
+}
+
+}  // namespace
+}  // namespace hsvd

@@ -111,6 +111,21 @@ TEST(Facade, DeriveVRecoversRightFactor) {
   }
 }
 
+TEST(Facade, CleanRunsReportOkRobustnessFields) {
+  std::vector<linalg::MatrixF> batch = {random_matrix(12, 8, 650),
+                                        random_matrix(12, 8, 651)};
+  BatchSvd out = svd_batch(batch);
+  EXPECT_EQ(out.failed_tasks, 0);
+  EXPECT_EQ(out.recovery_runs, 0);
+  for (const auto& r : out.results) {
+    EXPECT_EQ(r.status, SvdStatus::kOk);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.message.empty());
+    EXPECT_EQ(r.recovery_attempts, 0);
+  }
+}
+
 TEST(Facade, DeriveVLeavesZeroSigmaColumnsZero) {
   auto a = random_matrix(6, 4, 607);
   linalg::MatrixF u(6, 2);

@@ -2,6 +2,7 @@
 // structure, boundary rules, stacking, resource counts, feasibility.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "accel/placement.hpp"
@@ -128,6 +129,41 @@ TEST(Placement, ConfigValidation) {
   wide.rows = 64;
   wide.cols = 128;
   EXPECT_THROW(wide.validate(), std::invalid_argument);
+}
+
+TEST(Placement, MaskedPlacementAvoidsFaultyTiles) {
+  auto cfg = base_config(64, 4, 2);
+  const auto canonical = place(cfg);
+  const auto canonical_tiles = used_tiles(canonical);
+
+  // An empty mask reproduces the canonical floorplan exactly.
+  const auto unmasked = try_place(cfg, {});
+  ASSERT_TRUE(unmasked.has_value());
+  EXPECT_EQ(used_tiles(*unmasked), canonical_tiles);
+
+  // Masking a canonical tile shifts the floorplan off it.
+  const versal::TileCoord bad = canonical_tiles.front();
+  const auto shifted = try_place(cfg, {bad});
+  ASSERT_TRUE(shifted.has_value());
+  const auto shifted_tiles = used_tiles(*shifted);
+  EXPECT_TRUE(std::none_of(
+      shifted_tiles.begin(), shifted_tiles.end(),
+      [&](const versal::TileCoord& t) { return t == bad; }));
+  // Same structure, different tiles.
+  EXPECT_EQ(shifted->num_orth, canonical.num_orth);
+  EXPECT_EQ(shifted->num_norm, canonical.num_norm);
+  EXPECT_EQ(shifted->bands_per_task, canonical.bands_per_task);
+}
+
+TEST(Placement, MaskedPlacementFailsWhenTheArrayIsExhausted) {
+  auto cfg = base_config(64, 4, 1);
+  std::vector<versal::TileCoord> everything;
+  for (int r = 0; r < cfg.device.aie_rows; ++r) {
+    for (int c = 0; c < cfg.device.aie_cols; ++c) {
+      everything.push_back({r, c});
+    }
+  }
+  EXPECT_FALSE(try_place(cfg, everything).has_value());
 }
 
 }  // namespace
