@@ -138,6 +138,36 @@ int main(int argc, char** argv) {
   json.number("batch16_wall_s_hw_threads", tn);
   json.number("batch16_speedup", t1 / tn);
 
+  // ---- observability snapshot of the 16-task batch ------------------------
+  // One extra (untimed) run with the metrics registry attached: simulated
+  // work volumes and kernel/DMA cycle quantiles, so perf regressions in
+  // future PRs show up as shifted work counts and not just wall-clock.
+  {
+    obs::ObsContext obs_ctx;
+    opts.threads = hw;
+    opts.observer = &obs_ctx;
+    const auto r = svd_batch(batch, opts);
+    sinkf = sinkf + r.results.front().sigma.front();
+    const obs::MetricsSnapshot snap = obs_ctx.metrics().snapshot();
+    const auto counter = [&](const char* name) -> double {
+      const auto it = snap.counters.find(name);
+      return it == snap.counters.end() ? 0.0
+                                       : static_cast<double>(it->second);
+    };
+    json.number("obs_kernel_invocations", counter("sim.kernel.invocations"));
+    json.number("obs_dma_bytes", counter("sim.dma.bytes"));
+    json.number("obs_stream_bytes", counter("sim.stream.bytes"));
+    const auto quantile = [&](const char* name, double q) {
+      const auto it = snap.histograms.find(name);
+      return it == snap.histograms.end() ? 0.0 : it->second.quantile(q);
+    };
+    json.number("obs_kernel_cycles_p50", quantile("sim.kernel.cycles", 0.5));
+    json.number("obs_kernel_cycles_p99", quantile("sim.kernel.cycles", 0.99));
+    json.number("obs_dma_cycles_p50", quantile("sim.dma.cycles", 0.5));
+    json.number("obs_dma_cycles_p99", quantile("sim.dma.cycles", 0.99));
+    opts.observer = nullptr;
+  }
+
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "accel/config.hpp"
@@ -47,11 +48,16 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
               title.c_str(), paper_ref.c_str());
 }
 
+// Writes the bench CSV or dies: a bench whose artifact silently failed
+// to land would let downstream plots regenerate from stale data.
 inline void write_csv(const hsvd::CsvWriter& csv, const std::string& name) {
   const std::string path = name + ".csv";
-  if (csv.write_file(path)) {
-    std::printf("\n[csv written to %s]\n", path.c_str());
+  if (!csv.write_file(path)) {
+    std::fprintf(stderr, "FATAL: cannot write %s: bench output lost\n",
+                 path.c_str());
+    std::exit(1);
   }
+  std::printf("\n[csv written to %s]\n", path.c_str());
 }
 
 }  // namespace hsvd::bench

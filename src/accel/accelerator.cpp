@@ -57,6 +57,7 @@ void HeteroSvdAccelerator::rebuild() {
   array_ = std::make_unique<versal::AieArraySim>(geo, config_.device);
   array_->attach_trace(trace_);
   array_->attach_faults(faults_);
+  array_->attach_observer(obs_);
 
   schedule_ = jacobi::EngineSchedule{};
   slot_schedules_.clear();
@@ -106,7 +107,8 @@ void HeteroSvdAccelerator::rebuild() {
     }
     ch->sender = std::make_unique<Sender>(ch->tx[0], ch->tx[1],
                                           std::move(forwarding), *array_);
-    ch->receiver = std::make_unique<Receiver>(ch->rx[0], ch->rx[1]);
+    ch->receiver =
+        std::make_unique<Receiver>(ch->rx[0], ch->rx[1], array_.get());
     // A degraded-link fault scales the slot's PLIO bandwidth for the
     // whole run (the paper's PLIOs are static physical routes).
     if (faults_ != nullptr) {
@@ -131,6 +133,11 @@ void HeteroSvdAccelerator::rebuild() {
 void HeteroSvdAccelerator::attach_trace(versal::TraceRecorder* recorder) {
   trace_ = recorder;
   array_->attach_trace(recorder);
+}
+
+void HeteroSvdAccelerator::attach_observer(obs::ObsContext* observer) {
+  obs_ = observer;
+  array_->attach_observer(observer);
 }
 
 void HeteroSvdAccelerator::attach_faults(versal::FaultInjector* faults) {
@@ -211,7 +218,18 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   // the NoC DDRMC port wired to this task slot.
   DataArrangement arrangement(
       [this, slot](double when, double bytes) {
-        return noc_.transfer_for_slot(slot, when, bytes);
+        const double done = noc_.transfer_for_slot(slot, when, bytes);
+        if (obs_ != nullptr) {
+          obs_->metrics().add("sim.ddr.transfers");
+          obs_->metrics().add("sim.ddr.bytes",
+                              static_cast<std::uint64_t>(bytes));
+          if (obs::Tracer* tr = obs_->tracer()) {
+            // Request latency: issue to completion, queueing included.
+            tr->span(obs::Domain::kSim, cat("ddr.slot", slot), "stage", "ddr",
+                     when, done - when);
+          }
+        }
+        return done;
       },
       p, block_bytes);
   arrangement.stage_from_ddr(ready);
@@ -278,7 +296,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
             if (!std::isfinite(end)) {
               throw FaultDetected(cat("core ", versal::to_string(tile),
                                       " hung during orthogonalization"),
-                                  tile.row, tile.col);
+                                  tile.row, tile.col, in_ready);
             }
             if (functional) {
               const int gl = global[static_cast<std::size_t>(pair.left)];
@@ -290,7 +308,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
                     cat("tile ", versal::to_string(tile),
                         " is missing an input column (payload lost in "
                         "transit)"),
-                    tile.row, tile.col);
+                    tile.row, tile.col, end);
               }
               const auto r = orth_kernel(
                   b.col(static_cast<std::size_t>(gl)),
@@ -301,7 +319,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
                 throw FaultDetected(
                     cat("orth kernel on tile ", versal::to_string(tile),
                         " produced a non-finite coherence"),
-                    tile.row, tile.col);
+                    tile.row, tile.col, end);
               }
               system.observe_pair(r.coherence);
             }
@@ -313,7 +331,8 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
               const std::string key =
                   column_key(task_id, global[static_cast<std::size_t>(mv.column)]);
               if (!mv.is_dma) {
-                array_->neighbour_move(mv.src, mv.dst, key);
+                array_->neighbour_move(mv.src, mv.dst, key,
+                                       static_cast<std::uint64_t>(col_bytes));
               } else {
                 const double done = array_->dma_move(
                     mv.src, mv.dst, key,
@@ -329,7 +348,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
                     throw FaultDetected(
                         cat("DMA of ", key, " out of ",
                             versal::to_string(mv.src), " lost its payload"),
-                        mv.src.row, mv.src.col);
+                        mv.src.row, mv.src.col, done);
                   }
                   std::vector<float> data = dst_mem.load(key + "#dma");
                   dst_mem.erase(key + "#dma");
@@ -358,7 +377,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
             if (!mem.contains(key)) {
               throw FaultDetected(cat("column ", key, " never reached tile ",
                                       versal::to_string(tile), " for Rx"),
-                                  tile.row, tile.col);
+                                  tile.row, tile.col, done);
             }
             // Rx boundary integrity check: the fabric only routed this
             // buffer, so its checksum must still match what the sender
@@ -368,7 +387,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
               throw FaultDetected(cat("checksum mismatch on ", key,
                                       " at tile ", versal::to_string(tile),
                                       " (corrupted in the fabric)"),
-                                  tile.row, tile.col);
+                                  tile.row, tile.col, done);
             }
             mem.erase(key);
           }
@@ -399,6 +418,15 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   for (int blk = 0; blk < p; ++blk) {
     const double tx_done = ch.norm_tx.transfer(
         arrangement.block_ready(blk) + hls_overhead_s_, block_bytes);
+    if (obs_ != nullptr) {
+      obs_->metrics().add("sim.plio.bytes",
+                          static_cast<std::uint64_t>(block_bytes));
+      if (obs::Tracer* tr = obs_->tracer()) {
+        const double dur = ch.norm_tx.transfer_duration(block_bytes);
+        tr->span(obs::Domain::kSim, cat("plio.ntx.", slot), cat("blk", blk),
+                 "plio", tx_done - dur, dur);
+      }
+    }
     double blk_done = 0.0;
     for (int i = 0; i < k; ++i) {
       const versal::TileCoord tile = task.norm[static_cast<std::size_t>(i)];
@@ -406,10 +434,21 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
       if (!std::isfinite(end)) {
         throw FaultDetected(cat("core ", versal::to_string(tile),
                                 " hung during normalization"),
-                            tile.row, tile.col);
+                            tile.row, tile.col, tx_done);
       }
       const double rx_done =
           ch.norm_rx.transfer(end, col_bytes + sizeof(float));
+      if (obs_ != nullptr) {
+        obs_->metrics().add(
+            "sim.plio.bytes",
+            static_cast<std::uint64_t>(col_bytes + sizeof(float)));
+        if (obs::Tracer* tr = obs_->tracer()) {
+          const double dur =
+              ch.norm_rx.transfer_duration(col_bytes + sizeof(float));
+          tr->span(obs::Domain::kSim, cat("plio.nrx.", slot),
+                   cat("blk", blk, ".e", i), "plio", rx_done - dur, dur);
+        }
+      }
       blk_done = std::max(blk_done, rx_done);
       if (functional) {
         const std::size_t gc = static_cast<std::size_t>(blk * k + i);
@@ -418,7 +457,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
           throw FaultDetected(cat("norm kernel on tile ",
                                   versal::to_string(tile),
                                   " produced a non-finite singular value"),
-                              tile.row, tile.col);
+                              tile.row, tile.col, rx_done);
         }
       }
     }
@@ -426,6 +465,14 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   }
 
   result.end_seconds = task_end;
+  if (obs_ != nullptr) {
+    obs_->metrics().add("sim.tasks.completed");
+    if (obs::Tracer* tr = obs_->tracer()) {
+      tr->span(obs::Domain::kSim, cat("slot", slot), cat("task", task_id),
+               "task", result.start_seconds,
+               result.end_seconds - result.start_seconds);
+    }
+  }
   result.iterations = iterations_run;
   result.convergence_rate = system.convergence_rate();
   if (functional && config_.precision.has_value()) {
@@ -506,6 +553,16 @@ RunResult HeteroSvdAccelerator::execute_batch(
       task.start_seconds = slot_free;
       task.end_seconds = slot_free;
       purge_task_buffers(slot, base_id + t);
+      if (obs_ != nullptr) {
+        obs_->metrics().add("sim.fault.detected");
+        if (obs::Tracer* tr = obs_->tracer()) {
+          // Stamp the detection on the simulated timeline when the
+          // detection point supplied its simulated time.
+          const double at = e.sim_seconds() >= 0 ? e.sim_seconds() : slot_free;
+          tr->instant(obs::Domain::kSim, "faults", cat("detect:", e.what()),
+                      "fault", at);
+        }
+      }
     }
     run.tasks[static_cast<std::size_t>(t)] = std::move(task);
   };
@@ -526,7 +583,8 @@ RunResult HeteroSvdAccelerator::execute_batch(
   const int threads = common::ThreadPool::resolve_threads(config_.host_threads);
   const bool parallel_chains = threads > 1 && chains > 1 &&
                                config_.p_task <= noc_.ports() &&
-                               array_->trace() == nullptr;
+                               array_->trace() == nullptr &&
+                               (obs_ == nullptr || obs_->tracer() == nullptr);
   const auto run_chain = [&](std::size_t slot_index) {
     const int slot = static_cast<int>(slot_index);
     double slot_free = 0.0;
@@ -536,17 +594,28 @@ RunResult HeteroSvdAccelerator::execute_batch(
   };
   if (parallel_chains) {
     common::ThreadPool::shared().parallel_for(
-        static_cast<std::size_t>(chains), threads, run_chain);
+        static_cast<std::size_t>(chains), threads, run_chain, "batch-chain");
   } else {
     // Sequential path: keep the legacy batch-order interleaving. When
     // slots share a DDRMC port (P_task > NoC ports) the port serializes
     // transfers in issue order, so chain-by-chain execution would change
     // the simulated queueing (and batch_seconds) relative to the
-    // round-robin wave order.
+    // round-robin wave order. With a tracer attached, each task's host
+    // wall-clock lands as a host-domain span (the parallel path gets the
+    // equivalent spans from the pool observer instead).
+    obs::Tracer* host_trace =
+        obs_ != nullptr ? obs_->tracer() : nullptr;
     std::vector<double> slot_free(static_cast<std::size_t>(chains), 0.0);
     for (int t = 0; t < batch_size; ++t) {
       const int slot = t % config_.p_task;
+      const double host_start =
+          host_trace != nullptr ? host_trace->host_now() : 0.0;
       run_one(slot, slot_free[static_cast<std::size_t>(slot)], t);
+      if (host_trace != nullptr) {
+        host_trace->span(obs::Domain::kHost, cat("chain-", slot),
+                         cat("task", t), "pool", host_start,
+                         host_trace->host_now() - host_start);
+      }
     }
   }
   for (const auto& task : run.tasks) {
@@ -557,6 +626,7 @@ RunResult HeteroSvdAccelerator::execute_batch(
   run.stats = array_->stats();
   run.resources = perf::estimate_resources(config_, placement_);
   run.core_utilization = array_->core_utilization(run.batch_seconds);
+  run.utilization = array_->utilization(run.batch_seconds);
   run.memory_utilization =
       static_cast<double>(run.resources.uram) / config_.device.total_uram;
   return run;
@@ -619,6 +689,17 @@ RunResult HeteroSvdAccelerator::run(const std::vector<linalg::MatrixF>& batch) {
     if (!mask_and_replace(bad)) break;  // healthy array cannot host any shape
     ++attempt;
     ++result.recovery_runs;
+    if (obs_ != nullptr) {
+      obs_->metrics().add("sim.fault.recovery_rounds");
+      obs_->metrics().add("sim.fault.masked_tiles", bad.size());
+      if (obs::Tracer* tr = obs_->tracer()) {
+        for (const auto& tile : bad) {
+          tr->instant(obs::Domain::kSim, "faults",
+                      cat("recover:mask ", versal::to_string(tile)), "fault",
+                      epoch);
+        }
+      }
+    }
     std::vector<linalg::MatrixF> sub;
     sub.reserve(failed.size());
     for (std::size_t i : failed) sub.push_back(batch[i]);

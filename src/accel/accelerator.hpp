@@ -63,6 +63,11 @@ struct RunResult {
   double memory_utilization = 0.0; // URAM usage fraction of the device
   int failed_tasks = 0;            // tasks still kFailed after recovery
   int recovery_runs = 0;           // re-placement + re-run rounds consumed
+  // Per-tile busy/stall/idle tallies and link-byte counters for the
+  // initial batch execution (recovery re-runs rebuild the array and are
+  // not merged). utilization.core_utilization() equals core_utilization
+  // for fault-free runs.
+  versal::UtilizationReport utilization;
 };
 
 class HeteroSvdAccelerator {
@@ -90,6 +95,15 @@ class HeteroSvdAccelerator {
   // degradation faults are applied to the task slots' channels
   // immediately; tile-level faults fire from inside the array simulator.
   void attach_faults(versal::FaultInjector* faults);
+  // Attach an observability context (not owned; nullptr detaches).
+  // Metrics are recorded unconditionally once attached; when the
+  // context's tracer is enabled the batch engine additionally records
+  // task/PLIO/DDR spans and fault detect/recover instants, and falls
+  // back to sequential slot chains (like attach_trace) so the event
+  // order stays reproducible. Observation never changes results or the
+  // simulated timeline.
+  void attach_observer(obs::ObsContext* observer);
+  obs::ObsContext* observer() const { return obs_; }
   const PlacementResult& placement() const { return placement_; }
   const DataflowPlan& dataflow(std::size_t task_slot) const;
   const perf::AieKernelModel& kernel_model() const { return kernels_; }
@@ -151,6 +165,7 @@ class HeteroSvdAccelerator {
   double hls_overhead_s_ = 0.0;
   versal::TraceRecorder* trace_ = nullptr;
   versal::FaultInjector* faults_ = nullptr;
+  obs::ObsContext* obs_ = nullptr;
   std::vector<versal::TileCoord> masked_;
 };
 

@@ -7,6 +7,7 @@
 #include "common/csv.hpp"
 #include "common/format.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace hsvd::accel {
 
@@ -104,6 +105,26 @@ versal::FaultSpec make_spec(versal::FaultKind kind,
   return spec;
 }
 
+// Simulated cycles from the first "inject:*" instant to the first
+// "detect:*" instant on the tracer's fault track, or -1 when either end
+// is missing. The instants carry simulated seconds, so the difference
+// times the AIE clock is the hardware-visible detection latency.
+double detection_latency_cycles(const obs::Tracer& tracer,
+                                double aie_clock_hz) {
+  double first_inject = -1.0;
+  double first_detect = -1.0;
+  for (const auto& ev : tracer.instants()) {
+    if (ev.domain != obs::Domain::kSim || ev.track != "faults") continue;
+    if (ev.name.rfind("inject:", 0) == 0) {
+      if (first_inject < 0.0 || ev.at_s < first_inject) first_inject = ev.at_s;
+    } else if (ev.name.rfind("detect:", 0) == 0) {
+      if (first_detect < 0.0 || ev.at_s < first_detect) first_detect = ev.at_s;
+    }
+  }
+  if (first_inject < 0.0 || first_detect < 0.0) return -1.0;
+  return std::max(0.0, first_detect - first_inject) * aie_clock_hz;
+}
+
 }  // namespace
 
 std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
@@ -143,6 +164,13 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
       versal::FaultInjector injector(plan);
       acc.attach_faults(&injector);
 
+      // A fresh tracer per trial times the injection-to-detection gap on
+      // the fault track. Observation is guaranteed inert, so the traced
+      // run still matches the untraced reference bit for bit.
+      obs::ObsContext trial_obs;
+      trial_obs.enable_tracing();
+      acc.attach_observer(&trial_obs);
+
       const RunResult run = acc.run(batch);
 
       CampaignOutcome out;
@@ -159,6 +187,15 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
           run.failed_tasks > 0 || run.recovery_runs > 0;
       out.detected = !versal::corrupts(kinds[ki]) ||
                      out.events_fired == 0 || fault_noticed;
+      out.detection_latency_cycles = detection_latency_cycles(
+          *trial_obs.tracer(), options.config.device.aie_clock_hz);
+      if (options.capture_failure_trace && fault_noticed &&
+          std::none_of(outcomes.begin(), outcomes.end(),
+                       [](const CampaignOutcome& o) {
+                         return !o.trace_json.empty();
+                       })) {
+        out.trace_json = trial_obs.tracer()->to_chrome_json();
+      }
       for (std::size_t t = 0; t < run.tasks.size(); ++t) {
         const auto& task = run.tasks[t];
         if (!task.message.empty() && out.note.empty()) out.note = task.message;
@@ -184,7 +221,7 @@ std::string campaign_csv(const std::vector<CampaignOutcome>& outcomes) {
   CsvWriter csv({"kind", "plan_seed", "target_row", "target_col", "after_op",
                  "events_fired", "failed_tasks", "recovery_runs",
                  "masked_tiles", "detected", "healthy_bit_identical",
-                 "batch_seconds", "note"});
+                 "batch_seconds", "detection_cycles", "note"});
   for (const auto& out : outcomes) {
     csv.add_row({versal::to_string(out.kind), cat(out.plan_seed),
                  cat(out.target.row), cat(out.target.col), cat(out.after_op),
@@ -192,7 +229,11 @@ std::string campaign_csv(const std::vector<CampaignOutcome>& outcomes) {
                  cat(out.recovery_runs), cat(out.masked_tiles),
                  out.detected ? "1" : "0",
                  out.healthy_bit_identical ? "1" : "0",
-                 sci(out.batch_seconds, 6), out.note});
+                 sci(out.batch_seconds, 6),
+                 out.detection_latency_cycles < 0.0
+                     ? std::string()
+                     : fixed(out.detection_latency_cycles, 0),
+                 out.note});
   }
   return csv.render();
 }

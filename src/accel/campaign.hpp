@@ -36,6 +36,10 @@ struct CampaignOptions {
   std::uint64_t seed = 1;    // campaign master seed
   // Fault kinds to sweep; empty = all kinds.
   std::vector<versal::FaultKind> kinds;
+  // When true, the first trial whose fault was actually noticed (a task
+  // failed or recovery ran) keeps its full Chrome-trace JSON in
+  // CampaignOutcome::trace_json so the CLI can dump the timeline.
+  bool capture_failure_trace = false;
 };
 
 struct CampaignOutcome {
@@ -55,7 +59,14 @@ struct CampaignOutcome {
   // fault-free reference bit for bit (U, sigma, iterations).
   bool healthy_bit_identical = true;
   double batch_seconds = 0.0;
+  // Simulated AIE cycles between the first injection instant and the
+  // first detection instant on the trial's fault timeline; -1 when the
+  // trial had no (injection, detection) pair to measure.
+  double detection_latency_cycles = -1.0;
   std::string note;          // first failure diagnostic, if any
+  // Chrome-trace JSON of the trial (only the first noticed-fault trial,
+  // and only when CampaignOptions::capture_failure_trace is set).
+  std::string trace_json;
 };
 
 // Runs the sweep; outcomes are ordered (kind, trial).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/format.hpp"
 
 namespace hsvd::accel {
 
@@ -57,6 +58,14 @@ double Sender::send_column(int which_block_channel, std::uint32_t dest_id,
                            ? static_cast<double>(payload_bytes_hint)
                            : static_cast<double>(payload.size() * sizeof(float));
   const double at_plio = tx.transfer(ready, bytes);
+  if (obs::ObsContext* obs = array_.observer()) {
+    obs->metrics().add("sim.plio.bytes", static_cast<std::uint64_t>(bytes));
+    if (obs::Tracer* tr = obs->tracer()) {
+      const double dur = tx.transfer_duration(bytes);
+      tr->span(obs::Domain::kSim, cat("plio.", tx.timeline().name()),
+               cat("c", column, ".t", task), "plio", at_plio - dur, dur);
+    }
+  }
   versal::Packet packet;
   packet.header = {dest_id, column, task};
   packet.payload = std::move(payload);
@@ -65,15 +74,28 @@ double Sender::send_column(int which_block_channel, std::uint32_t dest_id,
                               payload_bytes_hint);
 }
 
-Receiver::Receiver(versal::Channel& rx0, versal::Channel& rx1)
-    : rx0_(rx0), rx1_(rx1) {}
+Receiver::Receiver(versal::Channel& rx0, versal::Channel& rx1,
+                   const versal::AieArraySim* array)
+    : rx0_(rx0), rx1_(rx1), array_(array) {}
 
 double Receiver::receive_column(int which_block_channel, double ready,
                                 double column_bytes) {
   HSVD_REQUIRE(which_block_channel == 0 || which_block_channel == 1,
                "a block pair uses exactly two Rx PLIOs");
   versal::Channel& rx = which_block_channel == 0 ? rx0_ : rx1_;
-  return rx.transfer(ready, column_bytes);
+  const double done = rx.transfer(ready, column_bytes);
+  if (array_ != nullptr) {
+    if (obs::ObsContext* obs = array_->observer()) {
+      obs->metrics().add("sim.plio.bytes",
+                         static_cast<std::uint64_t>(column_bytes));
+      if (obs::Tracer* tr = obs->tracer()) {
+        const double dur = rx.transfer_duration(column_bytes);
+        tr->span(obs::Domain::kSim, cat("plio.", rx.timeline().name()), "col",
+                 "plio", done - dur, dur);
+      }
+    }
+  }
+  return done;
 }
 
 }  // namespace hsvd::accel

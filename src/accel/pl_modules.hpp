@@ -78,7 +78,10 @@ class Sender {
 
 class Receiver {
  public:
-  Receiver(versal::Channel& rx0, versal::Channel& rx1);
+  // `array` (optional) supplies the observability context the Rx PLIO
+  // transfers report to; the receiver itself never touches the fabric.
+  Receiver(versal::Channel& rx0, versal::Channel& rx1,
+           const versal::AieArraySim* array = nullptr);
 
   // Receives one column of a block over the block's Rx PLIO; returns the
   // completion time at the PL buffers.
@@ -88,6 +91,7 @@ class Receiver {
  private:
   versal::Channel& rx0_;
   versal::Channel& rx1_;
+  const versal::AieArraySim* array_;
 };
 
 class SystemModule {

@@ -1,5 +1,6 @@
 #include "accel/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <vector>
 
@@ -29,6 +30,37 @@ std::string render_floorplan(const PlacementResult& placement,
      << placement.num_mem << " mem, "
      << geometry.tile_count() - placement.total_aie() << " idle\n";
   for (const auto& row : grid) os << row << "\n";
+  return os.str();
+}
+
+std::string render_utilization(const versal::UtilizationReport& report) {
+  std::ostringstream os;
+  os << "AIE utilization " << report.rows << "x" << report.cols << " -- "
+     << pct(report.core_utilization(), 1) << " core busy over "
+     << sci(report.makespan_seconds) << " s; "
+     << report.total_neighbour_bytes() << " B neighbour, "
+     << report.total_dma_bytes() << " B dma, "
+     << report.total_stream_bytes() << " B stream\n";
+  const double makespan = report.makespan_cycles();
+  for (int row = 0; row < report.rows; ++row) {
+    for (int col = 0; col < report.cols; ++col) {
+      const auto& t = report.at(row, col);
+      char ch = '.';
+      if (t.stalled_cycles > 0) {
+        ch = '!';
+      } else if (t.kernel_invocations > 0) {
+        const double f = t.busy_fraction(makespan);
+        if (f >= 1.0) {
+          ch = '*';
+        } else {
+          const int decile = std::clamp(static_cast<int>(f * 10.0), 0, 9);
+          ch = static_cast<char>('0' + decile);
+        }
+      }
+      os << ch;
+    }
+    os << "\n";
+  }
   return os.str();
 }
 

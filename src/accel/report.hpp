@@ -10,6 +10,9 @@
 //   .               : idle tile
 // render_schedule() prints an ordering's rounds with per-transition move
 // classification, a textual Fig. 3.
+// render_utilization() is the measured companion of render_floorplan():
+// the same grid, but each tile shows its busy decile from a run's
+// per-tile counters (the heat-map view of Fig. 9).
 #pragma once
 
 #include <string>
@@ -17,11 +20,21 @@
 #include "accel/dataflow.hpp"
 #include "accel/placement.hpp"
 #include "jacobi/ordering.hpp"
+#include "versal/utilization.hpp"
 
 namespace hsvd::accel {
 
 std::string render_floorplan(const PlacementResult& placement,
                              const versal::ArrayGeometry& geometry);
+
+// Heat grid of a run's per-tile core utilization:
+//   .      : tile never ran a kernel
+//   0-9    : busy decile of the makespan (9 = >= 90% busy)
+//   *      : busy the entire makespan
+//   !      : tile accumulated fault-stall time
+// A summary line with the aggregate core utilization and per-link byte
+// totals precedes the grid.
+std::string render_utilization(const versal::UtilizationReport& report);
 
 // Renders the (2k-1) x k schedule of `kind` with the move classification
 // between consecutive rounds (N = neighbour, D = DMA).

@@ -71,23 +71,33 @@ class ConvergenceError : public std::runtime_error, public Error {
 
 class FaultDetected : public std::runtime_error, public Error {
  public:
-  explicit FaultDetected(const std::string& msg) : std::runtime_error(msg) {}
+  // `sim_seconds` optionally stamps the simulated time at which the
+  // detection point fired (negative = unknown); the observability layer
+  // turns it into timeline instants and detection-latency figures.
+  explicit FaultDetected(const std::string& msg, double sim_seconds = -1.0)
+      : std::runtime_error(msg), sim_seconds_(sim_seconds) {}
   // With tile attribution: (row, col) of the AIE tile the detection point
   // blames; the accelerator's recovery masks it out of the placement.
-  FaultDetected(const std::string& msg, int tile_row, int tile_col)
+  FaultDetected(const std::string& msg, int tile_row, int tile_col,
+                double sim_seconds = -1.0)
       : std::runtime_error(msg),
         has_tile_(true),
         tile_row_(tile_row),
-        tile_col_(tile_col) {}
+        tile_col_(tile_col),
+        sim_seconds_(sim_seconds) {}
   const char* kind() const noexcept override { return "fault"; }
   bool has_tile() const noexcept { return has_tile_; }
   int tile_row() const noexcept { return tile_row_; }
   int tile_col() const noexcept { return tile_col_; }
+  // Simulated time of detection, in seconds; negative when the detection
+  // point could not supply one.
+  double sim_seconds() const noexcept { return sim_seconds_; }
 
  private:
   bool has_tile_ = false;
   int tile_row_ = 0;
   int tile_col_ = 0;
+  double sim_seconds_ = -1.0;
 };
 
 }  // namespace hsvd

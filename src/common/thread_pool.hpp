@@ -13,6 +13,8 @@
 //   explicit positive request > HSVD_THREADS env var > hardware cores.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -22,6 +24,22 @@
 #include <vector>
 
 namespace hsvd::common {
+
+// Host-side instrumentation hook for parallel_for (see src/obs/ for the
+// tracer-backed implementation). Defined here as a pure interface so
+// the common layer stays free of observability dependencies.
+class ParallelForObserver {
+ public:
+  virtual ~ParallelForObserver() = default;
+  // One call per finished loop index of a *labelled* parallel_for.
+  // `worker` is the pool worker ordinal that ran the index (-1 = the
+  // calling thread). Timestamps are raw steady_clock points so the
+  // observer can convert to whatever epoch its tracer uses. Must be
+  // thread-safe: indices finish concurrently.
+  virtual void on_index(const char* label, std::size_t index, int worker,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end) = 0;
+};
 
 class ThreadPool {
  public:
@@ -40,8 +58,23 @@ class ThreadPool {
   // calling thread always participates, so nested parallel_for calls
   // cannot deadlock even when every pool worker is busy. The first
   // exception thrown by fn is rethrown here after all indices finish.
+  //
+  // `label` names the loop for the observer hook: when a label is given
+  // AND an observer is attached, every index is timed and reported via
+  // ParallelForObserver::on_index. A null label (the default) or a null
+  // observer costs one pointer check per loop.
   void parallel_for(std::size_t n, int threads,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    const char* label = nullptr);
+
+  // Process-wide observer for labelled parallel_for loops (last writer
+  // wins; nullptr detaches). Scoped attachment: obs::ScopedPoolObservation.
+  static void set_observer(ParallelForObserver* observer);
+  static ParallelForObserver* observer();
+
+  // Ordinal of the pool worker running the current thread (-1 when the
+  // current thread is not a pool worker, e.g. the caller of parallel_for).
+  static int worker_ordinal();
 
   // Process-wide pool sized to the hardware concurrency.
   static ThreadPool& shared();
@@ -54,7 +87,7 @@ class ThreadPool {
   static int hardware_threads();
 
  private:
-  void worker_loop();
+  void worker_loop(int ordinal);
   void submit(std::function<void()> job);
 
   std::vector<std::thread> workers_;

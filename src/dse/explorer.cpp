@@ -114,12 +114,24 @@ std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
     }
   };
   const int threads = common::ThreadPool::resolve_threads(request.threads);
-  common::ThreadPool::shared().parallel_for(
-      static_cast<std::size_t>(kMaxPeng), threads, evaluate_slice);
+  {
+    obs::ScopedPoolObservation observe(request.observer);
+    common::ThreadPool::shared().parallel_for(
+        static_cast<std::size_t>(kMaxPeng), threads, evaluate_slice,
+        "dse-slice");
+  }
 
   std::vector<DesignPoint> points;
   for (const auto& slice : slices) {
     points.insert(points.end(), slice.begin(), slice.end());
+  }
+  if (request.observer != nullptr) {
+    auto& metrics = request.observer->metrics();
+    metrics.add("dse.placement_calls",
+                counters_->placement_calls.load(std::memory_order_relaxed));
+    metrics.add("dse.placement_reuses",
+                counters_->placement_reuses.load(std::memory_order_relaxed));
+    metrics.add("dse.points", points.size());
   }
   const auto better = [&](const DesignPoint& a, const DesignPoint& b) {
     if (request.objective == Objective::kLatency) {

@@ -21,6 +21,7 @@
 #include "accel/config.hpp"
 #include "accel/placement.hpp"
 #include "dse/frequency_model.hpp"
+#include "obs/obs.hpp"
 #include "perfmodel/perf_model.hpp"
 #include "perfmodel/power_model.hpp"
 #include "perfmodel/resource_model.hpp"
@@ -60,6 +61,10 @@ struct DseRequest {
   // space in parallel (0 = auto via HSVD_THREADS/hardware, 1 = inline).
   // The enumeration order and scores are thread-count invariant.
   int threads = 0;
+  // Optional observability context (not owned): enumerate() records
+  // placement-effort counters and -- through the pool observer -- a host
+  // span per P_eng slice. Never changes the enumeration.
+  obs::ObsContext* observer = nullptr;
 };
 
 // Placement-effort accounting for the most recent enumerate() on an

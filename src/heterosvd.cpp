@@ -44,6 +44,7 @@ accel::HeteroSvdConfig choose_config(std::size_t rows, std::size_t cols,
       batch > 1 ? dse::Objective::kThroughput : dse::Objective::kLatency;
   req.device = options.device;
   req.threads = options.threads;
+  req.observer = options.observer;
   const auto point = dse::DesignSpaceExplorer{}.optimize(req);
   accel::HeteroSvdConfig cfg;
   cfg.rows = rows;
@@ -96,6 +97,8 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
   if (options.fault_injector != nullptr) {
     acc.attach_faults(options.fault_injector);
   }
+  acc.attach_observer(options.observer);
+  obs::ScopedPoolObservation observe(options.observer);
   auto run = acc.run({a});
   const auto& task = run.tasks.front();
   if (!task.ok()) {
@@ -129,6 +132,8 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   if (options.fault_injector != nullptr) {
     acc.attach_faults(options.fault_injector);
   }
+  acc.attach_observer(options.observer);
+  obs::ScopedPoolObservation observe(options.observer);
   auto run = acc.run(batch);
   BatchSvd out;
   out.config = cfg;
@@ -136,6 +141,7 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   out.throughput_tasks_per_s = run.throughput_tasks_per_s;
   out.failed_tasks = run.failed_tasks;
   out.recovery_runs = run.recovery_runs;
+  out.utilization = std::move(run.utilization);
   out.results.resize(batch.size());
   // The host-side post-pass (factor copies + derive_v) is independent
   // per task; fan it out over the pool. derive_v runs inline (threads=1)
@@ -144,7 +150,8 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   common::ThreadPool::shared().parallel_for(
       batch.size(), threads, [&](std::size_t i) {
         out.results[i] = from_task(run.tasks[i], batch[i], options.want_v, 1);
-      });
+      },
+      "task-post");
   return out;
 }
 
@@ -164,14 +171,16 @@ linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
   // self-contained dot, making the result thread-count invariant.
   const int width = common::ThreadPool::resolve_threads(threads);
   common::ThreadPool::shared().parallel_for(
-      a.cols(), width, [&](std::size_t j) {
+      a.cols(), width,
+      [&](std::size_t j) {
         auto aj = a.col(j);
         for (std::size_t t = 0; t < sigma.size(); ++t) {
           if (sigma[t] <= 1e-12f) continue;
           const float inv = 1.0f / sigma[t];
           v(j, t) = linalg::dot<float>(aj, u.col(t)) * inv;
         }
-      });
+      },
+      "derive-v");
   return v;
 }
 

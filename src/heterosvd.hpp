@@ -24,7 +24,9 @@
 #include "common/error.hpp"
 #include "dse/explorer.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 #include "versal/faults.hpp"
+#include "versal/utilization.hpp"
 
 namespace hsvd {
 
@@ -52,6 +54,13 @@ struct SvdOptions {
   // Recovery budget: masked-tile re-placement + re-run rounds (see
   // accel::HeteroSvdConfig::fault_retries).
   int fault_retries = 2;
+  // Observability context (not owned; nullptr = off, the default).
+  // Attaching one records metrics (and, when its tracer is enabled,
+  // simulated + host timeline events) for the run. Guaranteed inert:
+  // results are bit-identical and the simulated timing is unchanged
+  // whether or not an observer is attached -- an enabled tracer only
+  // changes how the *host* schedules the identical simulated work.
+  obs::ObsContext* observer = nullptr;
 };
 
 struct Svd {
@@ -101,6 +110,9 @@ struct BatchSvd {
   // a fault-free run. results[i].status says which tasks survived.
   int failed_tasks = 0;                    // still kFailed after recovery
   int recovery_runs = 0;                   // re-placement rounds consumed
+  // Per-tile busy/stall/idle tallies and link-byte counters of the run
+  // (always populated; render with accel::render_utilization).
+  versal::UtilizationReport utilization;
 };
 //
 // Errors: throws hsvd::InputError for invalid input (empty batch, mixed

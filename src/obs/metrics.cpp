@@ -1,0 +1,275 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace hsvd::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+std::string json_number(double v) {
+  // Shortest round-trippable form that is still valid JSON (no bare NaN).
+  if (!(v == v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s = buf;
+  if (s == "inf") return "1e308";
+  if (s == "-inf") return "-1e308";
+  return s;
+}
+
+void append_json_escaped(std::ostringstream& os, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double hi = bounds[b];
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    if (counts[b] == 0) return hi;
+    const double into =
+        rank - static_cast<double>(cumulative - counts[b]);
+    return lo + (hi - lo) * into / static_cast<double>(counts[b]);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << name << " " << json_number(value) << "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    os << name << "{count} " << hist.total << "\n";
+    os << name << "{sum} " << json_number(hist.sum) << "\n";
+    os << name << "{p50} " << json_number(hist.quantile(0.5)) << "\n";
+    os << name << "{p99} " << json_number(hist.quantile(0.99)) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    append_json_escaped(os, name);
+    os << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    append_json_escaped(os, name);
+    os << "\":" << json_number(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    append_json_escaped(os, name);
+    os << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+      if (b > 0) os << ",";
+      os << json_number(hist.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+      if (b > 0) os << ",";
+      os << hist.counts[b];
+    }
+    os << "],\"total\":" << hist.total << ",\"sum\":" << json_number(hist.sum)
+       << ",\"p50\":" << json_number(hist.quantile(0.5))
+       << ",\"p99\":" << json_number(hist.quantile(0.99)) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool MetricsSnapshot::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::HistogramCell {
+  std::shared_ptr<const std::vector<double>> bounds;
+  std::vector<std::uint64_t> counts;  // bounds->size() + 1
+  std::uint64_t total = 0;
+  double sum = 0.0;
+};
+
+struct MetricsRegistry::Shard {
+  // The shard's mutex is uncontended in steady state (one writer thread);
+  // snapshot() and reset() take it briefly while merging/clearing.
+  std::mutex mutex;
+  std::unordered_map<std::string, std::uint64_t> counters;
+  std::unordered_map<std::string, HistogramCell> histograms;
+};
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
+  // Registry ids are never reused, so a cached pointer can only be used
+  // while its registry is alive (lookups happen through that registry).
+  thread_local std::unordered_map<std::uint64_t, Shard*> t_cache;
+  const auto it = t_cache.find(id_);
+  if (it != t_cache.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(shards_mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  t_cache.emplace(id_, shard);
+  return *shard;
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(gauges_mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::register_histogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  HSVD_REQUIRE(!bounds.empty(), "histogram needs at least one bucket edge");
+  HSVD_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+               "histogram bucket edges must be ascending");
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  histogram_bounds_.emplace(
+      name, std::make_shared<const std::vector<double>>(std::move(bounds)));
+}
+
+std::shared_ptr<const std::vector<double>> MetricsRegistry::bounds_for(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  const auto it = histogram_bounds_.find(name);
+  if (it != histogram_bounds_.end()) return it->second;
+  static const auto defaults =
+      std::make_shared<const std::vector<double>>(default_bounds());
+  return defaults;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  HistogramCell& cell = shard.histograms[name];
+  if (cell.bounds == nullptr) {
+    cell.bounds = bounds_for(name);
+    cell.counts.assign(cell.bounds->size() + 1, 0);
+  }
+  const auto& bounds = *cell.bounds;
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds.begin());
+  ++cell.counts[bucket];
+  ++cell.total;
+  cell.sum += value;
+}
+
+std::vector<double> MetricsRegistry::exponential_bounds(double first,
+                                                        double factor,
+                                                        int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double edge = first;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& MetricsRegistry::default_bounds() {
+  static const std::vector<double> bounds = exponential_bounds(1.0, 4.0, 24);
+  return bounds;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) shards.push_back(shard.get());
+  }
+  for (Shard* shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, value] : shard->counters) {
+      snap.counters[name] += value;
+    }
+    for (const auto& [name, cell] : shard->histograms) {
+      HistogramSnapshot& hist = snap.histograms[name];
+      if (hist.bounds.empty()) {
+        hist.bounds = *cell.bounds;
+        hist.counts.assign(cell.counts.size(), 0);
+      }
+      for (std::size_t b = 0; b < cell.counts.size() && b < hist.counts.size();
+           ++b) {
+        hist.counts[b] += cell.counts[b];
+      }
+      hist.total += cell.total;
+      hist.sum += cell.sum;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(gauges_mutex_);
+    snap.gauges = gauges_;
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::vector<Shard*> shards;
+  {
+    std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (const auto& shard : shards_) shards.push_back(shard.get());
+  }
+  for (Shard* shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->counters.clear();
+    shard->histograms.clear();
+  }
+  std::lock_guard<std::mutex> lock(gauges_mutex_);
+  gauges_.clear();
+}
+
+}  // namespace hsvd::obs

@@ -1,0 +1,102 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// The registry is the always-cheap half of the observability subsystem
+// (src/obs/): instrumentation points record named values, a snapshot
+// merges them into an immutable view exportable as text or JSON. Writes
+// are sharded per thread -- each recording thread owns a private shard
+// keyed by a process-unique registry id, so `common::ThreadPool` workers
+// record without contending on a global lock; shards are only walked (and
+// briefly locked one at a time) when a snapshot is taken. Counter and
+// histogram merges are order-independent sums, so a snapshot of N
+// threads' shards equals the sequential total exactly.
+//
+// Histograms use fixed upper-edge buckets (value lands in the first
+// bucket whose edge is >= value, overflow past the last edge); quantiles
+// are linearly interpolated inside the winning bucket, the standard
+// Prometheus estimation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hsvd::obs {
+
+// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         // ascending upper edges
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (last = overflow)
+  std::uint64_t total = 0;
+  double sum = 0.0;
+
+  double mean() const { return total > 0 ? sum / static_cast<double>(total) : 0.0; }
+  // Interpolated quantile, q in [0, 1]. Values in the overflow bucket
+  // clamp to the last edge (there is no upper bound to interpolate to).
+  double quantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Prometheus-flavoured plain text, one metric per line.
+  std::string to_text() const;
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {bounds, counts, total, sum, p50, p99}}}.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Counter: monotonically increasing sum.
+  void add(const std::string& name, std::uint64_t delta = 1);
+  // Gauge: last written value wins (write-time ordered).
+  void set_gauge(const std::string& name, double value);
+  // Fixes a histogram's bucket edges before (or after) the first observe.
+  // Idempotent: a name that already has edges keeps them, so concurrent
+  // registration from instrumentation points is safe.
+  void register_histogram(const std::string& name, std::vector<double> bounds);
+  // Records one sample. Unregistered names get default_bounds().
+  void observe(const std::string& name, double value);
+
+  // `count` edges: first, first*factor, first*factor^2, ...
+  static std::vector<double> exponential_bounds(double first, double factor,
+                                                int count);
+  // The fallback edges for unregistered histograms: 24 powers of 4
+  // starting at 1.0 (covers counts/cycles from 1 to ~7e13).
+  static const std::vector<double>& default_bounds();
+
+  // Merges every shard into one consistent view.
+  MetricsSnapshot snapshot() const;
+  // Zeroes all counters/gauges/histogram contents (registrations kept).
+  void reset();
+
+ private:
+  struct Shard;
+  struct HistogramCell;
+  Shard& local_shard() const;
+  std::shared_ptr<const std::vector<double>> bounds_for(
+      const std::string& name) const;
+
+  const std::uint64_t id_;  // process-unique, never reused
+  mutable std::mutex shards_mutex_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex config_mutex_;
+  // Registered bucket edges; shards cache the shared_ptr per name.
+  mutable std::map<std::string, std::shared_ptr<const std::vector<double>>>
+      histogram_bounds_;
+  mutable std::mutex gauges_mutex_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace hsvd::obs

@@ -1,0 +1,67 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+
+#include "common/format.hpp"
+
+namespace hsvd::obs {
+
+class ObsContext::PoolObserver : public common::ParallelForObserver {
+ public:
+  explicit PoolObserver(ObsContext& owner) : owner_(owner) {}
+
+  void on_index(const char* label, std::size_t index, int worker,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end) override {
+    owner_.metrics_.add(cat("host.pool.", label));
+    Tracer* tracer = owner_.tracer_.get();
+    if (tracer == nullptr) return;
+    // Convert the raw steady_clock points into the tracer's host epoch so
+    // pool spans line up with every other host-domain event.
+    const double now = tracer->host_now();
+    const double end_s =
+        now - std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            end)
+                  .count();
+    const double start_s =
+        end_s - std::chrono::duration<double>(end - start).count();
+    const std::string track =
+        worker < 0 ? "caller" : cat("worker-", worker);
+    tracer->span(Domain::kHost, track, cat(label, "[", index, "]"), "pool",
+                 start_s, end_s - start_s);
+  }
+
+ private:
+  ObsContext& owner_;
+};
+
+ObsContext::ObsContext() : pool_(std::make_unique<PoolObserver>(*this)) {}
+
+ObsContext::~ObsContext() {
+  // Never leave a dangling pool observer behind if a caller forgot the
+  // scoped detach.
+  if (common::ThreadPool::observer() == pool_.get()) {
+    common::ThreadPool::set_observer(nullptr);
+  }
+}
+
+void ObsContext::enable_tracing() {
+  if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>();
+}
+
+common::ParallelForObserver* ObsContext::pool_observer() {
+  return pool_.get();
+}
+
+ScopedPoolObservation::ScopedPoolObservation(ObsContext* context) {
+  if (context == nullptr) return;
+  previous_ = common::ThreadPool::observer();
+  common::ThreadPool::set_observer(context->pool_observer());
+  attached_ = true;
+}
+
+ScopedPoolObservation::~ScopedPoolObservation() {
+  if (attached_) common::ThreadPool::set_observer(previous_);
+}
+
+}  // namespace hsvd::obs

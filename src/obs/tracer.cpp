@@ -1,0 +1,140 @@
+#include "obs/tracer.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace hsvd::obs {
+
+const char* to_string(Domain domain) {
+  switch (domain) {
+    case Domain::kSim: return "simulated fabric";
+    case Domain::kHost: return "host";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int pid_of(Domain domain) { return domain == Domain::kSim ? 1 : 2; }
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::span(Domain domain, std::string track, std::string name,
+                  std::string category, double start_s, double duration_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back({domain, std::move(track), std::move(name),
+                    std::move(category), start_s, duration_s});
+}
+
+void Tracer::instant(Domain domain, std::string track, std::string name,
+                     std::string category, double at_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  instants_.push_back(
+      {domain, std::move(track), std::move(name), std::move(category), at_s});
+}
+
+double Tracer::host_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<TraceInstant> Tracer::instants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instants_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size() + instants_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  instants_.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Stable tid per (domain, track), in first-seen order across both
+  // event kinds, so lanes are deterministic for a deterministic run.
+  std::map<std::pair<int, std::string>, int> tids;
+  const auto tid_of = [&tids](Domain domain, const std::string& track) {
+    return tids.emplace(std::make_pair(pid_of(domain), track),
+                        static_cast<int>(tids.size()))
+        .first->second;
+  };
+  for (const auto& e : spans_) tid_of(e.domain, e.track);
+  for (const auto& e : instants_) tid_of(e.domain, e.track);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&os, &first] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const Domain domain : {Domain::kSim, Domain::kHost}) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":" << pid_of(domain)
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    append_escaped(os, to_string(domain));
+    os << "\"}}";
+  }
+  for (const auto& [key, tid] : tids) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":" << key.first << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(os, key.second);
+    os << "\"}}";
+  }
+  for (const auto& e : spans_) {
+    comma();
+    os << "{\"ph\":\"X\",\"pid\":" << pid_of(e.domain)
+       << ",\"tid\":" << tid_of(e.domain, e.track) << ",\"ts\":" << e.start_s * 1e6
+       << ",\"dur\":" << e.duration_s * 1e6 << ",\"cat\":\"";
+    append_escaped(os, e.category);
+    os << "\",\"name\":\"";
+    append_escaped(os, e.name);
+    os << "\"}";
+  }
+  for (const auto& e : instants_) {
+    comma();
+    os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid_of(e.domain)
+       << ",\"tid\":" << tid_of(e.domain, e.track) << ",\"ts\":" << e.at_s * 1e6
+       << ",\"cat\":\"";
+    append_escaped(os, e.category);
+    os << "\",\"name\":\"";
+    append_escaped(os, e.name);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_chrome_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace hsvd::obs

@@ -1,5 +1,6 @@
 #include "versal/array.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/format.hpp"
@@ -19,6 +20,19 @@ AieArraySim::AieArraySim(const ArrayGeometry& geometry,
     stream_ports_.emplace_back(cat("stream", i));
     dma_engines_.emplace_back(cat("dma", i));
   }
+  tile_counters_ = std::make_unique<TileCounters[]>(
+      static_cast<std::size_t>(geometry_.tile_count()));
+}
+
+void AieArraySim::attach_observer(obs::ObsContext* observer) {
+  obs_ = observer;
+  if (obs_ == nullptr) return;
+  // Cycle histograms share the default exponential bounds; registering is
+  // idempotent so repeated attachment is safe.
+  const auto bounds = obs::MetricsRegistry::default_bounds();
+  obs_->metrics().register_histogram("sim.kernel.cycles", bounds);
+  obs_->metrics().register_histogram("sim.dma.cycles", bounds);
+  obs_->metrics().register_histogram("sim.stream.cycles", bounds);
 }
 
 TileMemory& AieArraySim::memory(const TileCoord& t) {
@@ -30,17 +44,25 @@ Timeline& AieArraySim::core(const TileCoord& t) {
 }
 
 void AieArraySim::neighbour_move(const TileCoord& src, const TileCoord& dst,
-                                 const std::string& key) {
+                                 const std::string& key,
+                                 std::uint64_t bytes_hint) {
   HSVD_REQUIRE(geometry_.neighbour_transfer_possible(src, dst),
                cat("tiles ", to_string(src), " -> ", to_string(dst),
                    " are not neighbour-accessible"));
   stats_.neighbour_transfers.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t bytes = bytes_hint;
+  if (obs_ != nullptr) obs_->metrics().add("sim.neighbour.transfers");
   if (src == dst) return;
   TileMemory& sm = memory(src);
-  if (!sm.contains(key)) return;  // timing-only execution: no payload
-  std::vector<float> data = sm.load(key);
-  sm.erase(key);
-  memory(dst).store(key, std::move(data));
+  if (sm.contains(key)) {
+    std::vector<float> data = sm.load(key);
+    bytes = data.size() * sizeof(float);
+    sm.erase(key);
+    memory(dst).store(key, std::move(data));
+  }
+  // The consuming tile reads the shared memory module: charge the link
+  // bytes to the destination.
+  counters(dst).neighbour_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
@@ -50,6 +72,19 @@ double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
   bool drop = false;
   double stall = 0.0;
   if (faults_ != nullptr) stall = faults_->on_dma(src, &drop);
+  if (stall > 0 || drop) {
+    counters(src).stall_seconds.fetch_add(stall, std::memory_order_relaxed);
+    if (obs_ != nullptr) {
+      obs_->metrics().add(drop ? "sim.fault.inject.dma_drop"
+                               : "sim.fault.inject.dma_stall");
+      if (obs::Tracer* tr = obs_->tracer()) {
+        tr->instant(obs::Domain::kSim, "faults",
+                    cat(drop ? "inject:dma-drop " : "inject:dma-stall ",
+                        to_string(src)),
+                    "fault", ready);
+      }
+    }
+  }
   TileMemory& sm = memory(src);
   std::uint64_t bytes = bytes_hint;
   if (sm.contains(key)) {
@@ -66,6 +101,7 @@ double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
     }
   }
   stats_.dma_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  counters(src).dma_bytes.fetch_add(bytes, std::memory_order_relaxed);
   Timeline& engine =
       dma_engines_[static_cast<std::size_t>(geometry_.index_of(src))];
   const double duration =
@@ -74,6 +110,16 @@ double AieArraySim::dma_move(const TileCoord& src, const TileCoord& dst,
   if (trace_ != nullptr) {
     trace_->record(TraceKind::kDma, cat("dma", to_string(src)),
                    cat(key, " -> ", to_string(dst)), done - duration, duration);
+  }
+  if (obs_ != nullptr) {
+    obs_->metrics().add("sim.dma.transfers");
+    obs_->metrics().add("sim.dma.bytes", bytes);
+    obs_->metrics().observe("sim.dma.cycles", duration * device_.aie_clock_hz);
+    if (obs::Tracer* tr = obs_->tracer()) {
+      tr->span(obs::Domain::kSim, cat("dma", to_string(src)),
+               cat(key, " -> ", to_string(dst)), "dma", done - duration,
+               duration);
+    }
   }
   return done;
 }
@@ -85,9 +131,23 @@ double AieArraySim::stream_packet(const TileCoord& dst, const Packet& packet,
   const std::uint64_t wire_bytes =
       packet.payload.empty() ? 16 + payload_bytes_hint : packet.bytes();
   stats_.stream_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
+  counters(dst).stream_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
   bool drop = false;
   double stall = 0.0;
   if (faults_ != nullptr) stall = faults_->on_stream(dst, &drop);
+  if (stall > 0 || drop) {
+    counters(dst).stall_seconds.fetch_add(stall, std::memory_order_relaxed);
+    if (obs_ != nullptr) {
+      obs_->metrics().add(drop ? "sim.fault.inject.stream_drop"
+                               : "sim.fault.inject.stream_stall");
+      if (obs::Tracer* tr = obs_->tracer()) {
+        tr->instant(obs::Domain::kSim, "faults",
+                    cat(drop ? "inject:stream-drop " : "inject:stream-stall ",
+                        to_string(dst)),
+                    "fault", ready);
+      }
+    }
+  }
   if (store_payload && !packet.payload.empty() && !drop) {
     std::vector<float> data = packet.payload;
     if (faults_ != nullptr) faults_->corrupt_payload(dst, data);
@@ -104,21 +164,49 @@ double AieArraySim::stream_packet(const TileCoord& dst, const Packet& packet,
                    cat("pkt c", packet.header.column, " t", packet.header.task),
                    done - duration, duration);
   }
+  if (obs_ != nullptr) {
+    obs_->metrics().add("sim.stream.packets");
+    obs_->metrics().add("sim.stream.bytes", wire_bytes);
+    obs_->metrics().observe("sim.stream.cycles",
+                            duration * device_.aie_clock_hz);
+    if (obs::Tracer* tr = obs_->tracer()) {
+      tr->span(obs::Domain::kSim, cat("stream", to_string(dst)),
+               cat("pkt c", packet.header.column, " t", packet.header.task),
+               "stream", done - duration, duration);
+    }
+  }
   return done;
 }
 
 double AieArraySim::run_kernel(const TileCoord& tile, double ready,
                                double duration) {
   stats_.kernel_invocations.fetch_add(1, std::memory_order_relaxed);
+  counters(tile).kernel_invocations.fetch_add(1, std::memory_order_relaxed);
   if (faults_ != nullptr && faults_->hang_core(tile)) {
     // The core never completes: report an unreachable completion time and
     // leave the timeline untouched so healthy tiles stay unperturbed.
+    if (obs_ != nullptr) {
+      obs_->metrics().add("sim.fault.inject.tile_hang");
+      if (obs::Tracer* tr = obs_->tracer()) {
+        tr->instant(obs::Domain::kSim, "faults",
+                    cat("inject:hang ", to_string(tile)), "fault", ready);
+      }
+    }
     return std::numeric_limits<double>::infinity();
   }
   const double done = core(tile).schedule(ready, duration);
   if (trace_ != nullptr) {
     trace_->record(TraceKind::kKernel, cat("core", to_string(tile)), "kernel",
                    done - duration, duration);
+  }
+  if (obs_ != nullptr) {
+    obs_->metrics().add("sim.kernel.invocations");
+    obs_->metrics().observe("sim.kernel.cycles",
+                            duration * device_.aie_clock_hz);
+    if (obs::Tracer* tr = obs_->tracer()) {
+      tr->span(obs::Domain::kSim, cat("core", to_string(tile)), "kernel",
+               "kernel", done - duration, duration);
+    }
   }
   return done;
 }
@@ -162,6 +250,39 @@ double AieArraySim::core_utilization(double makespan) const {
   }
   if (active == 0) return 0.0;
   return busy / (static_cast<double>(active) * makespan);
+}
+
+UtilizationReport AieArraySim::utilization(double makespan) const {
+  UtilizationReport report;
+  report.rows = geometry_.rows();
+  report.cols = geometry_.cols();
+  report.makespan_seconds = makespan;
+  report.aie_clock_hz = device_.aie_clock_hz;
+  const double hz = device_.aie_clock_hz;
+  const double makespan_cycles = makespan * hz;
+  report.tiles.resize(static_cast<std::size_t>(geometry_.tile_count()));
+  for (int row = 0; row < geometry_.rows(); ++row) {
+    for (int col = 0; col < geometry_.cols(); ++col) {
+      const TileCoord coord{row, col};
+      const auto i = static_cast<std::size_t>(geometry_.index_of(coord));
+      TileUtilization& t = report.tiles[i];
+      const TileCounters& c = tile_counters_[i];
+      t.tile = coord;
+      t.busy_cycles = cores_[i].busy_seconds() * hz;
+      t.stalled_cycles =
+          c.stall_seconds.load(std::memory_order_relaxed) * hz;
+      t.idle_cycles =
+          std::max(0.0, makespan_cycles - t.busy_cycles - t.stalled_cycles);
+      t.dma_busy_cycles = dma_engines_[i].busy_seconds() * hz;
+      t.stream_busy_cycles = stream_ports_[i].busy_seconds() * hz;
+      t.kernel_invocations =
+          c.kernel_invocations.load(std::memory_order_relaxed);
+      t.neighbour_bytes = c.neighbour_bytes.load(std::memory_order_relaxed);
+      t.dma_bytes = c.dma_bytes.load(std::memory_order_relaxed);
+      t.stream_bytes = c.stream_bytes.load(std::memory_order_relaxed);
+    }
+  }
+  return report;
 }
 
 }  // namespace hsvd::versal

@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "versal/faults.hpp"
 #include "versal/geometry.hpp"
 #include "versal/memory.hpp"
@@ -20,6 +22,7 @@
 #include "versal/resources.hpp"
 #include "versal/timeline.hpp"
 #include "versal/trace.hpp"
+#include "versal/utilization.hpp"
 
 namespace hsvd::versal {
 
@@ -45,9 +48,11 @@ class AieArraySim {
   // --- Functional + accounted transfers -------------------------------
   // Neighbour transfer: requires geometric adjacency (throws otherwise).
   // Zero-copy in time (the consuming kernel reads the shared memory
-  // module directly); the buffer ownership moves to dst.
+  // module directly); the buffer ownership moves to dst. `bytes_hint`
+  // supplies the link-byte tally when the move carries no payload
+  // (timing-only execution).
   void neighbour_move(const TileCoord& src, const TileCoord& dst,
-                      const std::string& key);
+                      const std::string& key, std::uint64_t bytes_hint = 0);
 
   // DMA transfer: allowed between any two tiles. Duplicates the buffer
   // (shadow copy in dst) -- the "twice the memory" cost -- and occupies
@@ -78,6 +83,13 @@ class AieArraySim {
   // relative to `makespan` seconds.
   double core_utilization(double makespan) const;
 
+  // Per-tile busy/stall/idle cycle tallies and link-byte counters for a
+  // run whose critical path ended at `makespan` seconds. Reads the
+  // timelines and relaxed counters only -- never perturbs the schedule.
+  // Aggregates match the scalar accessors exactly (core_utilization,
+  // stats().dma_bytes, ...).
+  UtilizationReport utilization(double makespan) const;
+
   // DMA engine rate (bytes/s): 32-bit per AIE clock cycle.
   double dma_rate() const { return 4.0 * device_.aie_clock_hz; }
 
@@ -101,6 +113,16 @@ class AieArraySim {
   void attach_faults(FaultInjector* faults) { faults_ = faults; }
   FaultInjector* faults() const { return faults_; }
 
+  // Optional observability context (not owned; nullptr detaches). When
+  // attached, transfers and kernels record metrics counters/histograms,
+  // and -- when the context's tracer is enabled -- simulated-domain spans
+  // (per-tile kernel/DMA/stream tracks) plus fault-injection instants.
+  // Like the legacy TraceRecorder, an enabled *tracer* serializes the
+  // accelerator's batch engine so event order stays reproducible;
+  // metrics-only observation is sharded and stays parallel-safe.
+  void attach_observer(obs::ObsContext* observer);
+  obs::ObsContext* observer() const { return obs_; }
+
  private:
   ArrayGeometry geometry_;
   DeviceResources device_;
@@ -120,9 +142,25 @@ class AieArraySim {
     std::atomic<std::uint64_t> kernel_invocations{0};
   };
   AtomicStats stats_;
+  // Per-tile tallies behind the utilization report. Same atomicity
+  // contract as AtomicStats: relaxed adds from concurrent task slots,
+  // order-independent sums. Held in a fixed-size array because atomics
+  // are not movable.
+  struct TileCounters {
+    std::atomic<std::uint64_t> kernel_invocations{0};
+    std::atomic<std::uint64_t> neighbour_bytes{0};
+    std::atomic<std::uint64_t> dma_bytes{0};
+    std::atomic<std::uint64_t> stream_bytes{0};
+    std::atomic<double> stall_seconds{0.0};
+  };
+  TileCounters& counters(const TileCoord& t) {
+    return tile_counters_[static_cast<std::size_t>(geometry_.index_of(t))];
+  }
+  std::unique_ptr<TileCounters[]> tile_counters_;
   mutable ArrayStats stats_snapshot_;  // materialized by stats()
   TraceRecorder* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  obs::ObsContext* obs_ = nullptr;
 };
 
 }  // namespace hsvd::versal

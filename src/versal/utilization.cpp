@@ -1,0 +1,46 @@
+#include "versal/utilization.hpp"
+
+#include "common/assert.hpp"
+
+namespace hsvd::versal {
+
+const TileUtilization& UtilizationReport::at(int row, int col) const {
+  HSVD_REQUIRE(row >= 0 && row < rows && col >= 0 && col < cols,
+               "tile out of utilization report");
+  return tiles[static_cast<std::size_t>(row * cols + col)];
+}
+
+double UtilizationReport::core_utilization() const {
+  const double makespan = makespan_cycles();
+  if (makespan <= 0) return 0.0;
+  double busy = 0.0;
+  int active = 0;
+  for (const auto& t : tiles) {
+    if (t.busy_cycles > 0) {
+      busy += t.busy_cycles;
+      ++active;
+    }
+  }
+  if (active == 0) return 0.0;
+  return busy / (static_cast<double>(active) * makespan);
+}
+
+std::uint64_t UtilizationReport::total_neighbour_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiles) total += t.neighbour_bytes;
+  return total;
+}
+
+std::uint64_t UtilizationReport::total_dma_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiles) total += t.dma_bytes;
+  return total;
+}
+
+std::uint64_t UtilizationReport::total_stream_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tiles) total += t.stream_bytes;
+  return total;
+}
+
+}  // namespace hsvd::versal

@@ -1,0 +1,69 @@
+// Per-tile utilization accounting for the AIE array.
+//
+// A UtilizationReport is a snapshot of how each tile spent a run: core
+// busy cycles, fault-stall cycles, DMA-engine and stream-port busy
+// cycles, plus per-link byte totals (neighbour moves, DMA shadows,
+// stream/PLIO packets). Tallies come straight from the simulator's
+// timelines and relaxed per-tile counters, so building a report is cheap
+// and never perturbs the simulated schedule; the accelerator attaches
+// one to every RunResult and accel/report.hpp renders it as a heat grid.
+//
+// All cycle figures are in the AIE clock domain (seconds * aie_clock_hz)
+// to match the paper's Fig. 9 utilization accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "versal/geometry.hpp"
+
+namespace hsvd::versal {
+
+struct TileUtilization {
+  TileCoord tile{0, 0};
+  // Core cycles spent executing kernels.
+  double busy_cycles = 0;
+  // Injected fault stalls charged to this tile's DMA engine or stream
+  // port (already included in the respective engine busy time below, but
+  // tallied separately so degraded tiles stand out).
+  double stalled_cycles = 0;
+  // Core cycles left over within the makespan: makespan - busy - stalled,
+  // clamped at zero.
+  double idle_cycles = 0;
+  double dma_busy_cycles = 0;     // this tile's mm2s DMA engine
+  double stream_busy_cycles = 0;  // this tile's stream port
+  std::uint64_t kernel_invocations = 0;
+  // Per-link traffic, in bytes: neighbour moves consumed by this tile,
+  // DMA issued by this tile's engine, stream/PLIO packets landing on this
+  // tile's port.
+  std::uint64_t neighbour_bytes = 0;
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t stream_bytes = 0;
+
+  // Core busy fraction of the report's makespan (0 when makespan is 0).
+  double busy_fraction(double makespan_cycles) const {
+    return makespan_cycles > 0 ? busy_cycles / makespan_cycles : 0.0;
+  }
+};
+
+struct UtilizationReport {
+  int rows = 0;
+  int cols = 0;
+  double makespan_seconds = 0;
+  double aie_clock_hz = 1.0;
+  std::vector<TileUtilization> tiles;  // row-major, rows * cols entries
+
+  double makespan_cycles() const { return makespan_seconds * aie_clock_hz; }
+  const TileUtilization& at(int row, int col) const;
+
+  // Busy-time utilization of the cores that ran at least one kernel --
+  // the same definition as AieArraySim::core_utilization, reproduced
+  // from the per-tile tallies (Fig. 9's aggregate).
+  double core_utilization() const;
+
+  std::uint64_t total_neighbour_bytes() const;
+  std::uint64_t total_dma_bytes() const;
+  std::uint64_t total_stream_bytes() const;
+};
+
+}  // namespace hsvd::versal

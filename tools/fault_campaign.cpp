@@ -3,7 +3,13 @@
 // isolation. Exits nonzero when any trial misses a corruption or
 // perturbs a healthy task, so CI can gate on it.
 //
+// Every trial also reports its detection latency (simulated AIE cycles
+// from injection to detection) in the CSV; --trace dumps the Chrome
+// trace-event timeline of the first trial whose fault was noticed.
+//
 //   fault_campaign [--trials N] [--batch N] [--seed S] [--out file.csv]
+//                  [--trace timeline.trace.json]
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +36,7 @@ std::uint64_t parse_u64(const char* text, const char* flag) {
 int main(int argc, char** argv) {
   hsvd::accel::CampaignOptions options;
   std::string out_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -42,9 +49,13 @@ int main(int argc, char** argv) {
       options.seed = parse_u64(argv[++i], "--seed");
     } else if (arg == "--out" && has_value) {
       out_path = argv[++i];
+    } else if (arg == "--trace" && has_value) {
+      trace_path = argv[++i];
+      options.capture_failure_trace = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fault_campaign [--trials N] [--batch N] "
-                   "[--seed S] [--out file.csv]\n";
+                   "[--seed S] [--out file.csv] "
+                   "[--trace timeline.trace.json]\n";
       return 0;
     } else {
       std::cerr << "fault_campaign: unknown argument " << arg << "\n";
@@ -66,6 +77,31 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::cout << "wrote " << out_path << " (" << outcomes.size()
               << " trials)\n";
+  }
+
+  if (!trace_path.empty()) {
+    const auto traced = std::find_if(
+        outcomes.begin(), outcomes.end(),
+        [](const hsvd::accel::CampaignOutcome& out) {
+          return !out.trace_json.empty();
+        });
+    if (traced == outcomes.end()) {
+      std::cerr << "fault_campaign: no trial noticed its fault; nothing to "
+                   "trace\n";
+    } else {
+      std::FILE* f = std::fopen(trace_path.c_str(), "w");
+      if (f == nullptr ||
+          std::fwrite(traced->trace_json.data(), 1, traced->trace_json.size(),
+                      f) != traced->trace_json.size()) {
+        std::cerr << "fault_campaign: cannot write " << trace_path << "\n";
+        if (f != nullptr) std::fclose(f);
+        return 2;
+      }
+      std::fclose(f);
+      std::cout << "wrote " << trace_path << " ("
+                << hsvd::versal::to_string(traced->kind) << " trial, seed "
+                << traced->plan_seed << ")\n";
+    }
   }
 
   int missed = 0;
