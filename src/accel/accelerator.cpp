@@ -140,6 +140,11 @@ void HeteroSvdAccelerator::attach_observer(obs::ObsContext* observer) {
   array_->attach_observer(observer);
 }
 
+void HeteroSvdAccelerator::attach_cancellation(
+    const common::CancelToken* cancel) {
+  cancel_ = cancel;
+}
+
 void HeteroSvdAccelerator::attach_faults(versal::FaultInjector* faults) {
   faults_ = faults;
   array_->attach_faults(faults);
@@ -537,6 +542,16 @@ RunResult HeteroSvdAccelerator::execute_batch(
   // where the failure was detected would be optimistic -- we charge no
   // extra time (the failed task's own latency is already lost).
   const auto run_one = [&](int slot, double& slot_free, int t) {
+    // Cooperative cancellation point: a slot chain checks its deadline
+    // between tasks, never inside one, so an expired token aborts with
+    // every tile memory and timeline in a consistent state. The throw
+    // propagates out of parallel_for (which finishes in-flight indices
+    // first) and surfaces as hsvd::DeadlineExceeded from run().
+    if (cancel_ != nullptr && cancel_->expired()) {
+      throw hsvd::DeadlineExceeded(
+          cat(cancel_->cancelled() ? "cancelled" : "deadline expired",
+              " before task ", t, " on slot ", slot));
+    }
     const linalg::MatrixF* matrix =
         batch != nullptr ? &(*batch)[static_cast<std::size_t>(t)] : nullptr;
     TaskResult task;
@@ -683,6 +698,11 @@ RunResult HeteroSvdAccelerator::run(const std::vector<linalg::MatrixF>& batch) {
       }
     }
     if (failed.empty()) break;
+    if (cancel_ != nullptr && cancel_->expired()) {
+      throw hsvd::DeadlineExceeded(
+          cat(cancel_->cancelled() ? "cancelled" : "deadline expired",
+              " before recovery round ", attempt + 1));
+    }
     std::sort(bad.begin(), bad.end());
     bad.erase(std::unique(bad.begin(), bad.end()), bad.end());
     if (bad.empty()) break;  // nothing to mask: the fault is not tile-bound

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "accel/config.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "accel/dataflow.hpp"
 #include "accel/placement.hpp"
@@ -104,6 +105,13 @@ class HeteroSvdAccelerator {
   // simulated timeline.
   void attach_observer(obs::ObsContext* observer);
   obs::ObsContext* observer() const { return obs_; }
+  // Attach a cooperative cancellation token (not owned; nullptr
+  // detaches). The batch engine polls it at slot-chain boundaries --
+  // before each task of a chain and before each recovery round -- and
+  // aborts the run by throwing hsvd::DeadlineExceeded once it expires.
+  // Work is never interrupted mid-task, so cancellation leaves the
+  // simulator in a consistent state.
+  void attach_cancellation(const common::CancelToken* cancel);
   const PlacementResult& placement() const { return placement_; }
   const DataflowPlan& dataflow(std::size_t task_slot) const;
   const perf::AieKernelModel& kernel_model() const { return kernels_; }
@@ -165,6 +173,7 @@ class HeteroSvdAccelerator {
   double hls_overhead_s_ = 0.0;
   versal::TraceRecorder* trace_ = nullptr;
   versal::FaultInjector* faults_ = nullptr;
+  const common::CancelToken* cancel_ = nullptr;
   obs::ObsContext* obs_ = nullptr;
   std::vector<versal::TileCoord> masked_;
 };

@@ -1,9 +1,15 @@
 #include "accel/campaign.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 
 #include "accel/accelerator.hpp"
+#include "common/checkpoint.hpp"
 #include "common/csv.hpp"
 #include "common/format.hpp"
 #include "linalg/matrix.hpp"
@@ -125,12 +131,111 @@ double detection_latency_cycles(const obs::Tracer& tracer,
   return std::max(0.0, first_detect - first_inject) * aie_clock_hz;
 }
 
+// Shortest decimal that round-trips the exact double, so a checkpointed
+// trial renders the identical CSV cell on resume.
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// One checkpoint payload per trial: tab-joined escaped fields (the
+// checkpoint layer escapes the whole payload again for the file).
+// trace_json is intentionally not serialized.
+std::string serialize_outcome(const CampaignOutcome& out) {
+  using common::CheckpointFile;
+  const std::string fields[] = {
+      cat(static_cast<int>(out.kind)), cat(out.plan_seed),
+      cat(out.target.row),             cat(out.target.col),
+      cat(out.after_op),               cat(out.events_fired),
+      cat(out.failed_tasks),           cat(out.recovery_runs),
+      cat(out.masked_tiles),           out.detected ? "1" : "0",
+      out.healthy_bit_identical ? "1" : "0",
+      g17(out.batch_seconds),          g17(out.detection_latency_cycles),
+      out.note};
+  std::string payload;
+  for (const auto& field : fields) {
+    if (!payload.empty()) payload += '\t';
+    payload += CheckpointFile::escape(field);
+  }
+  return payload;
+}
+
+std::optional<CampaignOutcome> deserialize_outcome(const std::string& payload) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t tab = payload.find('\t', start);
+    fields.push_back(common::CheckpointFile::unescape(
+        payload.substr(start, tab == std::string::npos ? tab : tab - start)));
+    if (tab == std::string::npos) break;
+    start = tab + 1;
+  }
+  if (fields.size() != 14) return std::nullopt;
+  CampaignOutcome out;
+  out.kind = static_cast<versal::FaultKind>(std::atoi(fields[0].c_str()));
+  out.plan_seed = std::strtoull(fields[1].c_str(), nullptr, 10);
+  out.target.row = std::atoi(fields[2].c_str());
+  out.target.col = std::atoi(fields[3].c_str());
+  out.after_op = std::strtoull(fields[4].c_str(), nullptr, 10);
+  out.events_fired = std::atoi(fields[5].c_str());
+  out.failed_tasks = std::atoi(fields[6].c_str());
+  out.recovery_runs = std::atoi(fields[7].c_str());
+  out.masked_tiles = std::atoi(fields[8].c_str());
+  out.detected = fields[9] == "1";
+  out.healthy_bit_identical = fields[10] == "1";
+  out.batch_seconds = std::strtod(fields[11].c_str(), nullptr);
+  out.detection_latency_cycles = std::strtod(fields[12].c_str(), nullptr);
+  out.note = fields[13];
+  return out;
+}
+
 }  // namespace
+
+std::string campaign_checkpoint_tag(const CampaignOptions& options) {
+  // Digest every option that changes what a trial computes. The fault
+  // plan derives from (seed, kind index, trial), the matrices from
+  // (seed, config shape), so those plus the trial plan pin the sweep.
+  std::uint64_t h = 0x6861636bull;  // arbitrary non-zero start
+  const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  const auto& c = options.config;
+  fold(c.rows);
+  fold(c.cols);
+  fold(static_cast<std::uint64_t>(c.iterations));
+  fold(c.precision.has_value()
+           ? std::bit_cast<std::uint64_t>(*c.precision)
+           : 0ull);
+  fold(static_cast<std::uint64_t>(c.p_eng));
+  fold(static_cast<std::uint64_t>(c.p_task));
+  fold(std::bit_cast<std::uint64_t>(c.pl_frequency_hz));
+  fold(static_cast<std::uint64_t>(c.fault_retries));
+  fold(static_cast<std::uint64_t>(c.ordering));
+  fold(c.relocated_outputs ? 1 : 0);
+  fold(static_cast<std::uint64_t>(options.batch));
+  fold(static_cast<std::uint64_t>(options.trials_per_kind));
+  fold(options.seed);
+  fold(options.kinds.size());
+  for (const auto kind : options.kinds) {
+    fold(static_cast<std::uint64_t>(kind));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return cat("campaign-", buf);
+}
 
 std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
   options.config.validate();
   HSVD_REQUIRE(options.batch >= 1, "campaign batch must be non-empty");
   HSVD_REQUIRE(options.trials_per_kind >= 1, "need at least one trial");
+  HSVD_REQUIRE(options.max_new_trials >= 0,
+               "max_new_trials must be nonnegative (0 = unlimited)");
+
+  std::unique_ptr<common::CheckpointFile> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    checkpoint = std::make_unique<common::CheckpointFile>(
+        options.checkpoint_path, campaign_checkpoint_tag(options));
+  }
 
   std::vector<versal::FaultKind> kinds = options.kinds;
   if (kinds.empty()) {
@@ -147,13 +252,35 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
                                 mix64(options.seed) + static_cast<std::uint64_t>(i)));
   }
 
-  // Fault-free reference for the bit-identity check.
-  HeteroSvdAccelerator reference_acc(options.config);
-  const RunResult reference = reference_acc.run(batch);
+  // Fault-free reference for the bit-identity check. Lazy so a resume
+  // that replays every trial from the checkpoint never runs the fabric.
+  std::optional<RunResult> reference;
+  const auto reference_run = [&]() -> const RunResult& {
+    if (!reference.has_value()) {
+      HeteroSvdAccelerator reference_acc(options.config);
+      reference = reference_acc.run(batch);
+    }
+    return *reference;
+  };
 
   std::vector<CampaignOutcome> outcomes;
+  int executed = 0;
   for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
     for (int trial = 0; trial < options.trials_per_kind; ++trial) {
+      const std::string key = cat("trial:", ki, ":", trial);
+      if (checkpoint != nullptr) {
+        if (const std::string* payload = checkpoint->find(key)) {
+          if (auto cached = deserialize_outcome(*payload)) {
+            outcomes.push_back(std::move(*cached));
+            continue;
+          }
+        }
+      }
+      if (options.max_new_trials > 0 && executed >= options.max_new_trials) {
+        // Interrupted sweep: the checkpoint holds everything completed;
+        // the next run resumes from it and finishes the list.
+        return outcomes;
+      }
       const std::uint64_t salt =
           mix64(options.seed ^ (ki * 1000003ull + static_cast<std::uint64_t>(trial)));
 
@@ -204,13 +331,17 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
         // floorplan and are checked for success, not bit identity.
         if (task.status == hsvd::SvdStatus::kOk &&
             task.recovery_attempts == 0) {
-          if (!same_matrix(task.u, reference.tasks[t].u) ||
-              task.sigma != reference.tasks[t].sigma ||
-              task.iterations != reference.tasks[t].iterations) {
+          if (!same_matrix(task.u, reference_run().tasks[t].u) ||
+              task.sigma != reference_run().tasks[t].sigma ||
+              task.iterations != reference_run().tasks[t].iterations) {
             out.healthy_bit_identical = false;
           }
         }
       }
+      if (checkpoint != nullptr) {
+        checkpoint->record(key, serialize_outcome(out));
+      }
+      ++executed;
       outcomes.push_back(std::move(out));
     }
   }

@@ -40,6 +40,20 @@ struct CampaignOptions {
   // failed or recovery ran) keeps its full Chrome-trace JSON in
   // CampaignOutcome::trace_json so the CLI can dump the timeline.
   bool capture_failure_trace = false;
+  // Checkpoint/resume for long sweeps. When non-empty, every completed
+  // trial is appended to this file (flushed per trial), and a rerun with
+  // the same options loads it and skips the finished trials -- the
+  // resumed sweep produces the same outcome list (and CSV) as an
+  // uninterrupted one. The file is tagged with a digest of the options;
+  // a checkpoint written under different options is ignored and
+  // rewritten, never silently reused. trace_json is NOT checkpointed: a
+  // trial replayed from the checkpoint has an empty trace.
+  std::string checkpoint_path;
+  // Stop after this many newly *executed* trials (checkpointed trials
+  // do not count); 0 = no limit. Models an interrupted sweep in tests:
+  // the truncated outcome list is returned, and the checkpoint holds
+  // everything completed so far for the next run to resume from.
+  int max_new_trials = 0;
 };
 
 struct CampaignOutcome {
@@ -71,6 +85,10 @@ struct CampaignOutcome {
 
 // Runs the sweep; outcomes are ordered (kind, trial).
 std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options);
+
+// Digest of the options a campaign checkpoint's records depend on (the
+// header tag of CampaignOptions::checkpoint_path files).
+std::string campaign_checkpoint_tag(const CampaignOptions& options);
 
 // Renders outcomes as RFC-4180 CSV (header + one row per trial).
 std::string campaign_csv(const std::vector<CampaignOutcome>& outcomes);

@@ -1,0 +1,130 @@
+#include "common/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace hsvd::common {
+
+namespace {
+
+constexpr const char* kMagic = "#hsvd-checkpoint";
+
+std::string header_line(const std::string& tag) {
+  return cat(kMagic, " v", CheckpointFile::kVersion, " ", tag);
+}
+
+}  // namespace
+
+std::string CheckpointFile::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string CheckpointFile::unescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 == escaped.size()) {
+      out += escaped[i];
+      continue;
+    }
+    switch (escaped[++i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += escaped[i];
+    }
+  }
+  return out;
+}
+
+CheckpointFile::CheckpointFile(std::string path, std::string tag)
+    : path_(std::move(path)), tag_(std::move(tag)) {
+  HSVD_REQUIRE(!path_.empty(), "checkpoint path must not be empty");
+  HSVD_REQUIRE(!tag_.empty(), "checkpoint tag must not be empty");
+  HSVD_REQUIRE(tag_.find('\n') == std::string::npos,
+               "checkpoint tag must be a single line");
+  std::ifstream in(path_);
+  if (!in.is_open()) return;  // no file yet: start empty, append later
+  std::string line;
+  if (!std::getline(in, line) || line != header_line(tag_)) {
+    // Version or tag mismatch: the records belong to different campaign
+    // parameters. Start empty; the stale file is replaced on the first
+    // record.
+    return;
+  }
+  disk_compatible_ = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;  // torn tail line from a kill
+    records_[unescape(line.substr(0, tab))] = unescape(line.substr(tab + 1));
+  }
+}
+
+bool CheckpointFile::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.count(key) != 0;
+}
+
+const std::string* CheckpointFile::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t CheckpointFile::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void CheckpointFile::record(const std::string& key,
+                            const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_[key] = payload;
+  if (!disk_compatible_) {
+    rewrite_locked();
+  } else {
+    append_locked(key, payload);
+  }
+}
+
+void CheckpointFile::rewrite_locked() {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  HSVD_REQUIRE(f != nullptr, cat("cannot write checkpoint file ", path_));
+  std::string body = header_line(tag_) + "\n";
+  for (const auto& [key, payload] : records_) {
+    body += escape(key) + "\t" + escape(payload) + "\n";
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  disk_compatible_ = true;
+}
+
+void CheckpointFile::append_locked(const std::string& key,
+                                   const std::string& payload) {
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  HSVD_REQUIRE(f != nullptr, cat("cannot append to checkpoint file ", path_));
+  const std::string line = escape(key) + "\t" + escape(payload) + "\n";
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+}
+
+}  // namespace hsvd::common

@@ -1,0 +1,70 @@
+// Versioned key/value checkpoint file for long-running campaigns.
+//
+// A CheckpointFile records completed units of work (one line per unit)
+// so a killed sweep restarts where it left off: open the same path with
+// the same tag, and every key recorded by the previous run is visible
+// before any new work starts. The format is line-based and append-only:
+//
+//   #hsvd-checkpoint v1 <tag>
+//   <key>\t<payload>
+//
+// Keys and payloads are escaped (\\ \t \n \r), so arbitrary serialized
+// records round-trip. The tag encodes the parameters the records depend
+// on (seed, shape, trial plan, ...); opening a file whose tag does not
+// match starts empty and the stale file is rewritten on the first
+// record -- a checkpoint from a different configuration is never
+// silently reused. record() flushes each line, so a kill between
+// records loses at most the unit in flight.
+//
+// Thread-safe: record()/find() may be called from concurrent pool
+// workers (the DSE checkpoints per-slice results from the pool).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hsvd::common {
+
+class CheckpointFile {
+ public:
+  static constexpr int kVersion = 1;
+
+  // Loads compatible records from `path` (missing file, or a header
+  // whose version/tag mismatch, both start empty). Throws
+  // hsvd::InputError on an unreadable-but-existing file or an empty
+  // path/tag.
+  CheckpointFile(std::string path, std::string tag);
+
+  const std::string& path() const { return path_; }
+  const std::string& tag() const { return tag_; }
+
+  bool contains(const std::string& key) const;
+  // Payload recorded for `key`, or nullptr. The pointer stays valid
+  // until the next record() with the same key.
+  const std::string* find(const std::string& key) const;
+  std::size_t size() const;
+
+  // Records (or overwrites) one unit and flushes it to disk. The first
+  // record after an empty/incompatible open rewrites the file with a
+  // fresh header.
+  void record(const std::string& key, const std::string& payload);
+
+  static std::string escape(const std::string& raw);
+  static std::string unescape(const std::string& escaped);
+
+ private:
+  void rewrite_locked();
+  void append_locked(const std::string& key, const std::string& payload);
+
+  std::string path_;
+  std::string tag_;
+  // True once the on-disk file carries a compatible header (either
+  // loaded from disk or written by us), i.e. appending is safe.
+  bool disk_compatible_ = false;
+  std::map<std::string, std::string> records_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace hsvd::common

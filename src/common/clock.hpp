@@ -1,0 +1,120 @@
+// Monotonic clock abstraction for the serving layer.
+//
+// Deadlines, retry backoff, and the circuit breaker's cooldown all need
+// a notion of *host* time (the simulated fabric has its own timeline).
+// They take a `Clock*` instead of calling std::chrono directly so tests
+// can drive them with a FakeClock -- no real sleeps, fully
+// deterministic. MonotonicClock is the production implementation
+// (steady_clock seconds since process start).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace hsvd::common {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic seconds since an arbitrary epoch (stable per instance).
+  virtual double now_seconds() const = 0;
+  // Blocks the calling thread for `seconds` of this clock's time. A fake
+  // clock advances itself instead of sleeping, so tests run instantly.
+  virtual void sleep_for(double seconds) = 0;
+};
+
+// steady_clock-backed wall time. Stateless; share the process-wide
+// instance().
+class MonotonicClock final : public Clock {
+ public:
+  double now_seconds() const override {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+  }
+  void sleep_for(double seconds) override {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  static MonotonicClock& instance() {
+    static MonotonicClock clock;
+    return clock;
+  }
+};
+
+// Manually advanced clock for tests. Thread-safe: serving-layer workers
+// read it concurrently while the test thread advances it.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(double start_seconds = 0.0) : now_(start_seconds) {}
+  double now_seconds() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+  // sleep_for on a fake clock advances time instead of blocking, so a
+  // backoff of minutes costs nothing in a test.
+  void sleep_for(double seconds) override {
+    if (seconds > 0.0) advance(seconds);
+  }
+  void advance(double seconds) {
+    HSVD_REQUIRE(seconds >= 0.0, "a monotonic clock cannot go backwards");
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_ += seconds;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  double now_;
+};
+
+// Cooperative cancellation handle: a deadline on a clock plus a manual
+// cancel flag. The accelerator polls expired() at its slot-chain
+// boundaries and aborts the run with hsvd::DeadlineExceeded; nothing is
+// ever interrupted mid-kernel, so a cancelled run leaves no shared state
+// behind. Not copyable (the flag is shared by pointer between the party
+// that cancels and the workers that poll).
+class CancelToken {
+ public:
+  // Never expires until cancel().
+  CancelToken() = default;
+  // Expires once `clock` reaches the absolute time `deadline_seconds`.
+  CancelToken(const Clock& clock, double deadline_seconds)
+      : clock_(&clock), deadline_s_(deadline_seconds) {}
+  // Expires `budget_seconds` from now. The budget must be positive: a
+  // non-positive budget is a caller bug, not a request that instantly
+  // times out.
+  static CancelToken with_budget(const Clock& clock, double budget_seconds) {
+    HSVD_REQUIRE(budget_seconds > 0.0, "deadline budget must be positive");
+    return CancelToken(clock, clock.now_seconds() + budget_seconds);
+  }
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  bool has_deadline() const { return clock_ != nullptr; }
+  double deadline_seconds() const { return deadline_s_; }
+  // True once cancel() was called or the clock passed the deadline.
+  bool expired() const {
+    if (cancelled()) return true;
+    return clock_ != nullptr && clock_->now_seconds() >= deadline_s_;
+  }
+  // Seconds left before expiry; +inf without a deadline, 0 when expired.
+  double remaining_seconds() const {
+    if (cancelled()) return 0.0;
+    if (clock_ == nullptr) return std::numeric_limits<double>::infinity();
+    const double left = deadline_s_ - clock_->now_seconds();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  const Clock* clock_ = nullptr;
+  double deadline_s_ = std::numeric_limits<double>::infinity();
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace hsvd::common

@@ -16,6 +16,11 @@
 //                        core, non-finite kernel output); carries the
 //                        faulty tile when attribution is possible, which
 //                        drives re-placement.
+//   DeadlineExceeded  -- a cooperative deadline (common::CancelToken)
+//                        expired; the run was abandoned at a slot-chain
+//                        boundary. Not a fabric failure: the serving
+//                        layer maps it to its own terminal status and
+//                        the circuit breaker ignores it.
 //
 // `hsvd::Error` is a mixin base: `catch (const hsvd::Error&)` handles the
 // whole taxonomy, while each type also derives the std exception callers
@@ -67,6 +72,13 @@ class ConvergenceError : public std::runtime_error, public Error {
  public:
   explicit ConvergenceError(const std::string& msg) : std::runtime_error(msg) {}
   const char* kind() const noexcept override { return "convergence"; }
+};
+
+class DeadlineExceeded : public std::runtime_error, public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& msg)
+      : std::runtime_error(msg) {}
+  const char* kind() const noexcept override { return "deadline"; }
 };
 
 class FaultDetected : public std::runtime_error, public Error {

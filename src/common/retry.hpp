@@ -1,0 +1,82 @@
+// Retry policy with exponential backoff and deterministic seeded jitter.
+//
+// The serving layer (and the facade's optional retry loop) re-submit
+// transient failures -- detected hardware faults, non-converged sweeps --
+// with a growing delay between attempts. Jitter decorrelates retries
+// without sacrificing reproducibility: delays come from an hsvd::Rng
+// stream derived from (policy seed, request stream), so the same seed
+// replays the same schedule bit for bit on any host.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace hsvd::common {
+
+struct RetryPolicy {
+  // Total attempts, including the first; 1 disables retries.
+  int max_attempts = 3;
+  // Delay before the first retry; each further retry multiplies it.
+  double initial_backoff_seconds = 0.01;
+  double backoff_multiplier = 2.0;
+  // Upper bound on the un-jittered delay.
+  double max_backoff_seconds = 1.0;
+  // Fraction of the delay that is randomized: the actual delay is
+  // uniform in [(1 - jitter) * d, d]. 0 = no jitter, 1 = full jitter.
+  double jitter = 0.5;
+  // Seed of the jitter stream; combined with a per-request stream id so
+  // concurrent requests draw independent (still reproducible) schedules.
+  std::uint64_t seed = 0x5eedULL;
+  // Whether SvdStatus::kNotConverged counts as transient. Under fault
+  // injection a corrupted sweep stream can stall convergence, so the
+  // serving layer retries it by default; without chaos a deterministic
+  // non-convergence will simply burn the remaining attempts.
+  bool retry_not_converged = true;
+
+  void validate() const {
+    HSVD_REQUIRE(max_attempts >= 1, "retry max_attempts must be at least 1");
+    HSVD_REQUIRE(
+        std::isfinite(initial_backoff_seconds) && initial_backoff_seconds >= 0,
+        "retry initial_backoff_seconds must be finite and nonnegative");
+    HSVD_REQUIRE(std::isfinite(backoff_multiplier) && backoff_multiplier >= 1.0,
+                 "retry backoff_multiplier must be finite and at least 1");
+    HSVD_REQUIRE(std::isfinite(max_backoff_seconds) &&
+                     max_backoff_seconds >= initial_backoff_seconds,
+                 "retry max_backoff_seconds must be finite and no smaller "
+                 "than the initial backoff");
+    HSVD_REQUIRE(jitter >= 0.0 && jitter <= 1.0,
+                 "retry jitter must be in [0, 1]");
+  }
+};
+
+// One request's backoff schedule. delay_seconds(k) is the wait before
+// attempt k+1 (k = 1 is the first retry); consecutive calls advance the
+// jitter stream, so the sequence is deterministic per (seed, stream).
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const RetryPolicy& policy, std::uint64_t stream)
+      : policy_(policy), rng_(Rng(policy.seed).split(stream)) {}
+
+  double delay_seconds(int retry_index) {
+    HSVD_ASSERT(retry_index >= 1, "retry index is 1-based");
+    double d = policy_.initial_backoff_seconds;
+    for (int i = 1; i < retry_index; ++i) {
+      d *= policy_.backoff_multiplier;
+      if (d >= policy_.max_backoff_seconds) break;
+    }
+    if (d > policy_.max_backoff_seconds) d = policy_.max_backoff_seconds;
+    if (policy_.jitter > 0.0) {
+      d *= (1.0 - policy_.jitter) + policy_.jitter * rng_.uniform();
+    }
+    return d;
+  }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace hsvd::common

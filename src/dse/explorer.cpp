@@ -1,7 +1,11 @@
 #include "dse/explorer.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
 
+#include "common/checkpoint.hpp"
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
 
@@ -11,6 +15,108 @@ namespace {
 // Architectural parameter ranges of Table I.
 constexpr int kMaxPeng = 11;
 constexpr int kMaxPtask = 26;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Shortest decimal round-tripping the exact double: a slice replayed
+// from the checkpoint scores identical to a freshly evaluated one.
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Digest of the request fields a slice's design points depend on. The
+// objective only orders the final ranking (slices are recorded
+// pre-sort), so it is excluded on purpose: one checkpoint serves both
+// objectives.
+std::string dse_checkpoint_tag(const DseRequest& request) {
+  std::uint64_t h = 0xd5eull;
+  const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  const auto fold_d = [&fold](double v) {
+    fold(std::bit_cast<std::uint64_t>(v));
+  };
+  fold(request.rows);
+  fold(request.cols);
+  fold(static_cast<std::uint64_t>(request.batch));
+  fold(static_cast<std::uint64_t>(request.iterations));
+  fold(request.frequency_hz.has_value() ? 1 : 0);
+  fold_d(request.frequency_hz.value_or(0.0));
+  const auto& dev = request.device;
+  fold(static_cast<std::uint64_t>(dev.aie_rows));
+  fold(static_cast<std::uint64_t>(dev.aie_cols));
+  fold_d(dev.aie_clock_hz);
+  fold_d(dev.plio_pl_to_aie_bytes_per_s);
+  fold_d(dev.plio_aie_to_pl_bytes_per_s);
+  fold(static_cast<std::uint64_t>(dev.total_aie));
+  fold(static_cast<std::uint64_t>(dev.total_plio));
+  fold(static_cast<std::uint64_t>(dev.total_bram));
+  fold(static_cast<std::uint64_t>(dev.total_uram));
+  fold(dev.lut_total);
+  fold_d(dev.ddr_bytes_per_s);
+  fold_d(dev.ddr_latency_s);
+  fold(static_cast<std::uint64_t>(dev.ddr_ports));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return cat("dse-", buf);
+}
+
+// Space-separated flat encoding: point count, then 29 numbers per
+// point. All numeric, so no escaping is needed.
+std::string serialize_points(const std::vector<DesignPoint>& points) {
+  std::ostringstream os;
+  os << points.size();
+  for (const auto& p : points) {
+    os << ' ' << p.p_eng << ' ' << p.p_task << ' ' << g17(p.frequency_hz);
+    const auto& l = p.latency;
+    for (double v : {l.t_tx_col, l.t_tx_blk, l.t_rx_blk, l.t_orth,
+                     l.t_norm_kernel, l.t_aie_wait, l.t_algo, l.t_datawait,
+                     l.t_pipeline, l.t_round, l.t_iter, l.t_ddr,
+                     l.t_norm_stage, l.t_hls, l.t_task, l.t_sys}) {
+      os << ' ' << g17(v);
+    }
+    const auto& r = p.resources;
+    os << ' ' << r.aie_orth << ' ' << r.aie_norm << ' ' << r.aie_mem << ' '
+       << r.plio << ' ' << r.uram << ' ' << r.bram << ' ' << r.lut;
+    os << ' ' << g17(p.power_watts) << ' ' << g17(p.latency_seconds) << ' '
+       << g17(p.throughput_tasks_per_s);
+  }
+  return os.str();
+}
+
+bool deserialize_points(const std::string& payload,
+                        std::vector<DesignPoint>& out) {
+  out.clear();
+  if (payload.empty()) return true;  // slice proven infeasible
+  std::istringstream is(payload);
+  std::size_t count = 0;
+  if (!(is >> count)) return false;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DesignPoint p;
+    auto& l = p.latency;
+    auto& r = p.resources;
+    if (!(is >> p.p_eng >> p.p_task >> p.frequency_hz >> l.t_tx_col >>
+          l.t_tx_blk >> l.t_rx_blk >> l.t_orth >> l.t_norm_kernel >>
+          l.t_aie_wait >> l.t_algo >> l.t_datawait >> l.t_pipeline >>
+          l.t_round >> l.t_iter >> l.t_ddr >> l.t_norm_stage >> l.t_hls >>
+          l.t_task >> l.t_sys >> r.aie_orth >> r.aie_norm >> r.aie_mem >>
+          r.plio >> r.uram >> r.bram >> r.lut >> p.power_watts >>
+          p.latency_seconds >> p.throughput_tasks_per_s)) {
+      out.clear();
+      return false;
+    }
+    out.push_back(p);
+  }
+  return true;
+}
+
 }  // namespace
 
 accel::HeteroSvdConfig DesignSpaceExplorer::make_config(
@@ -80,6 +186,12 @@ std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
   counters_->placement_calls.store(0, std::memory_order_relaxed);
   counters_->placement_reuses.store(0, std::memory_order_relaxed);
 
+  std::shared_ptr<common::CheckpointFile> checkpoint;
+  if (!request.checkpoint_path.empty()) {
+    checkpoint = std::make_shared<common::CheckpointFile>(
+        request.checkpoint_path, dse_checkpoint_tag(request));
+  }
+
   // Each P_eng slice of the design space is self-contained (its own
   // placements, its own P_task scan), so slices evaluate in parallel on
   // the pool; slice outputs are concatenated in P_eng order, keeping the
@@ -89,28 +201,43 @@ std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
   const auto evaluate_slice = [&](std::size_t slice) {
     const int p_eng = static_cast<int>(slice) + 1;
     if (request.cols < 2 * static_cast<std::size_t>(p_eng)) return;
+    const std::string key = cat("peng:", p_eng);
+    if (checkpoint != nullptr) {
+      if (const std::string* payload = checkpoint->find(key)) {
+        // Replayed slice: identical points, zero placement calls. A
+        // malformed payload (torn write) falls through to a fresh
+        // evaluation that overwrites the record.
+        if (deserialize_points(*payload, slices[slice])) return;
+      }
+    }
     SliceCache cache;
     const auto max_tasks = max_task_parallelism_cached(request, p_eng, cache);
-    if (!max_tasks.has_value()) return;
-    // Stage 2 scores every P_task up to the stage-1 maximum: latency-
-    // optimal points often use fewer tasks than fit (Table VI). The
-    // stage-1 placement of the maximum is reused from the cache instead
-    // of being recomputed.
-    for (int p_task = 1; p_task <= *max_tasks; ++p_task) {
-      const auto placed = place_cached(request, p_eng, p_task, cache);
-      if (!placed->feasible) continue;
-      DesignPoint point;
-      point.p_eng = p_eng;
-      point.p_task = p_task;
-      point.frequency_hz = placed->config.pl_frequency_hz;
-      point.resources = placed->resources;
-      point.latency = perf_.evaluate(placed->config, request.batch);
-      point.latency_seconds = point.latency.t_task;
-      point.throughput_tasks_per_s =
-          point.latency.throughput_tasks_per_s(request.batch);
-      point.power_watts =
-          power_.system_watts(point.resources, placed->config.pl_frequency_hz);
-      slices[slice].push_back(point);
+    if (max_tasks.has_value()) {
+      // Stage 2 scores every P_task up to the stage-1 maximum: latency-
+      // optimal points often use fewer tasks than fit (Table VI). The
+      // stage-1 placement of the maximum is reused from the cache
+      // instead of being recomputed.
+      for (int p_task = 1; p_task <= *max_tasks; ++p_task) {
+        const auto placed = place_cached(request, p_eng, p_task, cache);
+        if (!placed->feasible) continue;
+        DesignPoint point;
+        point.p_eng = p_eng;
+        point.p_task = p_task;
+        point.frequency_hz = placed->config.pl_frequency_hz;
+        point.resources = placed->resources;
+        point.latency = perf_.evaluate(placed->config, request.batch);
+        point.latency_seconds = point.latency.t_task;
+        point.throughput_tasks_per_s =
+            point.latency.throughput_tasks_per_s(request.batch);
+        point.power_watts = power_.system_watts(point.resources,
+                                                placed->config.pl_frequency_hz);
+        slices[slice].push_back(point);
+      }
+    }
+    // Record feasible and infeasible slices alike (an empty point list
+    // proves infeasibility, so the resume skips the placement scan too).
+    if (checkpoint != nullptr) {
+      checkpoint->record(key, serialize_points(slices[slice]));
     }
   };
   const int threads = common::ThreadPool::resolve_threads(request.threads);

@@ -65,6 +65,16 @@ struct DseRequest {
   // placement-effort counters and -- through the pool observer -- a host
   // span per P_eng slice. Never changes the enumeration.
   obs::ObsContext* observer = nullptr;
+  // Checkpoint/resume for expensive sweeps: when non-empty, every
+  // evaluated P_eng slice (its scored design points, or its proven
+  // infeasibility) is recorded in this file, and a rerun with the same
+  // request replays the recorded slices without a single placement
+  // call. The file is tagged with a digest of the request (shape, batch,
+  // iterations, frequency, device budgets -- the objective only orders
+  // the final ranking and is deliberately excluded); custom
+  // frequency/power/performance models are NOT part of the tag, so keep
+  // one checkpoint per explorer configuration.
+  std::string checkpoint_path;
 };
 
 // Placement-effort accounting for the most recent enumerate() on an

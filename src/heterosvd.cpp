@@ -28,6 +28,41 @@ void require_finite(const linalg::MatrixF& a, const std::string& what) {
   }
 }
 
+// Rejects malformed numeric options up front with a typed InputError;
+// without this, a negative fault_retries or a NaN precision would thread
+// silently through the DSE and the accelerator config and misbehave far
+// from the caller's mistake.
+void validate_options(const SvdOptions& options) {
+  HSVD_REQUIRE(std::isfinite(options.precision) && options.precision > 0.0,
+               "precision must be positive and finite");
+  HSVD_REQUIRE(options.threads >= 0, "threads must be nonnegative (0 = auto)");
+  HSVD_REQUIRE(options.fault_retries >= 0,
+               "fault_retries must be nonnegative");
+  if (options.retry.has_value()) options.retry->validate();
+}
+
+// The clock backing retry backoff sleeps.
+common::Clock& resolve_clock(const SvdOptions& options) {
+  return options.clock != nullptr ? *options.clock
+                                  : common::MonotonicClock::instance();
+}
+
+// True when the cancel token (if any) has expired; used to stop retrying
+// the moment the deadline passes instead of burning another attempt.
+bool deadline_expired(const SvdOptions& options) {
+  return options.cancel != nullptr && options.cancel->expired();
+}
+
+// Sleeps one backoff delay, never past the remaining deadline budget.
+void backoff_sleep(const SvdOptions& options, common::BackoffSchedule& backoff,
+                   int retry_index) {
+  double delay = backoff.delay_seconds(retry_index);
+  if (options.cancel != nullptr) {
+    delay = std::min(delay, options.cancel->remaining_seconds());
+  }
+  resolve_clock(options).sleep_for(delay);
+}
+
 accel::HeteroSvdConfig choose_config(std::size_t rows, std::size_t cols,
                                      int batch, const SvdOptions& options) {
   if (options.config.has_value()) {
@@ -76,6 +111,7 @@ Svd from_task(const accel::TaskResult& task, const linalg::MatrixF& a,
 }  // namespace
 
 Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
+  validate_options(options);
   HSVD_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "matrix must be non-empty");
   require_finite(a, "matrix");
   if (a.cols() > a.rows()) {
@@ -89,30 +125,62 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
     if (!options.want_v) t.v = linalg::MatrixF();
     return t;
   }
+  if (deadline_expired(options)) {
+    throw DeadlineExceeded("deadline expired before the decomposition began");
+  }
   accel::HeteroSvdConfig cfg = choose_config(a.rows(), a.cols(), 1, options);
   cfg.precision = options.precision;
   cfg.host_threads = options.threads;
   cfg.fault_retries = options.fault_retries;
-  accel::HeteroSvdAccelerator acc(cfg);
-  if (options.fault_injector != nullptr) {
-    acc.attach_faults(options.fault_injector);
+  // Retry loop: each attempt runs on a freshly built accelerator (clean
+  // timelines and tile memories; an external injector keeps its trigger
+  // counters, so a one-shot fault does not refire on the retry).
+  const common::RetryPolicy* retry =
+      options.retry.has_value() ? &*options.retry : nullptr;
+  const int max_attempts = retry != nullptr ? retry->max_attempts : 1;
+  std::optional<common::BackoffSchedule> backoff;
+  if (retry != nullptr) backoff.emplace(*retry, 0);
+  std::string last_fault;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    accel::HeteroSvdAccelerator acc(cfg);
+    if (options.fault_injector != nullptr) {
+      acc.attach_faults(options.fault_injector);
+    }
+    acc.attach_observer(options.observer);
+    acc.attach_cancellation(options.cancel);
+    obs::ScopedPoolObservation observe(options.observer);
+    auto run = acc.run({a});
+    const auto& task = run.tasks.front();
+    const bool transient =
+        !task.ok() || (task.status == SvdStatus::kNotConverged &&
+                       retry != nullptr && retry->retry_not_converged);
+    if (transient && attempt < max_attempts && !deadline_expired(options)) {
+      last_fault = task.message;
+      if (options.observer != nullptr) {
+        options.observer->metrics().add("svd.retries");
+      }
+      backoff_sleep(options, *backoff, attempt);
+      continue;
+    }
+    if (!task.ok()) {
+      // A single-matrix call has no partial batch to salvage: surface
+      // the unrecovered fault as the typed exception.
+      throw FaultDetected(task.message.empty()
+                              ? std::string("hardware fault detected")
+                              : task.message);
+    }
+    Svd out = from_task(task, a, options.want_v, options.threads);
+    out.retries = attempt - 1;
+    return out;
   }
-  acc.attach_observer(options.observer);
-  obs::ScopedPoolObservation observe(options.observer);
-  auto run = acc.run({a});
-  const auto& task = run.tasks.front();
-  if (!task.ok()) {
-    // A single-matrix call has no partial batch to salvage: surface the
-    // unrecovered fault as the typed exception.
-    throw FaultDetected(task.message.empty()
-                            ? std::string("hardware fault detected")
-                            : task.message);
-  }
-  return from_task(task, a, options.want_v, options.threads);
+  // Unreachable: the final attempt either returned or threw above.
+  throw FaultDetected(last_fault.empty() ? std::string("hardware fault detected")
+                                         : last_fault);
 }
 
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
                    const SvdOptions& options) {
+  validate_options(options);
   HSVD_REQUIRE(!batch.empty(), "empty batch");
   const std::size_t rows = batch.front().rows();
   const std::size_t cols = batch.front().cols();
@@ -128,11 +196,15 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   cfg.precision = options.precision;
   cfg.host_threads = options.threads;
   cfg.fault_retries = options.fault_retries;
+  if (deadline_expired(options)) {
+    throw DeadlineExceeded("deadline expired before the batch began");
+  }
   accel::HeteroSvdAccelerator acc(cfg);
   if (options.fault_injector != nullptr) {
     acc.attach_faults(options.fault_injector);
   }
   acc.attach_observer(options.observer);
+  acc.attach_cancellation(options.cancel);
   obs::ScopedPoolObservation observe(options.observer);
   auto run = acc.run(batch);
   BatchSvd out;
@@ -152,6 +224,61 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
         out.results[i] = from_task(run.tasks[i], batch[i], options.want_v, 1);
       },
       "task-post");
+
+  // Facade-level retry: re-submit only the transiently failed (and,
+  // policy permitting, non-converged) tasks on a freshly built
+  // accelerator, with backoff between rounds. Healthy results are never
+  // touched. A deadline expiring during the retry phase stops retrying
+  // and keeps the last attempt's statuses -- the batch already holds
+  // usable results for every other task.
+  if (options.retry.has_value()) {
+    const common::RetryPolicy& retry = *options.retry;
+    common::BackoffSchedule backoff(retry, 0);
+    for (int attempt = 1; attempt < retry.max_attempts; ++attempt) {
+      std::vector<std::size_t> again;
+      for (std::size_t i = 0; i < out.results.size(); ++i) {
+        const SvdStatus s = out.results[i].status;
+        if (s == SvdStatus::kFailed ||
+            (s == SvdStatus::kNotConverged && retry.retry_not_converged)) {
+          again.push_back(i);
+        }
+      }
+      if (again.empty() || deadline_expired(options)) break;
+      if (options.observer != nullptr) {
+        options.observer->metrics().add("svd.retries", again.size());
+      }
+      backoff_sleep(options, backoff, attempt);
+      std::vector<linalg::MatrixF> sub;
+      sub.reserve(again.size());
+      for (std::size_t i : again) sub.push_back(batch[i]);
+      accel::HeteroSvdAccelerator retry_acc(cfg);
+      if (options.fault_injector != nullptr) {
+        retry_acc.attach_faults(options.fault_injector);
+      }
+      retry_acc.attach_observer(options.observer);
+      retry_acc.attach_cancellation(options.cancel);
+      accel::RunResult rerun;
+      try {
+        rerun = retry_acc.run(sub);
+      } catch (const DeadlineExceeded&) {
+        break;  // keep the previous attempt's statuses
+      }
+      for (std::size_t j = 0; j < again.size(); ++j) {
+        Svd replacement =
+            from_task(rerun.tasks[j], batch[again[j]], options.want_v, 1);
+        replacement.retries = attempt;
+        out.results[again[j]] = std::move(replacement);
+      }
+      out.recovery_runs += rerun.recovery_runs;
+      // Retry rounds run after the initial batch; their simulated time
+      // extends the campaign makespan sequentially.
+      out.batch_seconds += rerun.batch_seconds;
+    }
+    out.failed_tasks = 0;
+    for (const auto& r : out.results) {
+      if (r.status == SvdStatus::kFailed) ++out.failed_tasks;
+    }
+  }
   return out;
 }
 

@@ -21,7 +21,9 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/config.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/retry.hpp"
 #include "dse/explorer.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
@@ -61,6 +63,23 @@ struct SvdOptions {
   // whether or not an observer is attached -- an enabled tracer only
   // changes how the *host* schedules the identical simulated work.
   obs::ObsContext* observer = nullptr;
+  // Cooperative deadline / cancellation token (not owned; nullptr =
+  // unbounded). The accelerator polls it at slot-chain boundaries and
+  // the call throws hsvd::DeadlineExceeded once it expires; the factors
+  // computed so far are abandoned. Build one with
+  // common::CancelToken::with_budget(clock, seconds).
+  const common::CancelToken* cancel = nullptr;
+  // Transient-failure retry: when set, a run that ends in FaultDetected
+  // (or, if the policy says so, SvdStatus::kNotConverged) is re-submitted
+  // on a freshly built accelerator after an exponential backoff with
+  // deterministic seeded jitter, up to retry->max_attempts total
+  // attempts. svd_batch() re-submits only the affected tasks. Retries
+  // respect `cancel`: backoff never sleeps past the deadline.
+  std::optional<common::RetryPolicy> retry;
+  // Clock used for backoff sleeps (not owned; nullptr = the process
+  // monotonic clock). Tests inject a common::FakeClock so retries run
+  // without real sleeps.
+  common::Clock* clock = nullptr;
 };
 
 struct Svd {
@@ -84,18 +103,24 @@ struct Svd {
   // 0 when the first attempt succeeded; n when the result came from the
   // nth masked-tile re-placement retry.
   int recovery_attempts = 0;
+  // Facade-level re-submissions consumed by SvdOptions::retry (0 when
+  // the first submission produced this result). Distinct from
+  // recovery_attempts, which counts in-run masked-tile re-placements.
+  int retries = 0;
   bool ok() const { return status != SvdStatus::kFailed; }
 };
 
 // Singular value decomposition of one tall-or-square matrix.
 //
 // Errors: throws hsvd::InputError (an std::invalid_argument) for invalid
-// input -- empty matrices, NaN/Inf entries, malformed options -- and
-// hsvd::FaultDetected (an std::runtime_error) when an injected hardware
-// fault is detected and the recovery budget is exhausted. A matrix that
-// merely fails to reach the precision target is NOT an error: the result
-// comes back with status == SvdStatus::kNotConverged and converged ==
-// false.
+// input -- empty matrices, NaN/Inf entries, malformed options (negative
+// fault_retries or threads, non-positive precision, an invalid retry
+// policy) -- hsvd::FaultDetected (an std::runtime_error) when an
+// injected hardware fault is detected and the recovery (and retry)
+// budget is exhausted, and hsvd::DeadlineExceeded when an attached
+// cancel token expires mid-run. A matrix that merely fails to reach the
+// precision target is NOT an error: the result comes back with status ==
+// SvdStatus::kNotConverged and converged == false.
 Svd svd(const linalg::MatrixF& a, const SvdOptions& options = {});
 
 // Batched decomposition: all matrices share one shape and one
@@ -116,10 +141,14 @@ struct BatchSvd {
 };
 //
 // Errors: throws hsvd::InputError for invalid input (empty batch, mixed
-// shapes, NaN/Inf entries). Detected hardware faults never throw here --
-// each one fails only its own task (results[i].status ==
-// SvdStatus::kFailed with the diagnostic in message) and every healthy
-// task completes bit-identical to a fault-free run.
+// shapes, NaN/Inf entries, malformed options) and hsvd::DeadlineExceeded
+// when an attached cancel token expires mid-run. Detected hardware
+// faults never throw here -- each one fails only its own task
+// (results[i].status == SvdStatus::kFailed with the diagnostic in
+// message) and every healthy task completes bit-identical to a
+// fault-free run. With SvdOptions::retry set, still-failed (and
+// optionally non-converged) tasks are re-submitted on a fresh
+// accelerator with backoff between attempts.
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
                    const SvdOptions& options = {});
 

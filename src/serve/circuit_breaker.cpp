@@ -1,0 +1,113 @@
+#include "serve/circuit_breaker.hpp"
+
+namespace hsvd::serve {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kHalfOpen: return "half-open";
+    case BreakerState::kOpen: return "open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerPolicy& policy,
+                               const common::Clock* clock)
+    : policy_(policy), clock_(clock) {
+  policy_.validate();
+  HSVD_REQUIRE(clock_ != nullptr, "circuit breaker needs a clock");
+}
+
+void CircuitBreaker::transition_if_cooled_locked() {
+  if (state_ == BreakerState::kOpen &&
+      clock_->now_seconds() >= open_until_s_) {
+    state_ = BreakerState::kHalfOpen;
+    probe_successes_ = 0;
+    probes_in_flight_ = 0;
+  }
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  transition_if_cooled_locked();
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= policy_.half_open_probes) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      if (++probe_successes_ >= policy_.close_threshold) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // A success finishing after the trip (another worker's in-flight
+      // request) does not reset the cooldown.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= policy_.failure_threshold) {
+        state_ = BreakerState::kOpen;
+        open_until_s_ = clock_->now_seconds() + policy_.open_seconds;
+        ++trips_;
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // One failed probe re-opens and restarts the cooldown.
+      state_ = BreakerState::kOpen;
+      open_until_s_ = clock_->now_seconds() + policy_.open_seconds;
+      consecutive_failures_ = 0;
+      probes_in_flight_ = 0;
+      ++trips_;
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::record_neutral() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Report the effective state: an open breaker past its cooldown is
+  // half-open for the next caller even before allow() runs.
+  if (state_ == BreakerState::kOpen &&
+      clock_->now_seconds() >= open_until_s_) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+}  // namespace hsvd::serve

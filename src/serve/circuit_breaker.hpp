@@ -1,0 +1,85 @@
+// Circuit breaker guarding the simulated fabric.
+//
+// Classic three-state breaker: kClosed passes everything and counts
+// consecutive fabric failures; `failure_threshold` of them in a row trip
+// it to kOpen, which fast-fails every caller for `open_seconds` of
+// cooldown; then kHalfOpen admits up to `half_open_probes` concurrent
+// probe requests -- `close_threshold` consecutive probe successes close
+// the breaker, one probe failure re-opens it (and restarts the
+// cooldown). Time comes from a common::Clock so the open->half-open
+// transition is testable with a fake clock.
+//
+// Only *fabric* outcomes feed the breaker: the serving layer reports
+// FaultDetected as failure and a completed decomposition as success;
+// deadline expiry, shed requests, and input errors are neutral.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/assert.hpp"
+#include "common/clock.hpp"
+
+namespace hsvd::serve {
+
+enum class BreakerState { kClosed, kHalfOpen, kOpen };
+
+const char* to_string(BreakerState state);
+
+struct BreakerPolicy {
+  // Consecutive failures that trip a closed breaker.
+  int failure_threshold = 5;
+  // Cooldown before an open breaker lets probes through.
+  double open_seconds = 1.0;
+  // Probe requests admitted concurrently while half-open.
+  int half_open_probes = 1;
+  // Consecutive probe successes that close a half-open breaker.
+  int close_threshold = 1;
+
+  void validate() const {
+    HSVD_REQUIRE(failure_threshold >= 1,
+                 "breaker failure_threshold must be at least 1");
+    HSVD_REQUIRE(open_seconds >= 0.0,
+                 "breaker open_seconds must be nonnegative");
+    HSVD_REQUIRE(half_open_probes >= 1,
+                 "breaker half_open_probes must be at least 1");
+    HSVD_REQUIRE(close_threshold >= 1,
+                 "breaker close_threshold must be at least 1");
+  }
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker(const BreakerPolicy& policy, const common::Clock* clock);
+
+  // True when a request may proceed: the breaker is closed, or half-open
+  // with a free probe slot (the caller then owns that slot until it
+  // reports record_success/record_failure). An open breaker past its
+  // cooldown transitions to half-open here.
+  bool allow();
+  void record_success();
+  void record_failure();
+  // Releases an allow()ed slot without judging the fabric: the request
+  // ended breaker-neutral (deadline expiry, invalid input). Only
+  // meaningful half-open, where it frees the probe slot.
+  void record_neutral();
+
+  BreakerState state() const;
+  // Times the breaker tripped open (closed->open and half-open->open).
+  std::uint64_t trips() const;
+
+ private:
+  void transition_if_cooled_locked();
+
+  BreakerPolicy policy_;
+  const common::Clock* clock_;
+  mutable std::mutex mutex_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  int probes_in_flight_ = 0;
+  double open_until_s_ = 0.0;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace hsvd::serve

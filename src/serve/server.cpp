@@ -1,0 +1,306 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+
+namespace hsvd::serve {
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kNotConverged: return "not-converged";
+    case ServeStatus::kShed: return "shed";
+    case ServeStatus::kExpired: return "expired";
+    case ServeStatus::kCircuitOpen: return "circuit-open";
+    case ServeStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+void ServerOptions::validate() const {
+  HSVD_REQUIRE(queue_capacity >= 1, "server queue_capacity must be at least 1");
+  HSVD_REQUIRE(workers >= 1, "server workers must be at least 1");
+  HSVD_REQUIRE(
+      std::isfinite(default_deadline_seconds) && default_deadline_seconds >= 0,
+      "server default_deadline_seconds must be finite and nonnegative");
+  retry.validate();
+  breaker.validate();
+}
+
+SvdServer::SvdServer(ServerOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &common::MonotonicClock::instance()),
+      breaker_(options_.breaker, clock_) {
+  options_.validate();
+  paused_ = options_.start_paused;
+  set_breaker_gauge();
+  gauge("serve.queue.depth", 0.0);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SvdServer::~SvdServer() { shutdown(); }
+
+std::future<Response> SvdServer::submit(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const double now_s = clock_->now_seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    count("serve.submitted");
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      ++counters_.shed;
+      count("serve.shed");
+      Response shed;
+      shed.status = ServeStatus::kShed;
+      shed.message = stopping_ ? "server is shutting down"
+                               : "work queue full, request shed";
+      promise.set_value(std::move(shed));
+      return future;
+    }
+    Job job;
+    job.request = std::move(request);
+    job.promise = std::move(promise);
+    job.serial = next_serial_++;
+    job.admitted_s = now_s;
+    const double budget = job.request.deadline_seconds > 0.0
+                              ? job.request.deadline_seconds
+                              : options_.default_deadline_seconds;
+    if (budget > 0.0) job.deadline_abs_s = now_s + budget;
+    queue_.push_back(std::move(job));
+    ++counters_.admitted;
+    count("serve.admitted");
+    counters_.queue_depth = queue_.size();
+    counters_.peak_queue_depth =
+        std::max(counters_.peak_queue_depth, queue_.size());
+    gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<Response> SvdServer::submit(linalg::MatrixF matrix,
+                                        double deadline_seconds) {
+  Request request;
+  request.matrix = std::move(matrix);
+  request.deadline_seconds = deadline_seconds;
+  return submit(std::move(request));
+}
+
+Response SvdServer::serve(Request request) {
+  return submit(std::move(request)).get();
+}
+
+void SvdServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SvdServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already shut down (or shutting down on another thread); joining
+      // below would double-join, so bail once the flag is up.
+      return;
+    }
+    stopping_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void SvdServer::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained
+        continue;               // spurious wake while paused
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      counters_.queue_depth = queue_.size();
+      gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+    }
+    Response response = execute(job);
+    note_terminal(response);
+    job.promise.set_value(std::move(response));
+  }
+}
+
+Response SvdServer::execute(Job& job) {
+  Response out;
+  const double start_s = clock_->now_seconds();
+  out.queue_seconds = start_s - job.admitted_s;
+
+  common::CancelToken token(*clock_, job.deadline_abs_s);
+  if (token.expired()) {
+    out.status = ServeStatus::kExpired;
+    out.message = "deadline expired while queued";
+    out.service_seconds = clock_->now_seconds() - start_s;
+    return out;
+  }
+
+  common::BackoffSchedule backoff(options_.retry, job.serial);
+  const int max_attempts = options_.retry.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (!breaker_.allow()) {
+      out.status = ServeStatus::kCircuitOpen;
+      out.message = "circuit breaker open, request fast-failed";
+      count("serve.breaker.fast_fail");
+      break;
+    }
+    out.attempts = attempt;
+
+    SvdOptions svd_options = options_.svd;
+    svd_options.cancel = &token;
+    svd_options.clock = clock_;
+    svd_options.retry.reset();  // the server owns the retry loop
+    if (job.request.fault_injector != nullptr) {
+      svd_options.fault_injector = job.request.fault_injector;
+    }
+
+    bool transient = false;
+    try {
+      out.result = hsvd::svd(job.request.matrix, svd_options);
+      breaker_.record_success();
+      if (out.result.status == SvdStatus::kNotConverged) {
+        if (options_.retry.retry_not_converged && attempt < max_attempts &&
+            !token.expired()) {
+          transient = true;
+        } else {
+          out.status = ServeStatus::kNotConverged;
+          out.message = out.result.message;
+          break;
+        }
+      } else {
+        out.status = ServeStatus::kOk;
+        out.message.clear();
+        break;
+      }
+    } catch (const hsvd::DeadlineExceeded& e) {
+      breaker_.record_neutral();
+      out.status = ServeStatus::kExpired;
+      out.message = e.what();
+      break;
+    } catch (const hsvd::InputError& e) {
+      breaker_.record_neutral();
+      out.status = ServeStatus::kFailed;
+      out.message = e.what();
+      break;  // deterministic rejection, retrying cannot help
+    } catch (const hsvd::FaultDetected& e) {
+      breaker_.record_failure();
+      out.status = ServeStatus::kFailed;
+      out.message = e.what();
+      if (attempt < max_attempts && !token.expired()) transient = true;
+    } catch (const std::exception& e) {
+      breaker_.record_neutral();
+      out.status = ServeStatus::kFailed;
+      out.message = e.what();
+      break;
+    }
+
+    if (!transient) break;
+    count("serve.retries");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.retries;
+    }
+    const double delay =
+        std::min(backoff.delay_seconds(attempt), token.remaining_seconds());
+    if (delay > 0.0) clock_->sleep_for(delay);
+    if (token.expired()) {
+      out.status = ServeStatus::kExpired;
+      out.message = "deadline expired during retry backoff";
+      break;
+    }
+  }
+
+  // Surface breaker trips that happened on this worker's watch.
+  const std::uint64_t trips = breaker_.trips();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (trips > last_trips_) {
+      count("serve.breaker.trips", trips - last_trips_);
+      counters_.breaker_trips = trips;
+      last_trips_ = trips;
+    }
+  }
+  set_breaker_gauge();
+
+  out.service_seconds = clock_->now_seconds() - start_s;
+  return out;
+}
+
+void SvdServer::note_terminal(const Response& response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (response.status) {
+    case ServeStatus::kOk:
+      ++counters_.ok;
+      count("serve.ok");
+      break;
+    case ServeStatus::kNotConverged:
+      ++counters_.not_converged;
+      count("serve.not_converged");
+      break;
+    case ServeStatus::kExpired:
+      ++counters_.expired;
+      count("serve.expired");
+      break;
+    case ServeStatus::kCircuitOpen:
+      ++counters_.circuit_open;
+      count("serve.circuit_open");
+      break;
+    case ServeStatus::kFailed:
+      ++counters_.failed;
+      count("serve.failed");
+      break;
+    case ServeStatus::kShed:
+      break;  // counted at admission
+  }
+}
+
+void SvdServer::set_breaker_gauge() {
+  gauge("serve.breaker.state", static_cast<double>(breaker_.state()));
+}
+
+void SvdServer::count(const char* name, std::uint64_t delta) {
+  if (options_.observer != nullptr) options_.observer->metrics().add(name, delta);
+}
+
+void SvdServer::gauge(const char* name, double value) {
+  if (options_.observer != nullptr) {
+    options_.observer->metrics().set_gauge(name, value);
+  }
+}
+
+ServerStats SvdServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats out = counters_;
+  out.queue_depth = queue_.size();
+  out.breaker_trips = breaker_.trips();
+  out.breaker_state = breaker_.state();
+  return out;
+}
+
+}  // namespace hsvd::serve

@@ -1,0 +1,188 @@
+// SvdServer: a resilient request-serving layer in front of the batch
+// engine.
+//
+// The library's svd()/svd_batch() calls are one-shot: nothing above them
+// protects a *stream* of requests from overload, hung work, or a flaky
+// fabric. SvdServer adds that service-hardening layer:
+//
+//   admission control -- a bounded work queue; submit() on a full queue
+//     returns an already-resolved kShed response instead of blocking the
+//     producer (load-shedding, never back-pressure by hanging).
+//   deadlines -- each request carries a time budget on the server's
+//     clock; an expired request is failed fast in the queue, and one
+//     that expires mid-run is cancelled cooperatively at the
+//     accelerator's slot-chain boundaries (kExpired).
+//   retry/backoff -- transient failures (FaultDetected, and optionally
+//     kNotConverged) are re-submitted up to RetryPolicy::max_attempts
+//     with exponential backoff and deterministic seeded jitter; the
+//     jitter stream is derived from the request's admission ordinal, so
+//     a fixed seed replays the same schedule.
+//   circuit breaker -- consecutive fabric failures trip it; while open,
+//     queued requests fast-fail (kCircuitOpen) instead of burning the
+//     fabric; after a cooldown, probe requests half-open it and
+//     successes close it again.
+//
+// All time comes from a common::Clock, so every behavior above is
+// testable with a FakeClock and zero real sleeps. An attached
+// obs::ObsContext gets serve.* counters (shed/retries/trips/...), a
+// queue-depth gauge, and a breaker-state gauge.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/retry.hpp"
+#include "heterosvd.hpp"
+#include "serve/circuit_breaker.hpp"
+
+namespace hsvd::serve {
+
+// Terminal outcome of one request. Every submitted request reaches
+// exactly one of these.
+enum class ServeStatus {
+  kOk,           // decomposition succeeded
+  kNotConverged, // factors usable, precision target missed
+  kShed,         // rejected at admission (queue full or shutting down)
+  kExpired,      // deadline passed (in queue or mid-run)
+  kCircuitOpen,  // fast-failed while the breaker was open
+  kFailed,       // fabric fault (after retries) or invalid request
+};
+
+const char* to_string(ServeStatus status);
+
+struct ServerOptions {
+  // Admission control: requests queued beyond this are shed.
+  std::size_t queue_capacity = 64;
+  // Worker threads executing requests.
+  int workers = 1;
+  // Base per-request SvdOptions (configuration, fault injector,
+  // observer, threads). The server overrides cancel/clock per request
+  // and owns the retry loop itself (SvdOptions::retry is ignored here).
+  SvdOptions svd;
+  common::RetryPolicy retry;
+  BreakerPolicy breaker;
+  // Deadline budget for requests that do not carry their own (seconds
+  // on `clock`); 0 = no deadline.
+  double default_deadline_seconds = 0.0;
+  // Time source for deadlines, backoff, and the breaker cooldown (not
+  // owned; nullptr = the process monotonic clock).
+  common::Clock* clock = nullptr;
+  // Observability for the serving layer itself (not owned; nullptr =
+  // off): serve.* counters plus queue-depth and breaker-state gauges.
+  obs::ObsContext* observer = nullptr;
+  // When true the workers start idle; requests are admitted (and shed)
+  // normally but none is served until resume(). Lets tests fill the
+  // queue deterministically.
+  bool start_paused = false;
+
+  void validate() const;
+};
+
+struct Request {
+  linalg::MatrixF matrix;
+  // Relative deadline budget in seconds; 0 = the server default.
+  double deadline_seconds = 0.0;
+  // Per-request fault injector override (not owned; nullptr = the
+  // server's base injector). The chaos driver uses this to give each
+  // request its own seeded fault plan.
+  versal::FaultInjector* fault_injector = nullptr;
+};
+
+struct Response {
+  ServeStatus status = ServeStatus::kFailed;
+  // Valid for kOk / kNotConverged only.
+  Svd result;
+  // Attempts actually executed (0 when the request never ran: shed,
+  // expired in queue, or fast-failed by the breaker).
+  int attempts = 0;
+  std::string message;
+  double queue_seconds = 0.0;    // admission -> service start
+  double service_seconds = 0.0;  // service start -> terminal status
+};
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t not_converged = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t circuit_open = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_trips = 0;
+  std::size_t queue_depth = 0;
+  std::size_t peak_queue_depth = 0;
+  BreakerState breaker_state = BreakerState::kClosed;
+};
+
+class SvdServer {
+ public:
+  explicit SvdServer(ServerOptions options);
+  ~SvdServer();
+  SvdServer(const SvdServer&) = delete;
+  SvdServer& operator=(const SvdServer&) = delete;
+
+  // Admission-controlled submission. Never blocks: a full queue (or a
+  // stopped server) resolves the future immediately with kShed.
+  std::future<Response> submit(Request request);
+  std::future<Response> submit(linalg::MatrixF matrix,
+                               double deadline_seconds = 0.0);
+  // Blocking convenience (submit + wait). Do not call on a paused
+  // server from the thread that would resume it.
+  Response serve(Request request);
+
+  // Starts the workers of a start_paused server (idempotent).
+  void resume();
+  // Stops admission, drains the queue, joins the workers (idempotent;
+  // also runs on destruction). A paused server is resumed to drain.
+  void shutdown();
+
+  ServerStats stats() const;
+  BreakerState breaker_state() const { return breaker_.state(); }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    std::uint64_t serial = 0;   // admission ordinal (backoff stream)
+    double admitted_s = 0.0;    // clock time at admission
+    // Absolute deadline on clock_ (+inf = none). The worker builds the
+    // CancelToken from this at service start (the token itself is not
+    // movable, so the queued job carries only the number).
+    double deadline_abs_s = std::numeric_limits<double>::infinity();
+  };
+
+  void worker_loop();
+  Response execute(Job& job);
+  void note_terminal(const Response& response);
+  void set_breaker_gauge();
+  void count(const char* name, std::uint64_t delta = 1);
+  void gauge(const char* name, double value);
+
+  ServerOptions options_;
+  common::Clock* clock_;
+  CircuitBreaker breaker_;
+  std::uint64_t last_trips_ = 0;  // for the serve.breaker.trips counter
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::uint64_t next_serial_ = 0;
+
+  // Counters (under mutex_ except where noted via stats()).
+  ServerStats counters_;
+};
+
+}  // namespace hsvd::serve

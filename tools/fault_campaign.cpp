@@ -7,8 +7,16 @@
 // from injection to detection) in the CSV; --trace dumps the Chrome
 // trace-event timeline of the first trial whose fault was noticed.
 //
+// Long sweeps can checkpoint per trial: --checkpoint (or its alias
+// --resume) names a versioned file that records every completed trial;
+// rerunning with the same options skips the recorded work and the final
+// CSV is identical to an uninterrupted run. --max-trials bounds how
+// many new trials one invocation executes (0 = all), so a sweep can be
+// spread over several runs.
+//
 //   fault_campaign [--trials N] [--batch N] [--seed S] [--out file.csv]
-//                  [--trace timeline.trace.json]
+//                  [--trace timeline.trace.json] [--checkpoint file.ckpt]
+//                  [--resume file.ckpt] [--max-trials N]
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -52,10 +60,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace" && has_value) {
       trace_path = argv[++i];
       options.capture_failure_trace = true;
+    } else if ((arg == "--checkpoint" || arg == "--resume") && has_value) {
+      options.checkpoint_path = argv[++i];
+    } else if (arg == "--max-trials" && has_value) {
+      options.max_new_trials =
+          static_cast<int>(parse_u64(argv[++i], "--max-trials"));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fault_campaign [--trials N] [--batch N] "
                    "[--seed S] [--out file.csv] "
-                   "[--trace timeline.trace.json]\n";
+                   "[--trace timeline.trace.json] [--checkpoint file.ckpt] "
+                   "[--resume file.ckpt] [--max-trials N]\n";
       return 0;
     } else {
       std::cerr << "fault_campaign: unknown argument " << arg << "\n";
@@ -64,6 +78,14 @@ int main(int argc, char** argv) {
   }
 
   const auto outcomes = hsvd::accel::run_campaign(options);
+  const std::size_t kinds = options.kinds.empty() ? 7 : options.kinds.size();
+  const std::size_t planned =
+      kinds * static_cast<std::size_t>(options.trials_per_kind);
+  if (outcomes.size() < planned) {
+    std::cerr << "fault_campaign: partial sweep (" << outcomes.size() << "/"
+              << planned << " trials); rerun with the same --checkpoint to "
+                            "resume\n";
+  }
   const std::string csv = hsvd::accel::campaign_csv(outcomes);
   if (out_path.empty()) {
     std::cout << csv;

@@ -6,6 +6,10 @@
 //   hsvd svd <in.{mtx|bin}> [out_prefix]
 //       Decompose a matrix on the simulated accelerator; writes
 //       <prefix>_u.mtx, <prefix>_sigma.txt, <prefix>_v.mtx.
+//   hsvd batch <in1> [in2 ...]
+//       Decompose same-shape matrices as one batch and print a
+//       per-task status table plus a per-status summary. Exits
+//       nonzero when any task ends SvdStatus::kFailed.
 //   hsvd dse <n> [batch] [latency|throughput]
 //       Run the design space exploration and print the best points.
 //   hsvd estimate <n> <p_eng> <p_task> [freq_mhz] [iterations]
@@ -91,12 +95,60 @@ int cmd_svd(int argc, char** argv) {
   std::printf("converged in %d sweeps (rate %.2e); simulated accelerator "
               "latency %.3f ms\n",
               r.iterations, r.convergence_rate, r.accelerator_seconds * 1e3);
+  if (r.status == SvdStatus::kNotConverged) {
+    std::printf("warning: precision target not reached (%s)\n",
+                r.message.c_str());
+  }
   linalg::save_matrix_market(r.u, prefix + "_u.mtx");
   if (!r.v.empty()) linalg::save_matrix_market(r.v, prefix + "_v.mtx");
   std::ofstream sig(prefix + "_sigma.txt");
   for (float s : r.sigma) sig << s << "\n";
   std::printf("wrote %s_u.mtx, %s_sigma.txt%s\n", prefix.c_str(), prefix.c_str(),
               r.v.empty() ? "" : (", " + prefix + "_v.mtx").c_str());
+  return 0;
+}
+
+const char* status_name(SvdStatus status) {
+  switch (status) {
+    case SvdStatus::kOk: return "ok";
+    case SvdStatus::kNotConverged: return "not-converged";
+    case SvdStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+int cmd_batch(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: hsvd batch <in1> [in2 ...]\n");
+    return 2;
+  }
+  std::vector<linalg::MatrixF> batch;
+  batch.reserve(static_cast<std::size_t>(argc - 1));
+  for (int i = 1; i < argc; ++i) batch.push_back(load_any(argv[i]));
+  std::printf("decomposing %zu matrices of %zux%zu...\n", batch.size(),
+              batch.front().rows(), batch.front().cols());
+  SvdOptions opts;
+  opts.threads = g_threads;
+  const BatchSvd out = svd_batch(batch, opts);
+
+  Table table({"task", "status", "sweeps", "recoveries", "note"});
+  int counts[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const Svd& r = out.results[i];
+    ++counts[static_cast<int>(r.status)];
+    table.add_row({cat(i), status_name(r.status), cat(r.iterations),
+                   cat(r.recovery_attempts), r.message});
+  }
+  table.print();
+  std::printf("%zu tasks: %d ok, %d not-converged, %d failed "
+              "(simulated makespan %.3f ms, %.1f tasks/s)\n",
+              out.results.size(), counts[0], counts[1], counts[2],
+              out.batch_seconds * 1e3, out.throughput_tasks_per_s);
+  if (out.failed_tasks > 0) {
+    std::fprintf(stderr, "error: %d of %zu tasks failed\n", out.failed_tasks,
+                 out.results.size());
+    return 1;
+  }
   return 0;
 }
 
@@ -188,7 +240,7 @@ int main(int argc, char** argv) {
   argc -= arg0 - 1;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: hsvd [--threads N] <gen|svd|dse|estimate> ...\n"
+                 "usage: hsvd [--threads N] <gen|svd|batch|dse|estimate> ...\n"
                  "run a subcommand without arguments for its usage\n");
     return 2;
   }
@@ -196,6 +248,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "gen") return cmd_gen(argc - 1, argv + 1);
     if (cmd == "svd") return cmd_svd(argc - 1, argv + 1);
+    if (cmd == "batch") return cmd_batch(argc - 1, argv + 1);
     if (cmd == "dse") return cmd_dse(argc - 1, argv + 1);
     if (cmd == "estimate") return cmd_estimate(argc - 1, argv + 1);
   } catch (const std::exception& e) {

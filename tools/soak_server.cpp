@@ -1,0 +1,349 @@
+// soak_server -- chaos soak driver for the serving layer.
+//
+// Pumps a stream of randomized requests through an SvdServer whose
+// fabric is fault-injected, then prints a survival report: every
+// request must reach a terminal status (ok / not-converged / shed /
+// expired / circuit-open / failed), and -- with --verify -- every
+// chaos-free request that succeeded must match a reference
+// decomposition bit for bit, proving the resilience machinery never
+// perturbs healthy work. Exits nonzero when either property is
+// violated, so CI can gate on it.
+//
+//   soak_server [--requests N] [--seed S] [--chaos P] [--queue N]
+//               [--workers N] [--deadline-ms D] [--retries N]
+//               [--burst] [--verify] [--metrics file.json]
+//
+// --chaos P       fraction of requests carrying an injected fault plan
+//                 (default 0.3; each chaotic request gets its own
+//                 seeded FaultInjector, so the run replays exactly).
+// --burst         submit everything at once instead of keeping a
+//                 sliding window of queue-capacity requests in flight
+//                 (maximizes load-shedding instead of minimizing it).
+// --deadline-ms   per-request budget on the host monotonic clock
+//                 (0 = none); expiry is cancelled cooperatively.
+// --fault-retries in-run masked-tile recovery rounds (default 0 here,
+//                 unlike the library's 2: surfacing faults to the
+//                 serving layer is the point of the soak -- raise it to
+//                 watch the accelerator absorb faults itself instead).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "versal/faults.hpp"
+
+namespace {
+
+using namespace hsvd;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic request matrix: entries in [-1, 1].
+linalg::MatrixF make_matrix(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  linalg::MatrixF m(rows, cols);
+  std::uint64_t state = mix64(seed ^ 0x50a3ull);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      state = mix64(state);
+      m(r, c) = static_cast<float>(static_cast<double>(state >> 11) /
+                                       static_cast<double>(1ull << 53) * 2.0 -
+                                   1.0);
+    }
+  }
+  return m;
+}
+
+// Fault surfaces of the pinned soak configuration, harvested once from
+// a probe placement so every chaos plan targets a real resource.
+struct FaultSurfaces {
+  std::vector<versal::TileCoord> orth_tiles;   // any kernel-running tile
+  std::vector<versal::TileCoord> entry_tiles;  // layer-0 packet entries
+  std::vector<versal::TileCoord> dma_sources;
+  int slots = 1;
+};
+
+FaultSurfaces harvest_surfaces(const accel::HeteroSvdConfig& config) {
+  accel::HeteroSvdAccelerator probe(config);
+  FaultSurfaces s;
+  const auto& tasks = probe.placement().tasks;
+  s.slots = static_cast<int>(tasks.size());
+  for (std::size_t slot = 0; slot < tasks.size(); ++slot) {
+    for (const auto& layer : tasks[slot].orth) {
+      for (const auto& tile : layer) s.orth_tiles.push_back(tile);
+    }
+    for (const auto& tile : tasks[slot].orth.front()) {
+      s.entry_tiles.push_back(tile);
+    }
+    for (const auto& tr : probe.dataflow(slot).transitions) {
+      for (const auto& mv : tr.moves) {
+        if (mv.is_dma) s.dma_sources.push_back(mv.src);
+      }
+    }
+  }
+  return s;
+}
+
+versal::FaultPlan make_chaos_plan(const FaultSurfaces& s, std::uint64_t salt) {
+  using versal::FaultKind;
+  static constexpr FaultKind kKinds[] = {
+      FaultKind::kTileHang,   FaultKind::kMemoryBitFlip,
+      FaultKind::kStreamDrop, FaultKind::kStreamStall,
+      FaultKind::kDmaDrop,    FaultKind::kDmaStall,
+      FaultKind::kPlioDegrade};
+  versal::FaultSpec spec;
+  spec.kind = kKinds[mix64(salt ^ 0x1d) % (sizeof(kKinds) / sizeof(kKinds[0]))];
+  spec.after_op = mix64(salt ^ 0xad) % 4;
+  switch (spec.kind) {
+    case FaultKind::kTileHang:
+      spec.tile = s.orth_tiles[mix64(salt ^ 0xe9) % s.orth_tiles.size()];
+      break;
+    case FaultKind::kMemoryBitFlip:
+    case FaultKind::kStreamDrop:
+    case FaultKind::kStreamStall:
+      spec.tile = s.entry_tiles[mix64(salt ^ 0x3c) % s.entry_tiles.size()];
+      break;
+    case FaultKind::kDmaDrop:
+    case FaultKind::kDmaStall:
+      spec.tile = s.dma_sources.empty()
+                      ? s.entry_tiles[mix64(salt ^ 0x3c) % s.entry_tiles.size()]
+                      : s.dma_sources[mix64(salt ^ 0x77) % s.dma_sources.size()];
+      break;
+    case FaultKind::kPlioDegrade:
+      spec.slot = static_cast<int>(mix64(salt ^ 0x5107) %
+                                   static_cast<std::uint64_t>(s.slots));
+      spec.tile = versal::TileCoord{-1, -1};
+      spec.bandwidth_scale = 0.25 + 0.5 * (mix64(salt ^ 0xbb) % 3) / 2.0;
+      break;
+  }
+  if (spec.kind == FaultKind::kStreamStall ||
+      spec.kind == FaultKind::kDmaStall) {
+    spec.stall_seconds = 1e-6 * (1 + mix64(salt ^ 0xd1) % 5);
+  }
+  versal::FaultPlan plan;
+  plan.seed = salt;
+  plan.faults.push_back(spec);
+  return plan;
+}
+
+std::uint64_t parse_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "soak_server: bad value for %s: %s\n", flag, text);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+bool same_matrix(const linalg::MatrixF& a, const linalg::MatrixF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto da = a.data();
+  const auto db = b.data();
+  return da.empty() ||
+         std::memcmp(da.data(), db.data(), da.size_bytes()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 200;
+  std::uint64_t seed = 1;
+  double chaos = 0.3;
+  std::size_t queue = 32;
+  int workers = 4;
+  double deadline_ms = 0.0;
+  int retries = 3;
+  int fault_retries = 0;
+  bool burst = false;
+  bool verify = false;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--requests" && has_value) {
+      requests = parse_u64(argv[++i], "--requests");
+    } else if (arg == "--seed" && has_value) {
+      seed = parse_u64(argv[++i], "--seed");
+    } else if (arg == "--chaos" && has_value) {
+      chaos = std::atof(argv[++i]);
+    } else if (arg == "--queue" && has_value) {
+      queue = parse_u64(argv[++i], "--queue");
+    } else if (arg == "--workers" && has_value) {
+      workers = static_cast<int>(parse_u64(argv[++i], "--workers"));
+    } else if (arg == "--deadline-ms" && has_value) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (arg == "--retries" && has_value) {
+      retries = static_cast<int>(parse_u64(argv[++i], "--retries"));
+    } else if (arg == "--fault-retries" && has_value) {
+      fault_retries = static_cast<int>(parse_u64(argv[++i], "--fault-retries"));
+    } else if (arg == "--burst") {
+      burst = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--metrics" && has_value) {
+      metrics_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: soak_server [--requests N] [--seed S] [--chaos P] "
+          "[--queue N] [--workers N] [--deadline-ms D] [--retries N] "
+          "[--fault-retries N] [--burst] [--verify] "
+          "[--metrics file.json]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "soak_server: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Pinned micro-architecture: small enough for a fast soak, two bands
+  // and two task slots so every fault surface (inter-band DMA, slot
+  // isolation) exists.
+  accel::HeteroSvdConfig config;
+  config.rows = 24;
+  config.cols = 16;
+  config.p_eng = 4;
+  config.p_task = 2;
+  config.iterations = 3;
+
+  const FaultSurfaces surfaces = harvest_surfaces(config);
+
+  obs::ObsContext observer;
+  serve::ServerOptions options;
+  options.queue_capacity = queue;
+  options.workers = workers;
+  options.svd.config = config;
+  options.svd.want_v = false;
+  options.svd.threads = 1;  // parallelism comes from the server workers
+  options.svd.fault_retries = fault_retries;
+  options.retry.max_attempts = retries < 1 ? 1 : retries;
+  options.retry.seed = seed;
+  options.retry.initial_backoff_seconds = 1e-4;
+  options.retry.max_backoff_seconds = 1e-2;
+  options.default_deadline_seconds = deadline_ms / 1e3;
+  options.observer = &observer;
+
+  // Injectors must outlive the server (requests reference them raw).
+  std::vector<std::unique_ptr<versal::FaultInjector>> injectors;
+  injectors.reserve(requests);
+
+  std::vector<bool> chaotic(requests, false);
+  std::vector<serve::Response> responses(requests);
+  std::vector<char> terminal(requests, 0);
+
+  {
+    serve::SvdServer server(options);
+    std::deque<std::pair<std::size_t, std::future<serve::Response>>> window;
+    const auto drain_one = [&]() {
+      auto [index, future] = std::move(window.front());
+      window.pop_front();
+      responses[index] = future.get();
+      terminal[index] = 1;
+    };
+    for (std::size_t i = 0; i < requests; ++i) {
+      serve::Request request;
+      request.matrix = make_matrix(config.rows, config.cols, seed + i);
+      const double roll =
+          static_cast<double>(mix64(seed ^ (0xc0 + i)) >> 11) /
+          static_cast<double>(1ull << 53);
+      if (roll < chaos) {
+        chaotic[i] = true;
+        injectors.push_back(std::make_unique<versal::FaultInjector>(
+            make_chaos_plan(surfaces, mix64(seed ^ (0x5107 + i)))));
+        request.fault_injector = injectors.back().get();
+      }
+      if (!burst) {
+        while (window.size() >= queue) drain_one();
+      }
+      window.emplace_back(i, server.submit(std::move(request)));
+    }
+    while (!window.empty()) drain_one();
+    server.shutdown();
+
+    const serve::ServerStats stats = server.stats();
+    int counts[6] = {0, 0, 0, 0, 0, 0};
+    for (const auto& response : responses) {
+      ++counts[static_cast<int>(response.status)];
+    }
+    std::printf("soak report: %zu requests, %d workers, queue %zu, chaos "
+                "%.0f%%\n",
+                requests, workers, queue, chaos * 100.0);
+    std::printf(
+        "  ok %d  not-converged %d  shed %d  expired %d  circuit-open %d  "
+        "failed %d\n",
+        counts[0], counts[1], counts[2], counts[3], counts[4], counts[5]);
+    std::printf("  retries %llu; breaker: %llu trips (state %s); peak queue "
+                "%zu\n",
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.breaker_trips),
+                serve::to_string(stats.breaker_state), stats.peak_queue_depth);
+
+    int violations = 0;
+    for (std::size_t i = 0; i < requests; ++i) {
+      if (!terminal[i]) {
+        std::fprintf(stderr, "VIOLATION: request %zu never became terminal\n",
+                     i);
+        ++violations;
+      }
+    }
+
+    if (verify) {
+      // Every chaos-free success must match a fresh, injector-free
+      // reference decomposition bit for bit.
+      SvdOptions reference_options;
+      reference_options.config = config;
+      reference_options.want_v = false;
+      reference_options.threads = 1;
+      std::size_t checked = 0;
+      for (std::size_t i = 0; i < requests; ++i) {
+        if (chaotic[i] || responses[i].status != serve::ServeStatus::kOk) {
+          continue;
+        }
+        const Svd reference = svd(
+            make_matrix(config.rows, config.cols, seed + i), reference_options);
+        ++checked;
+        if (!same_matrix(responses[i].result.u, reference.u) ||
+            responses[i].result.sigma != reference.sigma ||
+            responses[i].result.iterations != reference.iterations) {
+          std::fprintf(stderr,
+                       "VIOLATION: request %zu diverged from the chaos-free "
+                       "reference\n",
+                       i);
+          ++violations;
+        }
+      }
+      std::printf("  verify: %zu clean successes checked against chaos-free "
+                  "references\n",
+                  checked);
+    }
+
+    if (!metrics_path.empty()) {
+      if (observer.metrics().snapshot().write_json(metrics_path)) {
+        std::printf("  wrote %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "soak_server: cannot write %s\n",
+                     metrics_path.c_str());
+        return 2;
+      }
+    }
+
+    if (violations > 0) {
+      std::fprintf(stderr, "FAIL: %d violations\n", violations);
+      return 1;
+    }
+  }
+  std::printf("PASS: every request reached a terminal status\n");
+  return 0;
+}
