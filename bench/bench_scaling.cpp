@@ -1,0 +1,123 @@
+// E-scale -- strong and weak scaling of the multi-array sharding engine
+// (DESIGN.md section 11; no paper counterpart: the paper fixes one
+// VCK190 array).
+//
+// Strong scaling holds the matrix size fixed and spreads the block
+// tournament ring over S in {1, 2, 4, 8} arrays; weak scaling grows the
+// matrix with the shard count (n = 512 * S, so the per-shard block count
+// stays constant). Every point reports the analytic sharded model
+// (shard::evaluate_sharded); sizes the cycle-approximate simulator
+// covers in bench time (n <= 1024) also report the simulated latency so
+// the model error is visible. The interesting output is the crossover:
+// for small n the inter-shard ring edge (AIE->PL->NoC/DDR->PL->AIE per
+// crossing block) costs more than the per-round PLIO streaming it
+// saves, so S > 1 is slower; once the round streaming term -- the
+// single-array PLIO bound -- grows past the edge cost, sharding wins.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "accel/sharded.hpp"
+#include "bench_util.hpp"
+#include "perfmodel/perf_model.hpp"
+#include "shard/model.hpp"
+
+using namespace hsvd;
+
+namespace {
+
+constexpr int kShards[] = {1, 2, 4, 8};
+
+accel::HeteroSvdConfig scaling_config(std::size_t n) {
+  accel::HeteroSvdConfig cfg = bench::latency_config(
+      n, bench::converged_sweeps(n), bench::achievable_frequency(n, 1));
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Multi-array strong/weak scaling", "DESIGN.md section 11");
+
+  Table table({"mode", "n", "S", "source", "task(ms)", "edge/sweep(ms)",
+               "moves", "speedup"});
+  CsvWriter csv({"mode", "n", "shards", "source", "task_ms", "iter_ms",
+                 "edge_ms_per_sweep", "hop_ms", "moves_per_sweep",
+                 "speedup_vs_s1"});
+
+  perf::PerformanceModel model;
+  // (mode, n, source) -> S = 1 task seconds, for the speedup column.
+  std::map<std::string, double> base;
+
+  const auto emit = [&](const std::string& mode, std::size_t n, int s,
+                        const std::string& source, double task_s,
+                        double iter_s, const shard::ShardedBreakdown& sb) {
+    // Strong rows compare against S = 1 at the same n; weak rows share
+    // one base (S = 1 at the smallest n), so their column is the classic
+    // weak-scaling efficiency t(1, n0) / t(S, n0 * S).
+    const std::string key = mode == "strong"
+                                ? mode + ":" + cat(n) + ":" + source
+                                : mode + ":" + source;
+    if (s == 1) base[key] = task_s;
+    const double speedup = base.count(key) ? base[key] / task_s : 1.0;
+    table.add_row({mode, cat(n), cat(s), source, fixed(task_s * 1e3, 3),
+                   fixed(sb.edge_seconds_per_sweep * 1e3, 3),
+                   cat(sb.moves_per_sweep), fixed(speedup, 2)});
+    csv.add_row({mode, cat(n), cat(s), source, fixed(task_s * 1e3, 4),
+                 fixed(iter_s * 1e3, 4),
+                 fixed(sb.edge_seconds_per_sweep * 1e3, 4),
+                 fixed(sb.hop_seconds * 1e3, 4), cat(sb.moves_per_sweep),
+                 fixed(speedup, 3)});
+  };
+
+  const auto run_point = [&](const std::string& mode, std::size_t n, int s,
+                             bool simulate) {
+    const accel::HeteroSvdConfig cfg = scaling_config(n);
+    const perf::LatencyBreakdown single = model.evaluate(cfg, 1);
+    const shard::ShardedBreakdown sb =
+        shard::evaluate_sharded(cfg, single, s, 1);
+    emit(mode, n, s, "model", sb.t_task, sb.t_iter, sb);
+    if (simulate) {
+      accel::ShardedAccelerator acc(cfg, s);
+      const auto run = acc.estimate(1);
+      emit(mode, n, s, "sim", run.task_seconds,
+           (run.task_seconds - sb.t_ddr - sb.t_norm_stage) /
+               std::max(cfg.iterations, 1),
+           sb);
+    }
+  };
+
+  // Strong scaling: n fixed, S in {1, 2, 4, 8}. The simulator covers
+  // n <= 1024; 2048 and 4096 are model-only (the same closed forms the
+  // Table IV bench validates to a few percent at simulator sizes).
+  for (std::size_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    for (int s : kShards) run_point("strong", n, s, n <= 1024);
+  }
+  // Weak scaling: the per-shard share of the ring stays constant
+  // (n = 512 * S, so each shard owns ~p/S = 32 block-pair sites).
+  for (int s : kShards) {
+    run_point("weak", static_cast<std::size_t>(512) * s, s, false);
+  }
+
+  table.print();
+
+  // Crossover summary: the smallest S > 1 the model says beats S = 1.
+  std::printf("\ncrossover (model): ");
+  for (std::size_t n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    const accel::HeteroSvdConfig cfg = scaling_config(n);
+    const perf::LatencyBreakdown single = model.evaluate(cfg, 1);
+    const double t1 = shard::evaluate_sharded(cfg, single, 1, 1).t_task;
+    int best = 0;
+    for (int s : {2, 4, 8}) {
+      if (shard::evaluate_sharded(cfg, single, s, 1).t_task < t1) {
+        best = s;
+        break;
+      }
+    }
+    std::printf("n=%zu:%s ", n, best ? cat("S=", best).c_str() : "none");
+  }
+  std::printf("\n");
+  bench::write_csv(csv, "escale_scaling");
+  return 0;
+}

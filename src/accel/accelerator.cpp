@@ -181,6 +181,250 @@ void HeteroSvdAccelerator::purge_task_buffers(int slot, int task_id) {
   for (const auto& tile : task.norm) array_->memory(tile).erase_if(drop);
 }
 
+double HeteroSvdAccelerator::stage_from_ddr(int slot, double when,
+                                            double bytes) {
+  const double done = noc_.transfer_for_slot(slot, when, bytes);
+  if (obs_ != nullptr) {
+    obs_->metrics().add("sim.ddr.transfers");
+    obs_->metrics().add("sim.ddr.bytes", static_cast<std::uint64_t>(bytes));
+    if (obs::Tracer* tr = obs_->tracer()) {
+      // Request latency: issue to completion, queueing included.
+      tr->span(obs::Domain::kSim, cat("ddr.slot", slot), "stage", "ddr", when,
+               done - when);
+    }
+  }
+  return done;
+}
+
+void HeteroSvdAccelerator::reset_timelines() {
+  array_->reset_time();
+  for (auto& ch : channels_) {
+    ch->tx[0].timeline().reset();
+    ch->tx[1].timeline().reset();
+    ch->rx[0].timeline().reset();
+    ch->rx[1].timeline().reset();
+    ch->norm_tx.timeline().reset();
+    ch->norm_rx.timeline().reset();
+  }
+  noc_.reset_time();
+}
+
+HeteroSvdAccelerator::PairCompletion HeteroSvdAccelerator::execute_block_pair(
+    int slot, int task_id, int bu, int bv, double launch, linalg::MatrixF* b,
+    std::vector<float>* colnorm, SystemModule& system) {
+  const bool functional = b != nullptr;
+  const int k = config_.p_eng;
+  const std::size_t m = config_.rows;
+  const int layers = config_.orth_layers();
+  const auto& task = placement_.tasks[static_cast<std::size_t>(slot)];
+  const auto& schedule = slot_schedules_[static_cast<std::size_t>(slot)];
+  const auto& plan = dataflows_[static_cast<std::size_t>(slot)];
+  auto& ch = *channels_[static_cast<std::size_t>(slot)];
+  const double col_bytes = static_cast<double>(m) * sizeof(float);
+  const double t_orth = kernels_.orth_seconds(m);
+
+  // ---- Tx: both blocks of the pair over their own PLIOs ---------
+  // Local column c (0..2k-1): block u columns then block v columns.
+  std::vector<int> global(static_cast<std::size_t>(2 * k));
+  for (int i = 0; i < k; ++i) {
+    global[static_cast<std::size_t>(i)] = bu * k + i;
+    global[static_cast<std::size_t>(k + i)] = bv * k + i;
+  }
+  const auto round0 = jacobi::slot_map(schedule, 0);
+  std::vector<double> arrival(static_cast<std::size_t>(2 * k));
+  // Checksums stamped on outgoing columns by the PL sender; the Rx
+  // boundary recomputes them to catch in-fabric corruption.
+  std::vector<std::uint64_t> sent_crc(static_cast<std::size_t>(2 * k), 0);
+  for (int c = 0; c < 2 * k; ++c) {
+    std::vector<float> payload;
+    if (functional) {
+      auto col = b->col(static_cast<std::size_t>(global[static_cast<std::size_t>(c)]));
+      payload.assign(col.begin(), col.end());
+      sent_crc[static_cast<std::size_t>(c)] =
+          versal::buffer_checksum(payload);
+    }
+    arrival[static_cast<std::size_t>(c)] = ch.sender->send_column(
+        c < k ? 0 : 1,
+        static_cast<std::uint32_t>(round0[static_cast<std::size_t>(c)].slot),
+        static_cast<std::uint32_t>(global[static_cast<std::size_t>(c)]),
+        static_cast<std::uint32_t>(task_id), launch, std::move(payload),
+        static_cast<std::uint64_t>(col_bytes));
+  }
+
+  // ---- Orthogonalization through the layer pipeline -------------
+  for (int l = 0; l < layers; ++l) {
+    const auto& row = schedule[static_cast<std::size_t>(l)];
+    for (int e = 0; e < k; ++e) {
+      const auto& pair = row[static_cast<std::size_t>(e)];
+      const versal::TileCoord tile =
+          task.orth[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)];
+      const double in_ready =
+          std::max(arrival[static_cast<std::size_t>(pair.left)],
+                   arrival[static_cast<std::size_t>(pair.right)]);
+      const double end = array_->run_kernel(tile, in_ready, t_orth);
+      if (!std::isfinite(end)) {
+        throw FaultDetected(cat("core ", versal::to_string(tile),
+                                " hung during orthogonalization"),
+                            tile.row, tile.col, in_ready);
+      }
+      if (functional) {
+        const int gl = global[static_cast<std::size_t>(pair.left)];
+        const int gr = global[static_cast<std::size_t>(pair.right)];
+        auto& mem = array_->memory(tile);
+        if (!mem.contains(column_key(task_id, gl)) ||
+            !mem.contains(column_key(task_id, gr))) {
+          throw FaultDetected(
+              cat("tile ", versal::to_string(tile),
+                  " is missing an input column (payload lost in "
+                  "transit)"),
+              tile.row, tile.col, end);
+        }
+        const auto r = orth_kernel(
+            b->col(static_cast<std::size_t>(gl)),
+            b->col(static_cast<std::size_t>(gr)),
+            (*colnorm)[static_cast<std::size_t>(gl)],
+            (*colnorm)[static_cast<std::size_t>(gr)]);
+        if (!std::isfinite(r.coherence)) {
+          throw FaultDetected(
+              cat("orth kernel on tile ", versal::to_string(tile),
+                  " produced a non-finite coherence"),
+              tile.row, tile.col, end);
+        }
+        system.observe_pair(r.coherence);
+      }
+      arrival[static_cast<std::size_t>(pair.left)] = end;
+      arrival[static_cast<std::size_t>(pair.right)] = end;
+    }
+    if (l + 1 < layers) {
+      for (const auto& mv : plan.transitions[static_cast<std::size_t>(l)].moves) {
+        const std::string key =
+            column_key(task_id, global[static_cast<std::size_t>(mv.column)]);
+        if (!mv.is_dma) {
+          array_->neighbour_move(mv.src, mv.dst, key,
+                                 static_cast<std::uint64_t>(col_bytes));
+        } else {
+          const double done = array_->dma_move(
+              mv.src, mv.dst, key,
+              arrival[static_cast<std::size_t>(mv.column)],
+              static_cast<std::uint64_t>(col_bytes));
+          arrival[static_cast<std::size_t>(mv.column)] = done;
+          if (functional) {
+            // Resolve the DMA shadow: the consumer's copy becomes
+            // the live buffer, the producer's original is released.
+            auto& src_mem = array_->memory(mv.src);
+            auto& dst_mem = array_->memory(mv.dst);
+            if (!dst_mem.contains(key + "#dma")) {
+              throw FaultDetected(
+                  cat("DMA of ", key, " out of ",
+                      versal::to_string(mv.src), " lost its payload"),
+                  mv.src.row, mv.src.col, done);
+            }
+            std::vector<float> data = dst_mem.load(key + "#dma");
+            dst_mem.erase(key + "#dma");
+            src_mem.erase(key);
+            dst_mem.store(key, std::move(data));
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Rx: updated columns back into the PL buffers --------------
+  const auto last = jacobi::slot_map(schedule, schedule.size() - 1);
+  PairCompletion completion;
+  for (int c = 0; c < 2 * k; ++c) {
+    const double done = ch.receiver->receive_column(
+        c < k ? 0 : 1, arrival[static_cast<std::size_t>(c)], col_bytes);
+    if (functional) {
+      const versal::TileCoord tile =
+          task.orth[schedule.size() - 1]
+                   [static_cast<std::size_t>(last[static_cast<std::size_t>(c)].slot)];
+      const std::string key =
+          column_key(task_id, global[static_cast<std::size_t>(c)]);
+      auto& mem = array_->memory(tile);
+      if (!mem.contains(key)) {
+        throw FaultDetected(cat("column ", key, " never reached tile ",
+                                versal::to_string(tile), " for Rx"),
+                            tile.row, tile.col, done);
+      }
+      // Rx boundary integrity check: the fabric only routed this
+      // buffer, so its checksum must still match what the sender
+      // stamped; a mismatch is an in-fabric SEU.
+      if (versal::buffer_checksum(mem.load(key)) !=
+          sent_crc[static_cast<std::size_t>(c)]) {
+        throw FaultDetected(cat("checksum mismatch on ", key,
+                                " at tile ", versal::to_string(tile),
+                                " (corrupted in the fabric)"),
+                            tile.row, tile.col, done);
+      }
+      mem.erase(key);
+    }
+    (c < k ? completion.done_u : completion.done_v) =
+        std::max(c < k ? completion.done_u : completion.done_v, done);
+  }
+  return completion;
+}
+
+double HeteroSvdAccelerator::execute_norm_block(int slot, int blk,
+                                                double ready,
+                                                linalg::MatrixF* b,
+                                                std::vector<float>* sigma) {
+  const bool functional = b != nullptr;
+  const int k = config_.p_eng;
+  const std::size_t m = config_.rows;
+  const auto& task = placement_.tasks[static_cast<std::size_t>(slot)];
+  auto& ch = *channels_[static_cast<std::size_t>(slot)];
+  const double col_bytes = static_cast<double>(m) * sizeof(float);
+  const double block_bytes = col_bytes * k;
+  const double t_norm = kernels_.norm_seconds(m);
+
+  const double tx_done = ch.norm_tx.transfer(ready, block_bytes);
+  if (obs_ != nullptr) {
+    obs_->metrics().add("sim.plio.bytes",
+                        static_cast<std::uint64_t>(block_bytes));
+    if (obs::Tracer* tr = obs_->tracer()) {
+      const double dur = ch.norm_tx.transfer_duration(block_bytes);
+      tr->span(obs::Domain::kSim, cat("plio.ntx.", slot), cat("blk", blk),
+               "plio", tx_done - dur, dur);
+    }
+  }
+  double blk_done = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const versal::TileCoord tile = task.norm[static_cast<std::size_t>(i)];
+    const double end = array_->run_kernel(tile, tx_done, t_norm);
+    if (!std::isfinite(end)) {
+      throw FaultDetected(cat("core ", versal::to_string(tile),
+                              " hung during normalization"),
+                          tile.row, tile.col, tx_done);
+    }
+    const double rx_done =
+        ch.norm_rx.transfer(end, col_bytes + sizeof(float));
+    if (obs_ != nullptr) {
+      obs_->metrics().add(
+          "sim.plio.bytes",
+          static_cast<std::uint64_t>(col_bytes + sizeof(float)));
+      if (obs::Tracer* tr = obs_->tracer()) {
+        const double dur =
+            ch.norm_rx.transfer_duration(col_bytes + sizeof(float));
+        tr->span(obs::Domain::kSim, cat("plio.nrx.", slot),
+                 cat("blk", blk, ".e", i), "plio", rx_done - dur, dur);
+      }
+    }
+    blk_done = std::max(blk_done, rx_done);
+    if (functional) {
+      const std::size_t gc = static_cast<std::size_t>(blk * k + i);
+      (*sigma)[gc] = norm_kernel(b->col(gc)).sigma;
+      if (!std::isfinite((*sigma)[gc])) {
+        throw FaultDetected(cat("norm kernel on tile ",
+                                versal::to_string(tile),
+                                " produced a non-finite singular value"),
+                            tile.row, tile.col, rx_done);
+      }
+    }
+  }
+  return blk_done;
+}
+
 TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
                                               const linalg::MatrixF* matrix,
                                               int task_id) {
@@ -188,16 +432,9 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   const int k = config_.p_eng;
   const int p = config_.blocks();
   const std::size_t m = config_.rows;
-  const int layers = config_.orth_layers();
-  const auto& task = placement_.tasks[static_cast<std::size_t>(slot)];
-  const auto& schedule = slot_schedules_[static_cast<std::size_t>(slot)];
-  const auto& plan = dataflows_[static_cast<std::size_t>(slot)];
-  auto& ch = *channels_[static_cast<std::size_t>(slot)];
 
   const double col_bytes = static_cast<double>(m) * sizeof(float);
   const double block_bytes = col_bytes * k;
-  const double t_orth = kernels_.orth_seconds(m);
-  const double t_norm = kernels_.norm_seconds(m);
 
   TaskResult result;
   result.start_seconds = ready;
@@ -223,18 +460,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   // the NoC DDRMC port wired to this task slot.
   DataArrangement arrangement(
       [this, slot](double when, double bytes) {
-        const double done = noc_.transfer_for_slot(slot, when, bytes);
-        if (obs_ != nullptr) {
-          obs_->metrics().add("sim.ddr.transfers");
-          obs_->metrics().add("sim.ddr.bytes",
-                              static_cast<std::uint64_t>(bytes));
-          if (obs::Tracer* tr = obs_->tracer()) {
-            // Request latency: issue to completion, queueing included.
-            tr->span(obs::Domain::kSim, cat("ddr.slot", slot), "stage", "ddr",
-                     when, done - when);
-          }
-        }
-        return done;
+        return stage_from_ddr(slot, when, bytes);
       },
       p, block_bytes);
   arrangement.stage_from_ddr(ready);
@@ -256,150 +482,14 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
     }
     for (const auto& round : block_rounds_) {
       for (const auto& [bu, bv] : round) {
-        // ---- Tx: both blocks of the pair over their own PLIOs ---------
         const double launch = std::max(arrangement.block_ready(bu),
                                        arrangement.block_ready(bv)) +
                               hls_overhead_s_;
-        // Local column c (0..2k-1): block u columns then block v columns.
-        std::vector<int> global(static_cast<std::size_t>(2 * k));
-        for (int i = 0; i < k; ++i) {
-          global[static_cast<std::size_t>(i)] = bu * k + i;
-          global[static_cast<std::size_t>(k + i)] = bv * k + i;
-        }
-        const auto round0 = jacobi::slot_map(schedule, 0);
-        std::vector<double> arrival(static_cast<std::size_t>(2 * k));
-        // Checksums stamped on outgoing columns by the PL sender; the Rx
-        // boundary recomputes them to catch in-fabric corruption.
-        std::vector<std::uint64_t> sent_crc(static_cast<std::size_t>(2 * k), 0);
-        for (int c = 0; c < 2 * k; ++c) {
-          std::vector<float> payload;
-          if (functional) {
-            auto col = b.col(static_cast<std::size_t>(global[static_cast<std::size_t>(c)]));
-            payload.assign(col.begin(), col.end());
-            sent_crc[static_cast<std::size_t>(c)] =
-                versal::buffer_checksum(payload);
-          }
-          arrival[static_cast<std::size_t>(c)] = ch.sender->send_column(
-              c < k ? 0 : 1,
-              static_cast<std::uint32_t>(round0[static_cast<std::size_t>(c)].slot),
-              static_cast<std::uint32_t>(global[static_cast<std::size_t>(c)]),
-              static_cast<std::uint32_t>(task_id), launch, std::move(payload),
-              static_cast<std::uint64_t>(col_bytes));
-        }
-
-        // ---- Orthogonalization through the layer pipeline -------------
-        for (int l = 0; l < layers; ++l) {
-          const auto& row = schedule[static_cast<std::size_t>(l)];
-          for (int e = 0; e < k; ++e) {
-            const auto& pair = row[static_cast<std::size_t>(e)];
-            const versal::TileCoord tile =
-                task.orth[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)];
-            const double in_ready =
-                std::max(arrival[static_cast<std::size_t>(pair.left)],
-                         arrival[static_cast<std::size_t>(pair.right)]);
-            const double end = array_->run_kernel(tile, in_ready, t_orth);
-            if (!std::isfinite(end)) {
-              throw FaultDetected(cat("core ", versal::to_string(tile),
-                                      " hung during orthogonalization"),
-                                  tile.row, tile.col, in_ready);
-            }
-            if (functional) {
-              const int gl = global[static_cast<std::size_t>(pair.left)];
-              const int gr = global[static_cast<std::size_t>(pair.right)];
-              auto& mem = array_->memory(tile);
-              if (!mem.contains(column_key(task_id, gl)) ||
-                  !mem.contains(column_key(task_id, gr))) {
-                throw FaultDetected(
-                    cat("tile ", versal::to_string(tile),
-                        " is missing an input column (payload lost in "
-                        "transit)"),
-                    tile.row, tile.col, end);
-              }
-              const auto r = orth_kernel(
-                  b.col(static_cast<std::size_t>(gl)),
-                  b.col(static_cast<std::size_t>(gr)),
-                  colnorm[static_cast<std::size_t>(gl)],
-                  colnorm[static_cast<std::size_t>(gr)]);
-              if (!std::isfinite(r.coherence)) {
-                throw FaultDetected(
-                    cat("orth kernel on tile ", versal::to_string(tile),
-                        " produced a non-finite coherence"),
-                    tile.row, tile.col, end);
-              }
-              system.observe_pair(r.coherence);
-            }
-            arrival[static_cast<std::size_t>(pair.left)] = end;
-            arrival[static_cast<std::size_t>(pair.right)] = end;
-          }
-          if (l + 1 < layers) {
-            for (const auto& mv : plan.transitions[static_cast<std::size_t>(l)].moves) {
-              const std::string key =
-                  column_key(task_id, global[static_cast<std::size_t>(mv.column)]);
-              if (!mv.is_dma) {
-                array_->neighbour_move(mv.src, mv.dst, key,
-                                       static_cast<std::uint64_t>(col_bytes));
-              } else {
-                const double done = array_->dma_move(
-                    mv.src, mv.dst, key,
-                    arrival[static_cast<std::size_t>(mv.column)],
-                    static_cast<std::uint64_t>(col_bytes));
-                arrival[static_cast<std::size_t>(mv.column)] = done;
-                if (functional) {
-                  // Resolve the DMA shadow: the consumer's copy becomes
-                  // the live buffer, the producer's original is released.
-                  auto& src_mem = array_->memory(mv.src);
-                  auto& dst_mem = array_->memory(mv.dst);
-                  if (!dst_mem.contains(key + "#dma")) {
-                    throw FaultDetected(
-                        cat("DMA of ", key, " out of ",
-                            versal::to_string(mv.src), " lost its payload"),
-                        mv.src.row, mv.src.col, done);
-                  }
-                  std::vector<float> data = dst_mem.load(key + "#dma");
-                  dst_mem.erase(key + "#dma");
-                  src_mem.erase(key);
-                  dst_mem.store(key, std::move(data));
-                }
-              }
-            }
-          }
-        }
-
-        // ---- Rx: updated columns back into the PL buffers --------------
-        const auto last = jacobi::slot_map(schedule, schedule.size() - 1);
-        double done_u = 0.0;
-        double done_v = 0.0;
-        for (int c = 0; c < 2 * k; ++c) {
-          const double done = ch.receiver->receive_column(
-              c < k ? 0 : 1, arrival[static_cast<std::size_t>(c)], col_bytes);
-          if (functional) {
-            const versal::TileCoord tile =
-                task.orth[schedule.size() - 1]
-                         [static_cast<std::size_t>(last[static_cast<std::size_t>(c)].slot)];
-            const std::string key =
-                column_key(task_id, global[static_cast<std::size_t>(c)]);
-            auto& mem = array_->memory(tile);
-            if (!mem.contains(key)) {
-              throw FaultDetected(cat("column ", key, " never reached tile ",
-                                      versal::to_string(tile), " for Rx"),
-                                  tile.row, tile.col, done);
-            }
-            // Rx boundary integrity check: the fabric only routed this
-            // buffer, so its checksum must still match what the sender
-            // stamped; a mismatch is an in-fabric SEU.
-            if (versal::buffer_checksum(mem.load(key)) !=
-                sent_crc[static_cast<std::size_t>(c)]) {
-              throw FaultDetected(cat("checksum mismatch on ", key,
-                                      " at tile ", versal::to_string(tile),
-                                      " (corrupted in the fabric)"),
-                                  tile.row, tile.col, done);
-            }
-            mem.erase(key);
-          }
-          (c < k ? done_u : done_v) = std::max(c < k ? done_u : done_v, done);
-        }
-        arrangement.set_block_ready(bu, done_u);
-        arrangement.set_block_ready(bv, done_v);
+        const PairCompletion done = execute_block_pair(
+            slot, task_id, bu, bv, launch, functional ? &b : nullptr,
+            functional ? &colnorm : nullptr, system);
+        arrangement.set_block_ready(bu, done.done_u);
+        arrangement.set_block_ready(bv, done.done_v);
       }
     }
     ++iterations_run;
@@ -421,51 +511,9 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
   std::vector<float> sigma;
   if (functional) sigma.resize(n_pad);
   for (int blk = 0; blk < p; ++blk) {
-    const double tx_done = ch.norm_tx.transfer(
-        arrangement.block_ready(blk) + hls_overhead_s_, block_bytes);
-    if (obs_ != nullptr) {
-      obs_->metrics().add("sim.plio.bytes",
-                          static_cast<std::uint64_t>(block_bytes));
-      if (obs::Tracer* tr = obs_->tracer()) {
-        const double dur = ch.norm_tx.transfer_duration(block_bytes);
-        tr->span(obs::Domain::kSim, cat("plio.ntx.", slot), cat("blk", blk),
-                 "plio", tx_done - dur, dur);
-      }
-    }
-    double blk_done = 0.0;
-    for (int i = 0; i < k; ++i) {
-      const versal::TileCoord tile = task.norm[static_cast<std::size_t>(i)];
-      const double end = array_->run_kernel(tile, tx_done, t_norm);
-      if (!std::isfinite(end)) {
-        throw FaultDetected(cat("core ", versal::to_string(tile),
-                                " hung during normalization"),
-                            tile.row, tile.col, tx_done);
-      }
-      const double rx_done =
-          ch.norm_rx.transfer(end, col_bytes + sizeof(float));
-      if (obs_ != nullptr) {
-        obs_->metrics().add(
-            "sim.plio.bytes",
-            static_cast<std::uint64_t>(col_bytes + sizeof(float)));
-        if (obs::Tracer* tr = obs_->tracer()) {
-          const double dur =
-              ch.norm_rx.transfer_duration(col_bytes + sizeof(float));
-          tr->span(obs::Domain::kSim, cat("plio.nrx.", slot),
-                   cat("blk", blk, ".e", i), "plio", rx_done - dur, dur);
-        }
-      }
-      blk_done = std::max(blk_done, rx_done);
-      if (functional) {
-        const std::size_t gc = static_cast<std::size_t>(blk * k + i);
-        sigma[gc] = norm_kernel(b.col(gc)).sigma;
-        if (!std::isfinite(sigma[gc])) {
-          throw FaultDetected(cat("norm kernel on tile ",
-                                  versal::to_string(tile),
-                                  " produced a non-finite singular value"),
-                              tile.row, tile.col, rx_done);
-        }
-      }
-    }
+    const double blk_done = execute_norm_block(
+        slot, blk, arrangement.block_ready(blk) + hls_overhead_s_,
+        functional ? &b : nullptr, functional ? &sigma : nullptr);
     task_end = std::max(task_end, blk_done);
   }
 
@@ -516,16 +564,7 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
 RunResult HeteroSvdAccelerator::execute_batch(
     int batch_size, const std::vector<linalg::MatrixF>* batch) {
   HSVD_REQUIRE(batch_size >= 1, "batch must contain at least one task");
-  array_->reset_time();
-  for (auto& ch : channels_) {
-    ch->tx[0].timeline().reset();
-    ch->tx[1].timeline().reset();
-    ch->rx[0].timeline().reset();
-    ch->rx[1].timeline().reset();
-    ch->norm_tx.timeline().reset();
-    ch->norm_rx.timeline().reset();
-  }
-  noc_.reset_time();
+  reset_timelines();
 
   // Task ids are assigned up front (batch order) so the id sequence is
   // identical whether the slot chains below run sequentially or on
@@ -645,6 +684,20 @@ RunResult HeteroSvdAccelerator::execute_batch(
   run.memory_utilization =
       static_cast<double>(run.resources.uram) / config_.device.total_uram;
   return run;
+}
+
+bool HeteroSvdAccelerator::mask_tiles(
+    const std::vector<versal::TileCoord>& bad) {
+  std::vector<versal::TileCoord> saved = masked_;
+  masked_.insert(masked_.end(), bad.begin(), bad.end());
+  std::sort(masked_.begin(), masked_.end());
+  masked_.erase(std::unique(masked_.begin(), masked_.end()), masked_.end());
+  if (try_place(config_, masked_).has_value()) {
+    rebuild();
+    return true;
+  }
+  masked_ = std::move(saved);
+  return false;
 }
 
 bool HeteroSvdAccelerator::mask_and_replace(

@@ -118,6 +118,69 @@ class HeteroSvdAccelerator {
   // Tiles diagnosed faulty so far; re-placement never uses them.
   const std::vector<versal::TileCoord>& masked_tiles() const { return masked_; }
 
+  // ---- Pair-level engine API (DESIGN.md section 11) --------------------
+  // execute_task() is built from these primitives; they are public so a
+  // multi-array driver (ShardedAccelerator) can run the same block-pair
+  // pipeline on several accelerator instances without duplicating the
+  // timing or fault-detection logic. All of them assume reset_timelines()
+  // has been called since the previous batch.
+
+  // Completion times of one executed block pair: when each of its two
+  // blocks is back in the PL URAM buffers.
+  struct PairCompletion {
+    double done_u = 0.0;
+    double done_v = 0.0;
+  };
+
+  // Resets the array, PLIO channel and NoC timelines to simulated t = 0.
+  void reset_timelines();
+
+  // One DDR -> PL URAM staging transfer on the NoC port wired to `slot`.
+  double stage_from_ddr(int slot, double when, double bytes);
+
+  // Executes one block pair (bu, bv) of task `task_id` on hardware slot
+  // `slot`, starting no earlier than `launch` (HLS loop-switch overhead
+  // already included by the caller): Tx of both blocks over the slot's
+  // two orth PLIOs, the (2k-1)-layer orthogonalization pipeline with its
+  // inter-layer moves, and Rx back into the PL buffers. `b` and
+  // `colnorm` are null in timing-only mode. Throws hsvd::FaultDetected
+  // at the same detection points as execute_task().
+  PairCompletion execute_block_pair(int slot, int task_id, int bu, int bv,
+                                    double launch, linalg::MatrixF* b,
+                                    std::vector<float>* colnorm,
+                                    SystemModule& system);
+
+  // Executes the normalization of block `blk` (norm Tx at `ready`, k
+  // norm kernels, per-column Rx); returns when the block's results are
+  // back in the PL buffers. `b`/`sigma` are null in timing-only mode.
+  double execute_norm_block(int slot, int blk, double ready,
+                            linalg::MatrixF* b, std::vector<float>* sigma);
+
+  // Releases every buffer a failed task left in its slot's tile
+  // memories, so later tasks on the same tiles start clean.
+  void purge_task_buffers(int slot, int task_id);
+
+  // Adds `bad` to the masked set and re-places the *same* shape on the
+  // healthy array -- unlike the internal recovery path this never
+  // degrades P_task or P_eng, because a sharded run must keep the block
+  // structure identical across all arrays. Returns false (and leaves the
+  // accelerator untouched) when the shape no longer fits.
+  bool mask_tiles(const std::vector<versal::TileCoord>& bad);
+
+  versal::NocModel& noc() { return noc_; }
+  // HLS loop-switching overhead charged at each block-pair launch.
+  double hls_overhead_seconds() const { return hls_overhead_s_; }
+  // Simulator counters / per-tile tallies of this array (a sharded run
+  // merges them across arrays; see shard/merge.hpp).
+  versal::ArrayStats array_stats() const { return array_->stats(); }
+  double core_utilization(double makespan) const {
+    return array_->core_utilization(makespan);
+  }
+  versal::UtilizationReport utilization(double makespan) const {
+    return array_->utilization(makespan);
+  }
+  bool has_trace() const { return trace_ != nullptr; }
+
  private:
   struct TaskContext;
 
@@ -142,10 +205,6 @@ class HeteroSvdAccelerator {
   // no longer fits the current shape. Returns false when no degraded
   // configuration fits (recovery impossible).
   bool mask_and_replace(const std::vector<versal::TileCoord>& bad);
-
-  // Releases every buffer a failed task left in its slot's tile
-  // memories, so later tasks on the same tiles start clean.
-  void purge_task_buffers(int slot, int task_id);
 
   HeteroSvdConfig config_;
   PlacementResult placement_;

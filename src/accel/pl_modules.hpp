@@ -127,6 +127,14 @@ class SystemModule {
   static constexpr int stall_limit() { return 5; }
   bool stalled() const { return stalled_sweeps_ >= stall_limit(); }
 
+  // Folds another module's open sweep into this one (sharded execution:
+  // each shard observes its own pairs; the sweep maximum of the union is
+  // the max of the per-shard maxima, so the merge is order-independent
+  // and the merged convergence decision matches a single-array run).
+  void merge_sweep(const SystemModule& other) {
+    tracker_.merge(other.tracker_);
+  }
+
  private:
   // A sweep must shrink the coherence by at least this factor to count
   // as progress.

@@ -8,6 +8,7 @@
 #include "common/checkpoint.hpp"
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
+#include "shard/model.hpp"
 
 namespace hsvd::dse {
 
@@ -61,19 +62,21 @@ std::string dse_checkpoint_tag(const DseRequest& request) {
   fold_d(dev.ddr_bytes_per_s);
   fold_d(dev.ddr_latency_s);
   fold(static_cast<std::uint64_t>(dev.ddr_ports));
+  fold(static_cast<std::uint64_t>(request.max_shards));
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(h));
   return cat("dse-", buf);
 }
 
-// Space-separated flat encoding: point count, then 29 numbers per
+// Space-separated flat encoding: point count, then 30 numbers per
 // point. All numeric, so no escaping is needed.
 std::string serialize_points(const std::vector<DesignPoint>& points) {
   std::ostringstream os;
   os << points.size();
   for (const auto& p : points) {
-    os << ' ' << p.p_eng << ' ' << p.p_task << ' ' << g17(p.frequency_hz);
+    os << ' ' << p.p_eng << ' ' << p.p_task << ' ' << p.shards << ' '
+       << g17(p.frequency_hz);
     const auto& l = p.latency;
     for (double v : {l.t_tx_col, l.t_tx_blk, l.t_rx_blk, l.t_orth,
                      l.t_norm_kernel, l.t_aie_wait, l.t_algo, l.t_datawait,
@@ -102,7 +105,7 @@ bool deserialize_points(const std::string& payload,
     DesignPoint p;
     auto& l = p.latency;
     auto& r = p.resources;
-    if (!(is >> p.p_eng >> p.p_task >> p.frequency_hz >> l.t_tx_col >>
+    if (!(is >> p.p_eng >> p.p_task >> p.shards >> p.frequency_hz >> l.t_tx_col >>
           l.t_tx_blk >> l.t_rx_blk >> l.t_orth >> l.t_norm_kernel >>
           l.t_aie_wait >> l.t_algo >> l.t_datawait >> l.t_pipeline >>
           l.t_round >> l.t_iter >> l.t_ddr >> l.t_norm_stage >> l.t_hls >>
@@ -232,6 +235,34 @@ std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
         point.power_watts = power_.system_watts(point.resources,
                                                 placed->config.pl_frequency_hz);
         slices[slice].push_back(point);
+        // Multi-array variants of the same placement: the S = 1 point's
+        // breakdown feeds the sharded model, the resource footprint
+        // covers S replicas plus the 2S inter-shard link PLIOs, and
+        // power follows the scaled resources. Feasibility is per device
+        // and therefore inherited from the S = 1 placement.
+        for (int s = 2; s <= request.max_shards; s *= 2) {
+          const shard::ShardedBreakdown sb = shard::evaluate_sharded(
+              placed->config, point.latency, s, request.batch);
+          DesignPoint multi = point;
+          multi.shards = s;
+          multi.latency.t_iter = sb.t_iter;
+          multi.latency.t_ddr = sb.t_ddr;
+          multi.latency.t_norm_stage = sb.t_norm_stage;
+          multi.latency.t_task = sb.t_task;
+          multi.latency.t_sys = sb.t_sys;
+          multi.latency_seconds = sb.t_task;
+          multi.throughput_tasks_per_s = sb.throughput_tasks_per_s(request.batch);
+          multi.resources.aie_orth *= s;
+          multi.resources.aie_norm *= s;
+          multi.resources.aie_mem *= s;
+          multi.resources.uram *= s;
+          multi.resources.bram *= s;
+          multi.resources.lut *= static_cast<std::uint64_t>(s);
+          multi.resources.plio = point.resources.plio * s + 2 * s;
+          multi.power_watts = power_.system_watts(
+              multi.resources, placed->config.pl_frequency_hz);
+          slices[slice].push_back(multi);
+        }
       }
     }
     // Record feasible and infeasible slices alike (an empty point list

@@ -33,6 +33,11 @@ enum class Objective { kLatency, kThroughput };
 struct DesignPoint {
   int p_eng = 1;
   int p_task = 1;
+  // Simulated AIE arrays the point spans (DESIGN.md section 11). S > 1
+  // points replicate the S = 1 placement on S devices and add the
+  // inter-shard ring edge to the latency model; resources/power cover
+  // all S arrays plus the 2S link PLIOs.
+  int shards = 1;
   double frequency_hz = 0.0;
   perf::LatencyBreakdown latency;
   perf::ResourceUsage resources;
@@ -56,6 +61,12 @@ struct DseRequest {
   // When set, fixes the PL frequency; otherwise the frequency model
   // supplies the maximum achievable per design point.
   std::optional<double> frequency_hz;
+  // Largest shard count to co-explore with (P_eng, P_task): every
+  // feasible single-array point also spawns S = 2, 4, ... <= max_shards
+  // variants scored with the sharded latency model, so the Pareto front
+  // can include multi-array points. 1 (the default) explores the
+  // paper's single-array space only.
+  int max_shards = 1;
   versal::DeviceResources device = versal::vck190();
   // Host threads for evaluating independent P_eng slices of the design
   // space in parallel (0 = auto via HSVD_THREADS/hardware, 1 = inline).

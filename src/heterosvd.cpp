@@ -36,6 +36,7 @@ void validate_options(const SvdOptions& options) {
   HSVD_REQUIRE(std::isfinite(options.precision) && options.precision > 0.0,
                "precision must be positive and finite");
   HSVD_REQUIRE(options.threads >= 0, "threads must be nonnegative (0 = auto)");
+  HSVD_REQUIRE(options.shards >= 1, "shards must be at least 1");
   HSVD_REQUIRE(options.fault_retries >= 0,
                "fault_retries must be nonnegative");
   if (options.retry.has_value()) options.retry->validate();
@@ -142,7 +143,9 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
   if (retry != nullptr) backoff.emplace(*retry, 0);
   std::string last_fault;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    accel::HeteroSvdAccelerator acc(cfg);
+    // shards == 1 delegates to the inner single-array engine outright,
+    // so the default path stays bit-identical (timings included).
+    accel::ShardedAccelerator acc(cfg, options.shards);
     if (options.fault_injector != nullptr) {
       acc.attach_faults(options.fault_injector);
     }
@@ -199,7 +202,7 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   if (deadline_expired(options)) {
     throw DeadlineExceeded("deadline expired before the batch began");
   }
-  accel::HeteroSvdAccelerator acc(cfg);
+  accel::ShardedAccelerator acc(cfg, options.shards);
   if (options.fault_injector != nullptr) {
     acc.attach_faults(options.fault_injector);
   }
@@ -209,6 +212,7 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   auto run = acc.run(batch);
   BatchSvd out;
   out.config = cfg;
+  out.shards = options.shards;
   out.batch_seconds = run.batch_seconds;
   out.throughput_tasks_per_s = run.throughput_tasks_per_s;
   out.failed_tasks = run.failed_tasks;
@@ -251,7 +255,7 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
       std::vector<linalg::MatrixF> sub;
       sub.reserve(again.size());
       for (std::size_t i : again) sub.push_back(batch[i]);
-      accel::HeteroSvdAccelerator retry_acc(cfg);
+      accel::ShardedAccelerator retry_acc(cfg, options.shards);
       if (options.fault_injector != nullptr) {
         retry_acc.attach_faults(options.fault_injector);
       }
@@ -282,6 +286,19 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   return out;
 }
 
+void validate_host_budget(int threads, int shards) {
+  HSVD_REQUIRE(threads >= 0, "threads must be nonnegative (0 = auto)");
+  HSVD_REQUIRE(shards >= 1, "shards must be at least 1");
+  const int per_shard = std::max(threads, 1);
+  const int hardware = common::ThreadPool::hardware_threads();
+  if (per_shard * shards > hardware) {
+    throw InputError(cat("host budget exceeded: ", threads, " thread(s) x ",
+                         shards, " shard(s) needs ", per_shard * shards,
+                         " workers but the machine has ", hardware,
+                         " hardware threads; lower --threads or --shards"));
+  }
+}
+
 linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
                          const std::vector<float>& sigma, int threads) {
   HSVD_REQUIRE(u.rows() == a.rows(), "U row count must match A");
@@ -292,6 +309,13 @@ linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
     }
   }
   linalg::MatrixF v(a.cols(), sigma.size());
+  // Null-space cutoff, relative to the spectrum's scale: a singular
+  // value at or below the float noise floor (~eps * sigma_max) is
+  // numerical debris from a rank-deficient input, and dividing by it
+  // would inflate A^T u_t noise into an O(sigma_max) column.
+  float scale = 0.0f;
+  for (float s : sigma) scale = std::max(scale, s);
+  const float cutoff = std::max(1e-12f, 1e-6f * scale);
   // Row j of V needs one fused dot per kept singular value:
   // v(j, t) = (a.col(j) . u.col(t)) / sigma[t]. Rows are independent, so
   // they are distributed over the pool; each entry's arithmetic is a
@@ -302,7 +326,7 @@ linalg::MatrixF derive_v(const linalg::MatrixF& a, const linalg::MatrixF& u,
       [&](std::size_t j) {
         auto aj = a.col(j);
         for (std::size_t t = 0; t < sigma.size(); ++t) {
-          if (sigma[t] <= 1e-12f) continue;
+          if (sigma[t] <= cutoff) continue;
           const float inv = 1.0f / sigma[t];
           v(j, t) = linalg::dot<float>(aj, u.col(t)) * inv;
         }

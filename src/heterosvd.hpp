@@ -21,6 +21,7 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/config.hpp"
+#include "accel/sharded.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/retry.hpp"
@@ -49,6 +50,14 @@ struct SvdOptions {
   // parallel work is partitioned over independent task slots / columns
   // and the simulated timing model is untouched.
   int threads = 0;
+  // Simulated AIE arrays to partition each decomposition across (see
+  // DESIGN.md section 11). 1 (the default) is the paper's single-array
+  // engine. S > 1 distributes the block tournament ring over S arrays:
+  // factors are bit-identical to the single-array path for every S
+  // (tournament rounds are disjoint, so rotation order is unchanged);
+  // only the simulated timeline differs, with cross-shard ring moves
+  // priced over the AIE->PL->NoC/DDR->PL->AIE edge.
+  int shards = 1;
   // Fault injector to attach to the accelerator (not owned; nullptr =
   // fault-free). Injected faults are detected at the dataflow boundaries
   // and surface per result as SvdStatus::kFailed after recovery runs out.
@@ -130,6 +139,7 @@ struct BatchSvd {
   double batch_seconds = 0.0;              // simulated makespan
   double throughput_tasks_per_s = 0.0;
   accel::HeteroSvdConfig config;           // what the DSE picked
+  int shards = 1;                          // arrays the batch ran across
   // Fault outcome of the batch: a detected fault fails only its own
   // task; the rest of the batch completes with results bit-identical to
   // a fault-free run. results[i].status says which tasks survived.
@@ -151,6 +161,14 @@ struct BatchSvd {
 // accelerator with backoff between attempts.
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
                    const SvdOptions& options = {});
+
+// Rejects a threads/shards combination that oversubscribes the host:
+// throws hsvd::InputError when max(threads, 1) * shards exceeds the
+// machine's hardware thread count (each shard's per-round fan-out wants
+// its own worker; threads = 0 means auto and counts as one because the
+// pool partitions rather than multiplies). The hsvd CLI calls this for
+// explicit --threads/--shards flags; programmatic callers may opt in.
+void validate_host_budget(int threads, int shards);
 
 // Recovers V from A ~ U diag(sigma) V^T (V = A^T U Sigma^-1). Columns
 // belonging to (near-)zero singular values are left zero. Rows of V are

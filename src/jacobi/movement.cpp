@@ -34,4 +34,28 @@ std::vector<Move> moves_between(const EngineSchedule& schedule, std::size_t r,
   return moves;
 }
 
+std::vector<ShardedMove> sharded_moves_between(const EngineSchedule& schedule,
+                                               std::size_t r,
+                                               std::size_t r_next, int shards) {
+  HSVD_REQUIRE(shards >= 1, "need at least one shard");
+  std::vector<ShardedMove> out;
+  for (const Move& mv : moves_between(schedule, r, r_next)) {
+    out.push_back(ShardedMove{mv, shard_of_slot(mv.from.slot, shards),
+                              shard_of_slot(mv.to.slot, shards)});
+  }
+  return out;
+}
+
+int count_inter_shard_moves(const EngineSchedule& schedule, int shards) {
+  HSVD_REQUIRE(!schedule.empty(), "schedule must have at least one round");
+  int total = 0;
+  for (std::size_t r = 0; r < schedule.size(); ++r) {
+    const std::size_t next = (r + 1) % schedule.size();
+    for (const auto& mv : sharded_moves_between(schedule, r, next, shards)) {
+      if (mv.crosses_shards()) ++total;
+    }
+  }
+  return total;
+}
+
 }  // namespace hsvd::jacobi

@@ -38,4 +38,28 @@ std::vector<SlotPosition> slot_map(const EngineSchedule& schedule,
 std::vector<Move> moves_between(const EngineSchedule& schedule, std::size_t r,
                                 std::size_t r_next);
 
+// ---- Multi-array sharding (DESIGN.md section 11) --------------------
+//
+// A move annotated with the shards its endpoint sites live on (sites are
+// distributed over shards cyclically, see jacobi::shard_of_slot). An
+// intra-shard move keeps its neighbour/DMA pricing from the dataflow
+// builder; a cross-shard move must leave the array through an AIE->PL
+// PLIO, hop the NoC, and re-enter the destination array (priced by
+// shard::InterShardLink).
+struct ShardedMove {
+  Move move;
+  int from_shard = 0;
+  int to_shard = 0;
+  bool crosses_shards() const { return from_shard != to_shard; }
+};
+
+std::vector<ShardedMove> sharded_moves_between(const EngineSchedule& schedule,
+                                               std::size_t r,
+                                               std::size_t r_next, int shards);
+
+// Cross-shard moves of one full sweep (wrap-around transition included):
+// the traffic a sharded engine pushes over the inter-shard ring edge
+// when the sweep's round sequence is walked in steady state.
+int count_inter_shard_moves(const EngineSchedule& schedule, int shards);
+
 }  // namespace hsvd::jacobi

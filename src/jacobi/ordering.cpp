@@ -153,4 +153,32 @@ bool is_valid_tournament(const EngineSchedule& schedule, int columns) {
   return seen.size() == expected;
 }
 
+EngineSchedule block_ring_schedule(int blocks) {
+  HSVD_REQUIRE(blocks >= 2, "need at least two blocks to form pairs");
+  // Same circle method as block_pair_rounds, but bye pairs are kept so
+  // every round is a complete row of p/2 sites (required by slot_map).
+  const int p = blocks % 2 == 0 ? blocks : blocks + 1;
+  const int m = p - 1;
+  EngineSchedule rounds;
+  rounds.reserve(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    std::vector<ColumnPair> row;
+    row.reserve(static_cast<std::size_t>(p / 2));
+    auto push = [&row](int u, int v) {
+      if (u > v) std::swap(u, v);
+      row.push_back(ColumnPair{u, v});
+    };
+    push(p - 1, r);
+    for (int i = 1; i < p / 2; ++i) push((r + i) % m, ((r - i) % m + m) % m);
+    rounds.push_back(std::move(row));
+  }
+  return rounds;
+}
+
+int shard_of_slot(int slot, int shards) {
+  HSVD_REQUIRE(slot >= 0, "slot must be nonnegative");
+  HSVD_REQUIRE(shards >= 1, "need at least one shard");
+  return slot % shards;
+}
+
 }  // namespace hsvd::jacobi

@@ -48,4 +48,23 @@ EngineSchedule make_schedule(OrderingKind kind, int columns,
 // - across the sweep every unordered pair appears exactly once
 bool is_valid_tournament(const EngineSchedule& schedule, int columns);
 
+// ---- Multi-array sharding (DESIGN.md section 11) --------------------
+//
+// The block-level tournament of block_pair_rounds() expressed as an
+// EngineSchedule, so slot_map/moves_between apply to *blocks* exactly as
+// they do to columns: "column" id = block id, "slot" = the ring site
+// processing one block pair per round. An odd block count is padded with
+// a phantom bye block (id == blocks) to complete every round; pairs
+// touching the bye carry no data and no work. For even counts, round r
+// slot j holds exactly jacobi::block_pair_rounds(blocks)[r][j], so a
+// sharded engine walking this schedule covers the same disjoint pair
+// sets per round as the single-array engine (bit-identical factors).
+EngineSchedule block_ring_schedule(int blocks);
+
+// Cyclic distribution of ring sites over S simulated AIE arrays: site
+// (pair slot) j lives on shard j % shards. Consecutive sites alternate
+// arrays, so the shifting-ring exchange between neighbouring sites
+// crosses an array boundary at most once per neighbour hop.
+int shard_of_slot(int slot, int shards);
+
 }  // namespace hsvd::jacobi

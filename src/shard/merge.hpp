@@ -1,0 +1,31 @@
+// Merging per-shard simulator output into one report (DESIGN.md
+// section 11).
+//
+// A sharded run drives S independent AieArraySim instances; the user
+// still sees one RunResult. Counters (ArrayStats) sum. Utilization
+// reports stack side by side -- shard s's tiles land at column offset
+// s * cols of a rows x (S * cols) grid, so the heat-grid renderer shows
+// the whole multi-array fabric in one picture and core_utilization()
+// keeps its meaning (busy fraction over every core that ran a kernel,
+// against the merged makespan).
+#pragma once
+
+#include <vector>
+
+#include "versal/array.hpp"
+#include "versal/utilization.hpp"
+
+namespace hsvd::shard {
+
+// Element-wise sum of per-shard counters.
+versal::ArrayStats merge_stats(const std::vector<versal::ArrayStats>& per_shard);
+
+// Side-by-side stack of per-shard utilization reports. All reports must
+// share the same geometry and AIE clock; the merged makespan is the max
+// over the shards (idle cycles of faster shards are re-derived against
+// it). An empty input yields an empty report; a single report passes
+// through unchanged.
+versal::UtilizationReport merge_utilization(
+    const std::vector<versal::UtilizationReport>& per_shard);
+
+}  // namespace hsvd::shard

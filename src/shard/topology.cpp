@@ -1,0 +1,84 @@
+#include "shard/topology.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "jacobi/movement.hpp"
+#include "jacobi/ordering.hpp"
+
+namespace hsvd::shard {
+
+int home_shard(int block, int shards) {
+  HSVD_REQUIRE(block >= 0, "block must be nonnegative");
+  HSVD_REQUIRE(shards >= 1, "need at least one shard");
+  return block % shards;
+}
+
+namespace {
+
+double plio_rate(double bits_per_cycle, double pl_frequency_hz, double cap) {
+  return std::min(bits_per_cycle / 8.0 * pl_frequency_hz, cap);
+}
+
+}  // namespace
+
+InterShardLink::InterShardLink(int shards,
+                               const versal::DeviceResources& device,
+                               double pl_frequency_hz, perf::PlioModel plio)
+    : noc_(shards, device.ddr_bytes_per_s, device.ddr_latency_s) {
+  HSVD_REQUIRE(shards >= 1, "need at least one shard");
+  HSVD_REQUIRE(pl_frequency_hz > 0, "PL frequency must be positive");
+  const double egress_rate = plio_rate(plio.plio_bits, pl_frequency_hz,
+                                       device.plio_aie_to_pl_bytes_per_s);
+  const double ingress_rate = plio_rate(plio.plio_bits, pl_frequency_hz,
+                                        device.plio_pl_to_aie_bytes_per_s);
+  egress_.reserve(static_cast<std::size_t>(shards));
+  ingress_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    egress_.emplace_back(cat("xshard.out.", s), egress_rate);
+    ingress_.emplace_back(cat("xshard.in.", s), ingress_rate);
+  }
+}
+
+double InterShardLink::transfer(int from, int to, double ready, double bytes) {
+  HSVD_REQUIRE(from >= 0 && from < shards(), "source shard out of range");
+  HSVD_REQUIRE(to >= 0 && to < shards(), "destination shard out of range");
+  HSVD_REQUIRE(from != to, "a block never hops to its own shard");
+  const double off_array =
+      egress_[static_cast<std::size_t>(from)].transfer(ready, bytes);
+  const double across = noc_.transfer(from, off_array, bytes);
+  const double landed =
+      ingress_[static_cast<std::size_t>(to)].transfer(across, bytes);
+  ++transfers_;
+  bytes_moved_ += static_cast<std::uint64_t>(bytes);
+  return landed;
+}
+
+void InterShardLink::reset_time() {
+  noc_.reset_time();
+  for (auto& ch : egress_) ch.timeline().reset();
+  for (auto& ch : ingress_) ch.timeline().reset();
+  transfers_ = 0;
+  bytes_moved_ = 0;
+}
+
+double InterShardLink::hop_seconds(const versal::DeviceResources& device,
+                                   double pl_frequency_hz, double bytes,
+                                   perf::PlioModel plio) {
+  const double egress_rate = plio_rate(plio.plio_bits, pl_frequency_hz,
+                                       device.plio_aie_to_pl_bytes_per_s);
+  const double ingress_rate = plio_rate(plio.plio_bits, pl_frequency_hz,
+                                        device.plio_pl_to_aie_bytes_per_s);
+  return bytes / egress_rate + device.ddr_latency_s +
+         bytes / device.ddr_bytes_per_s + bytes / ingress_rate;
+}
+
+int inter_shard_block_moves_per_sweep(int blocks, int shards) {
+  HSVD_REQUIRE(shards >= 1, "need at least one shard");
+  if (shards == 1) return 0;
+  const auto schedule = jacobi::block_ring_schedule(blocks);
+  return jacobi::count_inter_shard_moves(schedule, shards);
+}
+
+}  // namespace hsvd::shard

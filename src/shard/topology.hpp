@@ -1,0 +1,73 @@
+// Multi-array sharding topology (DESIGN.md section 11).
+//
+// One SVD is partitioned across S simulated AIE arrays ("shards"). The
+// block Hestenes-Jacobi ring is the unit of distribution: the sites of
+// the block-level tournament (jacobi::block_ring_schedule) are assigned
+// to shards cyclically (site j -> shard j % S), so column blocks rotate
+// through ring stops that live on several arrays. A block that moves
+// between sites on one shard stays in that array's PL URAM buffers
+// (free at block granularity -- the intra-array moves are already priced
+// by the dataflow builder); a block that crosses to another shard must
+// leave through an AIE->PL PLIO, hop the NoC/DDR fabric, and re-enter
+// the destination array over its PL->AIE PLIO. InterShardLink prices
+// exactly that edge with the existing 24/32 GB/s PLIO and NoC models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "perfmodel/aie_timing.hpp"
+#include "versal/noc.hpp"
+#include "versal/resources.hpp"
+#include "versal/timeline.hpp"
+
+namespace hsvd::shard {
+
+// Block-cyclic home shard of block `block`: where its DDR staging lands.
+int home_shard(int block, int shards);
+
+// The inter-shard ring edge: AIE -> PL (24 GB/s PLIO egress) -> NoC/DDR
+// hop -> PL -> AIE (32 GB/s PLIO ingress). Each shard owns one egress
+// and one ingress channel, and the connecting NoC exposes one port per
+// source shard; a transfer serializes on all three timelines, so
+// concurrent cross-shard moves queue exactly like any other fabric
+// traffic in the simulator.
+class InterShardLink {
+ public:
+  InterShardLink(int shards, const versal::DeviceResources& device,
+                 double pl_frequency_hz,
+                 perf::PlioModel plio = {});
+
+  // Moves `bytes` of one block from shard `from` to shard `to`; returns
+  // the arrival time at the destination shard's PL buffers.
+  double transfer(int from, int to, double ready, double bytes);
+
+  void reset_time();
+
+  int shards() const { return static_cast<int>(egress_.size()); }
+  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+
+  // Unqueued duration of one cross-shard block hop (the analytic model's
+  // edge cost): egress PLIO + NoC traversal + DDR bandwidth + ingress
+  // PLIO, no queueing.
+  static double hop_seconds(const versal::DeviceResources& device,
+                            double pl_frequency_hz, double bytes,
+                            perf::PlioModel plio = {});
+
+ private:
+  versal::NocModel noc_;
+  std::vector<versal::Channel> egress_;   // AIE -> PL, 24 GB/s cap
+  std::vector<versal::Channel> ingress_;  // PL -> AIE, 32 GB/s cap
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_moved_ = 0;
+};
+
+// Cross-shard block moves of one steady-state sweep of the block ring:
+// jacobi::count_inter_shard_moves over the padded block schedule. The
+// phantom bye block of an odd count is included (it is a worst-case
+// bound there; even block counts -- every power-of-two configuration --
+// are exact).
+int inter_shard_block_moves_per_sweep(int blocks, int shards);
+
+}  // namespace hsvd::shard

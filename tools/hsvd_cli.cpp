@@ -18,6 +18,11 @@
 // The global --threads N option (before the subcommand) sets the host
 // worker-thread count for svd/dse; 0 (default) resolves via HSVD_THREADS
 // or the hardware concurrency. Results are thread-count invariant.
+// --shards S partitions each decomposition across S simulated AIE
+// arrays (svd/batch) and co-explores shard counts up to S in dse;
+// factors are bit-identical to the single-array path for every S.
+// Combinations whose worker demand exceeds the machine's hardware
+// threads are rejected up front with an InputError.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +47,10 @@ using namespace hsvd;
 // Host worker threads (--threads N, before the subcommand). 0 = auto via
 // HSVD_THREADS / hardware concurrency; results are identical either way.
 int g_threads = 0;
+
+// Simulated AIE arrays per decomposition (--shards S, before the
+// subcommand). 1 = the paper's single-array engine.
+int g_shards = 1;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -91,6 +100,7 @@ int cmd_svd(int argc, char** argv) {
   std::printf("decomposing %zux%zu...\n", a.rows(), a.cols());
   SvdOptions opts;
   opts.threads = g_threads;
+  opts.shards = g_shards;
   Svd r = svd(a, opts);
   std::printf("converged in %d sweeps (rate %.2e); simulated accelerator "
               "latency %.3f ms\n",
@@ -129,6 +139,7 @@ int cmd_batch(int argc, char** argv) {
               batch.front().rows(), batch.front().cols());
   SvdOptions opts;
   opts.threads = g_threads;
+  opts.shards = g_shards;
   const BatchSvd out = svd_batch(batch, opts);
 
   Table table({"task", "status", "sweeps", "recoveries", "note"});
@@ -164,6 +175,7 @@ int cmd_dse(int argc, char** argv) {
                       ? dse::Objective::kThroughput
                       : dse::Objective::kLatency;
   req.threads = g_threads;
+  req.max_shards = g_shards;
   dse::DesignSpaceExplorer explorer;
   auto points = explorer.enumerate(req);
   if (points.empty()) {
@@ -171,15 +183,17 @@ int cmd_dse(int argc, char** argv) {
     return 1;
   }
   auto front = dse::pareto_front(points);
-  Table table({"P_eng", "P_task", "MHz", "latency(ms)", "thr(t/s)", "power(W)",
-               "pareto"});
+  Table table({"P_eng", "P_task", "S", "MHz", "latency(ms)", "thr(t/s)",
+               "power(W)", "pareto"});
   for (std::size_t i = 0; i < std::min<std::size_t>(8, points.size()); ++i) {
     const auto& p = points[i];
     bool on_front = false;
     for (const auto& f : front) {
-      on_front |= f.p_eng == p.p_eng && f.p_task == p.p_task;
+      on_front |= f.p_eng == p.p_eng && f.p_task == p.p_task &&
+                  f.shards == p.shards;
     }
-    table.add_row({cat(p.p_eng), cat(p.p_task), fixed(p.frequency_hz / 1e6, 0),
+    table.add_row({cat(p.p_eng), cat(p.p_task), cat(p.shards),
+                   fixed(p.frequency_hz / 1e6, 0),
                    fixed(p.latency_seconds * 1e3, 3),
                    fixed(p.throughput_tasks_per_s, 1),
                    fixed(p.power_watts, 1), on_front ? "*" : ""});
@@ -231,6 +245,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[arg0], "--threads") == 0 && arg0 + 1 < argc) {
       g_threads = std::atoi(argv[arg0 + 1]);
       arg0 += 2;
+    } else if (std::strcmp(argv[arg0], "--shards") == 0 && arg0 + 1 < argc) {
+      g_shards = std::atoi(argv[arg0 + 1]);
+      arg0 += 2;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[arg0]);
       return 2;
@@ -240,12 +257,16 @@ int main(int argc, char** argv) {
   argc -= arg0 - 1;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: hsvd [--threads N] <gen|svd|batch|dse|estimate> ...\n"
+                 "usage: hsvd [--threads N] [--shards S] "
+                 "<gen|svd|batch|dse|estimate> ...\n"
                  "run a subcommand without arguments for its usage\n");
     return 2;
   }
   const std::string cmd = argv[1];
   try {
+    // Reject oversubscribed --threads/--shards combinations before any
+    // work starts (typed InputError, exit 1 via the handler below).
+    validate_host_budget(g_threads, g_shards);
     if (cmd == "gen") return cmd_gen(argc - 1, argv + 1);
     if (cmd == "svd") return cmd_svd(argc - 1, argv + 1);
     if (cmd == "batch") return cmd_batch(argc - 1, argv + 1);
