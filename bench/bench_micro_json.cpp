@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "heterosvd.hpp"
 #include "jacobi/hestenes.hpp"
@@ -69,6 +70,12 @@ struct JsonWriter {
     std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g", key.c_str(), v);
     out += buf;
   }
+  // Values are emitter-controlled identifiers / annotations, never user
+  // input, so no escaping is needed.
+  void string(const std::string& key, const std::string& v) {
+    comma();
+    out += "  \"" + key + "\": \"" + v + "\"";
+  }
   std::string finish() { return out + "\n}\n"; }
 };
 
@@ -88,15 +95,31 @@ int main(int argc, char** argv) {
   const std::span<const float> cy = ym.col(0);
 
   JsonWriter json;
-  json.number("dot_n512_ns", time_ns([&] { sinkf = sinkf + linalg::dot(cx, cy); }));
-  json.number("dot3_n512_ns", time_ns([&] {
-                const auto g = linalg::dot3(cx, cy);
-                sinkf = sinkf + g.aii + g.ajj + g.aij;
-              }));
-  json.number("apply_rotation_n512_ns", time_ns([&] {
-                linalg::apply_rotation(xw.col(0), yw.col(0), 0.8f, 0.6f);
-                sinkf = sinkf + xw.col(0)[0];
-              }));
+  // Which SIMD target the fp32 hot-path kernels dispatched to: the
+  // headline *_n512_ns numbers below are measured through this target.
+  json.string("simd_kind", simd::active().name);
+  json.number("simd_lane_width", simd::active().lane_width);
+  const auto time_kernels = [&](const std::string& suffix) {
+    json.number("dot_n512" + suffix,
+                time_ns([&] { sinkf = sinkf + linalg::dot(cx, cy); }));
+    json.number("dot3_n512" + suffix, time_ns([&] {
+                  const auto g = linalg::dot3(cx, cy);
+                  sinkf = sinkf + g.aii + g.ajj + g.aij;
+                }));
+    json.number("apply_rotation_n512" + suffix, time_ns([&] {
+                  linalg::apply_rotation(xw.col(0), yw.col(0), 0.8f, 0.6f);
+                  sinkf = sinkf + xw.col(0)[0];
+                }));
+  };
+  time_kernels("_ns");
+  // The same kernels pinned to the scalar target: the dispatch gain is
+  // the ratio of the two, measured in one process on one host.
+  {
+    const simd::Kernels* prev =
+        simd::set_active_for_testing(&simd::scalar_kernels());
+    time_kernels("_scalar_ns");
+    simd::set_active_for_testing(prev);
+  }
 
   // ---- Hestenes sweep rate ------------------------------------------------
   const auto a = random_matrix(128, 64, 13);
@@ -131,12 +154,20 @@ int main(int argc, char** argv) {
   };
   const int hw = common::ThreadPool::hardware_threads();
   const double t1 = time_batch(1);
-  const double tn = time_batch(hw);
   json.number("batch16_threads", 1);
   json.number("batch16_wall_s_1thread", t1);
   json.number("batch16_hw_threads", hw);
-  json.number("batch16_wall_s_hw_threads", tn);
-  json.number("batch16_speedup", t1 / tn);
+  if (hw > 1) {
+    const double tn = time_batch(hw);
+    json.number("batch16_wall_s_hw_threads", tn);
+    json.number("batch16_speedup", t1 / tn);
+  } else {
+    // A single hardware thread cannot demonstrate parallel speedup;
+    // re-timing the identical serial path would just report measurement
+    // noise as a "slowdown". Annotate the skip instead of faking a number.
+    json.string("batch16_speedup",
+                "skipped: single hardware thread, parallel path not engaged");
+  }
 
   // ---- observability snapshot of the 16-task batch ------------------------
   // One extra (untimed) run with the metrics registry attached: simulated

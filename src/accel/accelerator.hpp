@@ -71,6 +71,24 @@ struct RunResult {
   versal::UtilizationReport utilization;
 };
 
+// Staged execution input for execute_block_pair (the streaming pipeline's
+// load stage): the pair's column payloads come from a snapshot instead of
+// the live matrix, every fabric-side op and detection point (Tx
+// checksums, missing-buffer checks, Rx integrity, tile-memory traffic)
+// runs exactly as in functional mode, and the math is skipped -- it runs
+// downstream in the orthogonalize stage on the same snapshot.
+struct StagedPair {
+  // 2k column snapshots in local pair order (block u's k columns, then
+  // block v's). Never null in staged mode.
+  const std::vector<std::vector<float>>* cols = nullptr;
+  // Out (optional): simulated completion time of each orth kernel,
+  // indexed [layer * k + engine]. The math stage stamps these times on
+  // its FaultDetected throws so diagnostics match the sequential path.
+  std::vector<double>* kernel_end = nullptr;
+};
+
+class TaskPipeline;
+
 class HeteroSvdAccelerator {
  public:
   explicit HeteroSvdAccelerator(const HeteroSvdConfig& config);
@@ -144,17 +162,24 @@ class HeteroSvdAccelerator {
   // two orth PLIOs, the (2k-1)-layer orthogonalization pipeline with its
   // inter-layer moves, and Rx back into the PL buffers. `b` and
   // `colnorm` are null in timing-only mode. Throws hsvd::FaultDetected
-  // at the same detection points as execute_task().
+  // at the same detection points as execute_task(). `staged` (with b ==
+  // nullptr) selects the pipeline's load-stage mode: payloads flow from
+  // the snapshot and the math is deferred to a downstream stage.
   PairCompletion execute_block_pair(int slot, int task_id, int bu, int bv,
                                     double launch, linalg::MatrixF* b,
                                     std::vector<float>* colnorm,
-                                    SystemModule& system);
+                                    SystemModule& system,
+                                    const StagedPair* staged = nullptr);
 
   // Executes the normalization of block `blk` (norm Tx at `ready`, k
   // norm kernels, per-column Rx); returns when the block's results are
   // back in the PL buffers. `b`/`sigma` are null in timing-only mode.
+  // `rx_done_out` (optional, size >= k) receives each engine's Rx
+  // completion time; the pipeline's normalize stage stamps these on its
+  // FaultDetected throws.
   double execute_norm_block(int slot, int blk, double ready,
-                            linalg::MatrixF* b, std::vector<float>* sigma);
+                            linalg::MatrixF* b, std::vector<float>* sigma,
+                            std::vector<double>* rx_done_out = nullptr);
 
   // Releases every buffer a failed task left in its slot's tile
   // memories, so later tasks on the same tiles start clean.
@@ -182,7 +207,25 @@ class HeteroSvdAccelerator {
   bool has_trace() const { return trace_ != nullptr; }
 
  private:
-  struct TaskContext;
+  // The streaming stage pipeline (accel/pipeline.cpp) executes a task by
+  // driving the pair-level primitives above plus the private state below
+  // (schedules, placement, arrangement wiring), so it is a friend rather
+  // than a wider public surface.
+  friend class TaskPipeline;
+
+  // True when execute_task may run through the streaming stage pipeline:
+  // config().pipeline (plus the HSVD_PIPELINE env override in kAuto) and
+  // the structural requirements -- no trace recorder, no obs tracer.
+  bool pipeline_enabled() const;
+
+  // Shared tail of execute_task (both the sequential and the pipelined
+  // path): close the task span, fold the convergence verdict into
+  // `result`, sort the factors by descending sigma and truncate the
+  // padding. `b`/`sigma` are null in timing-only mode.
+  void finish_task(TaskResult& result, int slot, int task_id,
+                   double task_end, int iterations_run,
+                   const SystemModule& system, linalg::MatrixF* b,
+                   std::vector<float>* sigma);
 
   // Executes one task on hardware slot `slot`, starting no earlier than
   // `ready`. `matrix` is null in timing-only mode. `task_id` tags the

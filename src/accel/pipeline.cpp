@@ -1,0 +1,485 @@
+#include "accel/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "accel/kernels.hpp"
+#include "common/format.hpp"
+#include "common/spsc_queue.hpp"
+#include "linalg/ops.hpp"
+
+namespace hsvd::accel {
+
+namespace {
+
+// Per-queue bound. 2 is deliberate: 1 would serialize adjacent stages
+// (the producer blocks until the consumer finishes the previous item),
+// while anything larger only grows the run-ahead window -- the fabric
+// simulation may lead the math by at most (queues * depth + in-flight)
+// items, which bounds both the snapshot memory held in flight and how
+// many extra fabric ops can land before an aborting error surfaces.
+constexpr std::size_t kStageDepth = 2;
+
+// One unit of work flowing down the stage chain: a block pair of one
+// tournament round, or one block of the final normalization.
+struct Item {
+  enum class Kind { kPair, kNorm };
+  Kind kind = Kind::kPair;
+  std::uint64_t seq = 0;  // submission order; ties error reports to items
+
+  // kPair ---------------------------------------------------------------
+  int bu = 0;
+  int bv = 0;
+  std::vector<int> global;               // local column c -> global column
+  std::vector<std::vector<float>> cols;  // column snapshots, local order
+  std::vector<double> kernel_end;        // [layer * k + engine] sim times
+  double coherence = 0.0;                // max over the item's pairs
+
+  // kNorm ---------------------------------------------------------------
+  int blk = 0;
+  std::vector<double> rx_done;  // per-engine Rx completion times
+};
+
+// Progress monitor linking the store stage back to the load stage: store
+// publishes per-block write epochs (how many pairs have written their
+// columns back) and the total stored-item count; load waits on them. One
+// mutex serves both uses -- contention is one lock per item per side.
+class Progress {
+ public:
+  explicit Progress(int blocks)
+      : block_writes_(static_cast<std::size_t>(blocks), 0) {}
+
+  void item_stored(const Item& item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (item.kind == Item::Kind::kPair) {
+      ++block_writes_[static_cast<std::size_t>(item.bu)];
+      ++block_writes_[static_cast<std::size_t>(item.bv)];
+    }
+    stored_ = item.seq + 1;
+    cv_.notify_all();
+  }
+
+  // Blocks until every planned predecessor of blocks bu and bv has been
+  // stored (wu / wv planned write counts). False when the chain aborted.
+  bool wait_blocks(int bu, std::uint64_t wu, int bv, std::uint64_t wv) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] {
+      return aborted_ ||
+             (block_writes_[static_cast<std::size_t>(bu)] >= wu &&
+              block_writes_[static_cast<std::size_t>(bv)] >= wv);
+    });
+    return !aborted_;
+  }
+
+  // Blocks until `count` items have been stored (the sweep barrier).
+  // False when the chain aborted.
+  bool wait_stored(std::uint64_t count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return aborted_ || stored_ >= count; });
+    return !aborted_;
+  }
+
+  void abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::uint64_t> block_writes_;
+  std::uint64_t stored_ = 0;
+  bool aborted_ = false;
+};
+
+// First-error-in-sequential-order collector. Stages throw independently,
+// but the error the caller sees must be the one the sequential path
+// would have hit first: the lowest item seq wins, and within one item
+// the earlier stage (lower rank) wins.
+class ErrorSlot {
+ public:
+  void record(std::uint64_t seq, int rank, std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_ == nullptr || seq < seq_ || (seq == seq_ && rank < rank_)) {
+      error_ = std::move(error);
+      seq_ = seq;
+      rank_ = rank;
+    }
+  }
+
+  bool set() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_ != nullptr;
+  }
+
+  [[noreturn]] void rethrow() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    HSVD_REQUIRE(error_ != nullptr, "ErrorSlot::rethrow without an error");
+    std::exception_ptr error = error_;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::exception_ptr error_;
+  std::uint64_t seq_ = 0;
+  int rank_ = 0;
+};
+
+struct Chain {
+  explicit Chain(int blocks)
+      : progress(blocks),
+        q_orth(kStageDepth),
+        q_acc(kStageDepth),
+        q_norm(kStageDepth),
+        q_store(kStageDepth) {}
+
+  Progress progress;
+  common::SpscQueue<Item> q_orth;   // load -> orthogonalize
+  common::SpscQueue<Item> q_acc;    // orthogonalize -> accumulate
+  common::SpscQueue<Item> q_norm;   // accumulate -> normalize
+  common::SpscQueue<Item> q_store;  // normalize -> store
+  ErrorSlot error;
+  std::atomic<bool> aborted{false};
+
+  // Teardown signal: every queue wakes its blocked producer/consumer and
+  // drains without blocking, and every epoch/barrier waiter wakes, so no
+  // stage can deadlock on the way out.
+  void abort() {
+    aborted.store(true, std::memory_order_release);
+    q_orth.close();
+    q_acc.close();
+    q_norm.close();
+    q_store.close();
+    progress.abort();
+  }
+};
+
+// Stage-thread skeleton: drain the inbound queue to end-of-stream,
+// discard (but keep draining) once the chain aborted, capture a throwing
+// item's error and turn it into an abort. On exit the stage closes its
+// outbound queue, so the caller's close of the head queue cascades
+// end-of-stream down the whole chain and every join below terminates.
+// `out == nullptr` marks the terminal stage.
+template <typename Fn>
+std::thread spawn_stage(Chain& chain, common::SpscQueue<Item>& in,
+                        common::SpscQueue<Item>* out, int rank, Fn fn) {
+  return std::thread([&chain, &in, out, rank, fn = std::move(fn)]() mutable {
+    while (std::optional<Item> item = in.pop()) {
+      if (chain.aborted.load(std::memory_order_acquire)) continue;
+      try {
+        fn(*item);
+      } catch (...) {
+        chain.error.record(item->seq, rank, std::current_exception());
+        chain.abort();
+        continue;
+      }
+      if (out != nullptr) out->push(std::move(*item));
+    }
+    if (out != nullptr) out->close();
+  });
+}
+
+}  // namespace
+
+TaskResult TaskPipeline::run(HeteroSvdAccelerator& accel, int slot,
+                             double ready, const linalg::MatrixF& matrix,
+                             int task_id) {
+  const HeteroSvdConfig& cfg = accel.config_;
+  const int k = cfg.p_eng;
+  const int p = cfg.blocks();
+  const std::size_t m = cfg.rows;
+  const int layers = cfg.orth_layers();
+  const auto& task = accel.placement_.tasks[static_cast<std::size_t>(slot)];
+  const auto& schedule =
+      accel.slot_schedules_[static_cast<std::size_t>(slot)];
+  const double col_bytes = static_cast<double>(m) * sizeof(float);
+  const double block_bytes = col_bytes * k;
+
+  TaskResult result;
+  result.start_seconds = ready;
+
+  const std::size_t n_pad = cfg.padded_cols();
+  HSVD_REQUIRE(matrix.rows() == m && matrix.cols() == cfg.cols,
+               "matrix shape does not match the accelerator configuration");
+  linalg::MatrixF b(m, n_pad);
+  b.assign_cols(0, matrix);
+  // Gram-norm cache, exactly as in the sequential path. Owned by the
+  // orthogonalize stage while a sweep is in flight (items pass through
+  // it in submission order, so updates land in sequential order) and by
+  // the load thread at sweep barriers (refresh).
+  std::vector<float> colnorm(n_pad);
+  std::vector<float> sigma(n_pad);
+
+  DataArrangement arrangement(
+      [&accel, slot](double when, double bytes) {
+        return accel.stage_from_ddr(slot, when, bytes);
+      },
+      p, block_bytes);
+  arrangement.stage_from_ddr(ready);
+
+  SystemModule system(cfg.precision.value_or(0.0));
+  const int max_iters = cfg.precision.has_value()
+                            ? std::max(cfg.iterations, 30)
+                            : cfg.iterations;
+
+  Chain chain(p);
+  if (accel.obs_ != nullptr) accel.obs_->metrics().add("accel.pipeline.tasks");
+
+  // ---- Stage bodies ----------------------------------------------------
+  // orthogonalize: the pair math of execute_block_pair, on the item's
+  // column snapshots. Items arrive in submission order, so the colnorm
+  // reads/updates interleave exactly as in the sequential sweep.
+  auto orthogonalize = [&](Item& item) {
+    if (item.kind != Item::Kind::kPair) return;
+    double coherence = 0.0;
+    for (int l = 0; l < layers; ++l) {
+      const auto& row = schedule[static_cast<std::size_t>(l)];
+      for (int e = 0; e < k; ++e) {
+        const auto& pair = row[static_cast<std::size_t>(e)];
+        const versal::TileCoord tile =
+            task.orth[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)];
+        const int gl = item.global[static_cast<std::size_t>(pair.left)];
+        const int gr = item.global[static_cast<std::size_t>(pair.right)];
+        auto& left = item.cols[static_cast<std::size_t>(pair.left)];
+        auto& right = item.cols[static_cast<std::size_t>(pair.right)];
+        const auto r =
+            orth_kernel(std::span<float>(left), std::span<float>(right),
+                        colnorm[static_cast<std::size_t>(gl)],
+                        colnorm[static_cast<std::size_t>(gr)]);
+        if (!std::isfinite(r.coherence)) {
+          throw FaultDetected(
+              cat("orth kernel on tile ", versal::to_string(tile),
+                  " produced a non-finite coherence"),
+              tile.row, tile.col,
+              item.kernel_end[static_cast<std::size_t>(l * k + e)]);
+        }
+        coherence = std::max(coherence, r.coherence);
+      }
+    }
+    item.coherence = coherence;
+  };
+
+  // accumulate: fold each pair item's coherence into the SystemModule.
+  // The tracker keeps a sweep maximum, so observing the per-item maxima
+  // reaches the same convergence state as observing every pair.
+  auto accumulate = [&](Item& item) {
+    if (item.kind == Item::Kind::kPair) system.observe_pair(item.coherence);
+  };
+
+  // normalize: the norm-kernel math of execute_norm_block. Norm items
+  // are only submitted after the final sweep barrier, so every pair
+  // store has landed in b before this stage touches it.
+  auto normalize = [&](Item& item) {
+    if (item.kind != Item::Kind::kNorm) return;
+    for (int i = 0; i < k; ++i) {
+      const versal::TileCoord tile = task.norm[static_cast<std::size_t>(i)];
+      const std::size_t gc = static_cast<std::size_t>(item.blk * k + i);
+      sigma[gc] = norm_kernel(b.col(gc)).sigma;
+      if (!std::isfinite(sigma[gc])) {
+        throw FaultDetected(cat("norm kernel on tile ",
+                                versal::to_string(tile),
+                                " produced a non-finite singular value"),
+                            tile.row, tile.col,
+                            item.rx_done[static_cast<std::size_t>(i)]);
+      }
+    }
+  };
+
+  // store: write the rotated snapshot back into b and publish the block
+  // epochs the load stage waits on.
+  auto store = [&](Item& item) {
+    if (item.kind == Item::Kind::kPair) {
+      for (std::size_t c = 0; c < item.cols.size(); ++c) {
+        auto dst = b.col(static_cast<std::size_t>(item.global[c]));
+        const auto& src = item.cols[c];
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    if (accel.obs_ != nullptr) {
+      accel.obs_->metrics().add("accel.pipeline.items");
+    }
+    chain.progress.item_stored(item);
+  };
+
+  std::vector<std::thread> threads;
+  threads.push_back(spawn_stage(chain, chain.q_orth, &chain.q_acc, 1,
+                                orthogonalize));
+  threads.push_back(spawn_stage(chain, chain.q_acc, &chain.q_norm, 2,
+                                accumulate));
+  threads.push_back(spawn_stage(chain, chain.q_norm, &chain.q_store, 3,
+                                normalize));
+  threads.push_back(spawn_stage(chain, chain.q_store, nullptr, 4, store));
+
+  // ---- Load stage (this thread) ----------------------------------------
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> planned(static_cast<std::size_t>(p), 0);
+  int iterations_run = 0;
+  bool aborted = false;
+
+  // Stage-boundary cancellation poll: an expired token aborts the chain
+  // with the same DeadlineExceeded the slot-chain boundaries throw; the
+  // teardown below drains and joins first, and purges the task's tile
+  // buffers so the abort leaves the fabric as if the task never ran.
+  const auto deadline_ok = [&]() {
+    if (accel.cancel_ == nullptr || !accel.cancel_->expired()) return true;
+    chain.error.record(
+        seq, 0,
+        std::make_exception_ptr(hsvd::DeadlineExceeded(
+            cat(accel.cancel_->cancelled() ? "cancelled" : "deadline expired",
+                " draining pipeline of task ", task_id, " on slot ", slot))));
+    chain.abort();
+    return false;
+  };
+
+  const auto record_load_error = [&]() {
+    chain.error.record(seq, 0, std::current_exception());
+    chain.abort();
+  };
+
+  for (int iter = 0; iter < max_iters && !aborted; ++iter) {
+    system.begin_iteration();
+    // Sweep-start norm refresh: all stores of the previous sweep have
+    // landed (barrier below), so b is quiescent here.
+    for (std::size_t gc = 0; gc < n_pad; ++gc) {
+      auto col = b.col(gc);
+      colnorm[gc] = linalg::dot<float>(col, col);
+    }
+    for (const auto& round : accel.block_rounds_) {
+      for (const auto& [bu, bv] : round) {
+        if (!deadline_ok() ||
+            !chain.progress.wait_blocks(
+                bu, planned[static_cast<std::size_t>(bu)], bv,
+                planned[static_cast<std::size_t>(bv)])) {
+          aborted = true;
+          break;
+        }
+        Item item;
+        item.kind = Item::Kind::kPair;
+        item.seq = seq;
+        item.bu = bu;
+        item.bv = bv;
+        item.global.resize(static_cast<std::size_t>(2 * k));
+        item.cols.resize(static_cast<std::size_t>(2 * k));
+        for (int i = 0; i < k; ++i) {
+          item.global[static_cast<std::size_t>(i)] = bu * k + i;
+          item.global[static_cast<std::size_t>(k + i)] = bv * k + i;
+        }
+        for (int c = 0; c < 2 * k; ++c) {
+          auto col = b.col(static_cast<std::size_t>(
+              item.global[static_cast<std::size_t>(c)]));
+          item.cols[static_cast<std::size_t>(c)].assign(col.begin(),
+                                                        col.end());
+        }
+        item.kernel_end.assign(static_cast<std::size_t>(layers * k), 0.0);
+        const double launch = std::max(arrangement.block_ready(bu),
+                                       arrangement.block_ready(bv)) +
+                              accel.hls_overhead_s_;
+        StagedPair staged;
+        staged.cols = &item.cols;
+        staged.kernel_end = &item.kernel_end;
+        HeteroSvdAccelerator::PairCompletion done;
+        try {
+          done = accel.execute_block_pair(slot, task_id, bu, bv, launch,
+                                          nullptr, nullptr, system, &staged);
+        } catch (...) {
+          record_load_error();
+          aborted = true;
+          break;
+        }
+        arrangement.set_block_ready(bu, done.done_u);
+        arrangement.set_block_ready(bv, done.done_v);
+        ++planned[static_cast<std::size_t>(bu)];
+        ++planned[static_cast<std::size_t>(bv)];
+        ++seq;
+        if (!chain.q_orth.push(std::move(item))) {
+          aborted = true;  // queue closed by a concurrent abort
+          break;
+        }
+      }
+      if (aborted) break;
+    }
+    if (aborted) break;
+    // Sweep barrier: every item of this sweep stored. The convergence
+    // bookkeeping below then reads SystemModule state with all of the
+    // sweep's observations folded in (accumulate ran before store).
+    if (!chain.progress.wait_stored(seq)) {
+      aborted = true;
+      break;
+    }
+    ++iterations_run;
+    system.end_iteration();
+    if (system.should_terminate(cfg.precision.has_value())) break;
+    if (cfg.precision.has_value() && system.stalled()) {
+      result.watchdog_stalled = true;
+      break;
+    }
+  }
+
+  // ---- Normalization (lines 19-25 of Algorithm 1) ----------------------
+  double task_end = 0.0;
+  for (int blk = 0; blk < p && !aborted; ++blk) {
+    if (!deadline_ok()) {
+      aborted = true;
+      break;
+    }
+    Item item;
+    item.kind = Item::Kind::kNorm;
+    item.seq = seq;
+    item.blk = blk;
+    item.rx_done.assign(static_cast<std::size_t>(k), 0.0);
+    double blk_done = 0.0;
+    try {
+      blk_done = accel.execute_norm_block(
+          slot, blk, arrangement.block_ready(blk) + accel.hls_overhead_s_,
+          nullptr, nullptr, &item.rx_done);
+    } catch (...) {
+      record_load_error();
+      aborted = true;
+      break;
+    }
+    task_end = std::max(task_end, blk_done);
+    ++seq;
+    if (!chain.q_orth.push(std::move(item))) {
+      aborted = true;
+      break;
+    }
+  }
+  if (!aborted && !chain.progress.wait_stored(seq)) aborted = true;
+
+  // ---- Teardown --------------------------------------------------------
+  // Close the head queue: each stage drains to end-of-stream and exits,
+  // abort or not, so the joins below can never deadlock.
+  chain.q_orth.close();
+  for (auto& t : threads) t.join();
+  if (chain.error.set()) {
+    try {
+      chain.error.rethrow();
+    } catch (const hsvd::DeadlineExceeded&) {
+      // A mid-task cancellation strands whole items in the fabric's tile
+      // memories; release them so the slot's next task starts clean. (A
+      // FaultDetected escape is purged by the batch engine instead,
+      // exactly as on the sequential path.)
+      accel.purge_task_buffers(slot, task_id);
+      throw;
+    }
+  }
+  HSVD_REQUIRE(!aborted, "pipeline aborted without a recorded error");
+
+  accel.finish_task(result, slot, task_id, task_end, iterations_run, system,
+                    &b, &sigma);
+  return result;
+}
+
+}  // namespace hsvd::accel

@@ -1,0 +1,41 @@
+// Streaming stage pipeline for one accelerator task (DESIGN.md §12).
+//
+// execute_task's sequential loop walks the tournament rounds of a sweep
+// one block pair at a time: stage the payloads through the simulated
+// fabric, run the pair math, write the columns back, move on. The
+// pipeline splits that walk into five stages connected by bounded SPSC
+// queues (common/spsc_queue.hpp):
+//
+//   load          -- (caller thread) per-pair block-dependency wait,
+//                    column snapshot, and *all* fabric-simulation ops in
+//                    exact sequential order (Tx, kernels+moves, Rx, with
+//                    every transport detection point live)
+//   orthogonalize -- the (2k-1)-layer rotation math on the snapshot
+//   accumulate    -- folds each pair's coherence into the SystemModule
+//   normalize     -- the norm-kernel math of the final normalization
+//   store         -- writes the columns back and publishes block epochs
+//
+// Consecutive tournament rounds overlap: while round r's pairs are still
+// in the math stages, round r+1's fabric simulation is already running.
+// Because the fabric state is touched by exactly one stage (load, on the
+// caller thread, in sequential op order) and the math runs in item order
+// with block dependencies enforced by epochs, results, simulated timings
+// and simulator stats are bit-identical to the sequential path.
+#pragma once
+
+#include "accel/accelerator.hpp"
+
+namespace hsvd::accel {
+
+class TaskPipeline {
+ public:
+  // Pipelined equivalent of HeteroSvdAccelerator::execute_task in
+  // functional mode. Throws exactly what the sequential path throws
+  // (hsvd::FaultDetected from the detection points, DeadlineExceeded on
+  // cancellation) after joining every stage thread, so teardown never
+  // leaks a running stage.
+  static TaskResult run(HeteroSvdAccelerator& accel, int slot, double ready,
+                        const linalg::MatrixF& matrix, int task_id);
+};
+
+}  // namespace hsvd::accel

@@ -1,0 +1,122 @@
+// AVX2 implementations of the fp32 hot-path kernels.
+//
+// This translation unit is the only one compiled with -mavx2, and it is
+// compiled with -ffp-contract=off: the bit-identity contract with the
+// scalar 8-lane model (common/simd.cpp) forbids FMA contraction, because
+// a fused multiply-add rounds once where mul+add rounds twice. Each
+// kernel keeps the same 8 accumulator lanes (one __m256), the same
+// per-lane accumulation order over i, the same scalar tail loop, and
+// funnels the lanes through the same pairwise reduction tree -- so the
+// results match the scalar model bit for bit, including NaN/Inf
+// propagation and denormals (no DAZ/FTZ is ever enabled here).
+#include "common/simd.hpp"
+
+#if defined(HSVD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace hsvd::simd {
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+// Same tree as simd.cpp's reduce_lanes: (0+1)+(2+3) ...
+float reduce_lanes(float lane[kLanes]) {
+  for (std::size_t step = 1; step < kLanes; step *= 2) {
+    for (std::size_t l = 0; l + step < kLanes; l += 2 * step) {
+      lane[l] += lane[l + step];
+    }
+  }
+  return lane[0];
+}
+
+float avx2_dot(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+  }
+  alignas(32) float lane[kLanes];
+  _mm256_store_ps(lane, acc);
+  float s = 0.0f;
+  for (; i < n; ++i) s += a[i] * b[i];
+  return reduce_lanes(lane) + s;
+}
+
+Dot3f avx2_dot3(const float* x, const float* y, std::size_t n) {
+  __m256 axx = _mm256_setzero_ps();
+  __m256 ayy = _mm256_setzero_ps();
+  __m256 axy = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    axx = _mm256_add_ps(axx, _mm256_mul_ps(vx, vx));
+    ayy = _mm256_add_ps(ayy, _mm256_mul_ps(vy, vy));
+    axy = _mm256_add_ps(axy, _mm256_mul_ps(vx, vy));
+  }
+  alignas(32) float lxx[kLanes];
+  alignas(32) float lyy[kLanes];
+  alignas(32) float lxy[kLanes];
+  _mm256_store_ps(lxx, axx);
+  _mm256_store_ps(lyy, ayy);
+  _mm256_store_ps(lxy, axy);
+  float sxx = 0.0f, syy = 0.0f, sxy = 0.0f;
+  for (; i < n; ++i) {
+    const float xi = x[i];
+    const float yi = y[i];
+    sxx += xi * xi;
+    syy += yi * yi;
+    sxy += xi * yi;
+  }
+  Dot3f out;
+  out.aii = reduce_lanes(lxx) + sxx;
+  out.ajj = reduce_lanes(lyy) + syy;
+  out.aij = reduce_lanes(lxy) + sxy;
+  return out;
+}
+
+void avx2_apply_rotation(float* x, float* y, std::size_t n, float c,
+                         float s) {
+  const __m256 vc = _mm256_set1_ps(c);
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(
+        x + i, _mm256_sub_ps(_mm256_mul_ps(vc, vx), _mm256_mul_ps(vs, vy)));
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_mul_ps(vs, vx), _mm256_mul_ps(vc, vy)));
+  }
+  for (; i < n; ++i) {
+    const float xi = x[i];
+    const float yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+const Kernels kAvx2{"avx2", static_cast<int>(kLanes), avx2_dot, avx2_dot3,
+                    avx2_apply_rotation};
+
+}  // namespace
+
+bool avx2_compiled() { return true; }
+
+bool avx2_supported() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Kernels& avx2_kernels() { return kAvx2; }
+
+}  // namespace hsvd::simd
+
+#endif  // HSVD_HAVE_AVX2

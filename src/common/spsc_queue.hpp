@@ -1,0 +1,102 @@
+// Bounded single-producer / single-consumer handoff queue for the
+// accelerator's streaming stage pipeline (accel/pipeline.cpp).
+//
+// Design notes:
+//   - Mutex + condvar, not a lock-free ring: the items flowing through
+//     the stage chain are whole column-block work units (2k columns of
+//     `rows` floats each), so the handoff cost is noise next to the work
+//     per item. What matters here is the *blocking* contract below, which
+//     a condvar expresses directly.
+//   - Bounded: push() blocks while the queue holds `capacity` items.
+//     The bound is what turns the stage chain into a pipeline with
+//     backpressure -- a fast producer can run at most `capacity` items
+//     ahead of its consumer, which also bounds how far the fabric
+//     simulation can run ahead of the math when a stage throws.
+//   - close() is the teardown/abort signal: it is idempotent, may be
+//     called from any thread, wakes every blocked producer and consumer,
+//     makes push() fail fast, and lets pop() drain the remaining items
+//     before reporting end-of-stream. Stage loops therefore never
+//     deadlock on teardown: a closed queue can always be drained and
+//     never blocks.
+//
+// The name records the intended single-producer/single-consumer usage in
+// the stage chain; the mutex actually makes the queue safe for any number
+// of producers and consumers, which the unit tests exploit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace hsvd::common {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : capacity_(capacity) {
+    HSVD_REQUIRE(capacity >= 1, "SpscQueue capacity must be positive");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Blocks while the queue is full. Returns true when the item was
+  // enqueued; false (item dropped) when the queue was closed -- either
+  // before the call or while waiting for space.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    available_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. Remaining items are still
+  // delivered after close() (drain semantics); nullopt means closed and
+  // fully drained -- the consumer's end-of-stream.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    available_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    space_.notify_one();
+    return item;
+  }
+
+  // Idempotent; callable from any thread. Wakes all waiters.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    available_.notify_all();
+    space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;  // signalled on push / close
+  std::condition_variable space_;      // signalled on pop / close
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hsvd::common

@@ -3,15 +3,24 @@
 //
 // The column kernels (dot, dot3, apply_rotation) are the host's hot path:
 // they mirror the paper's 8-lane fp32 vector units (Table IV) with 8
-// independent accumulator lanes, which the compiler maps onto SIMD
-// registers. The lane split changes the summation tree relative to a
-// strict left-to-right reduction, so values can differ from a scalar loop
-// in the last ulp; all consumers tolerate that (and tests pin it down).
+// independent accumulator lanes. The lane split changes the summation
+// tree relative to a strict left-to-right reduction, so values can
+// differ from a scalar loop in the last ulp; all consumers tolerate that
+// (and tests pin it down).
+//
+// The fp32 instantiations route through hsvd::simd::active() -- genuine
+// AVX2 intrinsics when the build and the CPU support them, the portable
+// scalar 8-lane model otherwise. Every dispatch target is bit-identical
+// to the scalar model by contract (common/simd.hpp), so results never
+// depend on which path ran. Other element types (double, complex) keep
+// the generic 8-lane template below.
 #pragma once
 
 #include <cmath>
 #include <span>
+#include <type_traits>
 
+#include "common/simd.hpp"
 #include "linalg/matrix.hpp"
 
 namespace hsvd::linalg {
@@ -22,6 +31,9 @@ template <typename T>
 T dot(std::span<const T> a, std::span<const T> b) {
   HSVD_REQUIRE(a.size() == b.size(), "dot: length mismatch");
   const std::size_t n = a.size();
+  if constexpr (std::is_same_v<T, float>) {
+    return simd::active().dot(a.data(), b.data(), n);
+  }
   const T* pa = a.data();
   const T* pb = b.data();
   T lane[kDotLanes] = {};
@@ -60,6 +72,10 @@ template <typename T>
 DotTriple<T> dot3(std::span<const T> x, std::span<const T> y) {
   HSVD_REQUIRE(x.size() == y.size(), "dot3: length mismatch");
   const std::size_t n = x.size();
+  if constexpr (std::is_same_v<T, float>) {
+    const simd::Dot3f g = simd::active().dot3(x.data(), y.data(), n);
+    return DotTriple<T>{g.aii, g.ajj, g.aij};
+  }
   T lxx[kDotLanes] = {};
   T lyy[kDotLanes] = {};
   T lxy[kDotLanes] = {};
@@ -149,6 +165,10 @@ template <typename T>
 void apply_rotation(std::span<T> x, std::span<T> y, T c, T s) {
   HSVD_REQUIRE(x.size() == y.size(), "rotation: length mismatch");
   const std::size_t n = x.size();
+  if constexpr (std::is_same_v<T, float>) {
+    simd::active().apply_rotation(x.data(), y.data(), n, c, s);
+    return;
+  }
   std::size_t i = 0;
   for (; i + kDotLanes <= n; i += kDotLanes) {
     for (std::size_t l = 0; l < kDotLanes; ++l) {

@@ -23,6 +23,7 @@
 #include "accel/sharded.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "heterosvd.hpp"
 #include "linalg/generators.hpp"
 #include "linalg/metrics.hpp"
@@ -119,6 +120,10 @@ SvdOptions case_options(const DiffCase& c) {
   SvdOptions opts;
   opts.config = case_config(c.a);
   opts.threads = 1;
+  // Pin the serial baseline to the sequential slot-chain path: kAuto
+  // would pipeline on multi-core CI hosts, and the pipelined mode is a
+  // *subject* of this harness (kOn vs kOff below), not its reference.
+  opts.config->pipeline = accel::PipelineMode::kOff;
   return opts;
 }
 
@@ -281,6 +286,79 @@ TEST(Differential, ShardedS1BitIdenticalToSingleArrayPath) {
     EXPECT_EQ(a.batch_seconds, b.batch_seconds);
     EXPECT_EQ(a.stats.dma_bytes, b.stats.dma_bytes);
     EXPECT_EQ(a.stats.stream_bytes, b.stats.stream_bytes);
+  }
+}
+
+// ---- Mode: streaming stage pipeline --------------------------------------
+
+TEST(Differential, PipelinedMatchesReferenceAndSerialBits) {
+  for (std::size_t i = 0; i < cases().size(); ++i) {
+    const DiffCase& c = cases()[i];
+    SvdOptions opts = case_options(c);
+    opts.config->pipeline = accel::PipelineMode::kOn;
+    const Svd r = svd(c.a, opts);
+    check_against_reference(c, r, "pipelined");
+    expect_bit_identical(serial_result(i), r, c.name + " pipelined vs serial");
+  }
+}
+
+// The pipeline's contract is stronger than factor identity: the load
+// stage runs every fabric op in sequential order, so the simulated
+// timeline and the simulator's traffic counters match too.
+TEST(Differential, PipelinedBitIdenticalTimeline) {
+  for (const auto& c : cases()) {
+    SCOPED_TRACE(c.name);
+    accel::HeteroSvdConfig cfg = case_config(c.a);
+    cfg.pipeline = accel::PipelineMode::kOff;
+    accel::HeteroSvdAccelerator sequential(cfg);
+    const accel::RunResult a = sequential.run({c.a});
+    cfg.pipeline = accel::PipelineMode::kOn;
+    accel::HeteroSvdAccelerator pipelined(cfg);
+    const accel::RunResult b = pipelined.run({c.a});
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    EXPECT_TRUE(same_bits(a.tasks[0].u, b.tasks[0].u));
+    EXPECT_TRUE(same_bits(a.tasks[0].sigma, b.tasks[0].sigma));
+    EXPECT_EQ(a.tasks[0].start_seconds, b.tasks[0].start_seconds);
+    EXPECT_EQ(a.tasks[0].end_seconds, b.tasks[0].end_seconds);
+    EXPECT_EQ(a.batch_seconds, b.batch_seconds);
+    EXPECT_EQ(a.stats.kernel_invocations, b.stats.kernel_invocations);
+    EXPECT_EQ(a.stats.dma_bytes, b.stats.dma_bytes);
+    EXPECT_EQ(a.stats.stream_bytes, b.stats.stream_bytes);
+  }
+}
+
+// ---- Mode: SIMD dispatch targets -----------------------------------------
+
+// Factor identity across kernel targets: the AVX2 kernels implement the
+// scalar path's 8-lane accumulator model exactly, so the whole harness's
+// factors must be bit-identical whichever target dispatch picked. Runs
+// every case under an explicitly pinned scalar target and, when the host
+// supports it, the AVX2 target.
+TEST(Differential, SimdDispatchBitIdenticalAcrossPaths) {
+  // Materialize the shared serial results *before* pinning a target, so
+  // their cached factors come from whatever dispatch resolved at startup
+  // (the production configuration).
+  for (std::size_t i = 0; i < cases().size(); ++i) serial_result(i);
+
+  const auto run_with = [](const simd::Kernels& target, std::size_t i) {
+    const simd::Kernels* prev = simd::set_active_for_testing(&target);
+    const Svd r = svd(cases()[i].a, case_options(cases()[i]));
+    simd::set_active_for_testing(prev);
+    return r;
+  };
+
+  ASSERT_EQ(simd::scalar_kernels().lane_width, 8);
+  for (std::size_t i = 0; i < cases().size(); ++i) {
+    const DiffCase& c = cases()[i];
+    const Svd scalar = run_with(simd::scalar_kernels(), i);
+    check_against_reference(c, scalar, "simd=scalar");
+    expect_bit_identical(serial_result(i), scalar,
+                         c.name + " simd=scalar vs serial");
+    if (simd::avx2_compiled() && simd::avx2_supported()) {
+      ASSERT_EQ(simd::avx2_kernels().lane_width, 8);
+      const Svd avx2 = run_with(simd::avx2_kernels(), i);
+      expect_bit_identical(scalar, avx2, c.name + " simd=avx2 vs scalar");
+    }
   }
 }
 

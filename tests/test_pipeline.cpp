@@ -1,0 +1,300 @@
+// The streaming stage pipeline (accel/pipeline.cpp) and its SPSC
+// building block (common/spsc_queue.hpp).
+//
+// The pipeline's contract is strict: factors, simulated timings, and
+// simulator stats bit-identical to the sequential slot-chain path, with
+// clean teardown -- no deadlock, no stranded tile buffers -- on
+// cancellation and on detected faults. The queue's contract is bounded
+// backpressure plus drain-on-close semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/pipeline.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/spsc_queue.hpp"
+#include "heterosvd.hpp"
+#include "linalg/generators.hpp"
+#include "versal/faults.hpp"
+
+namespace hsvd {
+namespace {
+
+// ---- SpscQueue -----------------------------------------------------------
+
+TEST(SpscQueue, FifoOrderAndDrainAfterClose) {
+  common::SpscQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  q.close();
+  // Remaining items are still delivered after close, in order.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // end-of-stream is sticky
+}
+
+TEST(SpscQueue, PushFailsOnceClosed) {
+  common::SpscQueue<int> q(2);
+  q.close();
+  EXPECT_FALSE(q.push(7));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(SpscQueue, BoundedBackpressure) {
+  // A fast producer against a consumer that samples the size on every
+  // pop: the queue must never hold more than its capacity, and every
+  // item must arrive exactly once, in order.
+  constexpr int kItems = 2000;
+  constexpr std::size_t kCapacity = 2;
+  common::SpscQueue<int> q(kCapacity);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  int expected = 0;
+  std::size_t max_seen = 0;
+  while (auto item = q.pop()) {
+    max_seen = std::max(max_seen, q.size() + 1);  // +1: the popped item
+    ASSERT_EQ(*item, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_LE(max_seen, kCapacity + 1);
+}
+
+TEST(SpscQueue, CloseWakesBlockedProducer) {
+  common::SpscQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));  // fill to capacity
+  std::atomic<bool> returned{false};
+  std::atomic<bool> accepted{true};
+  std::thread producer([&] {
+    accepted.store(q.push(2));  // blocks: queue is full
+    returned.store(true);
+  });
+  // The producer must be parked in push(); close() must wake it with a
+  // failure rather than leaving it blocked forever.
+  while (!returned.load()) {
+    std::this_thread::yield();
+    q.close();
+  }
+  producer.join();
+  EXPECT_FALSE(accepted.load());
+  EXPECT_EQ(q.pop(), 1);  // the pre-close item still drains
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(SpscQueue, CloseWakesBlockedConsumer) {
+  common::SpscQueue<int> q(1);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(q.pop(), std::nullopt);  // blocks: queue is empty
+    returned.store(true);
+  });
+  while (!returned.load()) {
+    std::this_thread::yield();
+    q.close();
+  }
+  consumer.join();
+}
+
+// ---- Pipelined accelerator execution -------------------------------------
+
+accel::HeteroSvdConfig small_config() {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 16;
+  cfg.p_eng = 4;  // 4 blocks -> 3 tournament rounds of 2 pairs per sweep
+  cfg.p_task = 1;
+  cfg.iterations = 3;
+  return cfg;
+}
+
+linalg::MatrixF small_matrix(std::uint64_t salt = 0) {
+  Rng rng(0xB10C5ull + salt);
+  return linalg::random_gaussian(32, 16, rng).cast<float>();
+}
+
+void expect_run_bits_equal(const accel::RunResult& a,
+                           const accel::RunResult& b) {
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    SCOPED_TRACE("task " + std::to_string(t));
+    const auto& x = a.tasks[t];
+    const auto& y = b.tasks[t];
+    ASSERT_EQ(x.u.rows(), y.u.rows());
+    ASSERT_EQ(x.u.cols(), y.u.cols());
+    EXPECT_EQ(std::memcmp(x.u.data().data(), y.u.data().data(),
+                          x.u.data().size_bytes()),
+              0);
+    ASSERT_EQ(x.sigma.size(), y.sigma.size());
+    EXPECT_EQ(std::memcmp(x.sigma.data(), y.sigma.data(),
+                          x.sigma.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(x.start_seconds, y.start_seconds);
+    EXPECT_EQ(x.end_seconds, y.end_seconds);
+    EXPECT_EQ(x.iterations, y.iterations);
+    EXPECT_EQ(x.convergence_rate, y.convergence_rate);
+  }
+  EXPECT_EQ(a.batch_seconds, b.batch_seconds);
+  EXPECT_EQ(a.stats.kernel_invocations, b.stats.kernel_invocations);
+  EXPECT_EQ(a.stats.neighbour_transfers, b.stats.neighbour_transfers);
+  EXPECT_EQ(a.stats.dma_transfers, b.stats.dma_transfers);
+  EXPECT_EQ(a.stats.dma_bytes, b.stats.dma_bytes);
+  EXPECT_EQ(a.stats.stream_packets, b.stats.stream_packets);
+  EXPECT_EQ(a.stats.stream_bytes, b.stats.stream_bytes);
+}
+
+TEST(Pipeline, BitIdenticalToSequentialIncludingTimeline) {
+  const linalg::MatrixF a = small_matrix();
+  accel::HeteroSvdConfig cfg = small_config();
+  cfg.pipeline = accel::PipelineMode::kOff;
+  accel::HeteroSvdAccelerator sequential(cfg);
+  const accel::RunResult off = sequential.run({a});
+  cfg.pipeline = accel::PipelineMode::kOn;
+  accel::HeteroSvdAccelerator pipelined(cfg);
+  const accel::RunResult on = pipelined.run({a});
+  expect_run_bits_equal(off, on);
+}
+
+TEST(Pipeline, BatchBitIdenticalToSequential) {
+  std::vector<linalg::MatrixF> batch;
+  for (std::uint64_t i = 0; i < 3; ++i) batch.push_back(small_matrix(i));
+  accel::HeteroSvdConfig cfg = small_config();
+  cfg.pipeline = accel::PipelineMode::kOff;
+  accel::HeteroSvdAccelerator sequential(cfg);
+  const accel::RunResult off = sequential.run(batch);
+  cfg.pipeline = accel::PipelineMode::kOn;
+  accel::HeteroSvdAccelerator pipelined(cfg);
+  const accel::RunResult on = pipelined.run(batch);
+  expect_run_bits_equal(off, on);
+}
+
+TEST(Pipeline, PrecisionModeBitIdenticalToSequential) {
+  // Precision mode exercises the sweep barrier's convergence decisions
+  // (should_terminate / watchdog) -- they must read the SystemModule at
+  // the same points as the sequential loop.
+  const linalg::MatrixF a = small_matrix(17);
+  accel::HeteroSvdConfig cfg = small_config();
+  cfg.precision = 1e-6;
+  cfg.pipeline = accel::PipelineMode::kOff;
+  accel::HeteroSvdAccelerator sequential(cfg);
+  const accel::RunResult off = sequential.run({a});
+  cfg.pipeline = accel::PipelineMode::kOn;
+  accel::HeteroSvdAccelerator pipelined(cfg);
+  const accel::RunResult on = pipelined.run({a});
+  expect_run_bits_equal(off, on);
+  EXPECT_EQ(off.tasks[0].converged, on.tasks[0].converged);
+}
+
+TEST(Pipeline, EnvOverrideTurnsAutoOn) {
+  // kAuto stays sequential on single-core hosts; HSVD_PIPELINE=on must
+  // force the pipeline regardless -- and stay bit-identical.
+  const linalg::MatrixF a = small_matrix(5);
+  accel::HeteroSvdConfig cfg = small_config();
+  cfg.pipeline = accel::PipelineMode::kOff;
+  accel::HeteroSvdAccelerator sequential(cfg);
+  const accel::RunResult off = sequential.run({a});
+  ASSERT_EQ(setenv("HSVD_PIPELINE", "on", 1), 0);
+  cfg.pipeline = accel::PipelineMode::kAuto;
+  accel::HeteroSvdAccelerator pipelined(cfg);
+  const accel::RunResult on = pipelined.run({a});
+  ASSERT_EQ(unsetenv("HSVD_PIPELINE"), 0);
+  expect_run_bits_equal(off, on);
+}
+
+TEST(Pipeline, CancellationDrainsAndLeavesFabricClean) {
+  // Drive the pipeline entry point directly with an already-cancelled
+  // token: the stage-boundary poll must abort the chain, join every
+  // stage thread (no deadlock), purge the task's tile buffers, and
+  // surface DeadlineExceeded -- after which the same accelerator must
+  // produce a bit-identical clean run.
+  const linalg::MatrixF a = small_matrix(9);
+  accel::HeteroSvdConfig cfg = small_config();
+  cfg.pipeline = accel::PipelineMode::kOn;
+  accel::HeteroSvdAccelerator acc(cfg);
+  common::CancelToken token;
+  token.cancel();
+  acc.attach_cancellation(&token);
+  acc.reset_timelines();
+  EXPECT_THROW(accel::TaskPipeline::run(acc, 0, 0.0, a, 0),
+               DeadlineExceeded);
+  acc.attach_cancellation(nullptr);
+  const accel::RunResult after = acc.run({a});
+  accel::HeteroSvdAccelerator fresh(cfg);
+  const accel::RunResult clean = fresh.run({a});
+  expect_run_bits_equal(clean, after);
+}
+
+TEST(Pipeline, FaultTeardownRecoversWithoutDeadlock) {
+  // A hung tile fires inside the load stage mid-sweep with items in
+  // flight downstream: the chain must tear down cleanly, the batch
+  // engine must purge + mask + re-place, and the recovered factors must
+  // match the fault-free sequential run bit for bit.
+  const linalg::MatrixF a = small_matrix(13);
+  accel::HeteroSvdConfig cfg = small_config();
+  cfg.fault_retries = 2;
+  cfg.pipeline = accel::PipelineMode::kOff;
+  accel::HeteroSvdAccelerator clean(cfg);
+  const accel::RunResult baseline = clean.run({a});
+
+  cfg.pipeline = accel::PipelineMode::kOn;
+  accel::HeteroSvdAccelerator probe(cfg);
+  const versal::TileCoord bad = probe.placement().tasks[0].orth.front()[1];
+  versal::FaultPlan plan;
+  plan.faults.push_back({versal::FaultKind::kTileHang, bad, 0, 0, 0.0, 1.0});
+  versal::FaultInjector injector(plan);
+  accel::HeteroSvdAccelerator faulted(cfg);
+  faulted.attach_faults(&injector);
+  const accel::RunResult recovered = faulted.run({a});
+  ASSERT_EQ(recovered.failed_tasks, 0);
+  EXPECT_GE(recovered.tasks[0].recovery_attempts, 1);
+  EXPECT_EQ(std::memcmp(baseline.tasks[0].u.data().data(),
+                        recovered.tasks[0].u.data().data(),
+                        baseline.tasks[0].u.data().size_bytes()),
+            0);
+  EXPECT_EQ(std::memcmp(baseline.tasks[0].sigma.data(),
+                        recovered.tasks[0].sigma.data(),
+                        baseline.tasks[0].sigma.size() * sizeof(float)),
+            0);
+}
+
+TEST(Pipeline, MathFaultSurfacesIdenticallyToSequential) {
+  // A non-finite input trips the orthogonalize stage's detection point
+  // (an Inf element keeps the Gram diagonal nonnegative but makes the
+  // first touching kernel's coherence |Inf|/Inf = NaN); the surfaced
+  // diagnostic (message and blamed tile) must match the sequential
+  // path's, because the error collector orders errors by item sequence,
+  // not by wall-clock detection order.
+  linalg::MatrixF a = small_matrix(21);
+  a(3, 2) = std::numeric_limits<float>::infinity();
+  accel::HeteroSvdConfig cfg = small_config();
+  cfg.fault_retries = 0;  // the fault is in the data; retries cannot help
+  cfg.pipeline = accel::PipelineMode::kOff;
+  accel::HeteroSvdAccelerator sequential(cfg);
+  const accel::RunResult off = sequential.run({a});
+  cfg.pipeline = accel::PipelineMode::kOn;
+  accel::HeteroSvdAccelerator pipelined(cfg);
+  const accel::RunResult on = pipelined.run({a});
+  ASSERT_EQ(off.tasks[0].status, SvdStatus::kFailed);
+  ASSERT_EQ(on.tasks[0].status, SvdStatus::kFailed);
+  EXPECT_EQ(off.tasks[0].message, on.tasks[0].message);
+  ASSERT_TRUE(off.tasks[0].fault_tile.has_value());
+  ASSERT_TRUE(on.tasks[0].fault_tile.has_value());
+  EXPECT_EQ(off.tasks[0].fault_tile->row, on.tasks[0].fault_tile->row);
+  EXPECT_EQ(off.tasks[0].fault_tile->col, on.tasks[0].fault_tile->col);
+}
+
+}  // namespace
+}  // namespace hsvd
