@@ -577,6 +577,17 @@ TaskResult HeteroSvdAccelerator::execute_task(int slot, double ready,
 
   int iterations_run = 0;
   for (int iter = 0; iter < max_iters; ++iter) {
+    // Sweep-barrier cancellation point, mirroring the pipelined path's
+    // stage-boundary poll: a deadline or a preemption cancel lands
+    // between sweeps, where no rotation is in flight, and the purge
+    // leaves the fabric as if the task never ran. The task boundary in
+    // execute_batch already covered iter 0 an instant ago.
+    if (iter > 0 && cancel_ != nullptr && cancel_->expired()) {
+      purge_task_buffers(slot, task_id);
+      throw hsvd::DeadlineExceeded(
+          cat(cancel_->cancelled() ? "cancelled" : "deadline expired",
+              " at sweep barrier ", iter, " of task ", task_id));
+    }
     system.begin_iteration();
     if (functional) {
       for (std::size_t gc = 0; gc < n_pad; ++gc) {

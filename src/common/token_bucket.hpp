@@ -1,0 +1,64 @@
+// Clock-driven token bucket for admission quotas.
+//
+// A tenant's quota is a refill rate (tokens per second of a
+// common::Clock) plus a burst capacity. The bucket is lazy: tokens are
+// not ticked by a timer but recomputed from the elapsed time at each
+// try_acquire(), so a bucket costs nothing while idle and is exactly
+// testable with a FakeClock. The caller supplies `now` explicitly (the
+// serving layer already holds the admission timestamp), which keeps the
+// bucket free of any clock ownership and makes replays deterministic.
+#pragma once
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hsvd::common {
+
+class TokenBucket {
+ public:
+  // `rate_per_second` tokens refill continuously up to `burst`. The
+  // bucket starts full: a fresh tenant may burst immediately.
+  TokenBucket(double rate_per_second, double burst, double now_seconds)
+      : rate_(rate_per_second),
+        burst_(burst),
+        tokens_(burst),
+        last_s_(now_seconds) {
+    HSVD_REQUIRE(rate_per_second > 0.0, "token bucket rate must be positive");
+    HSVD_REQUIRE(burst >= 1.0, "token bucket burst must be at least 1");
+  }
+
+  // Takes `tokens` if available at `now`; false leaves the bucket
+  // untouched (aside from the refill). A `now` earlier than the last
+  // acquisition refills nothing instead of going negative.
+  bool try_acquire(double now_seconds, double tokens = 1.0) {
+    refill(now_seconds);
+    if (tokens_ < tokens) return false;
+    tokens_ -= tokens;
+    return true;
+  }
+
+  // Tokens that would be available at `now` (refill applied).
+  double available(double now_seconds) {
+    refill(now_seconds);
+    return tokens_;
+  }
+
+  double rate_per_second() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(double now_seconds) {
+    if (now_seconds > last_s_) {
+      tokens_ = std::min(burst_, tokens_ + (now_seconds - last_s_) * rate_);
+      last_s_ = now_seconds;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_s_;
+};
+
+}  // namespace hsvd::common

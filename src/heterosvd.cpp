@@ -286,6 +286,18 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   return out;
 }
 
+accel::HeteroSvdConfig planned_config(std::size_t rows, std::size_t cols,
+                                      int batch, const SvdOptions& options) {
+  validate_options(options);
+  HSVD_REQUIRE(rows >= 1 && cols >= 1, "matrix shape must be non-empty");
+  HSVD_REQUIRE(batch >= 1, "batch must be at least 1");
+  accel::HeteroSvdConfig cfg = choose_config(rows, cols, batch, options);
+  cfg.precision = options.precision;
+  cfg.host_threads = options.threads;
+  cfg.fault_retries = options.fault_retries;
+  return cfg;
+}
+
 void validate_host_budget(int threads, int shards) {
   HSVD_REQUIRE(threads >= 0, "threads must be nonnegative (0 = auto)");
   HSVD_REQUIRE(shards >= 1, "shards must be at least 1");

@@ -162,6 +162,18 @@ struct BatchSvd {
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
                    const SvdOptions& options = {});
 
+// The accelerator configuration svd()/svd_batch() would run `rows` x
+// `cols` matrices with under `options`: the pinned options.config when
+// set (rows/cols overwritten), otherwise the DSE choice (latency
+// objective for batch == 1, throughput for larger batches), with
+// precision/threads/fault_retries folded in. The serving layer's
+// coalescer uses this with batch = 1 to dispatch a micro-batch under
+// exactly the configuration each member would have been served with
+// individually -- which is what makes coalesced results bit-identical
+// to uncoalesced serial execution.
+accel::HeteroSvdConfig planned_config(std::size_t rows, std::size_t cols,
+                                      int batch, const SvdOptions& options);
+
 // Rejects a threads/shards combination that oversubscribes the host:
 // throws hsvd::InputError when max(threads, 1) * shards exceeds the
 // machine's hardware thread count (each shard's per-round fan-out wants

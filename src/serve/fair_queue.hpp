@@ -1,0 +1,45 @@
+// Deficit round-robin tenant scheduler.
+//
+// The QoS server keeps one queue per (priority class, tenant) and asks
+// this scheduler which tenant to drain next within a class. Classic DRR
+// adapted to unit-cost work items: each tenant owns a deficit counter;
+// a scheduling pass visits tenants round-robin from a persistent
+// cursor, credits each non-empty queue its quantum (weight normalized
+// so the heaviest tenant's quantum is 1), and serves the first tenant
+// whose deficit reaches one job. Backlogged tenants are therefore
+// served in proportion to their weights, an idle tenant's deficit is
+// reset (no hoarding credit while empty), and a tenant that just went
+// busy is served within a bounded number of passes. The scheduler owns
+// no queues and takes backlog sizes by argument, so it is trivially
+// unit-testable and the server can hold it under its own mutex.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace hsvd::serve {
+
+class DeficitRoundRobin {
+ public:
+  // One weight per tenant, all positive (validated by QosOptions).
+  explicit DeficitRoundRobin(const std::vector<double>& weights);
+
+  // Picks the tenant to serve next given each tenant's current backlog
+  // (queue length), consuming one unit of that tenant's deficit.
+  // Returns std::nullopt when every backlog is zero. Deterministic:
+  // the same pick/backlog sequence replays the same decisions. The
+  // coalescer also routes every ride-along slot through pick() (with
+  // backlog restricted to coalescible jobs), so batching never lets a
+  // tenant drain faster than its weighted share.
+  std::optional<std::size_t> pick(const std::vector<std::size_t>& backlog);
+
+  std::size_t tenants() const { return quantum_.size(); }
+
+ private:
+  std::vector<double> quantum_;  // weight / max weight, in (0, 1]
+  std::vector<double> deficit_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace hsvd::serve

@@ -1,0 +1,75 @@
+#include "serve/result_cache.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "versal/faults.hpp"
+
+namespace hsvd::serve {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  HSVD_REQUIRE(capacity >= 1, "result cache capacity must be at least 1");
+}
+
+std::uint64_t ResultCache::digest(const linalg::MatrixF& matrix) {
+  return versal::buffer_checksum(matrix.data());
+}
+
+bool ResultCache::same_bytes(const linalg::MatrixF& a,
+                             const linalg::MatrixF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto da = a.data();
+  const auto db = b.data();
+  return da.empty() ||
+         std::memcmp(da.data(), db.data(), da.size_bytes()) == 0;
+}
+
+std::optional<Svd> ResultCache::lookup(const linalg::MatrixF& matrix,
+                                       std::uint64_t digest_value) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (!same_bytes(it->second->matrix, matrix)) {
+    // Digest collision: two distinct matrices share the checksum. The
+    // full-matrix verification is what makes the cache safe.
+    ++stats_.collisions;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->result;
+}
+
+void ResultCache::insert(const linalg::MatrixF& matrix,
+                         std::uint64_t digest_value, const Svd& result) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->matrix = matrix;
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, matrix, result});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace hsvd::serve

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hsvd::serve {
 
@@ -29,20 +30,54 @@ void ServerOptions::validate() const {
       "server default_deadline_seconds must be finite and nonnegative");
   retry.validate();
   breaker.validate();
+  qos.validate();
 }
 
 SvdServer::SvdServer(ServerOptions options)
     : options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock
                                        : &common::MonotonicClock::instance()),
-      breaker_(options_.breaker, clock_) {
+      breaker_(options_.breaker, clock_),
+      qos_enabled_(options_.qos.enabled()) {
   options_.validate();
   paused_ = options_.start_paused;
+  if (qos_enabled_) {
+    const double now_s = clock_->now_seconds();
+    std::vector<double> weights;
+    tenants_.reserve(options_.qos.tenants.size());
+    weights.reserve(options_.qos.tenants.size());
+    for (const TenantConfig& tenant : options_.qos.tenants) {
+      tenants_.emplace_back(
+          tenant,
+          common::TokenBucket(tenant.quota_rate, tenant.quota_burst, now_s));
+      weights.push_back(tenant.weight);
+    }
+    drr_.reserve(kPriorityBands);
+    for (int band = 0; band < kPriorityBands; ++band) {
+      drr_.emplace_back(weights);
+    }
+    if (options_.qos.cache_enabled) {
+      cache_ = std::make_unique<ResultCache>(options_.qos.cache_capacity);
+    }
+    if (options_.observer != nullptr) {
+      auto& metrics = options_.observer->metrics();
+      metrics.register_histogram(
+          "serve.batch.fill",
+          obs::MetricsRegistry::exponential_bounds(1.0, 2.0, 8));
+      for (const TenantConfig& tenant : options_.qos.tenants) {
+        metrics.register_histogram(
+            "serve.tenant." + tenant.name + ".latency_seconds",
+            obs::MetricsRegistry::exponential_bounds(1e-5, 2.0, 32));
+      }
+    }
+  }
+  running_.resize(static_cast<std::size_t>(options_.workers));
   set_breaker_gauge();
   gauge("serve.queue.depth", 0.0);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
   }
 }
 
@@ -56,32 +91,102 @@ std::future<Response> SvdServer::submit(Request request) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.submitted;
     count("serve.submitted");
-    if (stopping_ || queue_.size() >= options_.queue_capacity) {
-      ++counters_.shed;
-      count("serve.shed");
-      Response shed;
-      shed.status = ServeStatus::kShed;
-      shed.message = stopping_ ? "server is shutting down"
-                               : "work queue full, request shed";
-      promise.set_value(std::move(shed));
-      return future;
+
+    if (!qos_enabled_) {
+      // Single-FIFO admission, bit-identical to the pre-QoS server.
+      if (stopping_ || queue_.size() >= options_.queue_capacity) {
+        ++counters_.shed;
+        count("serve.shed");
+        Response shed;
+        shed.status = ServeStatus::kShed;
+        shed.message = stopping_ ? "server is shutting down"
+                                 : "work queue full, request shed";
+        promise.set_value(std::move(shed));
+        return future;
+      }
+      Job job;
+      job.request = std::move(request);
+      job.promise = std::move(promise);
+      job.serial = next_serial_++;
+      job.admitted_s = now_s;
+      const double budget = job.request.deadline_seconds > 0.0
+                                ? job.request.deadline_seconds
+                                : options_.default_deadline_seconds;
+      if (budget > 0.0) job.deadline_abs_s = now_s + budget;
+      queue_.push_back(std::move(job));
+      ++counters_.admitted;
+      count("serve.admitted");
+      counters_.queue_depth = queue_.size();
+      counters_.peak_queue_depth =
+          std::max(counters_.peak_queue_depth, queue_.size());
+      gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+    } else {
+      // QoS admission: tenant resolution, quota, per-tenant queue bound.
+      const std::size_t idx = options_.qos.tenant_index(request.tenant);
+      const Priority priority = request.priority;
+      const auto shed_with = [&](const std::string& message) {
+        ++counters_.shed;
+        count("serve.shed");
+        Response shed;
+        shed.status = ServeStatus::kShed;
+        shed.message = message;
+        shed.tenant = request.tenant.empty() ? "default" : request.tenant;
+        shed.priority = priority;
+        promise.set_value(std::move(shed));
+      };
+      if (idx == QosOptions::npos) {
+        ++counters_.unknown_tenant;
+        count("serve.shed.unknown_tenant");
+        shed_with("unknown tenant '" +
+                  (request.tenant.empty() ? std::string("default")
+                                          : request.tenant) +
+                  "', request shed");
+        return future;
+      }
+      TenantRuntime& tenant = tenants_[idx];
+      ++tenant.stats.submitted;
+      if (stopping_) {
+        ++tenant.stats.shed_queue;
+        count_tenant(idx, "shed_queue");
+        shed_with("server is shutting down");
+        return future;
+      }
+      if (!tenant.bucket.try_acquire(now_s)) {
+        ++counters_.quota_shed;
+        ++tenant.stats.shed_quota;
+        count("serve.shed.quota");
+        count_tenant(idx, "shed_quota");
+        shed_with("tenant quota exhausted, request shed");
+        return future;
+      }
+      const int band = static_cast<int>(priority);
+      if (tenant.queues[band].size() >= options_.queue_capacity) {
+        ++tenant.stats.shed_queue;
+        count_tenant(idx, "shed_queue");
+        shed_with("tenant queue full, request shed");
+        return future;
+      }
+      Job job;
+      job.request = std::move(request);
+      job.promise = std::move(promise);
+      job.serial = next_serial_++;
+      job.admitted_s = now_s;
+      job.tenant = idx;
+      job.band = band;
+      const double budget = job.request.deadline_seconds > 0.0
+                                ? job.request.deadline_seconds
+                                : options_.default_deadline_seconds;
+      if (budget > 0.0) job.deadline_abs_s = now_s + budget;
+      tenant.queues[band].push_back(std::move(job));
+      ++counters_.admitted;
+      ++tenant.stats.admitted;
+      count("serve.admitted");
+      counters_.queue_depth = total_backlog_locked();
+      counters_.peak_queue_depth =
+          std::max(counters_.peak_queue_depth, counters_.queue_depth);
+      set_depth_gauge_locked();
+      maybe_preempt_locked(band);
     }
-    Job job;
-    job.request = std::move(request);
-    job.promise = std::move(promise);
-    job.serial = next_serial_++;
-    job.admitted_s = now_s;
-    const double budget = job.request.deadline_seconds > 0.0
-                              ? job.request.deadline_seconds
-                              : options_.default_deadline_seconds;
-    if (budget > 0.0) job.deadline_abs_s = now_s + budget;
-    queue_.push_back(std::move(job));
-    ++counters_.admitted;
-    count("serve.admitted");
-    counters_.queue_depth = queue_.size();
-    counters_.peak_queue_depth =
-        std::max(counters_.peak_queue_depth, queue_.size());
-    gauge("serve.queue.depth", static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
   return future;
@@ -125,35 +230,55 @@ void SvdServer::shutdown() {
   workers_.clear();
 }
 
-void SvdServer::worker_loop() {
+void SvdServer::worker_loop(std::size_t worker_index) {
   for (;;) {
     Job job;
+    std::vector<Job> extras;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      ++idle_workers_;
       cv_.wait(lock, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
+        return stopping_ || (!paused_ && total_backlog_locked() > 0);
       });
-      if (queue_.empty()) {
+      --idle_workers_;
+      if (total_backlog_locked() == 0) {
         if (stopping_) return;  // drained
         continue;               // spurious wake while paused
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      counters_.queue_depth = queue_.size();
-      gauge("serve.queue.depth", static_cast<double>(queue_.size()));
+      if (qos_enabled_) {
+        std::optional<Job> picked = pop_next_locked();
+        if (!picked.has_value()) {
+          if (stopping_) return;
+          continue;
+        }
+        job = std::move(*picked);
+        job.dispatch_ordinal = ++next_dispatch_;
+        gather_coalesce_locked(job, extras, clock_->now_seconds());
+        for (Job& extra : extras) extra.dispatch_ordinal = ++next_dispatch_;
+      } else {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        job.dispatch_ordinal = ++next_dispatch_;
+      }
+      counters_.queue_depth = total_backlog_locked();
+      set_depth_gauge_locked();
     }
-    Response response = execute(job);
-    note_terminal(response);
-    job.promise.set_value(std::move(response));
+    if (qos_enabled_) {
+      service_qos(worker_index, std::move(job), std::move(extras));
+    } else {
+      common::CancelToken token(*clock_, job.deadline_abs_s);
+      Response response = execute(job, token);
+      note_terminal(job, response);
+      resolve(std::move(job), std::move(response));
+    }
   }
 }
 
-Response SvdServer::execute(Job& job) {
+Response SvdServer::execute(Job& job, common::CancelToken& token) {
   Response out;
   const double start_s = clock_->now_seconds();
   out.queue_seconds = start_s - job.admitted_s;
 
-  common::CancelToken token(*clock_, job.deadline_abs_s);
   if (token.expired()) {
     out.status = ServeStatus::kExpired;
     out.message = "deadline expired while queued";
@@ -252,7 +377,378 @@ Response SvdServer::execute(Job& job) {
   return out;
 }
 
-void SvdServer::note_terminal(const Response& response) {
+void SvdServer::service_qos(std::size_t worker_index, Job primary,
+                            std::vector<Job> extras) {
+  std::vector<Job> jobs;
+  jobs.reserve(1 + extras.size());
+  jobs.push_back(std::move(primary));
+  for (Job& extra : extras) jobs.push_back(std::move(extra));
+  extras.clear();
+
+  const double start_s = clock_->now_seconds();
+
+  // Expire-in-queue and cache probes before anything touches the fabric.
+  std::vector<Job> runnable;
+  runnable.reserve(jobs.size());
+  for (Job& job : jobs) {
+    if (start_s >= job.deadline_abs_s) {
+      Response out;
+      out.status = ServeStatus::kExpired;
+      out.message = "deadline expired while queued";
+      out.queue_seconds = start_s - job.admitted_s;
+      note_terminal(job, out);
+      resolve(std::move(job), std::move(out));
+      continue;
+    }
+    if (cacheable(job)) {
+      const std::uint64_t digest = ResultCache::digest(job.request.matrix);
+      std::optional<Svd> hit = cache_->lookup(job.request.matrix, digest);
+      if (hit.has_value()) {
+        count("serve.cache.hit");
+        Response out;
+        out.status = ServeStatus::kOk;
+        out.result = std::move(*hit);
+        out.cache_hit = true;
+        out.queue_seconds = start_s - job.admitted_s;
+        out.service_seconds = clock_->now_seconds() - start_s;
+        note_terminal(job, out);
+        resolve(std::move(job), std::move(out));
+        continue;
+      }
+      count("serve.cache.miss");
+    }
+    runnable.push_back(std::move(job));
+  }
+  if (runnable.empty()) return;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.batch_dispatches;
+    counters_.batch_tasks += runnable.size();
+  }
+  count("serve.batch.dispatches");
+  observe("serve.batch.fill", static_cast<double>(runnable.size()));
+
+  if (runnable.size() == 1) {
+    Job job = std::move(runnable.front());
+    common::CancelToken token(*clock_, job.deadline_abs_s);
+    register_running(worker_index, job.band, &token);
+    Response response = execute(job, token);
+    const bool preempted = unregister_running(worker_index, job.deadline_abs_s);
+    if (preempted && response.status == ServeStatus::kExpired) {
+      requeue(std::move(job), /*count_preemption=*/true);
+      return;
+    }
+    if (response.status == ServeStatus::kOk && cacheable(job)) {
+      cache_->insert(job.request.matrix,
+                     ResultCache::digest(job.request.matrix), response.result);
+    }
+    response.batch_size = 1;
+    note_terminal(job, response);
+    resolve(std::move(job), std::move(response));
+    return;
+  }
+  execute_coalesced(worker_index, std::move(runnable));
+}
+
+void SvdServer::execute_coalesced(std::size_t worker_index,
+                                  std::vector<Job> jobs) {
+  const double start_s = clock_->now_seconds();
+  const std::size_t k = jobs.size();
+
+  if (!breaker_.allow()) {
+    count("serve.breaker.fast_fail", k);
+    const double end_s = clock_->now_seconds();
+    for (Job& job : jobs) {
+      Response out;
+      out.status = ServeStatus::kCircuitOpen;
+      out.message = "circuit breaker open, request fast-failed";
+      out.queue_seconds = start_s - job.admitted_s;
+      out.service_seconds = end_s - start_s;
+      out.batch_size = k;
+      note_terminal(job, out);
+      resolve(std::move(job), std::move(out));
+    }
+    return;
+  }
+
+  // One token covering the whole dispatch: the earliest member deadline
+  // bounds the batch, and preemption cancels through the same token.
+  double min_deadline = std::numeric_limits<double>::infinity();
+  for (const Job& job : jobs) {
+    min_deadline = std::min(min_deadline, job.deadline_abs_s);
+  }
+  common::CancelToken token(*clock_, min_deadline);
+  register_running(worker_index, jobs.front().band, &token);
+
+  SvdOptions svd_options = options_.svd;
+  svd_options.cancel = &token;
+  svd_options.clock = clock_;
+  svd_options.retry.reset();
+  const std::size_t rows = jobs.front().request.matrix.rows();
+  const std::size_t cols = jobs.front().request.matrix.cols();
+  if (!svd_options.config.has_value()) {
+    // Pin the configuration the serial path would have chosen for one
+    // matrix of this shape -- this is what makes a coalesced result
+    // bit-identical to serving its members one at a time.
+    svd_options.config = config_for_shape(rows, cols);
+  }
+
+  std::vector<linalg::MatrixF> batch;
+  batch.reserve(k);
+  for (const Job& job : jobs) batch.push_back(job.request.matrix);
+
+  std::optional<BatchSvd> ran;
+  bool deadline_hit = false;
+  bool hard_fail = false;
+  std::string diagnostic;
+  try {
+    ran = hsvd::svd_batch(batch, svd_options);
+  } catch (const hsvd::DeadlineExceeded& e) {
+    breaker_.record_neutral();
+    deadline_hit = true;
+    diagnostic = e.what();
+  } catch (const std::exception& e) {
+    breaker_.record_neutral();
+    hard_fail = true;
+    diagnostic = e.what();
+  }
+  const bool preempt_flag = unregister_running(
+      worker_index, std::numeric_limits<double>::infinity());
+  const double end_s = clock_->now_seconds();
+
+  if (deadline_hit) {
+    // The batch aborted at a sweep barrier: members whose own deadline
+    // passed expire; the rest (preempted, or collateral of a
+    // batch-mate's earlier deadline) go back to the queue front and
+    // re-run bit-identically.
+    for (Job& job : jobs) {
+      if (end_s >= job.deadline_abs_s) {
+        Response out;
+        out.status = ServeStatus::kExpired;
+        out.attempts = 1;
+        out.message = diagnostic;
+        out.queue_seconds = start_s - job.admitted_s;
+        out.service_seconds = end_s - start_s;
+        out.batch_size = k;
+        note_terminal(job, out);
+        resolve(std::move(job), std::move(out));
+      } else {
+        requeue(std::move(job), preempt_flag);
+      }
+    }
+    return;
+  }
+  if (hard_fail) {
+    for (Job& job : jobs) {
+      Response out;
+      out.status = ServeStatus::kFailed;
+      out.attempts = 1;
+      out.message = diagnostic;
+      out.queue_seconds = start_s - job.admitted_s;
+      out.service_seconds = end_s - start_s;
+      out.batch_size = k;
+      note_terminal(job, out);
+      resolve(std::move(job), std::move(out));
+    }
+    return;
+  }
+
+  const bool can_retry = options_.retry.max_attempts > 1;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Job& job = jobs[i];
+    Svd& result = ran->results[i];
+    Response out;
+    out.attempts = 1;
+    out.queue_seconds = start_s - job.admitted_s;
+    out.service_seconds = end_s - start_s;
+    out.batch_size = k;
+    if (result.status == SvdStatus::kFailed) {
+      breaker_.record_failure();
+      if (can_retry && !stopping_seen()) {
+        // Fall back to the solo path, which owns backoff and the
+        // remaining attempt budget.
+        count("serve.retries");
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++counters_.retries;
+        }
+        job.solo_only = true;
+        requeue(std::move(job), /*count_preemption=*/false);
+        continue;
+      }
+      out.status = ServeStatus::kFailed;
+      out.message = result.message;
+    } else if (result.status == SvdStatus::kNotConverged) {
+      breaker_.record_success();
+      if (options_.retry.retry_not_converged && can_retry &&
+          !stopping_seen()) {
+        count("serve.retries");
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++counters_.retries;
+        }
+        job.solo_only = true;
+        requeue(std::move(job), /*count_preemption=*/false);
+        continue;
+      }
+      out.status = ServeStatus::kNotConverged;
+      out.result = std::move(result);
+      out.message = out.result.message;
+    } else {
+      breaker_.record_success();
+      if (cacheable(job)) {
+        cache_->insert(job.request.matrix,
+                       ResultCache::digest(job.request.matrix), result);
+      }
+      out.status = ServeStatus::kOk;
+      out.result = std::move(result);
+    }
+    note_terminal(job, out);
+    resolve(std::move(job), std::move(out));
+  }
+
+  const std::uint64_t trips = breaker_.trips();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (trips > last_trips_) {
+      count("serve.breaker.trips", trips - last_trips_);
+      counters_.breaker_trips = trips;
+      last_trips_ = trips;
+    }
+  }
+  set_breaker_gauge();
+}
+
+accel::HeteroSvdConfig SvdServer::config_for_shape(std::size_t rows,
+                                                   std::size_t cols) {
+  {
+    std::lock_guard<std::mutex> lock(config_mutex_);
+    const auto it = shape_configs_.find({rows, cols});
+    if (it != shape_configs_.end()) return it->second;
+  }
+  // The DSE probe runs outside every lock (it is the expensive part);
+  // a concurrent duplicate computes the same deterministic answer.
+  SvdOptions probe = options_.svd;
+  probe.cancel = nullptr;
+  probe.clock = nullptr;
+  probe.retry.reset();
+  probe.fault_injector = nullptr;
+  probe.observer = nullptr;
+  const accel::HeteroSvdConfig config =
+      hsvd::planned_config(rows, cols, /*batch=*/1, probe);
+  std::lock_guard<std::mutex> lock(config_mutex_);
+  shape_configs_.emplace(std::make_pair(rows, cols), config);
+  return config;
+}
+
+std::optional<SvdServer::Job> SvdServer::pop_next_locked() {
+  std::vector<std::size_t> backlog(tenants_.size(), 0);
+  for (int band = 0; band < kPriorityBands; ++band) {
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      backlog[t] = tenants_[t].queues[band].size();
+    }
+    const std::optional<std::size_t> pick = drr_[band].pick(backlog);
+    if (pick.has_value()) {
+      auto& queue = tenants_[*pick].queues[band];
+      Job job = std::move(queue.front());
+      queue.pop_front();
+      return job;
+    }
+  }
+  return std::nullopt;
+}
+
+void SvdServer::gather_coalesce_locked(const Job& primary,
+                                       std::vector<Job>& extras,
+                                       double now_s) {
+  const QosOptions& qos = options_.qos;
+  if (qos.coalesce_max_batch <= 1) return;
+  if (primary.solo_only || primary.request.fault_injector != nullptr) return;
+  // With a server-wide injector, batch composition would change which
+  // faults land where; keep every request solo so fault behavior is
+  // independent of coalescing.
+  if (options_.svd.fault_injector != nullptr) return;
+  const std::size_t rows = primary.request.matrix.rows();
+  const std::size_t cols = primary.request.matrix.cols();
+  // svd() transposes wide inputs internally, svd_batch() does not;
+  // keep wide matrices on the solo path so results stay identical.
+  if (rows < cols) return;
+  const double window = qos.coalesce_window_seconds;
+  const auto eligible = [&](const Job& job) {
+    return job.request.fault_injector == nullptr && !job.solo_only &&
+           job.request.matrix.rows() == rows &&
+           job.request.matrix.cols() == cols &&
+           std::abs(job.admitted_s - primary.admitted_s) <= window &&
+           job.deadline_abs_s > now_s;
+  };
+  // Every ride-along slot is allocated through the same DRR scheduler
+  // as a solo dispatch, with backlog restricted to coalescible jobs.
+  // Batching therefore changes throughput, never the weighted shares:
+  // a popular shape cannot let one tenant drain ahead of its weight.
+  std::vector<std::size_t> backlog(tenants_.size(), 0);
+  while (1 + extras.size() < qos.coalesce_max_batch) {
+    bool any = false;
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      backlog[t] = 0;
+      for (const Job& job : tenants_[t].queues[primary.band]) {
+        if (eligible(job)) ++backlog[t];
+      }
+      any |= backlog[t] > 0;
+    }
+    if (!any) return;
+    const std::optional<std::size_t> pick = drr_[primary.band].pick(backlog);
+    if (!pick.has_value()) return;
+    auto& queue = tenants_[*pick].queues[primary.band];
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (eligible(*it)) {
+        extras.push_back(std::move(*it));
+        queue.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+std::size_t SvdServer::total_backlog_locked() const {
+  if (!qos_enabled_) return queue_.size();
+  std::size_t total = 0;
+  for (const TenantRuntime& tenant : tenants_) {
+    for (const auto& queue : tenant.queues) total += queue.size();
+  }
+  return total;
+}
+
+void SvdServer::requeue(Job job, bool count_preemption) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_preemption) {
+      ++job.preemptions;
+      ++counters_.preemptions;
+      ++tenants_[job.tenant].stats.preemptions;
+      count("serve.preempted");
+      count_tenant(job.tenant, "preempted");
+    }
+    // Front of the owning queue: a re-queued request keeps its place at
+    // the head of its tenant's line.
+    tenants_[job.tenant].queues[job.band].push_front(std::move(job));
+    counters_.queue_depth = total_backlog_locked();
+    set_depth_gauge_locked();
+  }
+  cv_.notify_one();
+}
+
+void SvdServer::resolve(Job job, Response response) {
+  if (qos_enabled_) {
+    response.tenant = tenants_[job.tenant].config.name;
+    response.priority = static_cast<Priority>(job.band);
+  }
+  response.preemptions = job.preemptions;
+  response.dispatch_ordinal = job.dispatch_ordinal;
+  job.promise.set_value(std::move(response));
+}
+
+void SvdServer::note_terminal(const Job& job, const Response& response) {
   std::lock_guard<std::mutex> lock(mutex_);
   switch (response.status) {
     case ServeStatus::kOk:
@@ -278,14 +774,106 @@ void SvdServer::note_terminal(const Response& response) {
     case ServeStatus::kShed:
       break;  // counted at admission
   }
+  if (!qos_enabled_) return;
+  TenantRuntime& tenant = tenants_[job.tenant];
+  switch (response.status) {
+    case ServeStatus::kOk:
+      ++tenant.stats.ok;
+      count_tenant(job.tenant, "ok");
+      break;
+    case ServeStatus::kNotConverged:
+      ++tenant.stats.not_converged;
+      count_tenant(job.tenant, "not_converged");
+      break;
+    case ServeStatus::kExpired:
+      ++tenant.stats.expired;
+      count_tenant(job.tenant, "expired");
+      break;
+    case ServeStatus::kCircuitOpen:
+      ++tenant.stats.circuit_open;
+      count_tenant(job.tenant, "circuit_open");
+      break;
+    case ServeStatus::kFailed:
+      ++tenant.stats.failed;
+      count_tenant(job.tenant, "failed");
+      break;
+    case ServeStatus::kShed:
+      break;
+  }
+  if (response.cache_hit) {
+    ++tenant.stats.cache_hits;
+    count_tenant(job.tenant, "cache_hit");
+  }
+  if (response.batch_size >= 2) ++tenant.stats.coalesced;
+  if (response.status == ServeStatus::kOk ||
+      response.status == ServeStatus::kNotConverged) {
+    observe("serve.tenant." + tenant.config.name + ".latency_seconds",
+            response.queue_seconds + response.service_seconds);
+  }
+}
+
+void SvdServer::register_running(std::size_t worker_index, int band,
+                                 common::CancelToken* token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_[worker_index] = WorkerSlot{true, band, token, false};
+  ++counters_.in_service;
+}
+
+bool SvdServer::unregister_running(std::size_t worker_index,
+                                   double deadline_abs_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerSlot& slot = running_[worker_index];
+  const bool preempted =
+      slot.preempt_requested && clock_->now_seconds() < deadline_abs_s;
+  slot = WorkerSlot{};
+  if (counters_.in_service > 0) --counters_.in_service;
+  return preempted;
+}
+
+void SvdServer::maybe_preempt_locked(int incoming_band) {
+  if (!options_.qos.enable_preemption) return;
+  if (idle_workers_ > 0) return;  // an idle worker will pick it up
+  WorkerSlot* victim = nullptr;
+  for (WorkerSlot& slot : running_) {
+    if (!slot.active || slot.preempt_requested || slot.token == nullptr) {
+      continue;
+    }
+    if (slot.band <= incoming_band) continue;  // never preempt an equal
+    if (victim == nullptr || slot.band > victim->band) victim = &slot;
+  }
+  if (victim == nullptr) return;
+  victim->preempt_requested = true;
+  victim->token->cancel();
+  ++counters_.preempt_requests;
+  count("serve.preempt.requested");
+}
+
+bool SvdServer::cacheable(const Job& job) const {
+  return cache_ != nullptr && job.request.fault_injector == nullptr &&
+         options_.svd.fault_injector == nullptr;
+}
+
+bool SvdServer::stopping_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
 }
 
 void SvdServer::set_breaker_gauge() {
   gauge("serve.breaker.state", static_cast<double>(breaker_.state()));
 }
 
+void SvdServer::set_depth_gauge_locked() {
+  gauge("serve.queue.depth", static_cast<double>(counters_.queue_depth));
+}
+
 void SvdServer::count(const char* name, std::uint64_t delta) {
   if (options_.observer != nullptr) options_.observer->metrics().add(name, delta);
+}
+
+void SvdServer::count_tenant(std::size_t tenant_index, const char* suffix) {
+  if (options_.observer == nullptr) return;
+  options_.observer->metrics().add(
+      "serve.tenant." + tenants_[tenant_index].config.name + "." + suffix);
 }
 
 void SvdServer::gauge(const char* name, double value) {
@@ -294,12 +882,28 @@ void SvdServer::gauge(const char* name, double value) {
   }
 }
 
+void SvdServer::observe(const std::string& name, double value) {
+  if (options_.observer != nullptr) {
+    options_.observer->metrics().observe(name, value);
+  }
+}
+
 ServerStats SvdServer::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ServerStats out = counters_;
-  out.queue_depth = queue_.size();
+  out.queue_depth = total_backlog_locked();
   out.breaker_trips = breaker_.trips();
   out.breaker_state = breaker_.state();
+  if (cache_ != nullptr) {
+    const ResultCache::Stats cache_stats = cache_->stats();
+    out.cache_hits = cache_stats.hits;
+    out.cache_misses = cache_stats.misses;
+    out.cache_collisions = cache_stats.collisions;
+    out.cache_evictions = cache_stats.evictions;
+  }
+  for (const TenantRuntime& tenant : tenants_) {
+    out.tenants.emplace(tenant.config.name, tenant.stats);
+  }
   return out;
 }
 

@@ -22,26 +22,49 @@
 //     fabric; after a cooldown, probe requests half-open it and
 //     successes close it again.
 //
+// With tenants configured (ServerOptions::qos), the server additionally
+// enforces multi-tenant QoS -- see serve/qos.hpp for the policy pieces:
+// token-bucket admission quotas, per-tenant queues drained by deficit
+// round-robin within three priority classes, preemption of lower-class
+// running work at sweep barriers (preempted work is re-queued and its
+// re-run is bit-identical), shape-bucketed micro-batching through
+// svd_batch under the exact per-shape configuration the serial path
+// would pick, and a verified digest-keyed result cache. With no tenants
+// configured every one of these layers is compiled out of the request
+// path and the server behaves bit-identically to the single-FIFO
+// version.
+//
 // All time comes from a common::Clock, so every behavior above is
 // testable with a FakeClock and zero real sleeps. An attached
 // obs::ObsContext gets serve.* counters (shed/retries/trips/...), a
-// queue-depth gauge, and a breaker-state gauge.
+// queue-depth gauge, a breaker-state gauge, and -- in QoS mode -- the
+// serve.batch.fill histogram, serve.cache.{hit,miss} counters, and
+// per-tenant latency histograms and shed counters.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <limits>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/retry.hpp"
+#include "common/token_bucket.hpp"
 #include "heterosvd.hpp"
 #include "serve/circuit_breaker.hpp"
+#include "serve/fair_queue.hpp"
+#include "serve/qos.hpp"
+#include "serve/result_cache.hpp"
 
 namespace hsvd::serve {
 
@@ -50,7 +73,7 @@ namespace hsvd::serve {
 enum class ServeStatus {
   kOk,           // decomposition succeeded
   kNotConverged, // factors usable, precision target missed
-  kShed,         // rejected at admission (queue full or shutting down)
+  kShed,         // rejected at admission (queue full, quota, shutdown)
   kExpired,      // deadline passed (in queue or mid-run)
   kCircuitOpen,  // fast-failed while the breaker was open
   kFailed,       // fabric fault (after retries) or invalid request
@@ -59,7 +82,9 @@ enum class ServeStatus {
 const char* to_string(ServeStatus status);
 
 struct ServerOptions {
-  // Admission control: requests queued beyond this are shed.
+  // Admission control: requests queued beyond this are shed. In QoS
+  // mode the bound applies per (tenant, priority class) queue, so one
+  // tenant's backlog can never displace another's.
   std::size_t queue_capacity = 64;
   // Worker threads executing requests.
   int workers = 1;
@@ -69,6 +94,9 @@ struct ServerOptions {
   SvdOptions svd;
   common::RetryPolicy retry;
   BreakerPolicy breaker;
+  // Multi-tenant QoS (quotas, fair share, priorities, coalescing,
+  // result cache). Disabled while `qos.tenants` is empty.
+  QosOptions qos;
   // Deadline budget for requests that do not carry their own (seconds
   // on `clock`); 0 = no deadline.
   double default_deadline_seconds = 0.0;
@@ -92,8 +120,14 @@ struct Request {
   double deadline_seconds = 0.0;
   // Per-request fault injector override (not owned; nullptr = the
   // server's base injector). The chaos driver uses this to give each
-  // request its own seeded fault plan.
+  // request its own seeded fault plan. Injector-carrying requests are
+  // never coalesced or cached.
   versal::FaultInjector* fault_injector = nullptr;
+  // Tenant identity (QoS mode only; empty maps to "default"). A name
+  // matching no configured tenant is shed at admission.
+  std::string tenant;
+  // Priority class (QoS mode only).
+  Priority priority = Priority::kNormal;
 };
 
 struct Response {
@@ -101,11 +135,42 @@ struct Response {
   // Valid for kOk / kNotConverged only.
   Svd result;
   // Attempts actually executed (0 when the request never ran: shed,
-  // expired in queue, or fast-failed by the breaker).
+  // expired in queue, served from cache, or fast-failed by the
+  // breaker). A request re-queued by preemption or a coalesced-batch
+  // fallback reports the attempts of its final execution.
   int attempts = 0;
   std::string message;
   double queue_seconds = 0.0;    // admission -> service start
   double service_seconds = 0.0;  // service start -> terminal status
+  // --- QoS fields (defaults outside QoS mode) ---------------------
+  std::string tenant;
+  Priority priority = Priority::kNormal;
+  bool cache_hit = false;
+  // Tasks in the dispatch that produced this result: 1 = solo, k >= 2
+  // = coalesced svd_batch of k, 0 = never reached the fabric.
+  std::size_t batch_size = 0;
+  // Times this request was preempted at a sweep barrier and re-queued.
+  int preemptions = 0;
+  // 1-based service-start order across the server (0 = never
+  // dispatched); deterministic under start_paused + one worker, which
+  // is how the fair-share tests observe the DRR schedule.
+  std::uint64_t dispatch_ordinal = 0;
+};
+
+// Per-tenant terminal accounting (QoS mode).
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_quota = 0;  // token bucket empty at admission
+  std::uint64_t shed_queue = 0;  // tenant queue full (or shutdown)
+  std::uint64_t ok = 0;
+  std::uint64_t not_converged = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t circuit_open = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;  // completions served from a batch >= 2
 };
 
 struct ServerStats {
@@ -122,6 +187,19 @@ struct ServerStats {
   std::size_t queue_depth = 0;
   std::size_t peak_queue_depth = 0;
   BreakerState breaker_state = BreakerState::kClosed;
+  // --- QoS (zero outside QoS mode) --------------------------------
+  std::uint64_t quota_shed = 0;
+  std::uint64_t unknown_tenant = 0;
+  std::uint64_t preemptions = 0;          // effective (work re-queued)
+  std::uint64_t preempt_requests = 0;     // cancellations issued
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_collisions = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t batch_dispatches = 0;     // fabric dispatches (any size)
+  std::uint64_t batch_tasks = 0;          // jobs across those dispatches
+  std::size_t in_service = 0;             // jobs executing right now
+  std::map<std::string, TenantStats> tenants;
 };
 
 class SvdServer {
@@ -131,8 +209,9 @@ class SvdServer {
   SvdServer(const SvdServer&) = delete;
   SvdServer& operator=(const SvdServer&) = delete;
 
-  // Admission-controlled submission. Never blocks: a full queue (or a
-  // stopped server) resolves the future immediately with kShed.
+  // Admission-controlled submission. Never blocks: a full queue, an
+  // exhausted tenant quota, an unknown tenant, or a stopped server
+  // resolves the future immediately with kShed.
   std::future<Response> submit(Request request);
   std::future<Response> submit(linalg::MatrixF matrix,
                                double deadline_seconds = 0.0);
@@ -159,27 +238,99 @@ class SvdServer {
     // CancelToken from this at service start (the token itself is not
     // movable, so the queued job carries only the number).
     double deadline_abs_s = std::numeric_limits<double>::infinity();
+    // --- QoS bookkeeping --------------------------------------------
+    std::size_t tenant = 0;        // index into tenants_
+    int band = 1;                  // priority class
+    int preemptions = 0;
+    bool solo_only = false;        // after a coalesced-batch fallback
+    std::uint64_t dispatch_ordinal = 0;
   };
 
-  void worker_loop();
-  Response execute(Job& job);
-  void note_terminal(const Response& response);
+  // Per-tenant runtime state (QoS mode). Move-only: jobs carry a
+  // promise, so the queues (and therefore the runtime) cannot be
+  // copied.
+  struct TenantRuntime {
+    TenantRuntime(TenantConfig config_in, common::TokenBucket bucket_in)
+        : config(std::move(config_in)), bucket(std::move(bucket_in)) {}
+    TenantRuntime(TenantRuntime&&) = default;
+    TenantRuntime& operator=(TenantRuntime&&) = default;
+    TenantRuntime(const TenantRuntime&) = delete;
+    TenantRuntime& operator=(const TenantRuntime&) = delete;
+
+    TenantConfig config;
+    common::TokenBucket bucket;
+    std::array<std::deque<Job>, kPriorityBands> queues;
+    TenantStats stats;
+  };
+
+  // What a worker registers while executing, so submit() can preempt
+  // running lower-class work through the CancelToken seam.
+  struct WorkerSlot {
+    bool active = false;
+    int band = kPriorityBands;           // band of the running work
+    common::CancelToken* token = nullptr;  // worker-stack token
+    bool preempt_requested = false;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  // Legacy solo execution (also the QoS solo path): the retry loop,
+  // breaker gating, deadline handling.
+  Response execute(Job& job, common::CancelToken& token);
+  // QoS dispatch of one popped job + coalesced extras.
+  void service_qos(std::size_t worker_index, Job primary,
+                   std::vector<Job> extras);
+  void execute_coalesced(std::size_t worker_index, std::vector<Job> jobs);
+  accel::HeteroSvdConfig config_for_shape(std::size_t rows, std::size_t cols);
+
+  std::optional<Job> pop_next_locked();
+  void gather_coalesce_locked(const Job& primary, std::vector<Job>& extras,
+                              double now_s);
+  std::size_t total_backlog_locked() const;
+  void requeue(Job job, bool count_preemption);
+  bool stopping_seen() const;
+  void resolve(Job job, Response response);
+  void note_terminal(const Job& job, const Response& response);
+  void register_running(std::size_t worker_index, int band,
+                        common::CancelToken* token);
+  // Clears the slot; returns true when a preemption was requested and
+  // the job's own deadline had not actually passed.
+  bool unregister_running(std::size_t worker_index, double deadline_abs_s);
+  void maybe_preempt_locked(int incoming_band);
+  bool cacheable(const Job& job) const;
+
   void set_breaker_gauge();
+  void set_depth_gauge_locked();
   void count(const char* name, std::uint64_t delta = 1);
+  void count_tenant(std::size_t tenant_index, const char* suffix);
   void gauge(const char* name, double value);
+  void observe(const std::string& name, double value);
 
   ServerOptions options_;
   common::Clock* clock_;
   CircuitBreaker breaker_;
   std::uint64_t last_trips_ = 0;  // for the serve.breaker.trips counter
+  const bool qos_enabled_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Job> queue_;
+  std::deque<Job> queue_;                 // legacy single FIFO
+  std::vector<TenantRuntime> tenants_;    // QoS per-tenant queues
+  std::vector<DeficitRoundRobin> drr_;    // one per priority band
+  std::vector<WorkerSlot> running_;       // indexed by worker
+  std::size_t idle_workers_ = 0;
+  std::unique_ptr<ResultCache> cache_;
   std::vector<std::thread> workers_;
   bool paused_ = false;
   bool stopping_ = false;
   std::uint64_t next_serial_ = 0;
+  std::uint64_t next_dispatch_ = 0;
+
+  // Per-shape pinned configuration for coalesced dispatches (the DSE
+  // choice the serial path would make); separate mutex because the DSE
+  // is expensive and must not run under mutex_.
+  std::mutex config_mutex_;
+  std::map<std::pair<std::size_t, std::size_t>, accel::HeteroSvdConfig>
+      shape_configs_;
 
   // Counters (under mutex_ except where noted via stats()).
   ServerStats counters_;

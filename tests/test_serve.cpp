@@ -77,6 +77,12 @@ linalg::MatrixF small_matrix(std::uint64_t seed) {
   return linalg::random_gaussian(24, 16, rng).cast<float>();
 }
 
+serve::Request plain_request(linalg::MatrixF matrix) {
+  serve::Request request;
+  request.matrix = std::move(matrix);
+  return request;
+}
+
 std::string temp_path(const std::string& name) {
   const std::string path = ::testing::TempDir() + "hsvd_" + name;
   std::remove(path.c_str());  // stale files from earlier runs would replay
@@ -405,7 +411,7 @@ TEST(ServeServer, FullQueueShedsInsteadOfBlocking) {
   server.shutdown();
 
   // Submitting after shutdown sheds too.
-  const Response late = server.serve({small_matrix(4)});
+  const Response late = server.serve(plain_request(small_matrix(4)));
   EXPECT_EQ(late.status, ServeStatus::kShed);
 
   const auto counters = observer.metrics().snapshot().counters;
@@ -500,13 +506,13 @@ TEST(ServeServer, BreakerTripsFastFailsAndClosesAfterAProbe) {
   EXPECT_EQ(server.breaker_state(), BreakerState::kOpen);
 
   // A healthy request fast-fails while the breaker is open...
-  const Response blocked = server.serve({small_matrix(30)});
+  const Response blocked = server.serve(plain_request(small_matrix(30)));
   EXPECT_EQ(blocked.status, ServeStatus::kCircuitOpen);
   EXPECT_EQ(blocked.attempts, 0);
 
   // ...and after the cooldown a healthy probe closes it again.
   clock.advance(5.0);
-  const Response probe = server.serve({small_matrix(31)});
+  const Response probe = server.serve(plain_request(small_matrix(31)));
   EXPECT_EQ(probe.status, ServeStatus::kOk);
   EXPECT_EQ(server.breaker_state(), BreakerState::kClosed);
 

@@ -14,6 +14,16 @@
 //       Run the design space exploration and print the best points.
 //   hsvd estimate <n> <p_eng> <p_task> [freq_mhz] [iterations]
 //       Simulated latency + analytic model for one configuration.
+//   hsvd serve [--tenant SPEC]... [--priority P] [--cache N]
+//              [--coalesce N] [--coalesce-window-ms W] [--workers N]
+//              [--deadline-ms D] <in1> [in2 ...]
+//       Push the matrices through an in-process serving instance with
+//       the multi-tenant QoS layer: requests are assigned to the
+//       configured tenants round-robin (SPEC is
+//       name[:weight[:rate[:burst]]]), coalesced into shape-bucketed
+//       micro-batches, and answered from the digest-keyed result cache
+//       when --cache is on. Prints a per-request and a per-tenant
+//       table; exits nonzero when any request ends kFailed.
 //
 // The global --threads N option (before the subcommand) sets the host
 // worker-thread count for svd/dse; 0 (default) resolves via HSVD_THREADS
@@ -27,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <string>
 
 #include "accel/accelerator.hpp"
@@ -39,6 +50,8 @@
 #include "linalg/generators.hpp"
 #include "linalg/matrix_io.hpp"
 #include "perfmodel/perf_model.hpp"
+#include "serve/qos.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -236,6 +249,118 @@ int cmd_estimate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<serve::TenantConfig> tenants;
+  serve::Priority priority = serve::Priority::kNormal;
+  std::size_t cache = 0;
+  std::size_t coalesce = 1;
+  double window_ms = 10.0;
+  int workers = 2;
+  double deadline_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--tenant" && has_value) {
+      tenants.push_back(serve::parse_tenant_spec(argv[++i]));
+    } else if (arg == "--priority" && has_value) {
+      priority = serve::parse_priority(argv[++i]);
+    } else if (arg == "--cache" && has_value) {
+      cache = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--coalesce" && has_value) {
+      coalesce = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--coalesce-window-ms" && has_value) {
+      window_ms = std::atof(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && has_value) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "hsvd serve: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: hsvd serve [--tenant SPEC]... [--priority "
+                 "latency|normal|batch] [--cache N] [--coalesce N] "
+                 "[--coalesce-window-ms W] [--workers N] [--deadline-ms D] "
+                 "<in1> [in2 ...]\n");
+    return 2;
+  }
+
+  std::vector<linalg::MatrixF> matrices;
+  matrices.reserve(files.size());
+  for (const std::string& f : files) matrices.push_back(load_any(f));
+
+  serve::ServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = files.size();
+  options.default_deadline_seconds = deadline_ms / 1e3;
+  options.svd.threads = g_threads;
+  options.svd.shards = g_shards;
+  options.qos.tenants = tenants.empty()
+                            ? std::vector<serve::TenantConfig>{{"default"}}
+                            : tenants;
+  options.qos.coalesce_max_batch = coalesce < 1 ? 1 : coalesce;
+  options.qos.coalesce_window_seconds = window_ms / 1e3;
+  options.qos.cache_enabled = cache > 0;
+  options.qos.cache_capacity = cache > 0 ? cache : 64;
+
+  serve::SvdServer server(options);
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    serve::Request request;
+    request.matrix = matrices[i];
+    request.tenant = options.qos.tenants[i % options.qos.tenants.size()].name;
+    request.priority = priority;
+    futures.push_back(server.submit(std::move(request)));
+  }
+
+  Table table({"file", "tenant", "status", "sweeps", "attempts", "batch",
+               "cached", "note"});
+  int failed = 0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const serve::Response r = futures[i].get();
+    if (r.status == serve::ServeStatus::kFailed) ++failed;
+    table.add_row({files[i], r.tenant, serve::to_string(r.status),
+                   cat(r.result.iterations), cat(r.attempts),
+                   cat(r.batch_size), r.cache_hit ? "*" : "", r.message});
+  }
+  table.print();
+  server.shutdown();
+
+  const serve::ServerStats stats = server.stats();
+  Table tenant_table({"tenant", "submitted", "ok", "shed", "expired",
+                      "failed", "cache-hits", "coalesced"});
+  for (const auto& [name, ts] : stats.tenants) {
+    tenant_table.add_row({name, cat(ts.submitted), cat(ts.ok),
+                          cat(ts.shed_quota + ts.shed_queue), cat(ts.expired),
+                          cat(ts.failed), cat(ts.cache_hits),
+                          cat(ts.coalesced)});
+  }
+  tenant_table.print();
+  std::printf("%zu requests: %llu batch dispatches (fill %.2f), cache "
+              "%llu/%llu hit/miss\n",
+              files.size(),
+              static_cast<unsigned long long>(stats.batch_dispatches),
+              stats.batch_dispatches > 0
+                  ? static_cast<double>(stats.batch_tasks) /
+                        static_cast<double>(stats.batch_dispatches)
+                  : 0.0,
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses));
+  if (failed > 0) {
+    std::fprintf(stderr, "error: %d of %zu requests failed\n", failed,
+                 files.size());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,7 +383,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hsvd [--threads N] [--shards S] "
-                 "<gen|svd|batch|dse|estimate> ...\n"
+                 "<gen|svd|batch|dse|estimate|serve> ...\n"
                  "run a subcommand without arguments for its usage\n");
     return 2;
   }
@@ -272,6 +397,7 @@ int main(int argc, char** argv) {
     if (cmd == "batch") return cmd_batch(argc - 1, argv + 1);
     if (cmd == "dse") return cmd_dse(argc - 1, argv + 1);
     if (cmd == "estimate") return cmd_estimate(argc - 1, argv + 1);
+    if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

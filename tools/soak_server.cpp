@@ -5,13 +5,20 @@
 // request must reach a terminal status (ok / not-converged / shed /
 // expired / circuit-open / failed), and -- with --verify -- every
 // chaos-free request that succeeded must match a reference
-// decomposition bit for bit, proving the resilience machinery never
-// perturbs healthy work. Exits nonzero when either property is
-// violated, so CI can gate on it.
+// decomposition bit for bit, proving the resilience machinery (and the
+// QoS layer's coalescing and result cache) never perturbs healthy
+// work. Exits nonzero when any checked property is violated, so CI can
+// gate on it.
 //
 //   soak_server [--requests N] [--seed S] [--chaos P] [--queue N]
 //               [--workers N] [--deadline-ms D] [--retries N]
 //               [--burst] [--verify] [--metrics file.json]
+//               [--tenant SPEC]... [--bursty-tenant NAME]
+//               [--bursty-offer N] [--fairness-tol F]
+//               [--priority-latency P] [--priority-batch P]
+//               [--dup P] [--dup-pool N] [--cache N]
+//               [--coalesce N] [--coalesce-window-ms W]
+//               [--qos-csv file.csv]
 //
 // --chaos P       fraction of requests carrying an injected fault plan
 //                 (default 0.3; each chaotic request gets its own
@@ -25,6 +32,41 @@
 //                 unlike the library's 2: surfacing faults to the
 //                 serving layer is the point of the soak -- raise it to
 //                 watch the accelerator absorb faults itself instead).
+//
+// Multi-tenant QoS scenario (active once at least one --tenant is
+// given; see serve/qos.hpp):
+//
+// --tenant SPEC        name[:weight[:rate[:burst]]], repeatable.
+// --bursty-tenant NAME requests are offered round-robin, one slot per
+//                      tenant per cycle -- except NAME, which gets
+//                      --bursty-offer slots (default 4): an abusive
+//                      client offering a multiple of everyone else.
+//                      Give it a tight quota and the excess is shed at
+//                      admission without touching the other tenants.
+// --fairness-tol F     enables the fairness gate: among the background
+//                      (non-bursty) tenants, each one's share of
+//                      completed requests must stay within F of its
+//                      configured weight share. Meaningful under
+//                      overload (use --burst plus --deadline-ms so the
+//                      served share is set by the scheduler, not by
+//                      everything eventually finishing).
+// --priority-latency P / --priority-batch P
+//                      fraction of requests submitted in the latency /
+//                      batch class (the rest are normal). Latency work
+//                      preempts running batch work at sweep barriers.
+// --dup P / --dup-pool N
+//                      fraction of requests drawing their matrix from a
+//                      small pool of N repeated payloads (duplicate
+//                      traffic for the result cache).
+// --cache N            enable the digest-keyed result cache, N entries.
+// --coalesce N         shape-bucketed micro-batching, up to N requests
+//                      per svd_batch dispatch; --coalesce-window-ms
+//                      bounds the admission-age spread inside a batch.
+// --qos-csv PATH       per-tenant CSV: offered/admitted/completed
+//                      counts, per-status breakdown, client-observed
+//                      p50/p99 latency, shed rate, completed share,
+//                      and the global batch-fill ratio.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +77,9 @@
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "common/csv.hpp"
 #include "obs/obs.hpp"
+#include "serve/qos.hpp"
 #include "serve/server.hpp"
 #include "versal/faults.hpp"
 
@@ -48,6 +92,10 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+double unit_roll(std::uint64_t x) {
+  return static_cast<double>(x >> 11) / static_cast<double>(1ull << 53);
 }
 
 // Deterministic request matrix: entries in [-1, 1].
@@ -156,6 +204,21 @@ bool same_matrix(const linalg::MatrixF& a, const linalg::MatrixF& b) {
          std::memcmp(da.data(), db.data(), da.size_bytes()) == 0;
 }
 
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +233,19 @@ int main(int argc, char** argv) {
   bool burst = false;
   bool verify = false;
   std::string metrics_path;
+  // Multi-tenant QoS scenario.
+  std::vector<serve::TenantConfig> tenants;
+  std::string bursty_tenant;
+  std::size_t bursty_offer = 4;
+  double fairness_tol = -1.0;  // < 0 disables the gate
+  double priority_latency = 0.0;
+  double priority_batch = 0.0;
+  double dup_fraction = 0.0;
+  std::size_t dup_pool = 8;
+  std::size_t cache_capacity = 0;
+  std::size_t coalesce = 1;
+  double coalesce_window_ms = 10.0;
+  std::string qos_csv_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -195,16 +271,72 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--metrics" && has_value) {
       metrics_path = argv[++i];
+    } else if (arg == "--tenant" && has_value) {
+      try {
+        tenants.push_back(serve::parse_tenant_spec(argv[++i]));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "soak_server: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--bursty-tenant" && has_value) {
+      bursty_tenant = argv[++i];
+    } else if (arg == "--bursty-offer" && has_value) {
+      bursty_offer = parse_u64(argv[++i], "--bursty-offer");
+    } else if (arg == "--fairness-tol" && has_value) {
+      fairness_tol = std::atof(argv[++i]);
+    } else if (arg == "--priority-latency" && has_value) {
+      priority_latency = std::atof(argv[++i]);
+    } else if (arg == "--priority-batch" && has_value) {
+      priority_batch = std::atof(argv[++i]);
+    } else if (arg == "--dup" && has_value) {
+      dup_fraction = std::atof(argv[++i]);
+    } else if (arg == "--dup-pool" && has_value) {
+      dup_pool = parse_u64(argv[++i], "--dup-pool");
+    } else if (arg == "--cache" && has_value) {
+      cache_capacity = parse_u64(argv[++i], "--cache");
+    } else if (arg == "--coalesce" && has_value) {
+      coalesce = parse_u64(argv[++i], "--coalesce");
+    } else if (arg == "--coalesce-window-ms" && has_value) {
+      coalesce_window_ms = std::atof(argv[++i]);
+    } else if (arg == "--qos-csv" && has_value) {
+      qos_csv_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: soak_server [--requests N] [--seed S] [--chaos P] "
           "[--queue N] [--workers N] [--deadline-ms D] [--retries N] "
-          "[--fault-retries N] [--burst] [--verify] "
-          "[--metrics file.json]\n");
+          "[--fault-retries N] [--burst] [--verify] [--metrics file.json] "
+          "[--tenant SPEC]... [--bursty-tenant NAME] [--bursty-offer N] "
+          "[--fairness-tol F] [--priority-latency P] [--priority-batch P] "
+          "[--dup P] [--dup-pool N] [--cache N] [--coalesce N] "
+          "[--coalesce-window-ms W] [--qos-csv file.csv]\n");
       return 0;
     } else {
       std::fprintf(stderr, "soak_server: unknown argument %s\n", arg.c_str());
       return 2;
+    }
+  }
+
+  const bool qos_mode = !tenants.empty();
+  std::size_t bursty_index = tenants.size();  // sentinel: none
+  if (qos_mode && !bursty_tenant.empty()) {
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      if (tenants[t].name == bursty_tenant) bursty_index = t;
+    }
+    if (bursty_index == tenants.size()) {
+      std::fprintf(stderr, "soak_server: --bursty-tenant %s is not a --tenant\n",
+                   bursty_tenant.c_str());
+      return 2;
+    }
+  }
+
+  // Offer schedule: one slot per tenant per cycle, except the bursty
+  // tenant, which offers `bursty_offer` slots -- a client hammering the
+  // service beyond its quota.
+  std::vector<std::size_t> offer_schedule;
+  if (qos_mode) {
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      const std::size_t slots = (t == bursty_index) ? bursty_offer : 1;
+      for (std::size_t k = 0; k < slots; ++k) offer_schedule.push_back(t);
     }
   }
 
@@ -234,6 +366,13 @@ int main(int argc, char** argv) {
   options.retry.max_backoff_seconds = 1e-2;
   options.default_deadline_seconds = deadline_ms / 1e3;
   options.observer = &observer;
+  if (qos_mode) {
+    options.qos.tenants = tenants;
+    options.qos.coalesce_max_batch = coalesce < 1 ? 1 : coalesce;
+    options.qos.coalesce_window_seconds = coalesce_window_ms / 1e3;
+    options.qos.cache_enabled = cache_capacity > 0;
+    options.qos.cache_capacity = cache_capacity > 0 ? cache_capacity : 64;
+  }
 
   // Injectors must outlive the server (requests reference them raw).
   std::vector<std::unique_ptr<versal::FaultInjector>> injectors;
@@ -242,7 +381,12 @@ int main(int argc, char** argv) {
   std::vector<bool> chaotic(requests, false);
   std::vector<serve::Response> responses(requests);
   std::vector<char> terminal(requests, 0);
+  std::vector<std::uint64_t> matrix_seed(requests, 0);
+  std::vector<std::size_t> request_tenant(requests, 0);
+  std::vector<serve::Priority> request_priority(requests,
+                                                serve::Priority::kNormal);
 
+  int exit_violations = 0;
   {
     serve::SvdServer server(options);
     std::deque<std::pair<std::size_t, std::future<serve::Response>>> window;
@@ -254,7 +398,15 @@ int main(int argc, char** argv) {
     };
     for (std::size_t i = 0; i < requests; ++i) {
       serve::Request request;
-      request.matrix = make_matrix(config.rows, config.cols, seed + i);
+      // Duplicate traffic draws from a small payload pool so the result
+      // cache has something to hit; everything else gets a unique seed.
+      std::uint64_t mseed = seed + i;
+      const double dup_roll = unit_roll(mix64(seed ^ (0xd0b1 + i)));
+      if (dup_fraction > 0.0 && dup_pool > 0 && dup_roll < dup_fraction) {
+        mseed = seed + 0xca11ull + mix64(seed ^ (0xca11 + i)) % dup_pool;
+      }
+      matrix_seed[i] = mseed;
+      request.matrix = make_matrix(config.rows, config.cols, mseed);
       const double roll =
           static_cast<double>(mix64(seed ^ (0xc0 + i)) >> 11) /
           static_cast<double>(1ull << 53);
@@ -263,6 +415,19 @@ int main(int argc, char** argv) {
         injectors.push_back(std::make_unique<versal::FaultInjector>(
             make_chaos_plan(surfaces, mix64(seed ^ (0x5107 + i)))));
         request.fault_injector = injectors.back().get();
+      }
+      if (qos_mode) {
+        const std::size_t tenant_idx =
+            offer_schedule[i % offer_schedule.size()];
+        request_tenant[i] = tenant_idx;
+        request.tenant = tenants[tenant_idx].name;
+        const double prio_roll = unit_roll(mix64(seed ^ (0x9910 + i)));
+        if (prio_roll < priority_latency) {
+          request.priority = serve::Priority::kLatency;
+        } else if (prio_roll > 1.0 - priority_batch) {
+          request.priority = serve::Priority::kBatch;
+        }
+        request_priority[i] = request.priority;
       }
       if (!burst) {
         while (window.size() >= queue) drain_one();
@@ -289,6 +454,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.retries),
                 static_cast<unsigned long long>(stats.breaker_trips),
                 serve::to_string(stats.breaker_state), stats.peak_queue_depth);
+    if (qos_mode) {
+      const double fill =
+          stats.batch_dispatches > 0
+              ? static_cast<double>(stats.batch_tasks) /
+                    static_cast<double>(stats.batch_dispatches)
+              : 0.0;
+      std::printf("  qos: quota-shed %llu  preemptions %llu  cache %llu/%llu "
+                  "hit/miss  batch fill %.2f (%llu dispatches)\n",
+                  static_cast<unsigned long long>(stats.quota_shed),
+                  static_cast<unsigned long long>(stats.preemptions),
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  static_cast<unsigned long long>(stats.cache_misses),
+                  fill,
+                  static_cast<unsigned long long>(stats.batch_dispatches));
+    }
 
     int violations = 0;
     for (std::size_t i = 0; i < requests; ++i) {
@@ -299,9 +479,94 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Per-tenant breakout: sheds split by cause (quota vs queue), plus
+    // deadline expiry and breaker rejections, so an overload run shows
+    // *why* each tenant lost work.
+    std::vector<std::vector<double>> latencies(tenants.size());
+    std::vector<std::uint64_t> completed(tenants.size(), 0);
+    std::vector<std::uint64_t> completed_normal(tenants.size(), 0);
+    if (qos_mode) {
+      for (std::size_t i = 0; i < requests; ++i) {
+        const serve::Response& r = responses[i];
+        if (r.status == serve::ServeStatus::kOk ||
+            r.status == serve::ServeStatus::kNotConverged) {
+          ++completed[request_tenant[i]];
+          if (request_priority[i] == serve::Priority::kNormal) {
+            ++completed_normal[request_tenant[i]];
+          }
+          latencies[request_tenant[i]].push_back(r.queue_seconds +
+                                                 r.service_seconds);
+        }
+      }
+      std::printf("  per-tenant:\n");
+      std::printf(
+          "    %-10s %8s %8s %10s %10s %8s %8s %8s %9s %7s %7s\n", "tenant",
+          "offered", "ok", "not-conv", "shed-quota", "shed-q", "expired",
+          "breaker", "failed", "preempt", "cached");
+      for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const serve::TenantStats& ts = stats.tenants.at(tenants[t].name);
+        std::printf(
+            "    %-10s %8llu %8llu %10llu %10llu %8llu %8llu %8llu %9llu "
+            "%7llu %7llu\n",
+            tenants[t].name.c_str(),
+            static_cast<unsigned long long>(ts.submitted),
+            static_cast<unsigned long long>(ts.ok),
+            static_cast<unsigned long long>(ts.not_converged),
+            static_cast<unsigned long long>(ts.shed_quota),
+            static_cast<unsigned long long>(ts.shed_queue),
+            static_cast<unsigned long long>(ts.expired),
+            static_cast<unsigned long long>(ts.circuit_open),
+            static_cast<unsigned long long>(ts.failed),
+            static_cast<unsigned long long>(ts.preemptions),
+            static_cast<unsigned long long>(ts.cache_hits));
+      }
+
+      // Fairness gate: among the background tenants, completed share
+      // must track configured weight share within the tolerance.
+      // Measured on normal-class completions only: fair-share is a
+      // within-class guarantee, and the latency/batch classes trade it
+      // for dispatch-order priority by design.
+      if (fairness_tol >= 0.0) {
+        double weight_sum = 0.0;
+        std::uint64_t completed_sum = 0;
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+          if (t == bursty_index) continue;
+          weight_sum += tenants[t].weight;
+          completed_sum += completed_normal[t];
+        }
+        if (completed_sum == 0 || weight_sum <= 0.0) {
+          std::fprintf(stderr,
+                       "VIOLATION: fairness gate has no completed background "
+                       "requests to measure\n");
+          ++violations;
+        } else {
+          for (std::size_t t = 0; t < tenants.size(); ++t) {
+            if (t == bursty_index) continue;
+            const double share = static_cast<double>(completed_normal[t]) /
+                                 static_cast<double>(completed_sum);
+            const double target = tenants[t].weight / weight_sum;
+            std::printf(
+                "  fairness: %-10s normal-class completed share %.3f "
+                "(target %.3f)\n",
+                tenants[t].name.c_str(), share, target);
+            if (share < target - fairness_tol ||
+                share > target + fairness_tol) {
+              std::fprintf(stderr,
+                           "VIOLATION: tenant %s normal-class completed share "
+                           "%.3f is outside %.3f +/- %.3f\n",
+                           tenants[t].name.c_str(), share, target,
+                           fairness_tol);
+              ++violations;
+            }
+          }
+        }
+      }
+    }
+
     if (verify) {
       // Every chaos-free success must match a fresh, injector-free
-      // reference decomposition bit for bit.
+      // reference decomposition bit for bit -- including results that
+      // were served from the cache or from a coalesced svd_batch.
       SvdOptions reference_options;
       reference_options.config = config;
       reference_options.want_v = false;
@@ -312,7 +577,8 @@ int main(int argc, char** argv) {
           continue;
         }
         const Svd reference = svd(
-            make_matrix(config.rows, config.cols, seed + i), reference_options);
+            make_matrix(config.rows, config.cols, matrix_seed[i]),
+            reference_options);
         ++checked;
         if (!same_matrix(responses[i].result.u, reference.u) ||
             responses[i].result.sigma != reference.sigma ||
@@ -329,6 +595,55 @@ int main(int argc, char** argv) {
                   checked);
     }
 
+    if (qos_mode && !qos_csv_path.empty()) {
+      const double fill_ratio =
+          stats.batch_dispatches > 0
+              ? static_cast<double>(stats.batch_tasks) /
+                    static_cast<double>(stats.batch_dispatches)
+              : 0.0;
+      std::uint64_t completed_total = 0;
+      for (std::uint64_t c : completed) completed_total += c;
+      CsvWriter csv({"tenant", "weight", "offered", "admitted", "completed",
+                     "ok", "not_converged", "shed_quota", "shed_queue",
+                     "expired", "circuit_open", "failed", "preemptions",
+                     "cache_hits", "coalesced", "p50_ms", "p99_ms",
+                     "shed_rate", "completed_share", "batch_fill_ratio"});
+      for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const serve::TenantStats& ts = stats.tenants.at(tenants[t].name);
+        std::vector<double> sorted = latencies[t];
+        std::sort(sorted.begin(), sorted.end());
+        const double shed_rate =
+            ts.submitted > 0
+                ? static_cast<double>(ts.shed_quota + ts.shed_queue) /
+                      static_cast<double>(ts.submitted)
+                : 0.0;
+        const double share =
+            completed_total > 0 ? static_cast<double>(completed[t]) /
+                                      static_cast<double>(completed_total)
+                                : 0.0;
+        csv.add_row({tenants[t].name, fmt(tenants[t].weight),
+                     std::to_string(ts.submitted), std::to_string(ts.admitted),
+                     std::to_string(completed[t]), std::to_string(ts.ok),
+                     std::to_string(ts.not_converged),
+                     std::to_string(ts.shed_quota),
+                     std::to_string(ts.shed_queue), std::to_string(ts.expired),
+                     std::to_string(ts.circuit_open),
+                     std::to_string(ts.failed), std::to_string(ts.preemptions),
+                     std::to_string(ts.cache_hits),
+                     std::to_string(ts.coalesced),
+                     fmt(quantile_sorted(sorted, 0.50) * 1e3),
+                     fmt(quantile_sorted(sorted, 0.99) * 1e3), fmt(shed_rate),
+                     fmt(share), fmt(fill_ratio)});
+      }
+      if (csv.write_file(qos_csv_path)) {
+        std::printf("  wrote %s\n", qos_csv_path.c_str());
+      } else {
+        std::fprintf(stderr, "soak_server: cannot write %s\n",
+                     qos_csv_path.c_str());
+        return 2;
+      }
+    }
+
     if (!metrics_path.empty()) {
       if (observer.metrics().snapshot().write_json(metrics_path)) {
         std::printf("  wrote %s\n", metrics_path.c_str());
@@ -339,10 +654,11 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (violations > 0) {
-      std::fprintf(stderr, "FAIL: %d violations\n", violations);
-      return 1;
-    }
+    exit_violations = violations;
+  }
+  if (exit_violations > 0) {
+    std::fprintf(stderr, "FAIL: %d violations\n", exit_violations);
+    return 1;
   }
   std::printf("PASS: every request reached a terminal status\n");
   return 0;
