@@ -5,6 +5,14 @@
 // Note: at P_eng = 4 our placement fits at most 6 parallel tasks (the
 // paper packs 9); we evaluate the closest feasible point and print the
 // paper's row alongside.
+//
+// The trade-off surface this table tabulates is the same one the
+// SLO-aware router (backend/router.hpp, DESIGN.md section 14) consults
+// live: its AIE estimates come from the identical DSE/perf/power models
+// evaluated here, so `hsvd route --sweep 256` reproduces these
+// latency/throughput/power trade-offs as a dispatch decision -- the
+// low-P_task points win the latency SLO, the high-P_task points the
+// throughput SLO -- rather than as a static benchmark table.
 #include "accel/accelerator.hpp"
 #include "bench_util.hpp"
 #include "perfmodel/power_model.hpp"

@@ -1,0 +1,282 @@
+#include "backend/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/thread_pool.hpp"
+
+namespace hsvd::backend {
+
+namespace {
+
+// Lower-is-better scalarization of an estimate under one SLO kind.
+double objective_value(const Estimate& e, SloKind kind) {
+  switch (kind) {
+    case SloKind::kLatency:
+      return e.latency_seconds;
+    case SloKind::kThroughput:
+      return e.throughput_tasks_per_s > 0.0 ? 1.0 / e.throughput_tasks_per_s
+                                            : std::numeric_limits<double>::max();
+    case SloKind::kEnergy:
+      return e.energy_per_task_joules;
+  }
+  return std::numeric_limits<double>::max();
+}
+
+// Does this candidate meet the request's explicit bound (when one is
+// set)? Backends without an energy model report 0 J and would trivially
+// "meet" any budget, so the energy objective marks them infeasible.
+bool meets_slo(const Candidate& c, const Slo& slo) {
+  if (!c.estimate.feasible) return false;
+  switch (slo.kind) {
+    case SloKind::kLatency:
+      return slo.deadline_seconds <= 0.0 ||
+             c.estimate.latency_seconds <= slo.deadline_seconds;
+    case SloKind::kThroughput:
+      return true;  // batch refines the estimate; there is no hard bound
+    case SloKind::kEnergy:
+      if (!c.backend->capabilities().has_energy_model) return false;
+      return slo.energy_budget_joules <= 0.0 ||
+             c.estimate.energy_per_task_joules <= slo.energy_budget_joules;
+  }
+  return false;
+}
+
+// How much an estimate should be trusted, for breaking near-ties:
+// simulated/measured beats a fitted comparator model (a log-log fit to
+// four published anchors carries more than a few percent of error), and
+// anything beats a value clamped outside its anchor range.
+int trust_rank(const Candidate& c) {
+  return (c.backend->capabilities().modeled_time ? 1 : 0) +
+         (c.estimate.modeled_extrapolated ? 2 : 0);
+}
+
+// Within this relative band two objective values are "the same number"
+// as far as the models can tell, and trust decides instead.
+constexpr double kNearTie = 0.05;
+
+// Strict preference order: SLO-feasibility first, then the objective,
+// with near-ties broken by trust_rank. This is what keeps the n = 128
+// latency crossover honest: the simulated AIE (1.41 ms) and the FPGA
+// comparator's fitted model (1.40 ms) are within the fit's error band,
+// and the router must not prefer a model over its own simulator on a
+// sub-percent modeled margin.
+bool better(const Candidate& a, const Candidate& b, SloKind kind) {
+  if (a.slo_feasible != b.slo_feasible) return a.slo_feasible;
+  const double oa = objective_value(a.estimate, kind);
+  const double ob = objective_value(b.estimate, kind);
+  const int ta = trust_rank(a);
+  const int tb = trust_rank(b);
+  if (ta != tb && std::abs(oa - ob) <= kNearTie * std::min(oa, ob)) {
+    return ta < tb;
+  }
+  return oa < ob;  // exact ties keep the incumbent (registry order)
+}
+
+// Picks the winner among the scored candidates and writes its name into
+// the decision. Cheap (no estimate() calls), so it reruns on every memo
+// hit against the request's actual deadline/budget.
+void pick_winner(RouteDecision& decision) {
+  for (auto& c : decision.candidates) c.slo_feasible = meets_slo(c, decision.slo);
+  const Candidate* best = nullptr;
+  for (const auto& c : decision.candidates) {
+    if (!c.estimate.feasible) continue;
+    if (decision.slo.kind == SloKind::kEnergy &&
+        !c.backend->capabilities().has_energy_model) {
+      continue;
+    }
+    if (best == nullptr || better(c, *best, decision.slo.kind)) best = &c;
+  }
+  decision.backend = best != nullptr ? best->backend->name() : "";
+}
+
+void count(const SvdOptions& options, const std::string& name,
+           std::uint64_t delta = 1) {
+  if (options.observer != nullptr) options.observer->metrics().add(name, delta);
+}
+
+// The SLO a routed request is scored against when the caller set a
+// backend of "auto" without an explicit Slo.
+Slo effective_slo(const SvdOptions& options, int batch) {
+  if (options.slo.has_value()) return *options.slo;
+  Slo slo;
+  if (batch > 1) {
+    slo.kind = SloKind::kThroughput;
+    slo.batch = batch;
+  }
+  return slo;
+}
+
+// Routes (or honors the pin in) `options` and returns the backend to
+// execute on, recording the dispatch metrics.
+const Backend& dispatch_target(std::size_t rows, std::size_t cols, int batch,
+                               const SvdOptions& options) {
+  Router& router = Router::shared();
+  if (!options.backend.empty() && options.backend != "auto") {
+    count(options, "route.pinned");
+    count(options, cat("route.dispatch.", options.backend));
+    return router.find(options.backend);
+  }
+  const RouteDecision decision =
+      router.route(rows, cols, effective_slo(options, batch), options);
+  if (decision.backend.empty()) {
+    throw PlacementError(
+        cat("no backend is feasible for ", rows, "x", cols,
+            " under slo ", slo_class(decision.slo)));
+  }
+  count(options, decision.memo_hit ? "route.memo.hit" : "route.memo.miss");
+  count(options, cat("route.dispatch.", decision.backend));
+  return router.find(decision.backend);
+}
+
+// Records how far the winner's estimate was from what execution actually
+// reported. Only meaningful where the result carries a time measured
+// independently of the estimate: simulated seconds on the AIE backends,
+// wall seconds on the CPU. The model-backed comparators *report* their
+// fitted model, so comparing it to itself would fake a perfect router.
+void observe_estimate_error(const SvdOptions& options, const Backend& backend,
+                            const Svd& result, std::size_t rows,
+                            std::size_t cols) {
+  if (options.observer == nullptr || backend.capabilities().modeled_time) {
+    return;
+  }
+  const double actual = backend.capabilities().bit_identical_to_aie
+                            ? result.accelerator_seconds
+                            : result.wall_seconds;
+  Slo slo;  // latency estimate, the per-task figure both paths report
+  const Estimate est = backend.estimate(rows, cols, slo, options);
+  if (!est.feasible || est.latency_seconds <= 0.0 || actual <= 0.0) return;
+  options.observer->metrics().observe(
+      "route.estimate.rel_error",
+      std::abs(actual - est.latency_seconds) / est.latency_seconds);
+}
+
+}  // namespace
+
+Router::Router(std::vector<std::unique_ptr<Backend>> backends)
+    : backends_(std::move(backends)) {}
+
+RouteDecision Router::route(std::size_t rows, std::size_t cols, const Slo& slo,
+                            const SvdOptions& options) const {
+  slo.validate();
+  RouteDecision decision;
+  decision.slo = slo;
+  const MemoKey key{rows, cols, slo_class(slo)};
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      decision.candidates = it->second;
+      decision.memo_hit = true;
+    }
+  }
+  if (!decision.memo_hit) {
+    decision.candidates.reserve(backends_.size());
+    for (const auto& b : backends_) {
+      Candidate c;
+      c.backend = b.get();
+      c.estimate = b->estimate(rows, cols, slo, options);
+      decision.candidates.push_back(std::move(c));
+    }
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    memo_.emplace(key, decision.candidates);
+  }
+  // The feasibility flags and the argmin depend on the request's actual
+  // deadline/budget (excluded from the memo key), so always recompute.
+  pick_winner(decision);
+  return decision;
+}
+
+const Backend& Router::find(const std::string& name) const {
+  for (const auto& b : backends_) {
+    if (name == b->name()) return *b;
+  }
+  throw InputError(cat("unknown backend '", name,
+                       "' (expected aie, aie-sharded, cpu, fpga-bcv, or "
+                       "gpu-wcycle)"));
+}
+
+Router& Router::shared() {
+  static Router* instance =
+      new Router(make_backends(dse::DesignSpaceExplorer{}));
+  return *instance;
+}
+
+Svd execute_routed(const linalg::MatrixF& a, const SvdOptions& options) {
+  const Backend& target = dispatch_target(a.rows(), a.cols(), 1, options);
+  Svd result = target.execute(a, options);
+  observe_estimate_error(options, target, result, a.rows(), a.cols());
+  return result;
+}
+
+BatchSvd execute_routed_batch(const std::vector<linalg::MatrixF>& batch,
+                              const SvdOptions& options) {
+  const std::size_t rows = batch.front().rows();
+  const std::size_t cols = batch.front().cols();
+  const Backend& target =
+      dispatch_target(rows, cols, static_cast<int>(batch.size()), options);
+
+  if (target.capabilities().bit_identical_to_aie) {
+    // The AIE backends run the native batch engine: strip the routing
+    // fields and take the classic path (sharded sets its array count).
+    SvdOptions inner = options;
+    inner.backend.clear();
+    inner.slo.reset();
+    if (std::string(target.name()) == "aie-sharded") {
+      inner.shards = ShardedAieBackend::shard_count(options);
+    }
+    BatchSvd out = hsvd::svd_batch(batch, inner);
+    out.backend = target.name();
+    for (auto& r : out.results) r.backend = target.name();
+    return out;
+  }
+
+  // Host-executed backends (cpu / fpga-bcv / gpu-wcycle): tasks are
+  // independent; fan them out over the pool with single-threaded inner
+  // execution, exactly like the facade's post-pass.
+  BatchSvd out;
+  out.backend = target.name();
+  out.shards = 1;
+  out.results.resize(batch.size());
+  SvdOptions inner = options;
+  inner.threads = 1;
+  const int threads = common::ThreadPool::resolve_threads(options.threads);
+  const auto start = std::chrono::steady_clock::now();
+  common::ThreadPool::shared().parallel_for(
+      batch.size(), threads,
+      [&](std::size_t i) { out.results[i] = target.execute(batch[i], inner); },
+      "route-batch");
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (target.capabilities().modeled_time) {
+    // Modeled backends report the comparator's fitted sustained rate for
+    // the batch, never the host wall time (honesty rule: one source per
+    // number). Per-task modeled_seconds is already set by execute().
+    Slo slo;
+    slo.kind = SloKind::kThroughput;
+    slo.batch = static_cast<int>(batch.size());
+    const Estimate est = target.estimate(rows, cols, slo, options);
+    out.throughput_tasks_per_s = est.throughput_tasks_per_s;
+    out.batch_seconds = est.throughput_tasks_per_s > 0.0
+                            ? batch.size() / est.throughput_tasks_per_s
+                            : 0.0;
+  } else {
+    out.batch_seconds = wall;
+    out.throughput_tasks_per_s = wall > 0.0 ? batch.size() / wall : 0.0;
+  }
+  for (const auto& r : out.results) {
+    if (r.status == SvdStatus::kFailed) ++out.failed_tasks;
+  }
+  return out;
+}
+
+}  // namespace hsvd::backend

@@ -1,0 +1,90 @@
+// SLO-aware cost-model router (DESIGN.md section 14).
+//
+// The paper's Tables II/III/VI establish a crossover: the AIE array wins
+// small-n latency, the GPU baseline wins large-n throughput, and the
+// fabric simply cannot place very large problems. The router turns that
+// static observation into a live dispatch policy: score every registered
+// backend's estimate(shape, slo) and execute on the argmin.
+//
+// Decisions are memoized per (rows, cols, slo-class) -- the slo *class*
+// deliberately excludes the deadline/budget numbers (see slo_class), so
+// the expensive scoring (a DSE enumeration per AIE backend) runs once per
+// shape while the cheap SLO-feasibility flags and the final argmin are
+// recomputed against each request's actual bounds.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "backend/backends.hpp"
+
+namespace hsvd::backend {
+
+// One scored backend in a routing decision.
+struct Candidate {
+  const Backend* backend = nullptr;
+  Estimate estimate;
+  // True when the estimate is feasible AND meets the request's explicit
+  // deadline / energy budget (when one is set). The router prefers
+  // SLO-feasible candidates; when none exists it still dispatches the
+  // best-objective backend rather than failing the request.
+  bool slo_feasible = false;
+};
+
+struct RouteDecision {
+  // Winner's registry name; empty when no backend can run the shape.
+  std::string backend;
+  Slo slo;
+  // All registered backends in registry order, each scored.
+  std::vector<Candidate> candidates;
+  // Whether the estimates came from the (rows, cols, slo-class) memo.
+  bool memo_hit = false;
+};
+
+class Router {
+ public:
+  explicit Router(std::vector<std::unique_ptr<Backend>> backends);
+
+  // Scores every backend for (rows x cols) under `slo` and picks the
+  // winner. Never executes. Throws hsvd::PlacementError when no backend
+  // is feasible for the shape (cannot happen with the default registry:
+  // the host CPU always fits).
+  RouteDecision route(std::size_t rows, std::size_t cols, const Slo& slo,
+                      const SvdOptions& options) const;
+
+  // Lookup by registry name; throws hsvd::InputError for unknown names.
+  const Backend& find(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Backend>>& backends() const {
+    return backends_;
+  }
+
+  // The process-wide router the facade dispatches through: the default
+  // registry over one shared DSE explorer (whose cross-call memo all
+  // routed requests share).
+  static Router& shared();
+
+ private:
+  std::vector<std::unique_ptr<Backend>> backends_;
+  // (rows, cols, slo_class) -> scored candidates. Guarded: routed
+  // requests arrive concurrently from the serving layer.
+  using MemoKey = std::tuple<std::size_t, std::size_t, std::string>;
+  mutable std::mutex memo_mutex_;
+  mutable std::map<MemoKey, std::vector<Candidate>> memo_;
+};
+
+// Facade entry points (called from hsvd::svd / hsvd::svd_batch when
+// SvdOptions carries a backend pin or an SLO; `a` is already validated
+// and tall). Dispatches through Router::shared(), records route.*
+// metrics on options.observer, and returns the backend's result with
+// its provenance labels (Svd::backend, modeled_time, ...).
+Svd execute_routed(const linalg::MatrixF& a, const SvdOptions& options);
+BatchSvd execute_routed_batch(const std::vector<linalg::MatrixF>& batch,
+                              const SvdOptions& options);
+
+}  // namespace hsvd::backend

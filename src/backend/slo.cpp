@@ -1,0 +1,117 @@
+#include "backend/slo.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace hsvd::backend {
+
+const char* to_string(SloKind kind) {
+  switch (kind) {
+    case SloKind::kLatency: return "latency";
+    case SloKind::kThroughput: return "throughput";
+    case SloKind::kEnergy: return "energy";
+  }
+  return "unknown";
+}
+
+SloKind parse_slo_kind(const std::string& text) {
+  if (text == "latency") return SloKind::kLatency;
+  if (text == "throughput") return SloKind::kThroughput;
+  if (text == "energy") return SloKind::kEnergy;
+  throw InputError(cat("unknown slo kind '", text,
+                       "' (expected latency, throughput, or energy)"));
+}
+
+void Slo::validate() const {
+  HSVD_REQUIRE(std::isfinite(deadline_seconds) && deadline_seconds >= 0.0,
+               "slo deadline_seconds must be nonnegative and finite "
+               "(0 = no deadline)");
+  HSVD_REQUIRE(batch >= 1, "slo batch must be at least 1");
+  HSVD_REQUIRE(
+      std::isfinite(energy_budget_joules) && energy_budget_joules >= 0.0,
+      "slo energy_budget_joules must be nonnegative and finite "
+      "(0 = no budget)");
+}
+
+std::string slo_class(const std::optional<Slo>& slo) {
+  if (!slo.has_value()) return "latency";
+  if (slo->kind != SloKind::kThroughput) return to_string(slo->kind);
+  // Power-of-two batch bucket: estimates vary smoothly with batch, so
+  // nearby batches share a routing decision.
+  int bucket = 0;
+  for (int b = slo->batch; b > 1; b >>= 1) ++bucket;
+  return cat("throughput/b", bucket);
+}
+
+bool is_known_backend(const std::string& name) {
+  return name == "aie" || name == "aie-sharded" || name == "cpu" ||
+         name == "fpga-bcv" || name == "gpu-wcycle";
+}
+
+BackendSpec parse_backend_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  HSVD_REQUIRE(parts.size() <= 3, "backend spec is name[:slo-kind[:value]]");
+  HSVD_REQUIRE(!parts[0].empty(), "backend spec must name a backend or auto");
+
+  BackendSpec out;
+  const bool routed = parts[0] == "auto";
+  if (!routed) {
+    if (parts.size() > 1) {
+      throw InputError(cat("backend spec '", spec, "': an explicit backend "
+                           "pin cannot carry an SLO (the pin bypasses "
+                           "routing); use auto:", parts[1], " to route"));
+    }
+    if (!is_known_backend(parts[0])) {
+      throw InputError(cat("unknown backend '", parts[0],
+                           "' (expected auto, aie, aie-sharded, cpu, "
+                           "fpga-bcv, or gpu-wcycle)"));
+    }
+    out.backend = parts[0];
+    return out;
+  }
+
+  Slo slo;
+  if (parts.size() > 1) slo.kind = parse_slo_kind(parts[1]);
+  if (parts.size() > 2 && !parts[2].empty()) {
+    char* end = nullptr;
+    const double value = std::strtod(parts[2].c_str(), &end);
+    if (end == parts[2].c_str() || *end != '\0') {
+      throw InputError(cat("backend spec '", spec, "': bad value '", parts[2],
+                           "'"));
+    }
+    // An explicitly supplied value must be positive: 0 is only ever the
+    // struct's "no bound" default, never something to ask for.
+    if (!(value > 0.0) || !std::isfinite(value)) {
+      throw InputError(cat("backend spec '", spec, "': ", to_string(slo.kind),
+                           " value must be positive"));
+    }
+    switch (slo.kind) {
+      case SloKind::kLatency:
+        slo.deadline_seconds = value;
+        break;
+      case SloKind::kThroughput:
+        slo.batch = static_cast<int>(value);
+        break;
+      case SloKind::kEnergy:
+        slo.energy_budget_joules = value;
+        break;
+    }
+  }
+  slo.validate();
+  out.slo = slo;
+  return out;
+}
+
+}  // namespace hsvd::backend

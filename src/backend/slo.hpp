@@ -1,0 +1,87 @@
+// Service-level objective attached to one SVD request.
+//
+// The router (backend/router.hpp) scores every registered backend
+// against the request's Slo and dispatches to the best one, which is how
+// the paper's crossover -- HeteroSVD wins small-n latency and energy
+// efficiency, the GPU W-cycle baseline wins large-n throughput (Tables
+// II/III, Fig. 9) -- becomes a live dispatch policy instead of a
+// benchmark table.
+//
+// This header is dependency-light on purpose: the public facade
+// (heterosvd.hpp) embeds an Slo in SvdOptions, so it must not pull in
+// the backend implementations.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace hsvd::backend {
+
+// What the caller is optimizing for. Exactly one objective per request;
+// the deadline/batch/energy fields below refine the chosen kind only.
+enum class SloKind {
+  kLatency,     // minimize single-matrix latency
+  kThroughput,  // maximize sustained tasks/s at the stated batch
+  kEnergy,      // minimize energy per task (the Table III EE metric)
+};
+
+const char* to_string(SloKind kind);
+
+// Parses "latency" / "throughput" / "energy"; throws InputError
+// otherwise.
+SloKind parse_slo_kind(const std::string& text);
+
+struct Slo {
+  SloKind kind = SloKind::kLatency;
+  // kLatency: hard per-matrix deadline in seconds; 0 = no deadline, just
+  // pick the fastest backend. The router marks the decision
+  // deadline-infeasible when even the winner's estimate misses it.
+  double deadline_seconds = 0.0;
+  // kThroughput: batch size the throughput estimate is evaluated at.
+  int batch = 16;
+  // kEnergy: per-task energy budget in joules; 0 = no budget, just pick
+  // the most efficient backend with an energy model.
+  double energy_budget_joules = 0.0;
+
+  // Throws hsvd::InputError on out-of-range fields (negative or
+  // non-finite deadline/budget, batch < 1).
+  void validate() const;
+};
+
+// Memoization class of an SLO: requests whose slo_class and shape agree
+// are routed identically, so the router (and the serving layer's result
+// cache) key decisions on this string. Latency deadlines and energy
+// budgets do not change which backend *wins* (they only flag
+// feasibility), so they are deliberately excluded; the throughput batch
+// is bucketed by power of two because the estimate varies smoothly
+// with it.
+std::string slo_class(const std::optional<Slo>& slo);
+
+// A parsed --backend spec: an explicit backend pin, an SLO for the
+// router, or neither (the classic AIE path).
+struct BackendSpec {
+  // "" = route by `slo` ("auto"); otherwise an explicit backend name.
+  std::string backend;
+  std::optional<Slo> slo;
+};
+
+// True for the five registered backend names: "aie", "aie-sharded",
+// "cpu", "fpga-bcv", "gpu-wcycle".
+bool is_known_backend(const std::string& name);
+
+// Parses "auto[:slo-kind[:value]]" or an explicit backend name
+// ("aie", "aie-sharded", "cpu", "fpga-bcv", "gpu-wcycle"):
+//
+//   auto                   route with the default latency SLO
+//   auto:latency:0.005     route for latency, 5 ms deadline
+//   auto:throughput:64     route for sustained throughput at batch 64
+//   auto:energy:0.25       route for energy, 0.25 J/task budget
+//   gpu-wcycle             pin the GPU model backend
+//
+// Throws hsvd::InputError for an unknown backend or SLO kind, a
+// malformed value, or a *conflicting* pin + SLO ("cpu:latency:0.01"):
+// a pin bypasses scoring, so attaching an objective to it is a
+// contradiction the caller should hear about.
+BackendSpec parse_backend_spec(const std::string& spec);
+
+}  // namespace hsvd::backend

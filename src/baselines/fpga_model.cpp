@@ -1,7 +1,5 @@
 #include "baselines/fpga_model.hpp"
 
-#include <cmath>
-
 #include "common/assert.hpp"
 
 namespace hsvd::baselines {
@@ -9,33 +7,20 @@ namespace hsvd::baselines {
 namespace {
 
 // Table II anchors: (n, seconds for six iterations).
-constexpr int kAnchorN[] = {128, 256, 512, 1024};
+constexpr double kAnchorN[] = {128, 256, 512, 1024};
 constexpr double kAnchorSeconds[] = {0.0014, 0.0113, 0.0829, 0.6119};
 
 }  // namespace
 
-double FpgaBcvModel::latency_seconds(std::size_t n, int iterations) const {
+InterpValue FpgaBcvModel::latency_modeled(std::size_t n, int iterations) const {
   HSVD_REQUIRE(n >= 2, "matrix too small");
   HSVD_REQUIRE(iterations >= 1, "iterations must be positive");
-  const double x = std::log2(static_cast<double>(n));
-  double log_latency;
-  if (n <= 128) {
-    // Extrapolate below the smallest anchor with the first segment slope.
-    const double slope = (std::log2(kAnchorSeconds[1]) - std::log2(kAnchorSeconds[0]));
-    log_latency = std::log2(kAnchorSeconds[0]) + slope * (x - 7.0);
-  } else if (n >= 1024) {
-    const double slope = (std::log2(kAnchorSeconds[3]) - std::log2(kAnchorSeconds[2]));
-    log_latency = std::log2(kAnchorSeconds[3]) + slope * (x - 10.0);
-  } else {
-    int seg = 0;
-    while (seg < 2 && static_cast<double>(n) > kAnchorN[seg + 1]) ++seg;
-    const double x0 = std::log2(static_cast<double>(kAnchorN[seg]));
-    const double x1 = std::log2(static_cast<double>(kAnchorN[seg + 1]));
-    const double y0 = std::log2(kAnchorSeconds[seg]);
-    const double y1 = std::log2(kAnchorSeconds[seg + 1]);
-    log_latency = y0 + (y1 - y0) * (x - x0) / (x1 - x0);
-  }
-  return std::exp2(log_latency) * (static_cast<double>(iterations) / 6.0);
+  InterpValue modeled =
+      loglog_interp_guarded(kAnchorN, kAnchorSeconds, static_cast<double>(n));
+  // The published protocol fixes six iterations; the per-sweep cost of
+  // BCV is iteration-count linear.
+  modeled.value *= static_cast<double>(iterations) / 6.0;
+  return modeled;
 }
 
 }  // namespace hsvd::baselines

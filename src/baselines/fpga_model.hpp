@@ -5,19 +5,30 @@
 // We do not have the closed-source RTL; the model is anchored to the
 // published Table II measurements (six iterations per matrix) and
 // interpolated log-log between anchors -- the standard way to model a
-// published comparator. Resource usage is the fixed full-device
-// configuration Table II reports.
+// published comparator. Outside the anchor range the model clamps to the
+// outermost anchor and flags the value as extrapolated (see
+// baselines/interp.hpp); the router breaks near-ties against flagged
+// (and, more generally, fitted-model) estimates. Resource usage is the
+// fixed full-device configuration Table II reports.
 #pragma once
 
 #include <cstddef>
+
+#include "baselines/interp.hpp"
 
 namespace hsvd::baselines {
 
 struct FpgaBcvModel {
   double frequency_hz = 200.0e6;
 
-  // Latency of one matrix, `iterations` BCV sweeps (Table II uses 6).
-  double latency_seconds(std::size_t n, int iterations = 6) const;
+  // Latency of one matrix, `iterations` BCV sweeps (Table II uses 6),
+  // with the outside-anchor-range trust flag.
+  InterpValue latency_modeled(std::size_t n, int iterations = 6) const;
+
+  // Value-only convenience (clamped outside the anchors).
+  double latency_seconds(std::size_t n, int iterations = 6) const {
+    return latency_modeled(n, iterations).value;
+  }
 
   // Fixed resource configuration (Table II).
   struct Resources {

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "baselines/interp.hpp"
-
 namespace hsvd::baselines {
 
 namespace {
@@ -16,12 +14,12 @@ constexpr double kThroughput[] = {1351.35, 217.39, 27.55, 3.52};
 
 }  // namespace
 
-double GpuWcycleModel::latency_seconds(std::size_t n) const {
-  return loglog_interp(kN, kLatency, static_cast<double>(n));
+InterpValue GpuWcycleModel::latency_modeled(std::size_t n) const {
+  return loglog_interp_guarded(kN, kLatency, static_cast<double>(n));
 }
 
-double GpuWcycleModel::throughput_tasks_per_s(std::size_t n) const {
-  return loglog_interp(kN, kThroughput, static_cast<double>(n));
+InterpValue GpuWcycleModel::throughput_modeled(std::size_t n) const {
+  return loglog_interp_guarded(kN, kThroughput, static_cast<double>(n));
 }
 
 double GpuWcycleModel::core_utilization(std::size_t n) const {

@@ -7,9 +7,14 @@
 // Fig. 9 observation). The model's constants are fitted to the published
 // Table III latency/throughput anchors; between anchors it interpolates
 // the utilization curve smoothly, so sweeps over n behave sensibly.
+// Outside the anchor range (n < 128 or n > 1024) the model clamps to the
+// outermost anchor and the *_modeled variants flag the value as
+// extrapolated -- see baselines/interp.hpp for why.
 #pragma once
 
 #include <cstddef>
+
+#include "baselines/interp.hpp"
 
 namespace hsvd::baselines {
 
@@ -18,11 +23,19 @@ struct GpuWcycleModel {
   double peak_flops = 35.6e12;  // fp32 RTX 3090
 
   // Latency of one matrix processed alone (converged run, the Table III
-  // protocol).
-  double latency_seconds(std::size_t n) const;
+  // protocol), with the outside-anchor-range trust flag.
+  InterpValue latency_modeled(std::size_t n) const;
 
   // Sustained throughput (tasks/s) for large-batch processing.
-  double throughput_tasks_per_s(std::size_t n) const;
+  InterpValue throughput_modeled(std::size_t n) const;
+
+  // Value-only conveniences (clamped outside the anchors).
+  double latency_seconds(std::size_t n) const {
+    return latency_modeled(n).value;
+  }
+  double throughput_tasks_per_s(std::size_t n) const {
+    return throughput_modeled(n).value;
+  }
 
   double energy_efficiency(std::size_t n) const {
     return throughput_tasks_per_s(n) / board_watts;

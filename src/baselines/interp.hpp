@@ -1,6 +1,14 @@
 // Log-log anchor interpolation shared by the published-comparator models
 // (FPGA [6], GPU [11]): exact at the published anchors, power-law
-// interpolated between them, slope-extrapolated outside.
+// interpolated between them, CLAMPED outside.
+//
+// Clamping (rather than slope extrapolation) is deliberate: the fitted
+// slope of the outermost segment has no experimental support beyond the
+// anchor range, and the router must not trust a fantasy number for, say,
+// n = 64 when the smallest published measurement is n = 128. Callers
+// that need to know they are outside the fitted range use the guarded
+// variant, which surfaces a `modeled_extrapolated` flag alongside the
+// clamped value.
 #pragma once
 
 #include <cmath>
@@ -10,24 +18,36 @@
 
 namespace hsvd::baselines {
 
-inline double loglog_interp(std::span<const double> xs,
-                            std::span<const double> ys, double x) {
+// A model evaluation plus its trust label: `extrapolated` is true when
+// the query fell outside the fitted anchor range and the value was
+// clamped to the outermost anchor.
+struct InterpValue {
+  double value = 0.0;
+  bool extrapolated = false;
+};
+
+inline InterpValue loglog_interp_guarded(std::span<const double> xs,
+                                         std::span<const double> ys,
+                                         double x) {
   HSVD_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
                "need at least two anchors");
-  const double lx = std::log2(x);
+  if (x <= xs[0]) return {ys[0], x < xs[0]};
+  if (x >= xs[xs.size() - 1]) return {ys[ys.size() - 1], x > xs[xs.size() - 1]};
   std::size_t seg = 0;
-  if (x <= xs[0]) {
-    seg = 0;
-  } else if (x >= xs[xs.size() - 1]) {
-    seg = xs.size() - 2;
-  } else {
-    while (seg + 2 < xs.size() && x > xs[seg + 1]) ++seg;
-  }
+  while (seg + 2 < xs.size() && x > xs[seg + 1]) ++seg;
+  const double lx = std::log2(x);
   const double x0 = std::log2(xs[seg]);
   const double x1 = std::log2(xs[seg + 1]);
   const double y0 = std::log2(ys[seg]);
   const double y1 = std::log2(ys[seg + 1]);
-  return std::exp2(y0 + (y1 - y0) * (lx - x0) / (x1 - x0));
+  return {std::exp2(y0 + (y1 - y0) * (lx - x0) / (x1 - x0)), false};
+}
+
+// Value-only convenience for in-range queries (clamped outside, same as
+// the guarded variant).
+inline double loglog_interp(std::span<const double> xs,
+                            std::span<const double> ys, double x) {
+  return loglog_interp_guarded(xs, ys, x).value;
 }
 
 }  // namespace hsvd::baselines

@@ -180,6 +180,8 @@ DseStats DesignSpaceExplorer::last_stats() const {
       counters_->placement_calls.load(std::memory_order_relaxed);
   out.placement_reuses =
       counters_->placement_reuses.load(std::memory_order_relaxed);
+  out.enumerate_memo_hits =
+      counters_->enumerate_memo_hits.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -188,6 +190,32 @@ std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
   HSVD_REQUIRE(request.batch >= 1, "batch must be positive");
   counters_->placement_calls.store(0, std::memory_order_relaxed);
   counters_->placement_reuses.store(0, std::memory_order_relaxed);
+
+  // Cross-call memo: a repeat request replays the recorded pre-sort
+  // enumeration (re-sorted below for *this* call's objective, which the
+  // digest deliberately excludes) with zero placement calls.
+  std::string memo_key;
+  if (request.memoize) {
+    memo_key = dse_checkpoint_tag(request);
+    std::lock_guard<std::mutex> lock(counters_->enumerate_memo_mutex);
+    const auto it = counters_->enumerate_memo.find(memo_key);
+    if (it != counters_->enumerate_memo.end()) {
+      counters_->enumerate_memo_hits.fetch_add(1, std::memory_order_relaxed);
+      if (request.observer != nullptr) {
+        request.observer->metrics().add("dse.enumerate.memo_hit");
+      }
+      std::vector<DesignPoint> points = it->second;
+      std::stable_sort(points.begin(), points.end(),
+                       [&](const DesignPoint& a, const DesignPoint& b) {
+                         if (request.objective == Objective::kLatency) {
+                           return a.latency_seconds < b.latency_seconds;
+                         }
+                         return a.throughput_tasks_per_s >
+                                b.throughput_tasks_per_s;
+                       });
+      return points;
+    }
+  }
 
   std::shared_ptr<common::CheckpointFile> checkpoint;
   if (!request.checkpoint_path.empty()) {
@@ -290,6 +318,13 @@ std::vector<DesignPoint> DesignSpaceExplorer::enumerate(
     metrics.add("dse.placement_reuses",
                 counters_->placement_reuses.load(std::memory_order_relaxed));
     metrics.add("dse.points", points.size());
+  }
+  if (request.memoize) {
+    // Record the pre-sort concatenation so one memo entry serves both
+    // objectives (first insertion wins; concurrent callers computed the
+    // identical points anyway).
+    std::lock_guard<std::mutex> lock(counters_->enumerate_memo_mutex);
+    counters_->enumerate_memo.emplace(memo_key, points);
   }
   const auto better = [&](const DesignPoint& a, const DesignPoint& b) {
     if (request.objective == Objective::kLatency) {

@@ -15,7 +15,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "accel/config.hpp"
@@ -86,6 +88,14 @@ struct DseRequest {
   // frequency/power/performance models are NOT part of the tag, so keep
   // one checkpoint per explorer configuration.
   std::string checkpoint_path;
+  // In-memory cross-call memoization: when true, the full enumeration
+  // (pre-sort, so one entry serves every objective) is cached in the
+  // explorer's shared state under the same request digest the checkpoint
+  // uses, and a repeat request returns the cached points with zero
+  // placement calls. Opt-in because the memo pins the scored points in
+  // memory for the explorer's lifetime; the backend router (which asks
+  // for the same handful of shapes over and over) turns it on.
+  bool memoize = false;
 };
 
 // Placement-effort accounting for the most recent enumerate() on an
@@ -94,6 +104,9 @@ struct DseRequest {
 struct DseStats {
   std::uint64_t placement_calls = 0;   // try_place + estimate_resources runs
   std::uint64_t placement_reuses = 0;  // served from the memo instead
+  // Lifetime count of enumerate() calls answered entirely from the
+  // cross-call memo (DseRequest::memoize).
+  std::uint64_t enumerate_memo_hits = 0;
 };
 
 class DesignSpaceExplorer {
@@ -146,10 +159,16 @@ class DesignSpaceExplorer {
   perf::PerformanceModel perf_;
   // Shared (not copied per explorer value) so that the counters survive
   // the copies the by-value API encourages; atomics because P_eng slices
-  // run concurrently.
+  // run concurrently. The cross-call enumerate memo lives here too, so
+  // copies of one explorer (the backend registry holds several) share
+  // one memo.
   struct Counters {
     std::atomic<std::uint64_t> placement_calls{0};
     std::atomic<std::uint64_t> placement_reuses{0};
+    std::atomic<std::uint64_t> enumerate_memo_hits{0};
+    std::mutex enumerate_memo_mutex;
+    // Request digest (dse_checkpoint_tag) -> pre-sort enumeration.
+    std::map<std::string, std::vector<DesignPoint>> enumerate_memo;
   };
   std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "backend/router.hpp"
 #include "common/assert.hpp"
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
@@ -40,6 +41,27 @@ void validate_options(const SvdOptions& options) {
   HSVD_REQUIRE(options.fault_retries >= 0,
                "fault_retries must be nonnegative");
   if (options.retry.has_value()) options.retry->validate();
+  if (!options.backend.empty() && options.backend != "auto" &&
+      !backend::is_known_backend(options.backend)) {
+    throw InputError(cat("unknown backend '", options.backend,
+                         "' (expected auto, aie, aie-sharded, cpu, fpga-bcv, "
+                         "or gpu-wcycle)"));
+  }
+  if (!options.backend.empty() && options.backend != "auto" &&
+      options.slo.has_value()) {
+    throw InputError(
+        cat("backend '", options.backend,
+            "' is an explicit pin and cannot carry an SLO (the pin bypasses "
+            "routing); use backend \"auto\" to route by objective"));
+  }
+  if (options.slo.has_value()) options.slo->validate();
+}
+
+// True when the request opted into the backend router (an explicit pin,
+// "auto", or any SLO). The empty default keeps the classic path -- and
+// its bit-identical results -- untouched.
+bool routing_requested(const SvdOptions& options) {
+  return !options.backend.empty() || options.slo.has_value();
 }
 
 // The clock backing retry backoff sleeps.
@@ -129,6 +151,9 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
   if (deadline_expired(options)) {
     throw DeadlineExceeded("deadline expired before the decomposition began");
   }
+  // Routed dispatch sits after the wide-transpose branch so every
+  // backend estimate and execution sees a tall matrix.
+  if (routing_requested(options)) return backend::execute_routed(a, options);
   accel::HeteroSvdConfig cfg = choose_config(a.rows(), a.cols(), 1, options);
   cfg.precision = options.precision;
   cfg.host_threads = options.threads;
@@ -193,6 +218,9 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
     HSVD_REQUIRE(m.rows() == rows && m.cols() == cols,
                  "all batch matrices must share one shape");
     require_finite(m, cat("batch[", i, "]"));
+  }
+  if (routing_requested(options)) {
+    return backend::execute_routed_batch(batch, options);
   }
   accel::HeteroSvdConfig cfg =
       choose_config(rows, cols, static_cast<int>(batch.size()), options);

@@ -22,6 +22,7 @@
 #include "accel/accelerator.hpp"
 #include "accel/config.hpp"
 #include "accel/sharded.hpp"
+#include "backend/slo.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/retry.hpp"
@@ -89,6 +90,16 @@ struct SvdOptions {
   // monotonic clock). Tests inject a common::FakeClock so retries run
   // without real sleeps.
   common::Clock* clock = nullptr;
+  // Execution backend (DESIGN.md section 14). "" (the default) is the
+  // classic AIE-simulator path, bit-identical to pre-router behaviour.
+  // "auto" routes through the SLO-aware cost-model router across the
+  // registered backends; an explicit name ("aie", "aie-sharded", "cpu",
+  // "fpga-bcv", "gpu-wcycle") pins that backend and bypasses scoring.
+  // Setting `slo` with an empty backend implies "auto". A pin combined
+  // with an slo is rejected as InputError (the pin makes the objective
+  // unreachable by construction).
+  std::string backend;
+  std::optional<backend::Slo> slo;
 };
 
 struct Svd {
@@ -116,6 +127,24 @@ struct Svd {
   // the first submission produced this result). Distinct from
   // recovery_attempts, which counts in-run masked-tile re-placements.
   int retries = 0;
+  // Routing provenance (empty / zero on the classic un-routed path).
+  // Which backend produced this result.
+  std::string backend;
+  // Honesty labels (DESIGN.md section 14): every reported time says
+  // where it came from, and sources are never mixed. modeled_time means
+  // the backend is a fitted model of a published comparator (fpga-bcv /
+  // gpu-wcycle): the factors are real (host one-sided Jacobi) but the
+  // *reported* latency is modeled_seconds from the published anchors --
+  // modeled_extrapolated flags a shape clamped outside the anchor range.
+  // wall_seconds is the host execution time for every host-executed
+  // backend (cpu and the model-backed ones); the AIE paths report
+  // simulated time in accelerator_seconds instead.
+  bool modeled_time = false;
+  double modeled_seconds = 0.0;
+  bool modeled_extrapolated = false;
+  double wall_seconds = 0.0;
+  // Energy attributed by the backend's power model (0 when it has none).
+  double energy_joules = 0.0;
   bool ok() const { return status != SvdStatus::kFailed; }
 };
 
@@ -148,6 +177,10 @@ struct BatchSvd {
   // Per-tile busy/stall/idle tallies and link-byte counters of the run
   // (always populated; render with accel::render_utilization).
   versal::UtilizationReport utilization;
+  // Backend the batch ran on ("" on the classic un-routed path). Routed
+  // host/model backends leave `config`/`utilization` default -- they have
+  // no accelerator run to describe.
+  std::string backend;
 };
 //
 // Errors: throws hsvd::InputError for invalid input (empty batch, mixed

@@ -25,8 +25,9 @@ bool ResultCache::same_bytes(const linalg::MatrixF& a,
 }
 
 std::optional<Svd> ResultCache::lookup(const linalg::MatrixF& matrix,
-                                       std::uint64_t digest_value) {
-  const Key key{matrix.rows(), matrix.cols(), digest_value};
+                                       std::uint64_t digest_value,
+                                       const std::string& route) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -46,8 +47,9 @@ std::optional<Svd> ResultCache::lookup(const linalg::MatrixF& matrix,
 }
 
 void ResultCache::insert(const linalg::MatrixF& matrix,
-                         std::uint64_t digest_value, const Svd& result) {
-  const Key key{matrix.rows(), matrix.cols(), digest_value};
+                         std::uint64_t digest_value, const Svd& result,
+                         const std::string& route) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {

@@ -39,15 +39,20 @@ class ResultCache {
   // Returns the cached factors when `digest_value` hits AND the stored
   // matrix equals `matrix` byte for byte; refreshes LRU recency. The
   // digest is a parameter (not recomputed) so tests can force a
-  // collision and prove the verification catches it.
+  // collision and prove the verification catches it. `route` is the
+  // request's routing intent (backend pin + slo class, "" for the
+  // classic path): the same matrix routed to different backends yields
+  // different provenance labels (and, across functional backends,
+  // different bits), so route intent is part of the identity.
   std::optional<Svd> lookup(const linalg::MatrixF& matrix,
-                            std::uint64_t digest_value);
+                            std::uint64_t digest_value,
+                            const std::string& route = "");
 
   // Records a completed decomposition, evicting the least recently used
   // entry past capacity. An existing key is overwritten (the new matrix
   // wins a collision slot; lookups verify, so this is always safe).
   void insert(const linalg::MatrixF& matrix, std::uint64_t digest_value,
-              const Svd& result);
+              const Svd& result, const std::string& route = "");
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -63,10 +68,12 @@ class ResultCache {
     std::size_t rows = 0;
     std::size_t cols = 0;
     std::uint64_t digest = 0;
+    std::string route;  // routing intent ("" = classic path)
     bool operator<(const Key& other) const {
       if (rows != other.rows) return rows < other.rows;
       if (cols != other.cols) return cols < other.cols;
-      return digest < other.digest;
+      if (digest != other.digest) return digest < other.digest;
+      return route < other.route;
     }
   };
   struct Entry {

@@ -10,6 +10,24 @@
 
 namespace hsvd::serve {
 
+namespace {
+
+// True when the request opted into backend routing (pin, "auto", or an
+// SLO); such jobs dispatch solo and carry a route-qualified cache key.
+bool routed_request(const Request& request) {
+  return !request.backend.empty() || request.slo.has_value();
+}
+
+// The routing intent folded into the result-cache key: which backend
+// path would serve this request. "" for the classic path keeps legacy
+// keys (and pre-router cache behavior) unchanged.
+std::string route_intent(const Request& request) {
+  if (!routed_request(request)) return "";
+  return request.backend + "|" + backend::slo_class(request.slo);
+}
+
+}  // namespace
+
 const char* to_string(ServeStatus status) {
   switch (status) {
     case ServeStatus::kOk: return "ok";
@@ -173,6 +191,11 @@ std::future<Response> SvdServer::submit(Request request) {
       job.admitted_s = now_s;
       job.tenant = idx;
       job.band = band;
+      // Routed requests never coalesce: the coalescer dispatches under
+      // the pinned classic accelerator configuration, which a routed
+      // job may not even run on. QoS queues/quotas are untouched --
+      // routing only changes what happens at dispatch.
+      job.solo_only = routed_request(job.request);
       const double budget = job.request.deadline_seconds > 0.0
                                 ? job.request.deadline_seconds
                                 : options_.default_deadline_seconds;
@@ -304,10 +327,17 @@ Response SvdServer::execute(Job& job, common::CancelToken& token) {
     if (job.request.fault_injector != nullptr) {
       svd_options.fault_injector = job.request.fault_injector;
     }
+    // Per-request routing overrides the server's base options; svd()
+    // validates the combination and dispatches through the router.
+    if (routed_request(job.request)) {
+      svd_options.backend = job.request.backend;
+      svd_options.slo = job.request.slo;
+    }
 
     bool transient = false;
     try {
       out.result = hsvd::svd(job.request.matrix, svd_options);
+      out.backend = out.result.backend;
       breaker_.record_success();
       if (out.result.status == SvdStatus::kNotConverged) {
         if (options_.retry.retry_not_converged && attempt < max_attempts &&
@@ -402,12 +432,14 @@ void SvdServer::service_qos(std::size_t worker_index, Job primary,
     }
     if (cacheable(job)) {
       const std::uint64_t digest = ResultCache::digest(job.request.matrix);
-      std::optional<Svd> hit = cache_->lookup(job.request.matrix, digest);
+      std::optional<Svd> hit = cache_->lookup(job.request.matrix, digest,
+                                              route_intent(job.request));
       if (hit.has_value()) {
         count("serve.cache.hit");
         Response out;
         out.status = ServeStatus::kOk;
         out.result = std::move(*hit);
+        out.backend = out.result.backend;
         out.cache_hit = true;
         out.queue_seconds = start_s - job.admitted_s;
         out.service_seconds = clock_->now_seconds() - start_s;
@@ -441,7 +473,8 @@ void SvdServer::service_qos(std::size_t worker_index, Job primary,
     }
     if (response.status == ServeStatus::kOk && cacheable(job)) {
       cache_->insert(job.request.matrix,
-                     ResultCache::digest(job.request.matrix), response.result);
+                     ResultCache::digest(job.request.matrix), response.result,
+                     route_intent(job.request));
     }
     response.batch_size = 1;
     note_terminal(job, response);
@@ -599,10 +632,12 @@ void SvdServer::execute_coalesced(std::size_t worker_index,
       breaker_.record_success();
       if (cacheable(job)) {
         cache_->insert(job.request.matrix,
-                       ResultCache::digest(job.request.matrix), result);
+                       ResultCache::digest(job.request.matrix), result,
+                       route_intent(job.request));
       }
       out.status = ServeStatus::kOk;
       out.result = std::move(result);
+      out.backend = out.result.backend;
     }
     note_terminal(job, out);
     resolve(std::move(job), std::move(out));

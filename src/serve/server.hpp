@@ -128,6 +128,15 @@ struct Request {
   std::string tenant;
   // Priority class (QoS mode only).
   Priority priority = Priority::kNormal;
+  // Per-request backend routing (DESIGN.md section 14): a pin ("aie",
+  // "cpu", ...), "auto", or an SLO for the router -- copied into the
+  // dispatch SvdOptions over the server's base options. Empty + nullopt
+  // keeps the server's default path. Routed requests are dispatched
+  // solo (never coalesced: the coalescer pins the classic accelerator
+  // configuration) and their result-cache identity includes the route
+  // intent, so a pinned-cpu hit can never answer a pinned-aie request.
+  std::string backend;
+  std::optional<backend::Slo> slo;
 };
 
 struct Response {
@@ -155,6 +164,9 @@ struct Response {
   // dispatched); deterministic under start_paused + one worker, which
   // is how the fair-share tests observe the DRR schedule.
   std::uint64_t dispatch_ordinal = 0;
+  // Backend that produced `result` ("" on the classic un-routed path;
+  // populated from the cached result on a cache hit).
+  std::string backend;
 };
 
 // Per-tenant terminal accounting (QoS mode).

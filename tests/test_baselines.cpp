@@ -79,12 +79,29 @@ TEST(FpgaModel, ExactAtTableIIAnchors) {
   EXPECT_NEAR(fpga.latency_seconds(1024), 0.6119, 1e-6);
 }
 
-TEST(FpgaModel, MonotoneBetweenAndBeyondAnchors) {
+TEST(FpgaModel, MonotoneBetweenAndClampedBeyondAnchors) {
   FpgaBcvModel fpga;
   EXPECT_GT(fpga.latency_seconds(384), fpga.latency_seconds(256));
   EXPECT_LT(fpga.latency_seconds(384), fpga.latency_seconds(512));
-  EXPECT_GT(fpga.latency_seconds(2048), fpga.latency_seconds(1024));
-  EXPECT_LT(fpga.latency_seconds(64), fpga.latency_seconds(128));
+  // Outside the Table II anchor range the model clamps to the outermost
+  // anchor instead of trusting the fitted slope, and flags the value.
+  EXPECT_DOUBLE_EQ(fpga.latency_seconds(2048), fpga.latency_seconds(1024));
+  EXPECT_DOUBLE_EQ(fpga.latency_seconds(64), fpga.latency_seconds(128));
+  EXPECT_FALSE(fpga.latency_modeled(384).extrapolated);
+  EXPECT_FALSE(fpga.latency_modeled(128).extrapolated);
+  EXPECT_FALSE(fpga.latency_modeled(1024).extrapolated);
+  EXPECT_TRUE(fpga.latency_modeled(2048).extrapolated);
+  EXPECT_TRUE(fpga.latency_modeled(64).extrapolated);
+}
+
+TEST(GpuModel, ClampedAndFlaggedBeyondAnchors) {
+  GpuWcycleModel gpu;
+  EXPECT_DOUBLE_EQ(gpu.latency_seconds(64), gpu.latency_seconds(128));
+  EXPECT_DOUBLE_EQ(gpu.throughput_tasks_per_s(2048),
+                   gpu.throughput_tasks_per_s(1024));
+  EXPECT_TRUE(gpu.latency_modeled(64).extrapolated);
+  EXPECT_TRUE(gpu.throughput_modeled(2048).extrapolated);
+  EXPECT_FALSE(gpu.throughput_modeled(512).extrapolated);
 }
 
 TEST(FpgaModel, IterationScalingIsLinear) {

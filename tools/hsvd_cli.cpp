@@ -16,14 +16,25 @@
 //       Simulated latency + analytic model for one configuration.
 //   hsvd serve [--tenant SPEC]... [--priority P] [--cache N]
 //              [--coalesce N] [--coalesce-window-ms W] [--workers N]
-//              [--deadline-ms D] <in1> [in2 ...]
+//              [--deadline-ms D] [--backend SPEC] <in1> [in2 ...]
 //       Push the matrices through an in-process serving instance with
 //       the multi-tenant QoS layer: requests are assigned to the
 //       configured tenants round-robin (SPEC is
 //       name[:weight[:rate[:burst]]]), coalesced into shape-bucketed
 //       micro-batches, and answered from the digest-keyed result cache
-//       when --cache is on. Prints a per-request and a per-tenant
-//       table; exits nonzero when any request ends kFailed.
+//       when --cache is on. --backend routes every request through the
+//       backend router ("auto", "auto:latency:0.005", or a pin like
+//       "cpu"). Prints a per-request and a per-tenant table; exits
+//       nonzero when any request ends kFailed.
+//   hsvd route [--sweep n1,n2,...] [--slo latency|throughput|energy]
+//              [--batch B] [--csv route_table.csv]
+//       Score every registered backend for each (square) shape under
+//       each SLO and print the route table the cost-model router
+//       dispatches from. The default sweep (64..4096) reproduces the
+//       paper's crossover: the AIE array wins small-n latency, the GPU
+//       W-cycle model wins large-n throughput, and shapes too large to
+//       place fall through to the host/model backends. --csv exports
+//       the full per-backend scoring (CI asserts the crossover on it).
 //
 // The global --threads N option (before the subcommand) sets the host
 // worker-thread count for svd/dse; 0 (default) resolves via HSVD_THREADS
@@ -41,6 +52,8 @@
 #include <string>
 
 #include "accel/accelerator.hpp"
+#include "backend/router.hpp"
+#include "common/csv.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -249,6 +262,107 @@ int cmd_estimate(int argc, char** argv) {
   return 0;
 }
 
+// One row of the route table: every backend scored for (n, slo).
+void route_rows(backend::Router& router, std::size_t n,
+                const backend::Slo& slo, const SvdOptions& opts, Table& table,
+                CsvWriter& csv) {
+  const backend::RouteDecision decision = router.route(n, n, slo, opts);
+  for (const auto& c : decision.candidates) {
+    const bool winner = decision.backend == c.backend->name();
+    const bool modeled = c.backend->capabilities().modeled_time;
+    std::string note = c.estimate.note;
+    if (c.estimate.modeled_extrapolated) {
+      note = note.empty() ? "clamped outside anchors"
+                          : note + "; clamped outside anchors";
+    }
+    table.add_row(
+        {cat(n), backend::to_string(slo.kind), c.backend->name(),
+         winner ? "*" : "",
+         c.estimate.feasible ? sci(c.estimate.latency_seconds) : "-",
+         c.estimate.feasible ? fixed(c.estimate.throughput_tasks_per_s, 2)
+                             : "-",
+         c.estimate.feasible && c.estimate.energy_per_task_joules > 0.0
+             ? sci(c.estimate.energy_per_task_joules)
+             : "-",
+         modeled ? "model" : "measured", note});
+    csv.add_row({cat(n), backend::to_string(slo.kind), c.backend->name(),
+                 winner ? "1" : "0", c.estimate.feasible ? "1" : "0",
+                 sci(c.estimate.latency_seconds, 6),
+                 sci(c.estimate.throughput_tasks_per_s, 6),
+                 sci(c.estimate.energy_per_task_joules, 6),
+                 c.estimate.modeled_extrapolated ? "1" : "0",
+                 modeled ? "model" : "measured", note});
+  }
+}
+
+int cmd_route(int argc, char** argv) {
+  std::vector<std::size_t> sizes;
+  std::vector<backend::SloKind> kinds;
+  int batch = 16;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--sweep" && has_value) {
+      std::string spec = argv[++i];
+      for (std::size_t pos = 0; pos < spec.size();) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+        sizes.push_back(std::strtoul(spec.substr(pos, end - pos).c_str(),
+                                     nullptr, 10));
+        pos = end + 1;
+      }
+    } else if (arg == "--slo" && has_value) {
+      kinds.push_back(backend::parse_slo_kind(argv[++i]));
+    } else if (arg == "--batch" && has_value) {
+      batch = std::atoi(argv[++i]);
+    } else if (arg == "--csv" && has_value) {
+      csv_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "hsvd route: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      sizes.push_back(std::strtoul(arg.c_str(), nullptr, 10));
+    }
+  }
+  if (sizes.empty()) sizes = {64, 128, 256, 512, 1024, 2048, 4096};
+  if (kinds.empty()) {
+    kinds = {backend::SloKind::kLatency, backend::SloKind::kThroughput,
+             backend::SloKind::kEnergy};
+  }
+
+  SvdOptions opts;
+  opts.threads = g_threads;
+  backend::Router& router = backend::Router::shared();
+  Table table({"n", "slo", "backend", "winner", "latency(s)", "thr(t/s)",
+               "J/task", "time", "note"});
+  CsvWriter csv({"n", "slo", "backend", "winner", "feasible",
+                 "latency_seconds", "throughput_tasks_per_s",
+                 "energy_per_task_joules", "extrapolated", "time_source",
+                 "note"});
+  for (std::size_t n : sizes) {
+    if (n < 1) {
+      std::fprintf(stderr, "hsvd route: invalid size in sweep\n");
+      return 2;
+    }
+    for (backend::SloKind kind : kinds) {
+      backend::Slo slo;
+      slo.kind = kind;
+      slo.batch = batch;
+      route_rows(router, n, slo, opts, table, csv);
+    }
+  }
+  table.print();
+  if (!csv_path.empty()) {
+    if (!csv.write_file(csv_path)) {
+      std::fprintf(stderr, "hsvd route: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_serve(int argc, char** argv) {
   std::vector<std::string> files;
   std::vector<serve::TenantConfig> tenants;
@@ -258,6 +372,8 @@ int cmd_serve(int argc, char** argv) {
   double window_ms = 10.0;
   int workers = 2;
   double deadline_ms = 0.0;
+  backend::BackendSpec backend_spec;
+  bool backend_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -265,6 +381,9 @@ int cmd_serve(int argc, char** argv) {
       tenants.push_back(serve::parse_tenant_spec(argv[++i]));
     } else if (arg == "--priority" && has_value) {
       priority = serve::parse_priority(argv[++i]);
+    } else if (arg == "--backend" && has_value) {
+      backend_spec = backend::parse_backend_spec(argv[++i]);
+      backend_set = true;
     } else if (arg == "--cache" && has_value) {
       cache = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--coalesce" && has_value) {
@@ -287,7 +406,7 @@ int cmd_serve(int argc, char** argv) {
                  "usage: hsvd serve [--tenant SPEC]... [--priority "
                  "latency|normal|batch] [--cache N] [--coalesce N] "
                  "[--coalesce-window-ms W] [--workers N] [--deadline-ms D] "
-                 "<in1> [in2 ...]\n");
+                 "[--backend SPEC] <in1> [in2 ...]\n");
     return 2;
   }
 
@@ -317,18 +436,23 @@ int cmd_serve(int argc, char** argv) {
     request.matrix = matrices[i];
     request.tenant = options.qos.tenants[i % options.qos.tenants.size()].name;
     request.priority = priority;
+    if (backend_set) {
+      request.backend = backend_spec.backend;
+      request.slo = backend_spec.slo;
+    }
     futures.push_back(server.submit(std::move(request)));
   }
 
-  Table table({"file", "tenant", "status", "sweeps", "attempts", "batch",
-               "cached", "note"});
+  Table table({"file", "tenant", "status", "backend", "sweeps", "attempts",
+               "batch", "cached", "note"});
   int failed = 0;
   for (std::size_t i = 0; i < files.size(); ++i) {
     const serve::Response r = futures[i].get();
     if (r.status == serve::ServeStatus::kFailed) ++failed;
     table.add_row({files[i], r.tenant, serve::to_string(r.status),
-                   cat(r.result.iterations), cat(r.attempts),
-                   cat(r.batch_size), r.cache_hit ? "*" : "", r.message});
+                   r.backend.empty() ? "-" : r.backend, cat(r.result.iterations),
+                   cat(r.attempts), cat(r.batch_size), r.cache_hit ? "*" : "",
+                   r.message});
   }
   table.print();
   server.shutdown();
@@ -383,7 +507,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hsvd [--threads N] [--shards S] "
-                 "<gen|svd|batch|dse|estimate|serve> ...\n"
+                 "<gen|svd|batch|dse|estimate|serve|route> ...\n"
                  "run a subcommand without arguments for its usage\n");
     return 2;
   }
@@ -398,6 +522,7 @@ int main(int argc, char** argv) {
     if (cmd == "dse") return cmd_dse(argc - 1, argv + 1);
     if (cmd == "estimate") return cmd_estimate(argc - 1, argv + 1);
     if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (cmd == "route") return cmd_route(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
