@@ -12,8 +12,10 @@
 #include "common/checkpoint.hpp"
 #include "common/csv.hpp"
 #include "common/format.hpp"
+#include "heterosvd.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
+#include "verify/verifier.hpp"
 
 namespace hsvd::accel {
 
@@ -103,6 +105,15 @@ versal::FaultSpec make_spec(versal::FaultKind kind,
       spec.bandwidth_scale = 0.25 + 0.5 * (mix64(salt ^ 0xbb) % 3) / 2.0;
       break;
     }
+    case versal::FaultKind::kSilentError: {
+      // Fires at result collection (corrupt_result), keyed by task
+      // slot. The campaign presents each task's factors exactly once,
+      // so the corruption must arm on the first presentation.
+      spec.slot = static_cast<int>(slot);
+      spec.tile = versal::TileCoord{0, spec.slot};
+      spec.after_op = 0;
+      break;
+    }
   }
   if (kind == versal::FaultKind::kStreamStall ||
       kind == versal::FaultKind::kDmaStall) {
@@ -151,6 +162,7 @@ std::string serialize_outcome(const CampaignOutcome& out) {
       cat(out.failed_tasks),           cat(out.recovery_runs),
       cat(out.masked_tiles),           out.detected ? "1" : "0",
       out.healthy_bit_identical ? "1" : "0",
+      cat(out.verify_caught),          cat(out.silent_escapes),
       g17(out.batch_seconds),          g17(out.detection_latency_cycles),
       out.note};
   std::string payload;
@@ -171,7 +183,7 @@ std::optional<CampaignOutcome> deserialize_outcome(const std::string& payload) {
     if (tab == std::string::npos) break;
     start = tab + 1;
   }
-  if (fields.size() != 14) return std::nullopt;
+  if (fields.size() != 16) return std::nullopt;
   CampaignOutcome out;
   out.kind = static_cast<versal::FaultKind>(std::atoi(fields[0].c_str()));
   out.plan_seed = std::strtoull(fields[1].c_str(), nullptr, 10);
@@ -184,9 +196,11 @@ std::optional<CampaignOutcome> deserialize_outcome(const std::string& payload) {
   out.masked_tiles = std::atoi(fields[8].c_str());
   out.detected = fields[9] == "1";
   out.healthy_bit_identical = fields[10] == "1";
-  out.batch_seconds = std::strtod(fields[11].c_str(), nullptr);
-  out.detection_latency_cycles = std::strtod(fields[12].c_str(), nullptr);
-  out.note = fields[13];
+  out.verify_caught = std::atoi(fields[11].c_str());
+  out.silent_escapes = std::atoi(fields[12].c_str());
+  out.batch_seconds = std::strtod(fields[13].c_str(), nullptr);
+  out.detection_latency_cycles = std::strtod(fields[14].c_str(), nullptr);
+  out.note = fields[15];
   return out;
 }
 
@@ -198,6 +212,10 @@ std::string campaign_checkpoint_tag(const CampaignOptions& options) {
   // (seed, config shape), so those plus the trial plan pin the sweep.
   std::uint64_t h = 0x6861636bull;  // arbitrary non-zero start
   const auto fold = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  // Serialization format version: bumped when serialize_outcome gains
+  // fields, so a checkpoint written by an older layout is rewritten
+  // instead of colliding key-by-key with the new one.
+  fold(2);
   const auto& c = options.config;
   fold(c.rows);
   fold(c.cols);
@@ -242,7 +260,7 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
     kinds = {versal::FaultKind::kTileHang,      versal::FaultKind::kMemoryBitFlip,
              versal::FaultKind::kStreamDrop,    versal::FaultKind::kStreamStall,
              versal::FaultKind::kDmaDrop,       versal::FaultKind::kDmaStall,
-             versal::FaultKind::kPlioDegrade};
+             versal::FaultKind::kPlioDegrade,   versal::FaultKind::kSilentError};
   }
 
   std::vector<linalg::MatrixF> batch;
@@ -298,7 +316,47 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
       trial_obs.enable_tracing();
       acc.attach_observer(&trial_obs);
 
-      const RunResult run = acc.run(batch);
+      RunResult run = acc.run(batch);
+
+      // kSilentError bypasses every dataflow detection point by
+      // construction: apply the armed corruption to the completed
+      // factors (the same corrupt_result hook the facade drives) and
+      // score the verify layer as the detector. The corrupted task is
+      // the faulted one, so it is excluded from the healthy
+      // bit-identity census below.
+      std::vector<bool> corrupted(run.tasks.size(), false);
+      int verify_caught = 0;
+      int silent_escapes = 0;
+      std::string silent_note;
+      if (kinds[ki] == versal::FaultKind::kSilentError) {
+        const double precision =
+            options.config.precision.has_value()
+                ? static_cast<double>(*options.config.precision)
+                : 0.0;
+        const verify::ResultVerifier verifier(precision);
+        for (std::size_t t = 0; t < run.tasks.size(); ++t) {
+          TaskResult& task = run.tasks[t];
+          if (task.status != hsvd::SvdStatus::kOk || task.u.empty()) continue;
+          if (!injector.corrupt_result(static_cast<int>(t), task.u.data(),
+                                       task.sigma)) {
+            continue;
+          }
+          corrupted[t] = true;
+          Svd candidate;
+          candidate.u = task.u;
+          candidate.sigma = task.sigma;
+          candidate.v = derive_v(batch[t], task.u, task.sigma, 1);
+          candidate.status = hsvd::SvdStatus::kOk;
+          const verify::VerifyOutcome verdict = verifier.check(batch[t],
+                                                               candidate);
+          if (verdict.passed) {
+            ++silent_escapes;
+          } else {
+            ++verify_caught;
+            if (silent_note.empty()) silent_note = verdict.note;
+          }
+        }
+      }
 
       CampaignOutcome out;
       out.kind = kinds[ki];
@@ -310,10 +368,20 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
       out.recovery_runs = run.recovery_runs;
       out.masked_tiles = static_cast<int>(acc.masked_tiles().size());
       out.batch_seconds = run.batch_seconds;
+      out.verify_caught = verify_caught;
+      out.silent_escapes = silent_escapes;
       const bool fault_noticed =
           run.failed_tasks > 0 || run.recovery_runs > 0;
-      out.detected = !versal::corrupts(kinds[ki]) ||
-                     out.events_fired == 0 || fault_noticed;
+      if (kinds[ki] == versal::FaultKind::kSilentError) {
+        // The dataflow boundaries never see a silent error; detection
+        // here means the attestation ladder failed the corrupted
+        // factors (vacuously true when the corruption never fired).
+        out.detected = silent_escapes == 0;
+        if (out.note.empty()) out.note = silent_note;
+      } else {
+        out.detected = !versal::corrupts(kinds[ki]) ||
+                       out.events_fired == 0 || fault_noticed;
+      }
       out.detection_latency_cycles = detection_latency_cycles(
           *trial_obs.tracer(), options.config.device.aie_clock_hz);
       if (options.capture_failure_trace && fault_noticed &&
@@ -330,7 +398,7 @@ std::vector<CampaignOutcome> run_campaign(const CampaignOptions& options) {
         // retried tasks re-ran on a re-placed (possibly degraded)
         // floorplan and are checked for success, not bit identity.
         if (task.status == hsvd::SvdStatus::kOk &&
-            task.recovery_attempts == 0) {
+            task.recovery_attempts == 0 && !corrupted[t]) {
           if (!same_matrix(task.u, reference_run().tasks[t].u) ||
               task.sigma != reference_run().tasks[t].sigma ||
               task.iterations != reference_run().tasks[t].iterations) {
@@ -352,7 +420,8 @@ std::string campaign_csv(const std::vector<CampaignOutcome>& outcomes) {
   CsvWriter csv({"kind", "plan_seed", "target_row", "target_col", "after_op",
                  "events_fired", "failed_tasks", "recovery_runs",
                  "masked_tiles", "detected", "healthy_bit_identical",
-                 "batch_seconds", "detection_cycles", "note"});
+                 "verify_caught", "silent_escape", "batch_seconds",
+                 "detection_cycles", "note"});
   for (const auto& out : outcomes) {
     csv.add_row({versal::to_string(out.kind), cat(out.plan_seed),
                  cat(out.target.row), cat(out.target.col), cat(out.after_op),
@@ -360,6 +429,7 @@ std::string campaign_csv(const std::vector<CampaignOutcome>& outcomes) {
                  cat(out.recovery_runs), cat(out.masked_tiles),
                  out.detected ? "1" : "0",
                  out.healthy_bit_identical ? "1" : "0",
+                 cat(out.verify_caught), cat(out.silent_escapes),
                  sci(out.batch_seconds, 6),
                  out.detection_latency_cycles < 0.0
                      ? std::string()

@@ -67,8 +67,15 @@ struct CampaignOutcome {
   int masked_tiles = 0;      // tiles quarantined by recovery
   // Detection verdict: vacuously true for non-corrupting kinds and for
   // trials whose fault never triggered; otherwise true iff the run
-  // noticed (some task failed at least once).
+  // noticed (some task failed at least once). kSilentError flows past
+  // every dataflow detection point by construction, so its verdict is
+  // the verify layer's: detected iff no fired corruption escaped
+  // attestation (silent_escapes == 0).
   bool detected = true;
+  // kSilentError scoring (0 for every other kind): fired corruptions
+  // the result attestation failed (caught) vs passed (escaped).
+  int verify_caught = 0;
+  int silent_escapes = 0;
   // True iff every task that completed on its first attempt matches the
   // fault-free reference bit for bit (U, sigma, iterations).
   bool healthy_bit_identical = true;

@@ -193,11 +193,16 @@ Estimate estimate_from_points(std::vector<dse::DesignPoint> points,
 }
 
 // Strips the routing fields for the recursive facade call, so the
-// backend's execution takes the classic (pre-router) path.
+// backend's execution takes the classic (pre-router) path. Attestation
+// is stripped too: for routed requests the verify ladder runs at the
+// router layer (its re-route rung needs the Router), never inside the
+// recursion. The fault injector stays attached, so injected faults --
+// silent errors included -- land in the recursion as usual.
 SvdOptions strip_routing(const SvdOptions& options) {
   SvdOptions inner = options;
   inner.backend.clear();
   inner.slo.reset();
+  inner.verify = verify::VerifyPolicy{};
   return inner;
 }
 

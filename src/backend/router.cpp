@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
+#include "verify/escalate.hpp"
 
 namespace hsvd::backend {
 
@@ -88,6 +89,7 @@ void pick_winner(RouteDecision& decision) {
   const Candidate* best = nullptr;
   for (const auto& c : decision.candidates) {
     if (!c.estimate.feasible) continue;
+    if (c.quarantined) continue;  // health breaker refused this backend
     if (decision.slo.kind == SloKind::kEnergy &&
         !c.backend->capabilities().has_energy_model) {
       continue;
@@ -117,15 +119,17 @@ Slo effective_slo(const SvdOptions& options, int batch) {
 // Routes (or honors the pin in) `options` and returns the backend to
 // execute on, recording the dispatch metrics.
 const Backend& dispatch_target(std::size_t rows, std::size_t cols, int batch,
-                               const SvdOptions& options) {
+                               const SvdOptions& options, bool admit) {
   Router& router = Router::shared();
   if (!options.backend.empty() && options.backend != "auto") {
+    // An explicit pin bypasses scoring AND health admission: the caller
+    // forced this backend, quarantine must not silently reroute them.
     count(options, "route.pinned");
     count(options, cat("route.dispatch.", options.backend));
     return router.find(options.backend);
   }
   const RouteDecision decision =
-      router.route(rows, cols, effective_slo(options, batch), options);
+      router.route(rows, cols, effective_slo(options, batch), options, admit);
   if (decision.backend.empty()) {
     throw PlacementError(
         cat("no backend is feasible for ", rows, "x", cols,
@@ -164,7 +168,7 @@ Router::Router(std::vector<std::unique_ptr<Backend>> backends)
     : backends_(std::move(backends)) {}
 
 RouteDecision Router::route(std::size_t rows, std::size_t cols, const Slo& slo,
-                            const SvdOptions& options) const {
+                            const SvdOptions& options, bool admit) const {
   slo.validate();
   RouteDecision decision;
   decision.slo = slo;
@@ -191,7 +195,145 @@ RouteDecision Router::route(std::size_t rows, std::size_t cols, const Slo& slo,
   // The feasibility flags and the argmin depend on the request's actual
   // deadline/budget (excluded from the memo key), so always recompute.
   pick_winner(decision);
+  // Health admission, verified paths only (the off policy keeps routing
+  // bit-identical to a build without the verify layer). Winner-first:
+  // only the would-be winner ever touches its breaker, so losing
+  // candidates never consume half-open probe slots.
+  if (admit && options.verify.enabled()) {
+    while (!decision.backend.empty() &&
+           !admit_backend(decision.backend, options)) {
+      for (auto& c : decision.candidates) {
+        if (decision.backend == c.backend->name()) c.quarantined = true;
+      }
+      pick_winner(decision);
+    }
+  }
   return decision;
+}
+
+bool Router::admit_backend(const std::string& name,
+                           const SvdOptions& options) const {
+  serve::BreakerState before;
+  serve::BreakerState after;
+  bool admitted;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    auto it = health_.find(name);
+    if (it == health_.end()) return true;  // never fed: healthy
+    before = it->second.state();
+    admitted = it->second.allow();
+    after = it->second.state();
+  }
+  if (before != after) {
+    // allow() moved a cooled-down breaker open -> half-open.
+    invalidate_memo();
+    count(options, "route.health.memo_invalidate");
+    count(options, cat("route.health.", name, ".", to_string(after)));
+  }
+  if (admitted && after == serve::BreakerState::kHalfOpen) {
+    count(options, "route.health.probe");
+  }
+  if (!admitted) count(options, "route.health.refused");
+  return admitted;
+}
+
+void Router::record_health(const std::string& backend, bool ok,
+                           const SvdOptions& options) const {
+  if (backend.empty() || backend == "reference") return;
+  bool known = false;
+  for (const auto& b : backends_) {
+    if (backend == b->name()) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) return;
+  serve::BreakerState before;
+  serve::BreakerState after;
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    auto it = health_.find(backend);
+    if (it == health_.end()) {
+      // A success on a backend with no ledger changes nothing: stay
+      // stateless until the first failure.
+      if (ok) return;
+      const common::Clock* clock = options.clock != nullptr
+                                       ? options.clock
+                                       : &common::MonotonicClock::instance();
+      it = health_
+               .emplace(std::piecewise_construct,
+                        std::forward_as_tuple(backend),
+                        std::forward_as_tuple(health_policy_, clock))
+               .first;
+    }
+    before = it->second.state();
+    if (ok) {
+      it->second.record_success();
+    } else {
+      it->second.record_failure();
+    }
+    after = it->second.state();
+  }
+  if (before == after) return;
+  invalidate_memo();
+  count(options, "route.health.memo_invalidate");
+  count(options, cat("route.health.", backend, ".", to_string(after)));
+  if (after == serve::BreakerState::kOpen) {
+    count(options, "route.health.quarantine");
+  } else if (after == serve::BreakerState::kClosed) {
+    count(options, "route.health.recovered");
+  }
+}
+
+void Router::record_health_neutral(const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  auto it = health_.find(backend);
+  if (it != health_.end()) it->second.record_neutral();
+}
+
+serve::BreakerState Router::health_state(const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  auto it = health_.find(backend);
+  return it == health_.end() ? serve::BreakerState::kClosed
+                             : it->second.state();
+}
+
+void Router::set_health_policy(const serve::BreakerPolicy& policy) {
+  policy.validate();
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  health_policy_ = policy;
+}
+
+void Router::reset_health() {
+  {
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    health_.clear();
+  }
+  invalidate_memo();
+}
+
+void Router::invalidate_memo() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  memo_.clear();
+}
+
+const Backend* Router::alternate(std::size_t rows, std::size_t cols,
+                                 const SvdOptions& options,
+                                 const std::string& exclude) const {
+  RouteDecision decision =
+      route(rows, cols, effective_slo(options, 1), options, false);
+  for (auto& c : decision.candidates) {
+    if (exclude == c.backend->name()) c.quarantined = true;
+  }
+  pick_winner(decision);
+  while (!decision.backend.empty() &&
+         !admit_backend(decision.backend, options)) {
+    for (auto& c : decision.candidates) {
+      if (decision.backend == c.backend->name()) c.quarantined = true;
+    }
+    pick_winner(decision);
+  }
+  return decision.backend.empty() ? nullptr : &find(decision.backend);
 }
 
 const Backend& Router::find(const std::string& name) const {
@@ -209,11 +351,76 @@ Router& Router::shared() {
   return *instance;
 }
 
-Svd execute_routed(const linalg::MatrixF& a, const SvdOptions& options) {
-  const Backend& target = dispatch_target(a.rows(), a.cols(), 1, options);
+namespace {
+
+// One execution of `target`, with silent corruption applied at this
+// layer for backends outside the AIE fault domain (the AIE backends
+// recurse into the classic path, which applies it internally -- doing
+// both would double-corrupt).
+Svd run_target(const Backend& target, const linalg::MatrixF& a,
+               const SvdOptions& options, int slot) {
   Svd result = target.execute(a, options);
-  observe_estimate_error(options, target, result, a.rows(), a.cols());
+  if (!target.capabilities().bit_identical_to_aie) {
+    verify::apply_silent_faults(options, slot, result);
+  }
   return result;
+}
+
+// Escalation hooks for routed requests: re-run repeats the winning
+// backend, re-route asks the Router for the best admitted alternate
+// (the failing primary disqualified), and every rung's outcome feeds
+// the per-backend health ledger.
+verify::EscalationHooks routed_hooks(const linalg::MatrixF& a,
+                                     const SvdOptions& options,
+                                     const Backend& target, int slot) {
+  verify::EscalationHooks hooks;
+  hooks.primary_backend = target.name();
+  hooks.health = [&options](const std::string& name, bool ok) {
+    Router::shared().record_health(name, ok, options);
+  };
+  hooks.rerun = [&a, &options, &target, slot]() {
+    return run_target(target, a, options, slot);
+  };
+  hooks.reroute = [&a, &options, &target, slot](std::string* used) {
+    const Backend* alt =
+        Router::shared().alternate(a.rows(), a.cols(), options, target.name());
+    if (alt == nullptr) {
+      throw PlacementError(cat("no alternate backend for re-routing off '",
+                               target.name(), "'"));
+    }
+    *used = alt->name();
+    count(options, cat("route.dispatch.", alt->name()));
+    return run_target(*alt, a, options, slot);
+  };
+  return hooks;
+}
+
+}  // namespace
+
+Svd execute_routed(const linalg::MatrixF& a, const SvdOptions& options) {
+  const Backend& target = dispatch_target(a.rows(), a.cols(), 1, options,
+                                          /*admit=*/true);
+  const bool verified_path = options.verify.enabled();
+  Svd result;
+  try {
+    result = run_target(target, a, options, 0);
+  } catch (const DeadlineExceeded&) {
+    // Breaker-neutral: frees an admitted probe slot without judgment.
+    if (verified_path) Router::shared().record_health_neutral(target.name());
+    throw;
+  } catch (const InputError&) {
+    if (verified_path) Router::shared().record_health_neutral(target.name());
+    throw;
+  } catch (...) {
+    if (verified_path) {
+      Router::shared().record_health(target.name(), false, options);
+    }
+    throw;
+  }
+  observe_estimate_error(options, target, result, a.rows(), a.cols());
+  if (!verified_path) return result;
+  return verify::attest_result(a, options, std::move(result),
+                               routed_hooks(a, options, target, 0));
 }
 
 BatchSvd execute_routed_batch(const std::vector<linalg::MatrixF>& batch,
@@ -221,60 +428,90 @@ BatchSvd execute_routed_batch(const std::vector<linalg::MatrixF>& batch,
   const std::size_t rows = batch.front().rows();
   const std::size_t cols = batch.front().cols();
   const Backend& target =
-      dispatch_target(rows, cols, static_cast<int>(batch.size()), options);
+      dispatch_target(rows, cols, static_cast<int>(batch.size()), options,
+                      /*admit=*/true);
+  const bool verified_path = options.verify.enabled();
 
+  BatchSvd out;
   if (target.capabilities().bit_identical_to_aie) {
     // The AIE backends run the native batch engine: strip the routing
     // fields and take the classic path (sharded sets its array count).
+    // Attestation is stripped too -- it runs below, at this layer, with
+    // router-aware re-route hooks; the classic path still applies the
+    // silent-fault corruption per task slot.
     SvdOptions inner = options;
     inner.backend.clear();
     inner.slo.reset();
+    inner.verify = verify::VerifyPolicy{};
     if (std::string(target.name()) == "aie-sharded") {
       inner.shards = ShardedAieBackend::shard_count(options);
     }
-    BatchSvd out = hsvd::svd_batch(batch, inner);
+    try {
+      out = hsvd::svd_batch(batch, inner);
+    } catch (const DeadlineExceeded&) {
+      if (verified_path) Router::shared().record_health_neutral(target.name());
+      throw;
+    }
     out.backend = target.name();
     for (auto& r : out.results) r.backend = target.name();
-    return out;
-  }
-
-  // Host-executed backends (cpu / fpga-bcv / gpu-wcycle): tasks are
-  // independent; fan them out over the pool with single-threaded inner
-  // execution, exactly like the facade's post-pass.
-  BatchSvd out;
-  out.backend = target.name();
-  out.shards = 1;
-  out.results.resize(batch.size());
-  SvdOptions inner = options;
-  inner.threads = 1;
-  const int threads = common::ThreadPool::resolve_threads(options.threads);
-  const auto start = std::chrono::steady_clock::now();
-  common::ThreadPool::shared().parallel_for(
-      batch.size(), threads,
-      [&](std::size_t i) { out.results[i] = target.execute(batch[i], inner); },
-      "route-batch");
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-
-  if (target.capabilities().modeled_time) {
-    // Modeled backends report the comparator's fitted sustained rate for
-    // the batch, never the host wall time (honesty rule: one source per
-    // number). Per-task modeled_seconds is already set by execute().
-    Slo slo;
-    slo.kind = SloKind::kThroughput;
-    slo.batch = static_cast<int>(batch.size());
-    const Estimate est = target.estimate(rows, cols, slo, options);
-    out.throughput_tasks_per_s = est.throughput_tasks_per_s;
-    out.batch_seconds = est.throughput_tasks_per_s > 0.0
-                            ? batch.size() / est.throughput_tasks_per_s
-                            : 0.0;
   } else {
-    out.batch_seconds = wall;
-    out.throughput_tasks_per_s = wall > 0.0 ? batch.size() / wall : 0.0;
+    // Host-executed backends (cpu / fpga-bcv / gpu-wcycle): tasks are
+    // independent; fan them out over the pool with single-threaded inner
+    // execution, exactly like the facade's post-pass. Silent faults are
+    // applied per task slot (slot-keyed trigger counters keep the
+    // parallel post-pass deterministic).
+    out.backend = target.name();
+    out.shards = 1;
+    out.results.resize(batch.size());
+    SvdOptions inner = options;
+    inner.threads = 1;
+    const int threads = common::ThreadPool::resolve_threads(options.threads);
+    const auto start = std::chrono::steady_clock::now();
+    common::ThreadPool::shared().parallel_for(
+        batch.size(), threads,
+        [&](std::size_t i) {
+          out.results[i] = target.execute(batch[i], inner);
+          verify::apply_silent_faults(inner, static_cast<int>(i),
+                                      out.results[i]);
+        },
+        "route-batch");
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (target.capabilities().modeled_time) {
+      // Modeled backends report the comparator's fitted sustained rate for
+      // the batch, never the host wall time (honesty rule: one source per
+      // number). Per-task modeled_seconds is already set by execute().
+      Slo slo;
+      slo.kind = SloKind::kThroughput;
+      slo.batch = static_cast<int>(batch.size());
+      const Estimate est = target.estimate(rows, cols, slo, options);
+      out.throughput_tasks_per_s = est.throughput_tasks_per_s;
+      out.batch_seconds = est.throughput_tasks_per_s > 0.0
+                              ? batch.size() / est.throughput_tasks_per_s
+                              : 0.0;
+    } else {
+      out.batch_seconds = wall;
+      out.throughput_tasks_per_s = wall > 0.0 ? batch.size() / wall : 0.0;
+    }
+    for (const auto& r : out.results) {
+      if (r.status == SvdStatus::kFailed) ++out.failed_tasks;
+    }
   }
-  for (const auto& r : out.results) {
-    if (r.status == SvdStatus::kFailed) ++out.failed_tasks;
+
+  // Attestation pass, serial: the ladder's re-run rung re-executes the
+  // backend and must not nest inside the pool.
+  if (verified_path) {
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      out.results[i] = verify::attest_result(
+          batch[i], options, std::move(out.results[i]),
+          routed_hooks(batch[i], options, target, static_cast<int>(i)));
+    }
+    out.failed_tasks = 0;
+    for (const auto& r : out.results) {
+      if (r.status == SvdStatus::kFailed) ++out.failed_tasks;
+    }
   }
   return out;
 }

@@ -8,6 +8,7 @@
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
 #include "linalg/ops.hpp"
+#include "verify/escalate.hpp"
 
 namespace hsvd {
 
@@ -55,6 +56,7 @@ void validate_options(const SvdOptions& options) {
             "routing); use backend \"auto\" to route by objective"));
   }
   if (options.slo.has_value()) options.slo->validate();
+  options.verify.validate();
 }
 
 // True when the request opted into the backend router (an explicit pin,
@@ -131,33 +133,11 @@ Svd from_task(const accel::TaskResult& task, const linalg::MatrixF& a,
   return out;
 }
 
-}  // namespace
-
-Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
-  validate_options(options);
-  HSVD_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "matrix must be non-empty");
-  require_finite(a, "matrix");
-  if (a.cols() > a.rows()) {
-    // Wide input: decompose the transpose and swap the factors
-    // (A = U S V^T  <=>  A^T = V S U^T). V is needed to produce U here,
-    // so want_v is forced on for the inner call.
-    SvdOptions inner = options;
-    inner.want_v = true;
-    Svd t = svd(linalg::transpose(a), inner);
-    std::swap(t.u, t.v);
-    if (!options.want_v) t.v = linalg::MatrixF();
-    return t;
-  }
-  if (deadline_expired(options)) {
-    throw DeadlineExceeded("deadline expired before the decomposition began");
-  }
-  // Routed dispatch sits after the wide-transpose branch so every
-  // backend estimate and execution sees a tall matrix.
-  if (routing_requested(options)) return backend::execute_routed(a, options);
-  accel::HeteroSvdConfig cfg = choose_config(a.rows(), a.cols(), 1, options);
-  cfg.precision = options.precision;
-  cfg.host_threads = options.threads;
-  cfg.fault_retries = options.fault_retries;
+// The classic (un-routed) single-matrix execution: the facade retry loop
+// around a freshly built accelerator per attempt. Factored out so the
+// attestation ladder's re-run rung can re-invoke it verbatim.
+Svd run_classic_single(const linalg::MatrixF& a, const SvdOptions& options,
+                       const accel::HeteroSvdConfig& cfg) {
   // Retry loop: each attempt runs on a freshly built accelerator (clean
   // timelines and tile memories; an external injector keeps its trigger
   // counters, so a one-shot fault does not refire on the retry).
@@ -204,6 +184,75 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
   // Unreachable: the final attempt either returned or threw above.
   throw FaultDetected(last_fault.empty() ? std::string("hardware fault detected")
                                          : last_fault);
+}
+
+// Escalation hooks for the classic path: re-run repeats the classic
+// execution (the injector's trigger counters advance, so a one-shot
+// silent error does not refire); re-route pins the cpu backend -- the
+// classic path has no router in play, and the host Jacobi is the one
+// alternate that shares no fabric with the primary. The alternate runs
+// outside the fault domain and without nested attestation.
+verify::EscalationHooks classic_hooks(const linalg::MatrixF& a,
+                                      const SvdOptions& options,
+                                      const accel::HeteroSvdConfig& cfg,
+                                      int task_slot) {
+  verify::EscalationHooks hooks;
+  hooks.rerun = [&a, &options, &cfg, task_slot]() {
+    Svd again = run_classic_single(a, options, cfg);
+    verify::apply_silent_faults(options, task_slot, again);
+    return again;
+  };
+  hooks.reroute = [&a, &options](std::string* used) {
+    SvdOptions alt = options;
+    alt.backend = "cpu";
+    alt.slo.reset();
+    alt.verify = verify::VerifyPolicy{};
+    alt.fault_injector = nullptr;
+    alt.retry.reset();
+    *used = "cpu";
+    return svd(a, alt);
+  };
+  return hooks;
+}
+
+}  // namespace
+
+Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
+  validate_options(options);
+  HSVD_REQUIRE(a.rows() >= 1 && a.cols() >= 1, "matrix must be non-empty");
+  require_finite(a, "matrix");
+  if (a.cols() > a.rows()) {
+    // Wide input: decompose the transpose and swap the factors
+    // (A = U S V^T  <=>  A^T = V S U^T). V is needed to produce U here,
+    // so want_v is forced on for the inner call.
+    SvdOptions inner = options;
+    inner.want_v = true;
+    Svd t = svd(linalg::transpose(a), inner);
+    std::swap(t.u, t.v);
+    if (!options.want_v) t.v = linalg::MatrixF();
+    // Attestation ran on the transposed problem; swap the factor scores
+    // so the report describes the factors the caller receives.
+    for (auto& attempt : t.verify_report.attempts) {
+      std::swap(attempt.outcome.u_orth, attempt.outcome.v_orth);
+      std::swap(attempt.outcome.orth_bound, attempt.outcome.v_orth_bound);
+    }
+    return t;
+  }
+  if (deadline_expired(options)) {
+    throw DeadlineExceeded("deadline expired before the decomposition began");
+  }
+  // Routed dispatch sits after the wide-transpose branch so every
+  // backend estimate and execution sees a tall matrix.
+  if (routing_requested(options)) return backend::execute_routed(a, options);
+  accel::HeteroSvdConfig cfg = choose_config(a.rows(), a.cols(), 1, options);
+  cfg.precision = options.precision;
+  cfg.host_threads = options.threads;
+  cfg.fault_retries = options.fault_retries;
+  Svd out = run_classic_single(a, options, cfg);
+  verify::apply_silent_faults(options, 0, out);
+  if (!options.verify.enabled()) return out;
+  return verify::attest_result(a, options, std::move(out),
+                               classic_hooks(a, options, cfg, 0));
 }
 
 BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
@@ -254,6 +303,10 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
   common::ThreadPool::shared().parallel_for(
       batch.size(), threads, [&](std::size_t i) {
         out.results[i] = from_task(run.tasks[i], batch[i], options.want_v, 1);
+        // Silent-error triggers are counted per task slot, so applying
+        // them inside the parallel post-pass stays deterministic.
+        verify::apply_silent_faults(options, static_cast<int>(i),
+                                    out.results[i]);
       },
       "task-post");
 
@@ -298,6 +351,8 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
       for (std::size_t j = 0; j < again.size(); ++j) {
         Svd replacement =
             from_task(rerun.tasks[j], batch[again[j]], options.want_v, 1);
+        verify::apply_silent_faults(options, static_cast<int>(again[j]),
+                                    replacement);
         replacement.retries = attempt;
         out.results[again[j]] = std::move(replacement);
       }
@@ -305,6 +360,21 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
       // Retry rounds run after the initial batch; their simulated time
       // extends the campaign makespan sequentially.
       out.batch_seconds += rerun.batch_seconds;
+    }
+    out.failed_tasks = 0;
+    for (const auto& r : out.results) {
+      if (r.status == SvdStatus::kFailed) ++out.failed_tasks;
+    }
+  }
+  // Attestation pass, serial: the ladder may spin up a fresh accelerator
+  // (re-run rung), which must not nest inside the pool. A kFailed task
+  // under an enabled policy is upgraded by the ladder too -- verified
+  // compute answers every request, worst case from the host reference.
+  if (options.verify.enabled()) {
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+      out.results[i] = verify::attest_result(
+          batch[i], options, std::move(out.results[i]),
+          classic_hooks(batch[i], options, cfg, static_cast<int>(i)));
     }
     out.failed_tasks = 0;
     for (const auto& r : out.results) {

@@ -29,6 +29,7 @@
 #include "dse/explorer.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
+#include "verify/policy.hpp"
 #include "versal/faults.hpp"
 #include "versal/utilization.hpp"
 
@@ -100,6 +101,13 @@ struct SvdOptions {
   // unreachable by construction).
   std::string backend;
   std::optional<backend::Slo> slo;
+  // Result attestation (DESIGN.md section 15). Off by default: results,
+  // timings, and routing are bit-identical to a build without the
+  // verify layer. When the policy selects a request, the returned
+  // factors are scored by verify::ResultVerifier and a failure climbs
+  // the escalation ladder (re-run -> re-route -> host reference); the
+  // full provenance lands in Svd::verify_report.
+  verify::VerifyPolicy verify;
 };
 
 struct Svd {
@@ -145,6 +153,10 @@ struct Svd {
   double wall_seconds = 0.0;
   // Energy attributed by the backend's power model (0 when it has none).
   double energy_joules = 0.0;
+  // Attestation provenance (checked == false when the verify policy is
+  // off or did not sample this request): which ladder rung produced the
+  // final answer and what every executed rung scored.
+  verify::VerifyReport verify_report;
   bool ok() const { return status != SvdStatus::kFailed; }
 };
 

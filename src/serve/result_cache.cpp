@@ -67,10 +67,35 @@ void ResultCache::insert(const linalg::MatrixF& matrix,
   }
 }
 
+bool ResultCache::erase(const linalg::MatrixF& matrix,
+                        std::uint64_t digest_value, const std::string& route) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void ResultCache::mark_verified(const linalg::MatrixF& matrix,
+                                std::uint64_t digest_value,
+                                const std::string& route,
+                                const verify::VerifyReport& report) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  it->second->result.verify_report = report;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats out = stats_;
   out.entries = lru_.size();
+  for (const auto& entry : lru_) {
+    if (entry.result.verify_report.verified) ++out.verified_entries;
+  }
   return out;
 }
 

@@ -50,9 +50,23 @@ class ResultCache {
 
   // Records a completed decomposition, evicting the least recently used
   // entry past capacity. An existing key is overwritten (the new matrix
-  // wins a collision slot; lookups verify, so this is always safe).
+  // wins a collision slot; lookups verify, so this is always safe). The
+  // result's verify_report rides along, so an entry remembers whether
+  // its factors were ever attested (Svd::verify_report.verified).
   void insert(const linalg::MatrixF& matrix, std::uint64_t digest_value,
               const Svd& result, const std::string& route = "");
+
+  // Drops the entry for this identity (the server evicts a cached
+  // result that fails re-verification). Returns true when one existed.
+  bool erase(const linalg::MatrixF& matrix, std::uint64_t digest_value,
+             const std::string& route = "");
+
+  // Stamps the stored entry's attestation report in place: an
+  // unattested hit that re-verified clean keeps that provenance, so
+  // later hits skip the re-check. No-op when the entry is gone.
+  void mark_verified(const linalg::MatrixF& matrix,
+                     std::uint64_t digest_value, const std::string& route,
+                     const verify::VerifyReport& report);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -60,6 +74,7 @@ class ResultCache {
     std::uint64_t collisions = 0;  // digest hit, byte verification failed
     std::uint64_t evictions = 0;
     std::size_t entries = 0;
+    std::size_t verified_entries = 0;  // entries holding an attested result
   };
   Stats stats() const;
 

@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "verify/verifier.hpp"
 
 namespace hsvd::serve {
 
@@ -434,6 +435,36 @@ void SvdServer::service_qos(std::size_t worker_index, Job primary,
       const std::uint64_t digest = ResultCache::digest(job.request.matrix);
       std::optional<Svd> hit = cache_->lookup(job.request.matrix, digest,
                                               route_intent(job.request));
+      // Re-verify an unattested hit when the verify policy selects this
+      // request (the digest doubles as the sampling identity, so the
+      // decision matches what the facade would have drawn): a cached
+      // result must not dodge an enabled policy just because it skipped
+      // the fabric. A clean re-check is stamped back onto the entry; a
+      // failed one evicts it and the request recomputes.
+      const verify::VerifyPolicy& vpolicy = options_.svd.verify;
+      if (hit.has_value() && vpolicy.enabled() &&
+          !hit->verify_report.verified && vpolicy.selects(digest)) {
+        count("serve.cache.reverify");
+        const verify::ResultVerifier verifier(options_.svd.precision);
+        verify::RungAttempt attempt;
+        attempt.rung = verify::VerifyRung::kPrimary;
+        attempt.backend = hit->backend;
+        attempt.outcome = verifier.check(job.request.matrix, *hit);
+        verify::VerifyReport report;
+        report.checked = true;
+        report.verified = attempt.outcome.passed;
+        report.rung = verify::VerifyRung::kPrimary;
+        report.attempts.push_back(std::move(attempt));
+        if (report.verified) {
+          hit->verify_report = report;
+          cache_->mark_verified(job.request.matrix, digest,
+                                route_intent(job.request), report);
+        } else {
+          count("serve.cache.verify_evict");
+          cache_->erase(job.request.matrix, digest, route_intent(job.request));
+          hit.reset();  // recompute below, as a miss
+        }
+      }
       if (hit.has_value()) {
         count("serve.cache.hit");
         Response out;

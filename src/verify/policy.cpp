@@ -1,0 +1,125 @@
+#include "verify/policy.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace hsvd::verify {
+
+const char* to_string(VerifyMode mode) {
+  switch (mode) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kSample: return "sample";
+    case VerifyMode::kAlways: return "always";
+  }
+  return "unknown";
+}
+
+const char* to_string(VerifyTier tier) {
+  switch (tier) {
+    case VerifyTier::kCheap: return "cheap";
+    case VerifyTier::kMedium: return "medium";
+    case VerifyTier::kFull: return "full";
+  }
+  return "unknown";
+}
+
+const char* to_string(VerifyRung rung) {
+  switch (rung) {
+    case VerifyRung::kNone: return "none";
+    case VerifyRung::kPrimary: return "primary";
+    case VerifyRung::kRerun: return "rerun";
+    case VerifyRung::kReroute: return "reroute";
+    case VerifyRung::kReference: return "reference";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool VerifyPolicy::selects(std::uint64_t ident) const {
+  switch (mode) {
+    case VerifyMode::kOff:
+      return false;
+    case VerifyMode::kAlways:
+      return true;
+    case VerifyMode::kSample: {
+      // Threshold comparison on a seeded hash of the identity: the
+      // selection is a pure function of (seed, ident), so replays and
+      // duplicate requests agree on whether they are checked.
+      const double unit =
+          static_cast<double>(splitmix64(seed ^ ident) >> 11) * 0x1.0p-53;
+      return unit < sample_rate;
+    }
+  }
+  return false;
+}
+
+void VerifyPolicy::validate() const {
+  if (mode == VerifyMode::kSample) {
+    if (!std::isfinite(sample_rate) || sample_rate <= 0.0 ||
+        sample_rate > 1.0) {
+      throw InputError(cat("verify sample rate must be in (0, 1], got ",
+                           sample_rate));
+    }
+  }
+}
+
+VerifyPolicy parse_verify_policy(const std::string& spec) {
+  VerifyPolicy policy;
+  if (spec == "off" || spec.empty()) {
+    return policy;
+  }
+  if (spec == "always") {
+    policy.mode = VerifyMode::kAlways;
+    return policy;
+  }
+  const std::string prefix = "sample:";
+  if (spec.rfind(prefix, 0) == 0) {
+    policy.mode = VerifyMode::kSample;
+    std::string rest = spec.substr(prefix.size());
+    const auto colon = rest.find(':');
+    std::string rate_text = rest.substr(0, colon);
+    char* end = nullptr;
+    policy.sample_rate = std::strtod(rate_text.c_str(), &end);
+    if (end == rate_text.c_str() || *end != '\0') {
+      throw InputError(cat("invalid verify sample rate '", rate_text, "'"));
+    }
+    if (colon != std::string::npos) {
+      std::string seed_text = rest.substr(colon + 1);
+      char* send = nullptr;
+      policy.seed = std::strtoull(seed_text.c_str(), &send, 10);
+      if (send == seed_text.c_str() || *send != '\0') {
+        throw InputError(cat("invalid verify sample seed '", seed_text, "'"));
+      }
+    }
+    policy.validate();
+    return policy;
+  }
+  throw InputError(cat("invalid verify policy '", spec,
+                       "' (expected off, always, or sample:<p>[:<seed>])"));
+}
+
+std::string to_string(const VerifyPolicy& policy) {
+  switch (policy.mode) {
+    case VerifyMode::kOff: return "off";
+    case VerifyMode::kAlways: return "always";
+    case VerifyMode::kSample:
+      return cat("sample:", policy.sample_rate,
+                 policy.seed != 0 ? cat(":", policy.seed) : std::string());
+  }
+  return "off";
+}
+
+}  // namespace hsvd::verify

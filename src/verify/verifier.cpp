@@ -1,0 +1,213 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/format.hpp"
+#include "linalg/ops.hpp"
+#include "versal/faults.hpp"
+
+namespace hsvd::verify {
+
+namespace {
+
+// fp32 machine epsilon; the noise floor every bound is clamped to.
+constexpr double kEps32 = 1.1920929e-7;
+
+// Significance cutoff for the U orthogonality check and the residual
+// sum: matches derive_v's null-space cutoff, so the columns the library
+// itself treats as rank live are exactly the columns attested.
+float u_significance_cutoff(const std::vector<float>& sigma) {
+  float scale = 0.0f;
+  for (float s : sigma) scale = std::max(scale, s);
+  return std::max(1e-12f, 1e-6f * scale);
+}
+
+// The V factor amplifies fp32 noise by sigma_max/sigma_t per column
+// (V = A^T U Sigma^-1); only columns with amplification <= 1e3 carry a
+// meaningful orthogonality signal.
+float v_significance_cutoff(const std::vector<float>& sigma) {
+  float scale = 0.0f;
+  for (float s : sigma) scale = std::max(scale, s);
+  return 1e-3f * scale;
+}
+
+bool all_finite(std::span<const float> data) {
+  for (float x : data) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// ||Q^T Q - I||_F over the columns of `q` whose sigma exceeds `cutoff`,
+// with the Gram entries computed by the SIMD dot kernel.
+double gram_orthogonality(const linalg::MatrixF& q,
+                          const std::vector<float>& sigma, float cutoff) {
+  std::vector<std::size_t> keep;
+  const std::size_t limit = std::min<std::size_t>(q.cols(), sigma.size());
+  for (std::size_t t = 0; t < limit; ++t) {
+    if (sigma[t] > cutoff) keep.push_back(t);
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (std::size_t j = i; j < keep.size(); ++j) {
+      const double g =
+          linalg::dot<float>(q.col(keep[i]), q.col(keep[j]));
+      const double err = g - (i == j ? 1.0 : 0.0);
+      // Off-diagonal entries appear twice in the symmetric Gram matrix.
+      sum += (i == j ? 1.0 : 2.0) * err * err;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+// Relative residual ||A - U Sigma V^T||_F / ||A||_F, accumulated in
+// double column by column: the subtraction must happen entrywise --
+// expanding the norm into Gram products would cancel catastrophically
+// at fp32 dot precision.
+double relative_residual(const linalg::MatrixF& a, const linalg::MatrixF& u,
+                         const std::vector<float>& sigma,
+                         const linalg::MatrixF& v, float cutoff) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  double a_norm_sq = 0.0;
+  double err_sq = 0.0;
+  std::vector<double> col(m);
+  const std::size_t terms = std::min<std::size_t>(sigma.size(), u.cols());
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto ac = a.col(c);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double x = static_cast<double>(ac[r]);
+      col[r] = x;
+      a_norm_sq += x * x;
+    }
+    for (std::size_t t = 0; t < terms; ++t) {
+      if (sigma[t] <= cutoff) continue;
+      const double coef =
+          static_cast<double>(sigma[t]) * static_cast<double>(v(c, t));
+      if (coef == 0.0) continue;
+      const auto ut = u.col(t);
+      for (std::size_t r = 0; r < m; ++r) {
+        col[r] -= coef * static_cast<double>(ut[r]);
+      }
+    }
+    for (std::size_t r = 0; r < m; ++r) err_sq += col[r] * col[r];
+  }
+  if (a_norm_sq <= 0.0) return 0.0;
+  return std::sqrt(err_sq / a_norm_sq);
+}
+
+}  // namespace
+
+double ResultVerifier::orthogonality_bound(std::size_t significant_cols,
+                                           double precision) {
+  const double floor = std::max(precision, 32.0 * kEps32);
+  return 4.0 * static_cast<double>(std::max<std::size_t>(significant_cols, 1)) *
+         floor;
+}
+
+double ResultVerifier::v_orthogonality_bound(std::size_t significant_cols,
+                                             double precision) {
+  // The 1e-3 significance cutoff admits up to 1e3x fp32 noise
+  // amplification in the checked columns.
+  const double amplified = std::max(precision, 1e3 * 32.0 * kEps32);
+  return 4.0 *
+         static_cast<double>(std::max<std::size_t>(significant_cols, 1)) *
+         amplified;
+}
+
+double ResultVerifier::residual_bound(std::size_t cols, double precision) {
+  const double floor = std::max(precision, 32.0 * kEps32);
+  return 16.0 * std::sqrt(static_cast<double>(std::max<std::size_t>(cols, 1))) *
+         floor;
+}
+
+VerifyOutcome ResultVerifier::check(const linalg::MatrixF& a,
+                                    const Svd& result) const {
+  VerifyOutcome out;
+
+  // ---- cheap: finite factors, non-negative descending sigma ----------
+  out.failed_tier = VerifyTier::kCheap;
+  if (result.status == SvdStatus::kFailed || result.u.empty() ||
+      result.sigma.empty()) {
+    out.note = "no factors to attest (failed or empty result)";
+    return out;
+  }
+  if (result.u.rows() != a.rows() || result.u.cols() > a.cols() ||
+      result.sigma.size() > result.u.cols()) {
+    out.note = cat("factor shape mismatch: U is ", result.u.rows(), "x",
+                   result.u.cols(), " for a ", a.rows(), "x", a.cols(),
+                   " input");
+    return out;
+  }
+  if (!all_finite(result.u.data()) || !all_finite(result.sigma) ||
+      !all_finite(result.v.data())) {
+    out.note = "non-finite entry in the returned factors";
+    return out;
+  }
+  for (std::size_t t = 0; t < result.sigma.size(); ++t) {
+    if (result.sigma[t] < 0.0f) {
+      out.note = cat("negative singular value at index ", t);
+      return out;
+    }
+    if (t > 0 && result.sigma[t] > result.sigma[t - 1]) {
+      out.note = cat("sigma not descending at index ", t);
+      return out;
+    }
+  }
+
+  // ---- medium: factor orthogonality over significant columns ---------
+  out.failed_tier = VerifyTier::kMedium;
+  const float u_cutoff = u_significance_cutoff(result.sigma);
+  std::size_t n_sig = 0;
+  for (float s : result.sigma) {
+    if (s > u_cutoff) ++n_sig;
+  }
+  out.orth_bound = orthogonality_bound(n_sig, precision_);
+  out.u_orth = gram_orthogonality(result.u, result.sigma, u_cutoff);
+  if (out.u_orth > out.orth_bound) {
+    out.note = cat("U orthogonality ", out.u_orth, " exceeds bound ",
+                   out.orth_bound);
+    return out;
+  }
+  if (!result.v.empty()) {
+    const float v_cutoff = v_significance_cutoff(result.sigma);
+    std::size_t v_sig = 0;
+    for (float s : result.sigma) {
+      if (s > v_cutoff) ++v_sig;
+    }
+    out.v_orth_bound = v_orthogonality_bound(v_sig, precision_);
+    out.v_orth = gram_orthogonality(result.v, result.sigma, v_cutoff);
+    if (out.v_orth > out.v_orth_bound) {
+      out.note = cat("V orthogonality ", out.v_orth, " exceeds bound ",
+                     out.v_orth_bound);
+      return out;
+    }
+  }
+
+  // ---- full: relative reconstruction residual ------------------------
+  // Needs V; a want_v=false result is attested by the first two tiers
+  // only (U and sigma are the whole contract there).
+  if (!result.v.empty()) {
+    out.failed_tier = VerifyTier::kFull;
+    out.residual_bound = residual_bound(a.cols(), precision_);
+    out.residual =
+        relative_residual(a, result.u, result.sigma, result.v, u_cutoff);
+    if (out.residual > out.residual_bound) {
+      out.note = cat("relative residual ", out.residual, " exceeds bound ",
+                     out.residual_bound);
+      return out;
+    }
+  }
+
+  out.passed = true;
+  out.note.clear();
+  return out;
+}
+
+std::uint64_t verify_ident(const linalg::MatrixF& a) {
+  return versal::buffer_checksum(a.data());
+}
+
+}  // namespace hsvd::verify

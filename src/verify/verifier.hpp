@@ -1,0 +1,64 @@
+// ResultVerifier: tiered mathematical attestation of an SVD result
+// against its input (DESIGN.md section 15).
+//
+// Three tiers, cheapest first, each gating the next:
+//
+//   cheap  -- every factor entry is finite, sigma is non-negative and
+//             descending. O(mn), no arithmetic beyond comparisons.
+//   medium -- ||U^T U - I||_F (and ||V^T V - I||_F when V is present)
+//             over the *significant* columns, against a shape-scaled
+//             bound. Gram entries are computed with the same SIMD dot
+//             kernel the decomposition itself uses (linalg::dot), so
+//             the check exercises the production arithmetic path.
+//   full   -- the relative residual ||A - U Sigma V^T||_F / ||A||_F,
+//             accumulated in double to avoid cancellation.
+//
+// Bound derivation (section 15): a converged one-sided Jacobi run
+// bounds every column-pair coherence by the precision target p, so the
+// off-diagonal of U^T U is entrywise <= p and its Frobenius norm is
+// <= n*p; fp32 normalization adds O(eps) per diagonal entry. The U
+// bound is 4*n_sig*max(p, 32*eps) -- a 4x safety factor over the n*p
+// envelope. V = A^T U Sigma^-1 amplifies fp32 noise by sigma_max/sigma_t
+// per column, so the V check only covers columns with sigma_t >=
+// 1e-3*sigma_max (amplification <= 1e3) under a correspondingly looser
+// bound. The residual of a backward-stable Jacobi run is O(eps)*||A||
+// independent of conditioning; the bound 16*sqrt(n)*max(p, 32*eps)
+// leaves the same safety margin. A not-converged result is scored
+// against the same bounds: if it exceeds them, escalation upgrades it.
+#pragma once
+
+#include <cstddef>
+
+#include "heterosvd.hpp"
+#include "linalg/matrix.hpp"
+#include "verify/policy.hpp"
+
+namespace hsvd::verify {
+
+class ResultVerifier {
+ public:
+  // `precision` is the run's convergence target (SvdOptions::precision);
+  // the bounds scale with it.
+  explicit ResultVerifier(double precision) : precision_(precision) {}
+
+  // Shape-scaled bounds (see header comment for the derivation).
+  static double orthogonality_bound(std::size_t significant_cols,
+                                    double precision);
+  static double v_orthogonality_bound(std::size_t significant_cols,
+                                      double precision);
+  static double residual_bound(std::size_t cols, double precision);
+
+  // Runs the tiers in order over `result` (factors of `a`); stops at
+  // the first failure. Pure: no observer, no state, deterministic.
+  VerifyOutcome check(const linalg::MatrixF& a, const Svd& result) const;
+
+ private:
+  double precision_;
+};
+
+// Deterministic request identity for VerifyPolicy::selects: the FNV-1a
+// digest of the input matrix bytes (the same digest the result cache
+// keys on), so sampling decisions agree across layers and replays.
+std::uint64_t verify_ident(const linalg::MatrixF& a);
+
+}  // namespace hsvd::verify

@@ -1,6 +1,7 @@
 #include "versal/faults.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/format.hpp"
@@ -16,6 +17,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDmaDrop: return "dma-drop";
     case FaultKind::kDmaStall: return "dma-stall";
     case FaultKind::kPlioDegrade: return "plio-degrade";
+    case FaultKind::kSilentError: return "silent-error";
   }
   return "unknown";
 }
@@ -26,6 +28,7 @@ bool corrupts(FaultKind kind) {
     case FaultKind::kMemoryBitFlip:
     case FaultKind::kStreamDrop:
     case FaultKind::kDmaDrop:
+    case FaultKind::kSilentError:
       return true;
     case FaultKind::kStreamStall:
     case FaultKind::kDmaStall:
@@ -65,6 +68,7 @@ int op_class_of(FaultKind kind) {
     case FaultKind::kDmaDrop:
     case FaultKind::kDmaStall: return 2;          // OpClass::kDma
     case FaultKind::kMemoryBitFlip: return 3;     // OpClass::kStore
+    case FaultKind::kSilentError: return 4;       // OpClass::kResult
     case FaultKind::kPlioDegrade: return -1;      // not operation-counted
   }
   return -1;
@@ -76,7 +80,12 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
     const int cls = op_class_of(plan_.faults[i].kind);
     if (cls < 0) continue;  // PLIO degrades are queried, not triggered
-    armed_[{cls, plan_.faults[i].tile}].push_back(Armed{i, false});
+    // Silent errors target a task slot, not a tile; key them on the
+    // slot so concurrent batch post-passes count independently.
+    const TileCoord target = plan_.faults[i].kind == FaultKind::kSilentError
+                                 ? TileCoord{0, plan_.faults[i].slot}
+                                 : plan_.faults[i].tile;
+    armed_[{cls, target}].push_back(Armed{i, false});
   }
 }
 
@@ -186,6 +195,56 @@ bool FaultInjector::corrupt_payload(const TileCoord& tile,
                to_string(tile)));
   }
   return flipped;
+}
+
+bool FaultInjector::corrupt_result(int slot, std::span<float> u,
+                                   std::vector<float>& sigma) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TileCoord target{0, slot};
+  const std::pair<int, TileCoord> key{4, target};
+  const std::uint64_t op = counters_[key]++;
+  auto it = armed_.find(key);
+  if (it == armed_.end() || u.empty() || sigma.empty()) return false;
+  bool corrupted = false;
+  for (auto& armed : it->second) {
+    const FaultSpec& spec = plan_.faults[armed.plan_index];
+    if (spec.kind != FaultKind::kSilentError || armed.fired ||
+        op != spec.after_op) {
+      continue;
+    }
+    armed.fired = true;
+    const std::uint64_t r =
+        splitmix64(plan_.seed ^ (0x7a11c0deull + armed.plan_index));
+    std::string detail;
+    if ((r >> 48) % 4 == 3) {
+      // Flip the exponent's low bit of sigma[0]: the leading singular
+      // value silently doubles or halves while staying finite.
+      std::uint32_t bits;
+      std::memcpy(&bits, &sigma[0], sizeof(bits));
+      bits ^= 1u << 23;
+      std::memcpy(&sigma[0], &bits, sizeof(bits));
+      detail = cat("silent-error scaled sigma[0] on slot ", slot);
+    } else {
+      // Same flip on a dominant U entry: scan cyclically from a
+      // seed-chosen start for an entry near the peak magnitude, so the
+      // damage is guaranteed to dwarf the verification bounds.
+      float peak = 0.0f;
+      for (float x : u) peak = std::max(peak, std::fabs(x));
+      std::size_t idx = static_cast<std::size_t>(r % u.size());
+      for (std::size_t scanned = 0; scanned < u.size(); ++scanned) {
+        if (u[idx] != 0.0f && std::fabs(u[idx]) >= 0.5f * peak) break;
+        idx = idx + 1 == u.size() ? 0 : idx + 1;
+      }
+      std::uint32_t bits;
+      std::memcpy(&bits, &u[idx], sizeof(bits));
+      bits ^= 1u << 23;
+      std::memcpy(&u[idx], &bits, sizeof(bits));
+      detail = cat("silent-error scaled U word ", idx, " on slot ", slot);
+    }
+    record(armed.plan_index, target, op, std::move(detail));
+    corrupted = true;
+  }
+  return corrupted;
 }
 
 double FaultInjector::plio_scale(int slot) const {

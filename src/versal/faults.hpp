@@ -38,6 +38,9 @@ enum class FaultKind {
   kDmaDrop,        // the nth DMA out of the tile loses the shadow copy
   kDmaStall,       // the nth DMA out of the tile is delayed
   kPlioDegrade,    // a task slot's PLIO bandwidth is scaled down
+  kSilentError,    // post-detection corruption of a returned factor:
+                   // flies under every dataflow checksum and non-finite
+                   // guard, only result attestation can catch it
 };
 
 const char* to_string(FaultKind kind);
@@ -53,7 +56,7 @@ struct FaultSpec {
   // (kMemoryBitFlip, kStreamDrop, kStreamStall) or the DMA engine's
   // source tile (kDmaDrop, kDmaStall). Ignored for kPlioDegrade.
   TileCoord tile{0, 0};
-  // Target task slot for kPlioDegrade.
+  // Target task slot for kPlioDegrade and kSilentError.
   int slot = 0;
   // Fires on the nth (0-based) matching operation at the target.
   std::uint64_t after_op = 0;
@@ -94,6 +97,12 @@ class FaultInjector {
   // Counts a payload staged into `tile`'s memory; may flip one seed-chosen
   // bit in `data`. Returns true when a flip happened.
   bool corrupt_payload(const TileCoord& tile, std::vector<float>& data);
+  // Counts a finished result for task `slot` and may apply an armed
+  // kSilentError: a seed-chosen exponent-bit flip of either sigma[0] or
+  // a dominant U entry -- a finite, plausible-looking corruption that no
+  // dataflow detection point sees. Returns true when it fired.
+  bool corrupt_result(int slot, std::span<float> u,
+                      std::vector<float>& sigma);
 
   // --- PLIO degradation (applied by the accelerator at attach) --------
   // Combined bandwidth multiplier for a task slot's PLIO channels.
@@ -109,8 +118,9 @@ class FaultInjector {
   void reset();
 
  private:
-  // Operation categories counted independently per tile.
-  enum class OpClass { kKernel, kStream, kDma, kStore };
+  // Operation categories counted independently per tile (kResult is
+  // keyed by task slot, encoded as TileCoord{0, slot}).
+  enum class OpClass { kKernel, kStream, kDma, kStore, kResult };
 
   struct Armed {
     std::size_t plan_index;  // salt for derived randomness + log ordering

@@ -2,12 +2,15 @@
 // offers -- serial, multi-threaded host, sharded across S arrays, and
 // fault-injected-with-recovery -- is pinned to the double-precision
 // reference SVD on a seeded set of randomized shapes, including
-// degenerate (m == n), rank-deficient, and ill-conditioned (kappa up to
-// 1e6) inputs. On top of the accuracy bounds, all modes must agree
-// bit-for-bit with the serial path (host threading, sharding, and
-// recovered fault runs never reorder arithmetic), and the S = 1 sharded
-// engine must be bit-identical -- timings included -- to the plain
-// single-array accelerator it wraps.
+// degenerate (m == n), rank-deficient, ill-conditioned (kappa up to
+// 1e8), graded (harmonic), and fast-decay (sigma_i ~ 2^-i) inputs. On
+// top of the accuracy bounds, all modes must agree bit-for-bit with the
+// serial path (host threading, sharding, and recovered fault runs never
+// reorder arithmetic), and the S = 1 sharded engine must be
+// bit-identical -- timings included -- to the plain single-array
+// accelerator it wraps. Every healthy path's factors must additionally
+// satisfy the exact medium/full bounds the verify layer's
+// ResultVerifier enforces in production (DESIGN.md section 15).
 //
 // The case set is seeded (default 20250806) so failures reproduce; set
 // HSVD_DIFF_SEED to fuzz a different draw locally.
@@ -28,6 +31,7 @@
 #include "linalg/generators.hpp"
 #include "linalg/metrics.hpp"
 #include "linalg/reference_svd.hpp"
+#include "verify/verifier.hpp"
 #include "versal/faults.hpp"
 
 namespace hsvd {
@@ -95,6 +99,34 @@ std::vector<DiffCase> make_cases() {
   add("kappa1e6_48x32",
       linalg::matrix_with_spectrum(48, 32,
                                    linalg::geometric_spectrum(32, 1e6), rng));
+  // kappa = 1e8: the trailing singular values sit below the float32
+  // coherence target (1e-8 < 1e-6 relative), so the engine honestly
+  // reports kNotConverged while the dominant subspace stays correct.
+  add("kappa1e8_48x32",
+      linalg::matrix_with_spectrum(48, 32,
+                                   linalg::geometric_spectrum(32, 1e8), rng),
+      /*expect_converged=*/false);
+  // Graded (harmonic) spectrum: sigma_i = 1 / (i + 1), a slow polynomial
+  // decay with every value well inside the certifiable range.
+  {
+    const std::size_t n = 32;
+    std::vector<double> graded(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      graded[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    add("graded_40x32", linalg::matrix_with_spectrum(40, n, graded, rng));
+  }
+  // Fast decay: sigma_i = 2^-i crosses the 1e-6 coherence cutoff around
+  // i = 20, so the tail is numerical noise the engine cannot certify.
+  {
+    const std::size_t n = 24;
+    std::vector<double> decay(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      decay[i] = std::pow(0.5, static_cast<double>(i));
+    }
+    add("fast_decay_32x24", linalg::matrix_with_spectrum(32, n, decay, rng),
+        /*expect_converged=*/false);
+  }
   return cases;
 }
 
@@ -400,6 +432,57 @@ TEST(Differential, RoutedAiePinBitIdenticalToSerial) {
     EXPECT_EQ(r.backend, "aie");
     expect_bit_identical(serial_result(i), r,
                          c.name + " backend=aie vs serial");
+  }
+}
+
+// ---- Mode: result attestation bounds --------------------------------------
+
+// The verify layer's acceptance contract: every healthy execution
+// path's factors satisfy the *exact* medium (orthogonality) and full
+// (relative residual) bounds the ResultVerifier enforces in production
+// -- the same check the escalation ladder uses to decide a result is
+// silently corrupt. A bound regression here means production attestation
+// would start escalating healthy work.
+void expect_verifier_clean(const DiffCase& c, const Svd& r,
+                           const std::string& mode) {
+  SCOPED_TRACE(c.name + " [" + mode + "]");
+  ASSERT_NE(r.status, SvdStatus::kFailed);
+  const verify::ResultVerifier verifier(SvdOptions{}.precision);
+  const verify::VerifyOutcome out = verifier.check(c.a, r);
+  EXPECT_TRUE(out.passed) << out.note;
+  ASSERT_GE(out.u_orth, 0.0);
+  EXPECT_LE(out.u_orth, out.orth_bound);
+  if (!r.v.empty()) {
+    ASSERT_GE(out.v_orth, 0.0);
+    EXPECT_LE(out.v_orth, out.v_orth_bound);
+    ASSERT_GE(out.residual, 0.0);
+    EXPECT_LE(out.residual, out.residual_bound);
+  }
+}
+
+TEST(Differential, HealthyPathsSatisfyVerifierBounds) {
+  for (std::size_t i = 0; i < cases().size(); ++i) {
+    const DiffCase& c = cases()[i];
+    // Serial (the shared baseline result).
+    expect_verifier_clean(c, serial_result(i), "serial");
+    // Streaming stage pipeline.
+    {
+      SvdOptions opts = case_options(c);
+      opts.config->pipeline = accel::PipelineMode::kOn;
+      expect_verifier_clean(c, svd(c.a, opts), "pipelined");
+    }
+    // Sharded across two arrays.
+    {
+      SvdOptions opts = case_options(c);
+      opts.shards = 2;
+      expect_verifier_clean(c, svd(c.a, opts), "shards=2");
+    }
+    // Every routed backend, functional and model-backed.
+    for (const char* pin : {"aie", "cpu", "fpga-bcv", "gpu-wcycle"}) {
+      SvdOptions opts = case_options(c);
+      opts.backend = pin;
+      expect_verifier_clean(c, svd(c.a, opts), cat("backend=", pin));
+    }
   }
 }
 

@@ -219,12 +219,24 @@ TEST(FaultRecovery, CampaignSweepIsCleanAndRendersCsv) {
   options.batch = 2;
   options.seed = 17;
   const auto outcomes = run_campaign(options);
-  EXPECT_EQ(outcomes.size(), 7u);  // one trial per fault kind
+  EXPECT_EQ(outcomes.size(), 8u);  // one trial per fault kind
   EXPECT_TRUE(campaign_clean(outcomes));
   const std::string csv = campaign_csv(outcomes);
   EXPECT_NE(csv.find("kind,plan_seed"), std::string::npos);
   EXPECT_NE(csv.find("tile-hang"), std::string::npos);
   EXPECT_NE(csv.find("plio-degrade"), std::string::npos);
+  // The silent-error kind rides in the default sweep, scored by the
+  // attestation layer instead of the dataflow detectors.
+  EXPECT_NE(csv.find("silent-error"), std::string::npos);
+  EXPECT_NE(csv.find("verify_caught"), std::string::npos);
+  bool saw_silent = false;
+  for (const auto& out : outcomes) {
+    if (out.kind != versal::FaultKind::kSilentError) continue;
+    saw_silent = true;
+    EXPECT_EQ(out.silent_escapes, 0);
+    EXPECT_GT(out.verify_caught, 0);
+  }
+  EXPECT_TRUE(saw_silent);
 }
 
 // --- facade-level behaviour ---------------------------------------------

@@ -1,7 +1,11 @@
 // Fault-injection campaign runner: sweeps every fault kind over seeded
 // trials and emits a CSV scoring detection, recovery, and healthy-task
-// isolation. Exits nonzero when any trial misses a corruption or
-// perturbs a healthy task, so CI can gate on it.
+// isolation. Silent-error trials (finite, plausible corruptions that no
+// dataflow detection point sees) are scored against the result
+// attestation layer instead: the verify_caught/silent_escape columns
+// count corruptions the verifier failed vs passed. Exits nonzero when
+// any trial misses a corruption or perturbs a healthy task, so CI can
+// gate on it.
 //
 // Every trial also reports its detection latency (simulated AIE cycles
 // from injection to detection) in the CSV; --trace dumps the Chrome
@@ -78,7 +82,7 @@ int main(int argc, char** argv) {
   }
 
   const auto outcomes = hsvd::accel::run_campaign(options);
-  const std::size_t kinds = options.kinds.empty() ? 7 : options.kinds.size();
+  const std::size_t kinds = options.kinds.empty() ? 8 : options.kinds.size();
   const std::size_t planned =
       kinds * static_cast<std::size_t>(options.trials_per_kind);
   if (outcomes.size() < planned) {
@@ -128,12 +132,18 @@ int main(int argc, char** argv) {
 
   int missed = 0;
   int disturbed = 0;
+  int caught = 0;
+  int escaped = 0;
   for (const auto& out : outcomes) {
     if (!out.detected) ++missed;
     if (!out.healthy_bit_identical) ++disturbed;
+    caught += out.verify_caught;
+    escaped += out.silent_escapes;
   }
   std::cerr << outcomes.size() << " trials, " << missed
             << " undetected corruptions, " << disturbed
-            << " disturbed healthy tasks\n";
+            << " disturbed healthy tasks, " << caught
+            << " silent errors caught by attestation, " << escaped
+            << " escaped\n";
   return hsvd::accel::campaign_clean(outcomes) ? 0 : 1;
 }

@@ -6,17 +6,22 @@
 //   hsvd svd <in.{mtx|bin}> [out_prefix]
 //       Decompose a matrix on the simulated accelerator; writes
 //       <prefix>_u.mtx, <prefix>_sigma.txt, <prefix>_v.mtx.
-//   hsvd batch <in1> [in2 ...]
+//   hsvd batch [--verify off|sample:p|always] <in1> [in2 ...]
 //       Decompose same-shape matrices as one batch and print a
-//       per-task status table plus a per-status summary. Exits
-//       nonzero when any task ends SvdStatus::kFailed.
+//       per-task status table plus a per-status summary. --verify
+//       turns on result attestation: the table gains per-task verify
+//       columns (pass/escape, relative residual, escalation rung) and
+//       the command exits nonzero when any task escapes unverified
+//       under --verify always. Exits nonzero when any task ends
+//       SvdStatus::kFailed.
 //   hsvd dse <n> [batch] [latency|throughput]
 //       Run the design space exploration and print the best points.
 //   hsvd estimate <n> <p_eng> <p_task> [freq_mhz] [iterations]
 //       Simulated latency + analytic model for one configuration.
 //   hsvd serve [--tenant SPEC]... [--priority P] [--cache N]
 //              [--coalesce N] [--coalesce-window-ms W] [--workers N]
-//              [--deadline-ms D] [--backend SPEC] <in1> [in2 ...]
+//              [--deadline-ms D] [--backend SPEC]
+//              [--verify off|sample:p|always] <in1> [in2 ...]
 //       Push the matrices through an in-process serving instance with
 //       the multi-tenant QoS layer: requests are assigned to the
 //       configured tenants round-robin (SPEC is
@@ -24,8 +29,10 @@
 //       micro-batches, and answered from the digest-keyed result cache
 //       when --cache is on. --backend routes every request through the
 //       backend router ("auto", "auto:latency:0.005", or a pin like
-//       "cpu"). Prints a per-request and a per-tenant table; exits
-//       nonzero when any request ends kFailed.
+//       "cpu"). --verify turns on result attestation with per-request
+//       verify columns; under "always" the command exits nonzero when
+//       any request escapes unverified. Prints a per-request and a
+//       per-tenant table; exits nonzero when any request ends kFailed.
 //   hsvd route [--sweep n1,n2,...] [--slo latency|throughput|energy]
 //              [--batch B] [--csv route_table.csv]
 //       Score every registered backend for each (square) shape under
@@ -65,6 +72,7 @@
 #include "perfmodel/perf_model.hpp"
 #include "serve/qos.hpp"
 #include "serve/server.hpp"
+#include "verify/policy.hpp"
 
 namespace {
 
@@ -153,28 +161,76 @@ const char* status_name(SvdStatus status) {
   return "unknown";
 }
 
+// Per-request attestation columns sourced from Svd::verify_report.
+std::string verify_status_cell(const verify::VerifyReport& rep) {
+  if (!rep.checked) return "-";
+  return rep.verified ? "pass" : "escape";
+}
+
+std::string verify_residual_cell(const verify::VerifyReport& rep) {
+  const double r = rep.final_residual();
+  return rep.checked && r >= 0.0 ? sci(r) : "-";
+}
+
+std::string verify_rung_cell(const verify::VerifyReport& rep) {
+  return rep.checked ? verify::to_string(rep.rung) : "-";
+}
+
+// Counts results the attestation ladder could not verify. Under
+// --verify always that is the hard failure the command must surface:
+// every request was selected, so any unverified result is an escape.
+template <typename Results, typename GetReport>
+int count_verify_escapes(const Results& results, GetReport get_report) {
+  int escapes = 0;
+  for (const auto& r : results) {
+    const verify::VerifyReport& rep = get_report(r);
+    if (rep.checked && !rep.verified) ++escapes;
+  }
+  return escapes;
+}
+
 int cmd_batch(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: hsvd batch <in1> [in2 ...]\n");
+  verify::VerifyPolicy vpolicy;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--verify" && has_value) {
+      vpolicy = verify::parse_verify_policy(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "hsvd batch: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: hsvd batch [--verify off|sample:p|always] "
+                 "<in1> [in2 ...]\n");
     return 2;
   }
   std::vector<linalg::MatrixF> batch;
-  batch.reserve(static_cast<std::size_t>(argc - 1));
-  for (int i = 1; i < argc; ++i) batch.push_back(load_any(argv[i]));
+  batch.reserve(files.size());
+  for (const std::string& f : files) batch.push_back(load_any(f));
   std::printf("decomposing %zu matrices of %zux%zu...\n", batch.size(),
               batch.front().rows(), batch.front().cols());
   SvdOptions opts;
   opts.threads = g_threads;
   opts.shards = g_shards;
+  opts.verify = vpolicy;
   const BatchSvd out = svd_batch(batch, opts);
 
-  Table table({"task", "status", "sweeps", "recoveries", "note"});
+  Table table({"task", "status", "sweeps", "recoveries", "verify", "residual",
+               "rung", "note"});
   int counts[3] = {0, 0, 0};
   for (std::size_t i = 0; i < out.results.size(); ++i) {
     const Svd& r = out.results[i];
     ++counts[static_cast<int>(r.status)];
     table.add_row({cat(i), status_name(r.status), cat(r.iterations),
-                   cat(r.recovery_attempts), r.message});
+                   cat(r.recovery_attempts), verify_status_cell(r.verify_report),
+                   verify_residual_cell(r.verify_report),
+                   verify_rung_cell(r.verify_report), r.message});
   }
   table.print();
   std::printf("%zu tasks: %d ok, %d not-converged, %d failed "
@@ -185,6 +241,19 @@ int cmd_batch(int argc, char** argv) {
     std::fprintf(stderr, "error: %d of %zu tasks failed\n", out.failed_tasks,
                  out.results.size());
     return 1;
+  }
+  if (vpolicy.mode == verify::VerifyMode::kAlways) {
+    const int escapes = count_verify_escapes(
+        out.results, [](const Svd& r) -> const verify::VerifyReport& {
+          return r.verify_report;
+        });
+    if (escapes > 0) {
+      std::fprintf(stderr,
+                   "error: %d of %zu tasks escaped unverified under "
+                   "--verify always\n",
+                   escapes, out.results.size());
+      return 1;
+    }
   }
   return 0;
 }
@@ -374,6 +443,7 @@ int cmd_serve(int argc, char** argv) {
   double deadline_ms = 0.0;
   backend::BackendSpec backend_spec;
   bool backend_set = false;
+  verify::VerifyPolicy vpolicy;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -384,6 +454,8 @@ int cmd_serve(int argc, char** argv) {
     } else if (arg == "--backend" && has_value) {
       backend_spec = backend::parse_backend_spec(argv[++i]);
       backend_set = true;
+    } else if (arg == "--verify" && has_value) {
+      vpolicy = verify::parse_verify_policy(argv[++i]);
     } else if (arg == "--cache" && has_value) {
       cache = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--coalesce" && has_value) {
@@ -406,7 +478,8 @@ int cmd_serve(int argc, char** argv) {
                  "usage: hsvd serve [--tenant SPEC]... [--priority "
                  "latency|normal|batch] [--cache N] [--coalesce N] "
                  "[--coalesce-window-ms W] [--workers N] [--deadline-ms D] "
-                 "[--backend SPEC] <in1> [in2 ...]\n");
+                 "[--backend SPEC] [--verify off|sample:p|always] "
+                 "<in1> [in2 ...]\n");
     return 2;
   }
 
@@ -420,6 +493,7 @@ int cmd_serve(int argc, char** argv) {
   options.default_deadline_seconds = deadline_ms / 1e3;
   options.svd.threads = g_threads;
   options.svd.shards = g_shards;
+  options.svd.verify = vpolicy;
   options.qos.tenants = tenants.empty()
                             ? std::vector<serve::TenantConfig>{{"default"}}
                             : tenants;
@@ -444,15 +518,19 @@ int cmd_serve(int argc, char** argv) {
   }
 
   Table table({"file", "tenant", "status", "backend", "sweeps", "attempts",
-               "batch", "cached", "note"});
+               "batch", "cached", "verify", "residual", "rung", "note"});
   int failed = 0;
+  int escapes = 0;
   for (std::size_t i = 0; i < files.size(); ++i) {
     const serve::Response r = futures[i].get();
     if (r.status == serve::ServeStatus::kFailed) ++failed;
+    const verify::VerifyReport& rep = r.result.verify_report;
+    if (rep.checked && !rep.verified) ++escapes;
     table.add_row({files[i], r.tenant, serve::to_string(r.status),
                    r.backend.empty() ? "-" : r.backend, cat(r.result.iterations),
                    cat(r.attempts), cat(r.batch_size), r.cache_hit ? "*" : "",
-                   r.message});
+                   verify_status_cell(rep), verify_residual_cell(rep),
+                   verify_rung_cell(rep), r.message});
   }
   table.print();
   server.shutdown();
@@ -480,6 +558,13 @@ int cmd_serve(int argc, char** argv) {
   if (failed > 0) {
     std::fprintf(stderr, "error: %d of %zu requests failed\n", failed,
                  files.size());
+    return 1;
+  }
+  if (vpolicy.mode == verify::VerifyMode::kAlways && escapes > 0) {
+    std::fprintf(stderr,
+                 "error: %d of %zu requests escaped unverified under "
+                 "--verify always\n",
+                 escapes, files.size());
     return 1;
   }
   return 0;

@@ -18,11 +18,32 @@
 //               [--priority-latency P] [--priority-batch P]
 //               [--dup P] [--dup-pool N] [--cache N]
 //               [--coalesce N] [--coalesce-window-ms W]
-//               [--qos-csv file.csv]
+//               [--qos-csv file.csv] [--silent-rate P]
+//               [--attest off|sample:p|always] [--backend SPEC]
 //
 // --chaos P       fraction of requests carrying an injected fault plan
 //                 (default 0.3; each chaotic request gets its own
 //                 seeded FaultInjector, so the run replays exactly).
+//
+// Silent-corruption scenario (the verified-compute soak):
+//
+// --silent-rate P fraction of requests carrying a kSilentError plan: a
+//                 finite, plausible-looking exponent flip applied to
+//                 the finished factors that no dataflow detection point
+//                 sees. Only result attestation can catch it, so the
+//                 attestation policy defaults to "always" whenever P >
+//                 0; the run prints a per-backend breakout of checked /
+//                 caught / escalated / escaped corruptions and any
+//                 escape (a fired corruption whose result still passed
+//                 the primary check) is a violation.
+// --attest SPEC   explicit attestation policy (off | sample:p |
+//                 always) for every request, overriding the default.
+// --backend SPEC  route every request through the backend router
+//                 ("auto", "auto:latency:0.005", or a pin like "cpu"),
+//                 exercising the health-aware routing path: verified
+//                 failures feed each backend's error budget, and
+//                 quarantined backends stop winning routes until a
+//                 half-open probe verifies clean.
 // --burst         submit everything at once instead of keeping a
 //                 sliding window of queue-capacity requests in flight
 //                 (maximizes load-shedding instead of minimizing it).
@@ -72,15 +93,18 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "backend/router.hpp"
 #include "common/csv.hpp"
 #include "obs/obs.hpp"
 #include "serve/qos.hpp"
 #include "serve/server.hpp"
+#include "verify/policy.hpp"
 #include "versal/faults.hpp"
 
 namespace {
@@ -186,6 +210,22 @@ versal::FaultPlan make_chaos_plan(const FaultSurfaces& s, std::uint64_t salt) {
   return plan;
 }
 
+// Silent-corruption plan: one kSilentError spec armed for the first
+// result presentation. Injector-carrying requests run solo (never
+// coalesced), so the request's factors are always presented as task
+// slot 0 and the corruption fires exactly once.
+versal::FaultPlan make_silent_plan(std::uint64_t salt) {
+  versal::FaultSpec spec;
+  spec.kind = versal::FaultKind::kSilentError;
+  spec.slot = 0;
+  spec.tile = versal::TileCoord{0, 0};
+  spec.after_op = 0;
+  versal::FaultPlan plan;
+  plan.seed = salt;
+  plan.faults.push_back(spec);
+  return plan;
+}
+
 std::uint64_t parse_u64(const char* text, const char* flag) {
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text, &end, 10);
@@ -246,6 +286,11 @@ int main(int argc, char** argv) {
   std::size_t coalesce = 1;
   double coalesce_window_ms = 10.0;
   std::string qos_csv_path;
+  // Verified-compute scenario.
+  double silent_rate = 0.0;
+  std::string attest_spec;
+  backend::BackendSpec backend_spec;
+  bool backend_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -300,6 +345,18 @@ int main(int argc, char** argv) {
       coalesce_window_ms = std::atof(argv[++i]);
     } else if (arg == "--qos-csv" && has_value) {
       qos_csv_path = argv[++i];
+    } else if (arg == "--silent-rate" && has_value) {
+      silent_rate = std::atof(argv[++i]);
+    } else if (arg == "--attest" && has_value) {
+      attest_spec = argv[++i];
+    } else if (arg == "--backend" && has_value) {
+      try {
+        backend_spec = backend::parse_backend_spec(argv[++i]);
+        backend_set = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "soak_server: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: soak_server [--requests N] [--seed S] [--chaos P] "
@@ -308,12 +365,28 @@ int main(int argc, char** argv) {
           "[--tenant SPEC]... [--bursty-tenant NAME] [--bursty-offer N] "
           "[--fairness-tol F] [--priority-latency P] [--priority-batch P] "
           "[--dup P] [--dup-pool N] [--cache N] [--coalesce N] "
-          "[--coalesce-window-ms W] [--qos-csv file.csv]\n");
+          "[--coalesce-window-ms W] [--qos-csv file.csv] "
+          "[--silent-rate P] [--attest off|sample:p|always] "
+          "[--backend SPEC]\n");
       return 0;
     } else {
       std::fprintf(stderr, "soak_server: unknown argument %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  // Attestation policy: explicit --attest wins; otherwise silent
+  // corruption forces "always" (nothing else can catch it).
+  verify::VerifyPolicy attest;
+  try {
+    if (!attest_spec.empty()) {
+      attest = verify::parse_verify_policy(attest_spec);
+    } else if (silent_rate > 0.0) {
+      attest = verify::parse_verify_policy("always");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak_server: %s\n", e.what());
+    return 2;
   }
 
   const bool qos_mode = !tenants.empty();
@@ -366,6 +439,11 @@ int main(int argc, char** argv) {
   options.retry.max_backoff_seconds = 1e-2;
   options.default_deadline_seconds = deadline_ms / 1e3;
   options.observer = &observer;
+  options.svd.verify = attest;
+  // Per-request runs share the soak's registry so the attestation
+  // (verify.*) and health-ledger (route.health.*) counters land in the
+  // exported --metrics JSON alongside the serve.* counters.
+  options.svd.observer = &observer;
   if (qos_mode) {
     options.qos.tenants = tenants;
     options.qos.coalesce_max_batch = coalesce < 1 ? 1 : coalesce;
@@ -379,6 +457,8 @@ int main(int argc, char** argv) {
   injectors.reserve(requests);
 
   std::vector<bool> chaotic(requests, false);
+  std::vector<bool> silent(requests, false);
+  std::vector<versal::FaultInjector*> request_injector(requests, nullptr);
   std::vector<serve::Response> responses(requests);
   std::vector<char> terminal(requests, 0);
   std::vector<std::uint64_t> matrix_seed(requests, 0);
@@ -410,11 +490,26 @@ int main(int argc, char** argv) {
       const double roll =
           static_cast<double>(mix64(seed ^ (0xc0 + i)) >> 11) /
           static_cast<double>(1ull << 53);
-      if (roll < chaos) {
+      const double silent_roll = unit_roll(mix64(seed ^ (0x511e47 + i)));
+      if (silent_rate > 0.0 && silent_roll < silent_rate) {
+        // Silent corruption is its own chaos class: excluded from the
+        // bit-identity verify gate (its factors are corrupted on
+        // purpose) and scored against the attestation ladder instead.
+        silent[i] = true;
+        chaotic[i] = true;
+        injectors.push_back(std::make_unique<versal::FaultInjector>(
+            make_silent_plan(mix64(seed ^ (0xde4d + i)))));
+        request.fault_injector = injectors.back().get();
+        request_injector[i] = injectors.back().get();
+      } else if (roll < chaos) {
         chaotic[i] = true;
         injectors.push_back(std::make_unique<versal::FaultInjector>(
             make_chaos_plan(surfaces, mix64(seed ^ (0x5107 + i)))));
         request.fault_injector = injectors.back().get();
+      }
+      if (backend_set) {
+        request.backend = backend_spec.backend;
+        request.slo = backend_spec.slo;
       }
       if (qos_mode) {
         const std::size_t tenant_idx =
@@ -563,6 +658,65 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (attest.enabled()) {
+      // Verified-compute breakout: per serving backend, how many
+      // results were checked, how many escalated past the primary
+      // execution, and -- for requests whose silent corruption actually
+      // fired -- whether the attestation ladder caught it (the primary
+      // check failed) or the corrupted factors escaped (passed the
+      // primary check, or were never checked). Escapes are violations:
+      // the whole point of the verify layer is that a fired silent
+      // corruption never reaches the caller unflagged.
+      struct BackendScore {
+        int checked = 0;
+        int escalated = 0;
+        int caught = 0;
+        int escaped = 0;
+        int silent_fired = 0;
+      };
+      std::map<std::string, BackendScore> scores;
+      int total_escapes = 0;
+      int total_fired = 0;
+      for (std::size_t i = 0; i < requests; ++i) {
+        const serve::Response& r = responses[i];
+        const verify::VerifyReport& rep = r.result.verify_report;
+        BackendScore& sc =
+            scores[r.backend.empty() ? std::string("classic") : r.backend];
+        if (rep.checked) ++sc.checked;
+        if (rep.escalated()) ++sc.escalated;
+        const bool fired = silent[i] && request_injector[i] != nullptr &&
+                           request_injector[i]->event_count() > 0;
+        if (!fired) continue;
+        ++sc.silent_fired;
+        ++total_fired;
+        const bool caught =
+            rep.checked &&
+            !(rep.verified && rep.rung == verify::VerifyRung::kPrimary);
+        if (caught) {
+          ++sc.caught;
+        } else {
+          ++sc.escaped;
+          ++total_escapes;
+          std::fprintf(stderr,
+                       "VIOLATION: request %zu: silent corruption fired but "
+                       "the result escaped attestation (backend %s)\n",
+                       i, r.backend.empty() ? "classic" : r.backend.c_str());
+          ++violations;
+        }
+      }
+      std::printf("  attestation (%s): %d silent corruptions fired, %d "
+                  "escaped\n",
+                  verify::to_string(attest).c_str(), total_fired,
+                  total_escapes);
+      std::printf("    %-12s %8s %10s %8s %8s %8s\n", "backend", "checked",
+                  "escalated", "silent", "caught", "escaped");
+      for (const auto& [name, sc] : scores) {
+        std::printf("    %-12s %8d %10d %8d %8d %8d\n", name.c_str(),
+                    sc.checked, sc.escalated, sc.silent_fired, sc.caught,
+                    sc.escaped);
+      }
+    }
+
     if (verify) {
       // Every chaos-free success must match a fresh, injector-free
       // reference decomposition bit for bit -- including results that
@@ -576,9 +730,17 @@ int main(int argc, char** argv) {
         if (chaotic[i] || responses[i].status != serve::ServeStatus::kOk) {
           continue;
         }
+        // Routed requests are compared against the backend that served
+        // them: a pin replays that exact execution path (and bypasses
+        // health admission), so quarantine-driven re-routing during the
+        // soak cannot fake a divergence.
+        SvdOptions per_request = reference_options;
+        if (backend_set && !responses[i].backend.empty()) {
+          per_request.backend = responses[i].backend;
+        }
         const Svd reference = svd(
             make_matrix(config.rows, config.cols, matrix_seed[i]),
-            reference_options);
+            per_request);
         ++checked;
         if (!same_matrix(responses[i].result.u, reference.u) ||
             responses[i].result.sigma != reference.sigma ||
