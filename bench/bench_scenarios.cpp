@@ -1,0 +1,122 @@
+// Modeled cost of the workload-scenario front-ends (DESIGN.md section
+// 16) against the direct dense path, over the generated case grid from
+// tests/case_matrix.hpp.
+//
+// Every number here is closed-form: the fabric term is the analytic
+// performance model (eq. (14)) at the fixed 208.3 MHz PL clock, and the
+// host terms are flop counts over a fixed 25 GF/s host rate. Nothing is
+// measured, so the CSV is byte-stable and sits under the golden-file
+// regression (tests/golden/bench_scenarios.csv). CI additionally checks
+// the headline invariant on the artifact: above aspect ratio 8 the
+// tall-skinny QR pre-reduction beats padding the tall matrix onto the
+// fabric directly.
+#include <cstddef>
+#include <string>
+
+#include "bench_util.hpp"
+#include "case_matrix.hpp"
+#include "perfmodel/perf_model.hpp"
+
+using namespace hsvd;
+
+namespace {
+
+// Fixed host rate for the QR / sketch / assembly stages. A deliberately
+// conservative sustained-GEMM figure: the conclusion below (QR wins
+// above ratio 8) only gets stronger on a faster host.
+constexpr double kHostFlopsPerS = 25e9;
+
+accel::HeteroSvdConfig fabric_config(std::size_t rows, std::size_t cols) {
+  accel::HeteroSvdConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.p_eng = cols >= 16 ? 8 : 4;
+  cfg.p_task = 1;
+  cfg.iterations = bench::converged_sweeps(cols);
+  cfg.pl_frequency_hz = 208.3e6;
+  return cfg;
+}
+
+double fabric_ms(const perf::PerformanceModel& model, std::size_t rows,
+                 std::size_t cols) {
+  return model.evaluate(fabric_config(rows, cols), 1).t_task * 1e3;
+}
+
+double host_ms(double flops) { return flops / kHostFlopsPerS * 1e3; }
+
+// Householder QR of an m x n panel: 2mn^2 - (2/3)n^3 flops.
+double qr_flops(double m, double n) {
+  return 2.0 * m * n * n - 2.0 / 3.0 * n * n * n;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Workload scenarios: modeled front-end cost vs the direct dense path",
+      "section 16 scenario analysis");
+
+  perf::PerformanceModel model;
+  Table table({"Case", "Scenario", "k", "Host (ms)", "Fabric (ms)",
+               "Total (ms)", "Direct (ms)", "Speedup"});
+  CsvWriter csv({"name", "scenario", "rows", "cols", "k", "host_ms",
+                 "fabric_ms", "total_ms", "direct_ms", "speedup"});
+
+  const auto emit = [&](const std::string& name, const std::string& scenario,
+                        std::size_t rows, std::size_t cols, std::size_t k,
+                        double host, double fabric, double direct) {
+    const double total = host + fabric;
+    table.add_row({name, scenario, cat(k), fixed(host, 4), fixed(fabric, 4),
+                   fixed(total, 4), fixed(direct, 4),
+                   fixed(direct / total, 2) + "x"});
+    csv.add_row({name, scenario, cat(rows), cat(cols), cat(k), fixed(host, 4),
+                 fixed(fabric, 4), fixed(total, 4), fixed(direct, 4),
+                 fixed(direct / total, 4)});
+  };
+
+  // Tall-skinny: host QR + n x n fabric core + host U = Q * U_R (2mn^2)
+  // against running the m x n panel on the fabric directly.
+  testing::CaseAxes axes;
+  axes.cols = {64, 128, 256};
+  axes.ratios = {2, 8, 32};
+  axes.conditions = {1e2};
+  axes.decays = {testing::Decay::kGeometric};
+  for (const testing::CaseSpec& spec : testing::case_matrix(axes, 0)) {
+    const double m = static_cast<double>(spec.rows());
+    const double n = static_cast<double>(spec.cols);
+    const double host = host_ms(qr_flops(m, n) + 2.0 * m * n * n);
+    const double fabric = fabric_ms(model, spec.cols, spec.cols);
+    const double direct = fabric_ms(model, spec.rows(), spec.cols);
+    emit(spec.name(), "tall-skinny", spec.rows(), spec.cols, 0, host, fabric,
+         direct);
+  }
+
+  // Truncated top-k: Gaussian sketch (2mnl), q = 2 power iterations
+  // (4mnl each, both products), projection (2mnl), and assembly (2mlk)
+  // on the host, plus the n x l core on the fabric, against the full
+  // tall-skinny front-end (the cheapest way to the complete spectrum).
+  for (const std::size_t k : {std::size_t{8}, std::size_t{32}}) {
+    testing::CaseSpec spec;
+    spec.cols = 256;
+    spec.ratio = 8;
+    const std::size_t l = std::min(spec.cols, k + 8);
+    const double m = static_cast<double>(spec.rows());
+    const double n = static_cast<double>(spec.cols);
+    const double ld = static_cast<double>(l);
+    const double host =
+        host_ms(2.0 * m * n * ld + 2.0 * 4.0 * m * n * ld + 2.0 * m * n * ld +
+                2.0 * m * ld * static_cast<double>(k));
+    const double fabric = fabric_ms(model, spec.cols, l);
+    const double full = host_ms(qr_flops(m, n) + 2.0 * m * n * n) +
+                        fabric_ms(model, spec.cols, spec.cols);
+    emit(spec.name(), "truncated", spec.rows(), spec.cols, k, host, fabric,
+         full);
+  }
+
+  table.print();
+  std::printf(
+      "\n(speedup column: direct dense path over the scenario front-end;\n"
+      " truncated rows compare against the full tall-skinny pipeline)\n");
+  bench::write_csv(csv, "bench_scenarios");
+  return 0;
+}

@@ -27,6 +27,10 @@ OrthKernelResult orth_kernel(std::span<float> left, std::span<float> right,
   if (!rot.identity) {
     linalg::apply_rotation(left, right, rot.c, rot.s);
     linalg::rotated_norms(aii, ajj, aij, rot.c, rot.s, aii, ajj);
+    // Cancellation noise from a dominant pair can leave a tracked norm
+    // negative; refresh from the column (see hestenes.cpp).
+    if (!(aii > 0.0f)) aii = linalg::dot<float>(left, left);
+    if (!(ajj > 0.0f)) ajj = linalg::dot<float>(right, right);
     out.rotated = true;
   }
   return out;

@@ -8,6 +8,9 @@
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
 #include "linalg/ops.hpp"
+#include "scenarios/scenarios.hpp"
+#include "scenarios/tall_skinny.hpp"
+#include "scenarios/truncated.hpp"
 #include "verify/escalate.hpp"
 
 namespace hsvd {
@@ -57,6 +60,7 @@ void validate_options(const SvdOptions& options) {
   }
   if (options.slo.has_value()) options.slo->validate();
   options.verify.validate();
+  options.scenario_opts.validate();
 }
 
 // True when the request opted into the backend router (an explicit pin,
@@ -241,6 +245,22 @@ Svd svd(const linalg::MatrixF& a, const SvdOptions& options) {
   if (deadline_expired(options)) {
     throw DeadlineExceeded("deadline expired before the decomposition began");
   }
+  // Scenario front-ends (DESIGN.md section 16) sit after the wide-
+  // transpose branch -- they only ever see tall shapes, so the factor
+  // swap above composes with theirs -- and before routed dispatch: each
+  // front-end reduces the problem and re-enters svd() with the scenario
+  // layer off, so routing, retry, and attestation run on the inner
+  // dense core exactly as for a direct request. With scenario off (or
+  // auto below the aspect-ratio threshold) this block never diverts and
+  // the dense path stays bit-identical to a build without it.
+  switch (scenarios::select_scenario(a.rows(), a.cols(), options)) {
+    case scenarios::Scenario::kTallSkinny:
+      return scenarios::svd_tall_skinny(a, options);
+    case scenarios::Scenario::kTruncated:
+      return scenarios::svd_truncated(a, options);
+    default:
+      break;
+  }
   // Routed dispatch sits after the wide-transpose branch so every
   // backend estimate and execution sees a tall matrix.
   if (routing_requested(options)) return backend::execute_routed(a, options);
@@ -267,6 +287,19 @@ BatchSvd svd_batch(const std::vector<linalg::MatrixF>& batch,
     HSVD_REQUIRE(m.rows() == rows && m.cols() == cols,
                  "all batch matrices must share one shape");
     require_finite(m, cat("batch[", i, "]"));
+  }
+  // The batch engine carries one dense accelerator configuration for
+  // the whole batch; scenario front-ends are single-matrix reductions
+  // (the serving layer dispatches them solo). Explicit front-ends and
+  // top-k queries are rejected here; kAuto is accepted but never
+  // engages in a batch.
+  if (options.top_k > 0 ||
+      options.scenario == scenarios::Scenario::kTallSkinny ||
+      options.scenario == scenarios::Scenario::kTruncated) {
+    throw InputError(
+        "svd_batch serves the dense path only: scenario front-ends "
+        "(tall-skinny, truncated/top_k) are single-matrix -- submit them "
+        "one at a time or through the serving layer");
   }
   if (routing_requested(options)) {
     return backend::execute_routed_batch(batch, options);

@@ -29,6 +29,7 @@
 #include "dse/explorer.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/obs.hpp"
+#include "scenarios/scenario.hpp"
 #include "verify/policy.hpp"
 #include "versal/faults.hpp"
 #include "versal/utilization.hpp"
@@ -108,6 +109,27 @@ struct SvdOptions {
   // the escalation ladder (re-run -> re-route -> host reference); the
   // full provenance lands in Svd::verify_report.
   verify::VerifyPolicy verify;
+  // Workload-scenario front-end (DESIGN.md section 16). kAuto (the
+  // default) engages the Householder-QR pre-reduction only above the
+  // aspect-ratio threshold in `scenario_opts` and the randomized sketch
+  // only when `top_k` asks for it -- below the threshold with top_k == 0
+  // the dense path runs untouched, bit-identical to kOff. kOff pins the
+  // dense one-shot path regardless of shape; kTallSkinny / kTruncated
+  // force a front-end. An engaged front-end declares the backends it
+  // can carry (scenarios::allowed_backends): a pin to a modeled
+  // comparator is rejected as InputError. svd_batch() accepts only
+  // kAuto (never engaging) and kOff -- scenario requests are served one
+  // matrix at a time, which is how the serving layer dispatches them.
+  scenarios::Scenario scenario = scenarios::Scenario::kAuto;
+  // Truncated top-k query: 0 (the default) = full decomposition; k >= 1
+  // serves the leading k singular triplets through the randomized
+  // sketch front-end and records the a-posteriori error bound in
+  // Svd::scenario_bound. Requires scenario kAuto or kTruncated and
+  // k <= min(rows, cols).
+  std::size_t top_k = 0;
+  // Knobs for the scenario front-ends (aspect threshold, sketch shape
+  // and seed, streaming-update drift checks).
+  scenarios::ScenarioOptions scenario_opts;
 };
 
 struct Svd {
@@ -157,6 +179,18 @@ struct Svd {
   // off or did not sample this request): which ladder rung produced the
   // final answer and what every executed rung scored.
   verify::VerifyReport verify_report;
+  // Scenario provenance (DESIGN.md section 16): which front-end shaped
+  // this result ("" = the dense one-shot path, else "tall-skinny",
+  // "truncated", or "update"), the k actually served for a truncated
+  // query, and the scenario's error-bound contract -- the a-posteriori
+  // relative Frobenius bound ||A - U_k S_k V_k^T||_F / ||A||_F for the
+  // truncated sketch, the verifier residual bound the assembled factors
+  // are held to for the exact front-ends. On a scenario result the
+  // time/energy labels above describe the inner dense core run; the
+  // host pre-reduction and assembly stages are not included.
+  std::string scenario;
+  std::size_t scenario_top_k = 0;
+  double scenario_bound = 0.0;
   bool ok() const { return status != SvdStatus::kFailed; }
 };
 

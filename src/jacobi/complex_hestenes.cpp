@@ -102,6 +102,10 @@ ComplexHestenesResult complex_hestenes_svd(const ComplexMatrix& a,
         apply_complex_rotation(bi, bj, phase, rot.c, rot.s);
         linalg::rotated_norms(gii, gjj, mag, rot.c, rot.s, colnorm[li],
                               colnorm[ri]);
+        // Cancellation noise from a dominant pair can leave a tracked
+        // norm negative; refresh from the column (see hestenes.cpp).
+        if (!(colnorm[li] > 0.0f)) colnorm[li] = cnorm2(bi);
+        if (!(colnorm[ri] > 0.0f)) colnorm[ri] = cnorm2(bj);
         if (opts.accumulate_v) {
           apply_complex_rotation(v.col(li), v.col(ri), phase, rot.c, rot.s);
         }

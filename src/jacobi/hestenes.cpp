@@ -60,6 +60,17 @@ HestenesResult hestenes_svd(const linalg::MatrixF& a, const HestenesOptions& opt
         linalg::apply_rotation(bi, bj, rot.c, rot.s);
         linalg::rotated_norms(aii, ajj, aij, rot.c, rot.s, colnorm[li],
                               colnorm[ri]);
+        // When a rotation cancels a dominant pair (sigma gap near
+        // 1/sqrt(eps)) the incremental update is pure cancellation
+        // noise and can land negative; refresh from the column.
+        if (!(colnorm[li] > 0.0f)) {
+          colnorm[li] = linalg::dot<float>(bi, bi);
+          ++norm_dots;
+        }
+        if (!(colnorm[ri] > 0.0f)) {
+          colnorm[ri] = linalg::dot<float>(bj, bj);
+          ++norm_dots;
+        }
         if (opts.accumulate_v) {
           linalg::apply_rotation(v.col(li), v.col(ri), rot.c, rot.s);
         }

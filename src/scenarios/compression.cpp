@@ -1,0 +1,146 @@
+#include "scenarios/compression.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/ops.hpp"
+
+namespace hsvd::scenarios {
+
+namespace {
+
+// ||A - U diag(sigma) V^T||_F / ||A||_F, accumulated in double.
+double reconstruction_error(const linalg::MatrixF& a, const Svd& svd) {
+  if (svd.u.empty() || svd.v.empty() || svd.sigma.empty()) return -1.0;
+  const linalg::MatrixD ud = svd.u.cast<double>();
+  const linalg::MatrixD vd = svd.v.cast<double>();
+  const std::size_t k = svd.sigma.size();
+  double err2 = 0.0;
+  double norm2 = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const auto ac = a.col(c);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      double approx = 0.0;
+      for (std::size_t t = 0; t < k; ++t) {
+        approx += ud(r, t) * static_cast<double>(svd.sigma[t]) * vd(c, t);
+      }
+      const double d = static_cast<double>(ac[r]) - approx;
+      err2 += d * d;
+      norm2 += static_cast<double>(ac[r]) * ac[r];
+    }
+  }
+  return norm2 > 0.0 ? std::sqrt(err2 / norm2) : 0.0;
+}
+
+std::string fmt(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6e", value);
+  return buf;
+}
+
+}  // namespace
+
+void LstmCompressionOptions::validate() const {
+  HSVD_REQUIRE(layers >= 1, "compression demo needs at least one layer");
+  HSVD_REQUIRE(input_dim >= 2 && hidden_dim >= 2,
+               "compression demo needs dims of at least 2");
+  HSVD_REQUIRE(rank >= 1 && rank <= std::min(input_dim, hidden_dim),
+               "compression rank must be in [1, min(input_dim, hidden_dim)]");
+  HSVD_REQUIRE(std::isfinite(condition) && condition >= 1.0,
+               "compression condition must be finite and >= 1");
+}
+
+std::string CompressionReport::csv() const {
+  std::string out =
+      "name,rows,cols,rank,ratio,rel_error,bound,status,cache_hit\n";
+  for (const CompressionRow& row : rows) {
+    out += cat(row.name, ",", row.rows, ",", row.cols, ",", row.rank, ",",
+               fmt(row.ratio), ",", fmt(row.rel_error), ",", fmt(row.bound),
+               ",", row.status, ",", row.cache_hit ? 1 : 0, "\n");
+  }
+  return out;
+}
+
+CompressionReport compress_lstm(serve::SvdServer& server,
+                                const LstmCompressionOptions& options) {
+  options.validate();
+  static const char* const kGates[] = {"i", "f", "g", "o"};
+
+  // Synthesize the stack: per layer, four input-to-hidden W gates
+  // (hidden x input, tall or square) and four hidden-to-hidden U gates
+  // (hidden x hidden), each with a geometric spectrum so the truncation
+  // has something real to keep. One Rng stream drawn in a fixed order
+  // keeps the whole stack a pure function of the seed.
+  Rng rng(options.seed);
+  const std::vector<double> w_spectrum = linalg::geometric_spectrum(
+      std::min(options.hidden_dim, options.input_dim), options.condition);
+  const std::vector<double> u_spectrum =
+      linalg::geometric_spectrum(options.hidden_dim, options.condition);
+  std::vector<std::pair<std::string, linalg::MatrixF>> weights;
+  weights.reserve(options.layers * 8);
+  for (std::size_t layer = 0; layer < options.layers; ++layer) {
+    for (const char* gate : kGates) {
+      weights.emplace_back(
+          cat("layer", layer, ".W", gate),
+          linalg::matrix_with_spectrum(options.hidden_dim, options.input_dim,
+                                       w_spectrum, rng)
+              .cast<float>());
+    }
+    for (const char* gate : kGates) {
+      weights.emplace_back(
+          cat("layer", layer, ".U", gate),
+          linalg::matrix_with_spectrum(options.hidden_dim, options.hidden_dim,
+                                       u_spectrum, rng)
+              .cast<float>());
+    }
+  }
+
+  // Submit everything before awaiting anything: the server's admission,
+  // QoS, and workers see the whole batch at once.
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(weights.size());
+  for (const auto& [name, matrix] : weights) {
+    serve::Request request;
+    request.matrix = matrix;
+    request.scenario = "auto";
+    request.top_k = options.rank;
+    futures.push_back(server.submit(std::move(request)));
+  }
+
+  CompressionReport report;
+  report.rows.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const serve::Response response = futures[i].get();
+    CompressionRow row;
+    row.name = weights[i].first;
+    row.rows = weights[i].second.rows();
+    row.cols = weights[i].second.cols();
+    row.rank = options.rank;
+    row.ratio = static_cast<double>(row.rows * row.cols) /
+                static_cast<double>(options.rank * (row.rows + row.cols + 1));
+    row.status = serve::to_string(response.status);
+    row.cache_hit = response.cache_hit;
+    if (response.status == serve::ServeStatus::kOk ||
+        response.status == serve::ServeStatus::kNotConverged) {
+      row.rel_error = reconstruction_error(weights[i].second, response.result);
+      row.bound = response.result.scenario_bound;
+      ++report.served;
+      report.mean_ratio += row.ratio;
+      report.mean_error += row.rel_error;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  if (report.served > 0) {
+    report.mean_ratio /= static_cast<double>(report.served);
+    report.mean_error /= static_cast<double>(report.served);
+  }
+  return report;
+}
+
+}  // namespace hsvd::scenarios

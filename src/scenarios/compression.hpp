@@ -1,0 +1,69 @@
+// LSTM weight-compression demo workload (DESIGN.md section 16).
+//
+// A trained LSTM layer carries eight weight matrices (input-to-hidden
+// and hidden-to-hidden for each of the i/f/g/o gates). Low-rank
+// factorization is the classic compression move: replacing an m x n
+// gate matrix by its rank-k factors U_k S_k V_k^T stores k(m + n + 1)
+// parameters instead of m*n. This workload synthesizes a whole stack of
+// such matrices with decaying spectra, batches every one through the
+// serving layer as a truncated (top_k = rank) request -- exercising
+// admission, QoS, the scenario front-end, and the scenario-keyed result
+// cache end to end -- and reports compression ratio against measured
+// reconstruction error per matrix as CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace hsvd::scenarios {
+
+struct LstmCompressionOptions {
+  std::size_t layers = 2;
+  std::size_t input_dim = 48;
+  std::size_t hidden_dim = 48;
+  // Truncation rank per gate matrix (the request's top_k).
+  std::size_t rank = 8;
+  // Spectral condition of the synthetic weights: singular values decay
+  // geometrically from 1 down to 1/condition, which is the shape that
+  // makes trained recurrent weights compressible in the first place.
+  double condition = 1e3;
+  std::uint64_t seed = 0x157f3eedULL;
+
+  void validate() const;
+};
+
+// One gate matrix's outcome.
+struct CompressionRow {
+  std::string name;        // "layer0.Wi", "layer1.Uo", ...
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t rank = 0;
+  double ratio = 0.0;      // (rows*cols) / (rank*(rows+cols+1))
+  double rel_error = -1.0; // ||A - U S V^T||_F / ||A||_F (-1: no result)
+  double bound = 0.0;      // Svd::scenario_bound of the served result
+  std::string status;      // serve::ServeStatus of the request
+  bool cache_hit = false;
+};
+
+struct CompressionReport {
+  std::vector<CompressionRow> rows;
+  std::size_t served = 0;   // rows with usable factors
+  double mean_ratio = 0.0;  // over served rows
+  double mean_error = 0.0;  // over served rows
+  // CSV image: header + one line per row, '\n'-terminated, %.6e floats
+  // (deterministic for a fixed seed and single-threaded server).
+  std::string csv() const;
+};
+
+// Synthesizes the weight stack from `options.seed` and serves every
+// matrix through `server` as a truncated request (scenario "auto",
+// top_k = rank). All requests are submitted before any result is
+// awaited, so a multi-worker server overlaps them. The server's own
+// options (QoS tenants, cache, verify policy) apply as configured.
+CompressionReport compress_lstm(serve::SvdServer& server,
+                                const LstmCompressionOptions& options);
+
+}  // namespace hsvd::scenarios

@@ -1,0 +1,66 @@
+#include "scenarios/scenario.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace hsvd::scenarios {
+
+const char* to_string(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kAuto: return "auto";
+    case Scenario::kOff: return "off";
+    case Scenario::kTallSkinny: return "tall-skinny";
+    case Scenario::kTruncated: return "truncated";
+  }
+  return "unknown";
+}
+
+Scenario parse_scenario(const std::string& spec) {
+  if (spec == "auto") return Scenario::kAuto;
+  if (spec == "off") return Scenario::kOff;
+  if (spec == "tall-skinny") return Scenario::kTallSkinny;
+  if (spec == "truncated") return Scenario::kTruncated;
+  throw InputError(cat("unknown scenario '", spec,
+                       "' (expected auto, off, tall-skinny, or truncated)"));
+}
+
+void ScenarioOptions::validate() const {
+  HSVD_REQUIRE(std::isfinite(tall_skinny_ratio) && tall_skinny_ratio >= 1.0,
+               "scenario tall_skinny_ratio must be finite and >= 1");
+  HSVD_REQUIRE(oversample >= 1, "scenario oversample must be at least 1");
+  HSVD_REQUIRE(power_iterations >= 0,
+               "scenario power_iterations must be nonnegative");
+  HSVD_REQUIRE(update_check_interval >= 1,
+               "scenario update_check_interval must be at least 1");
+}
+
+const std::vector<std::string>& allowed_backends(Scenario scenario) {
+  // The dense path carries every backend; an engaged front-end only the
+  // functional ones (see the header for why the modeled comparators are
+  // out).
+  static const std::vector<std::string> dense = {
+      "", "auto", "aie", "aie-sharded", "cpu", "fpga-bcv", "gpu-wcycle"};
+  static const std::vector<std::string> front_end = {"", "auto", "aie",
+                                                     "aie-sharded", "cpu"};
+  switch (scenario) {
+    case Scenario::kAuto:
+    case Scenario::kOff:
+      return dense;
+    case Scenario::kTallSkinny:
+    case Scenario::kTruncated:
+      return front_end;
+  }
+  return dense;
+}
+
+bool scenario_allows_backend(Scenario scenario, const std::string& backend) {
+  for (const std::string& b : allowed_backends(scenario)) {
+    if (b == backend) return true;
+  }
+  return false;
+}
+
+}  // namespace hsvd::scenarios

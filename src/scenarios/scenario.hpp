@@ -1,0 +1,83 @@
+// Workload-scenario front-ends: selection policy and knobs (DESIGN.md
+// section 16).
+//
+// The accelerator core is a square-block one-shot Hestenes engine; real
+// traffic is often tall-skinny (PCA pipelines), truncated (top-k
+// queries), or incrementally updated (streaming covariance). The
+// scenario layer wraps that core with pre-reduction front-ends instead
+// of new kernels: each front-end reduces its input to a small dense
+// decomposition that flows through the normal facade (routing, retry,
+// attestation) and then assembles the full factors on the host.
+//
+// This header holds only the enum, the knobs, and the backend
+// declarations -- it is included by heterosvd.hpp, so it must not
+// depend on the facade types. The front-ends themselves live in
+// tall_skinny.hpp / truncated.hpp / update.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hsvd::scenarios {
+
+enum class Scenario {
+  // Engage a front-end only when the input asks for one: the QR
+  // pre-reduction above the aspect-ratio threshold, the randomized
+  // sketch when SvdOptions::top_k >= 1. Below the threshold and with
+  // top_k == 0 this is the dense one-shot path, bit-identical to kOff.
+  kAuto,
+  // Never engage a front-end; the classic dense path (and its
+  // bit-identical results), regardless of shape. top_k must be 0.
+  kOff,
+  // Force the Householder-QR pre-reduction (rows >= cols required).
+  kTallSkinny,
+  // Force the randomized sketch; requires top_k >= 1.
+  kTruncated,
+};
+
+const char* to_string(Scenario scenario);
+
+// Parses "auto", "off", "tall-skinny", or "truncated"; throws
+// hsvd::InputError on anything else.
+Scenario parse_scenario(const std::string& spec);
+
+// Knobs for the scenario front-ends. Every field is deterministic
+// state: two calls with equal options and input produce bit-identical
+// results.
+struct ScenarioOptions {
+  // kAuto engages the QR pre-reduction when rows >= ratio * cols. The
+  // default 8 is where the modeled host-QR + square-core time beats the
+  // direct padded fabric run with margin (bench_scenarios sweeps this;
+  // CI asserts the crossover).
+  double tall_skinny_ratio = 8.0;
+  // Sketch columns beyond top_k (l = min(cols, top_k + oversample)).
+  // More oversampling tightens the subspace at linear sketch cost.
+  std::size_t oversample = 8;
+  // Subspace (power) iterations on the sketch: each one sharpens the
+  // captured spectrum by a factor of (sigma_{k+1}/sigma_k)^2.
+  int power_iterations = 2;
+  // Seed of the Gaussian sketch draw. Fixed by default so a repeated
+  // query is bit-identical (and cacheable by the serving layer).
+  std::uint64_t sketch_seed = 0x5ce4a6105eedULL;
+  // StreamingSvd: score the factors against the running matrix with the
+  // verify layer every this many rank-1 updates; a failed check
+  // triggers a full re-decomposition. 1 = check every update.
+  int update_check_interval = 1;
+
+  void validate() const;  // throws hsvd::InputError on malformed knobs
+};
+
+// The backends a scenario front-end can carry ("" = the classic
+// un-routed path). The modeled comparators (fpga-bcv / gpu-wcycle) are
+// excluded: their reported time is a fitted model of a published
+// square-problem anchor, and a host pre-reduction stage in front of the
+// core would make that label cover only part of the work -- an explicit
+// pin demanding a modeled total would be dishonest by construction.
+// "auto" stays legal: the router labels whatever core it picks, and
+// Svd::scenario records that the label covers the dense core only.
+const std::vector<std::string>& allowed_backends(Scenario scenario);
+bool scenario_allows_backend(Scenario scenario, const std::string& backend);
+
+}  // namespace hsvd::scenarios

@@ -1,0 +1,39 @@
+// Scenario front-end dispatch and shared attestation helpers
+// (DESIGN.md section 16). The facade calls select_scenario() after the
+// wide-transpose branch (rows >= cols is guaranteed here) and hands the
+// input to the winning front-end; each front-end reduces the problem to
+// an inner dense svd() call -- scenario disabled, so routing, retry and
+// core attestation run exactly as on the dense path -- and assembles
+// the full factors on the host.
+#pragma once
+
+#include "heterosvd.hpp"
+#include "scenarios/scenario.hpp"
+
+namespace hsvd::scenarios {
+
+// Which front-end (if any) engages for this tall-or-square shape under
+// these options, validating the combination: top_k with scenario kOff,
+// top_k > cols, a forced front-end the shape cannot satisfy, two forced
+// front-ends at once, or a backend pin outside the engaged scenario's
+// allowlist all throw hsvd::InputError.
+Scenario select_scenario(std::size_t rows, std::size_t cols,
+                         const SvdOptions& options);
+
+// Scenario-level attestation of *assembled* factors (the inner core's
+// own report rides along in result.verify_report; these append to it).
+// When the verify policy selects the request, the assembled factors are
+// scored against the dense verifier bounds -- plus `residual_allowance`
+// for deliberately truncated results -- and a failure escalates
+// straight to the host double-precision reference for the scenario
+// (`reference` recomputes the factors from scratch). Off-policy calls
+// are free: no work, no report change.
+void attest_assembled(const linalg::MatrixF& a, const SvdOptions& options,
+                      Svd& result, double residual_allowance,
+                      Svd (*reference)(const linalg::MatrixF&,
+                                       const SvdOptions&));
+
+// Bumps the "scenario.<name>" counter when an observer is attached.
+void count_scenario(const SvdOptions& options, const char* name);
+
+}  // namespace hsvd::scenarios

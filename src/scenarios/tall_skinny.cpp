@@ -1,0 +1,67 @@
+#include "scenarios/tall_skinny.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/reference_svd.hpp"
+#include "scenarios/scenarios.hpp"
+#include "verify/verifier.hpp"
+
+namespace hsvd::scenarios {
+
+namespace {
+
+// Host double-precision reference for the whole scenario: the ladder's
+// last rung when the assembled factors fail their bound.
+Svd reference_result(const linalg::MatrixF& a, const SvdOptions& options) {
+  const linalg::SvdResult ref = linalg::reference_svd(a.cast<double>());
+  Svd out;
+  out.u = ref.u.cast<float>();
+  out.sigma.assign(ref.sigma.begin(), ref.sigma.end());
+  if (options.want_v) out.v = ref.v.cast<float>();
+  out.iterations = ref.sweeps;
+  out.backend = "reference";
+  out.scenario = "tall-skinny";
+  out.scenario_bound =
+      verify::ResultVerifier::residual_bound(a.cols(), options.precision);
+  return out;
+}
+
+}  // namespace
+
+Svd svd_tall_skinny(const linalg::MatrixF& a, const SvdOptions& options) {
+  HSVD_REQUIRE(a.rows() >= a.cols() && a.cols() >= 2,
+               "tall-skinny pre-reduction requires rows >= cols >= 2");
+  count_scenario(options, "scenario.tall_skinny");
+
+  // Stage 1 (host, double): A = Q R. Householder QR is backward stable,
+  // so R carries A's spectrum to O(eps) * ||A||.
+  const linalg::MatrixD ad = a.cast<double>();
+  const linalg::QrResult qr = linalg::householder_qr(ad);
+
+  // Stage 2 (fabric): the n x n triangle through the dense path --
+  // routing, retry, and core attestation run exactly as for a direct
+  // dense request. The scenario layer is off for the inner call, and V
+  // is forced on (V_R is V_A, so it is this front-end's V output).
+  SvdOptions inner = options;
+  inner.scenario = Scenario::kOff;
+  inner.top_k = 0;
+  inner.want_v = true;
+  Svd out = svd(qr.r.cast<float>(), inner);
+
+  // Stage 3 (host, double): U = Q * U_R. The product of two (near-)
+  // orthonormal factors, accumulated in double, keeps U's columns
+  // orthonormal to the inner core's own error.
+  out.u = linalg::matmul(qr.q, out.u.cast<double>()).cast<float>();
+  if (!options.want_v) out.v = linalg::MatrixF();
+  out.scenario = "tall-skinny";
+  out.scenario_bound =
+      verify::ResultVerifier::residual_bound(a.cols(), options.precision);
+  attest_assembled(a, options, out, /*residual_allowance=*/0.0,
+                   &reference_result);
+  return out;
+}
+
+}  // namespace hsvd::scenarios

@@ -1,0 +1,20 @@
+// Tall-skinny scenario: Householder-QR pre-reduction (DESIGN.md
+// section 16). A = Q R on the host in double precision, the n x n
+// triangle R through the dense fabric path, U recovered as Q * U_R.
+// V_R is V_A directly, so no extra pass is needed for V. Error-bound
+// contract: Householder QR and the double-precision assembly are
+// backward stable, so the assembled factors satisfy the *dense*
+// verifier bounds (ResultVerifier::residual_bound et al.) unchanged --
+// which is exactly what the scenario attestation holds them to.
+#pragma once
+
+#include "heterosvd.hpp"
+
+namespace hsvd::scenarios {
+
+// Requires rows >= cols (the facade's wide-transpose branch runs
+// first) and cols >= 2. `options.scenario`/`top_k` are ignored here --
+// the inner dense call always runs with the scenario layer off.
+Svd svd_tall_skinny(const linalg::MatrixF& a, const SvdOptions& options);
+
+}  // namespace hsvd::scenarios

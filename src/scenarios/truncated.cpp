@@ -1,0 +1,127 @@
+#include "scenarios/truncated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/reference_svd.hpp"
+#include "scenarios/scenarios.hpp"
+#include "verify/verifier.hpp"
+
+namespace hsvd::scenarios {
+
+namespace {
+
+// Truncates the assembled factors to the leading k triplets.
+void truncate_to_k(Svd& out, std::size_t k, bool want_v) {
+  if (out.u.cols() > k) out.u = out.u.slice_cols(0, k);
+  if (out.sigma.size() > k) out.sigma.resize(k);
+  if (!want_v) {
+    out.v = linalg::MatrixF();
+  } else if (out.v.cols() > k) {
+    out.v = out.v.slice_cols(0, k);
+  }
+}
+
+// Host double-precision reference for the scenario: the leading k
+// triplets of the full reference decomposition. Its truncation residual
+// is the optimal rank-k error, which is inside any valid sketch bound.
+Svd reference_result(const linalg::MatrixF& a, const SvdOptions& options) {
+  const linalg::SvdResult ref = linalg::reference_svd(a.cast<double>());
+  const std::size_t k = std::min<std::size_t>(options.top_k, ref.sigma.size());
+  Svd out;
+  out.u = ref.u.cast<float>();
+  out.sigma.assign(ref.sigma.begin(), ref.sigma.end());
+  out.v = ref.v.cast<float>();
+  truncate_to_k(out, k, options.want_v);
+  out.iterations = ref.sweeps;
+  out.backend = "reference";
+  out.scenario = "truncated";
+  out.scenario_top_k = k;
+  // Optimal rank-k error, a posteriori from the dropped tail.
+  double tail2 = 0.0;
+  double total2 = 0.0;
+  for (std::size_t i = 0; i < ref.sigma.size(); ++i) {
+    total2 += ref.sigma[i] * ref.sigma[i];
+    if (i >= k) tail2 += ref.sigma[i] * ref.sigma[i];
+  }
+  out.scenario_bound =
+      total2 > 0.0 ? std::sqrt(tail2 / total2) : 0.0;
+  out.scenario_bound +=
+      verify::ResultVerifier::residual_bound(k, options.precision);
+  return out;
+}
+
+}  // namespace
+
+Svd svd_truncated(const linalg::MatrixF& a, const SvdOptions& options) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t k = options.top_k;
+  HSVD_REQUIRE(m >= n && n >= 2,
+               "truncated front-end requires rows >= cols >= 2");
+  HSVD_REQUIRE(k >= 1 && k <= n, "top_k out of range");
+  count_scenario(options, "scenario.truncated");
+
+  const ScenarioOptions& knobs = options.scenario_opts;
+  const std::size_t l = std::min(n, k + knobs.oversample);
+
+  // Stage 1 (host, double): seeded Gaussian sketch + subspace
+  // iterations. Every QR re-orthonormalization keeps the power pass
+  // numerically tame; the draw is seeded, so a repeated query is
+  // bit-identical (and serveable from the result cache).
+  const linalg::MatrixD ad = a.cast<double>();
+  Rng rng(knobs.sketch_seed);
+  const linalg::MatrixD omega = linalg::random_gaussian(n, l, rng);
+  linalg::MatrixD q = linalg::householder_qr(linalg::matmul(ad, omega)).q;
+  for (int it = 0; it < knobs.power_iterations; ++it) {
+    const linalg::MatrixD z =
+        linalg::householder_qr(linalg::matmul(linalg::transpose(ad), q)).q;
+    q = linalg::householder_qr(linalg::matmul(ad, z)).q;
+  }
+
+  // Stage 2 (fabric): B = Q^T A is l x n (wide); the core decomposes
+  // B^T (n x l, tall) so the facade's wide-transpose branch never
+  // fires. B^T = V_B Sigma U_B^T, so the inner result's U is V_B and
+  // its V is U_B.
+  const linalg::MatrixD b = linalg::matmul(linalg::transpose(q), ad);
+  SvdOptions inner = options;
+  inner.scenario = Scenario::kOff;
+  inner.top_k = 0;
+  inner.want_v = true;
+  Svd out = svd(linalg::transpose(b).cast<float>(), inner);
+
+  // A-posteriori error bound, relative to ||A||_F (see truncated.hpp):
+  // subspace miss sqrt(||A||^2 - ||B||^2) + dropped tail of B's
+  // spectrum + the fp32 core's dense residual allowance.
+  const double a_norm = linalg::frobenius_norm(ad);
+  const double b_norm = linalg::frobenius_norm(b);
+  const double miss2 = std::max(0.0, a_norm * a_norm - b_norm * b_norm);
+  double tail2 = 0.0;
+  for (std::size_t i = k; i < out.sigma.size(); ++i) {
+    tail2 += static_cast<double>(out.sigma[i]) * out.sigma[i];
+  }
+  const double scale = std::max(a_norm, 1e-300);
+  const double bound =
+      (std::sqrt(miss2) + std::sqrt(tail2)) / scale +
+      verify::ResultVerifier::residual_bound(k, options.precision);
+
+  // Stage 3 (host, double): U = Q * U_B, V = V_B, truncated to k.
+  linalg::MatrixF v_full = std::move(out.u);  // V_B, n x l
+  out.u = linalg::matmul(q, out.v.cast<double>()).cast<float>();  // m x l
+  out.v = std::move(v_full);
+  truncate_to_k(out, k, options.want_v);
+  out.scenario = "truncated";
+  out.scenario_top_k = k;
+  out.scenario_bound = bound;
+  attest_assembled(a, options, out, /*residual_allowance=*/bound,
+                   &reference_result);
+  return out;
+}
+
+}  // namespace hsvd::scenarios

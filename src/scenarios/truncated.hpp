@@ -1,0 +1,25 @@
+// Truncated scenario: randomized top-k SVD (DESIGN.md section 16).
+// Seeded Gaussian sketch Y = A * Omega, subspace (power) iterations,
+// Q = qr(Y), then the small dense core B = Q^T A through the fabric
+// path (decomposed as B^T, which is tall, so the facade's
+// wide-transpose branch never fires). U = Q * U_B, V = V_B, truncated
+// to the leading k triplets.
+//
+// Error-bound contract (recorded in Svd::scenario_bound, relative to
+// ||A||_F): the exact split
+//   ||A - U_k S_k V_k^T||_F <= ||A - Q Q^T A||_F + ||B - B_k||_F
+// where the first term is the subspace miss, computable a posteriori as
+// sqrt(||A||_F^2 - ||B||_F^2), and the second the dropped tail of B's
+// spectrum -- plus the dense verifier residual allowance for the fp32
+// core. The differential harness checks the served factors against the
+// leading k of the full double-precision reference inside this bound.
+#pragma once
+
+#include "heterosvd.hpp"
+
+namespace hsvd::scenarios {
+
+// Requires rows >= cols >= 2 and 1 <= options.top_k <= cols.
+Svd svd_truncated(const linalg::MatrixF& a, const SvdOptions& options);
+
+}  // namespace hsvd::scenarios

@@ -1,0 +1,163 @@
+#include "scenarios/update.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/reference_svd.hpp"
+#include "scenarios/scenarios.hpp"
+#include "verify/verifier.hpp"
+
+namespace hsvd::scenarios {
+
+namespace {
+
+// Orthogonal complement of `x` against the orthonormal columns of `q`
+// (classical Gram-Schmidt with one re-orthogonalization pass): returns
+// the residual norm and writes the normalized complement into `out`
+// (zeroed when x is numerically inside span(q)).
+double complement(const linalg::MatrixD& q, const std::vector<double>& x,
+                  std::vector<double>& coeffs, std::vector<double>& out) {
+  const std::size_t rows = q.rows();
+  const std::size_t cols = q.cols();
+  coeffs.assign(cols, 0.0);
+  out = x;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t t = 0; t < cols; ++t) {
+      const double c = linalg::dot<double>(q.col(t), std::span<const double>(out));
+      coeffs[t] += c;
+      auto qt = q.col(t);
+      for (std::size_t r = 0; r < rows; ++r) out[r] -= c * qt[r];
+    }
+  }
+  double norm2 = 0.0;
+  for (double v : out) norm2 += v * v;
+  const double norm = std::sqrt(norm2);
+  // Scale-relative cutoff: a residual at the double noise floor of the
+  // projected vector is span membership, not a new direction.
+  double xscale = 0.0;
+  for (double v : x) xscale += v * v;
+  const double cutoff = 1e-12 * std::sqrt(std::max(xscale, 1e-300));
+  if (norm <= cutoff) {
+    for (double& v : out) v = 0.0;
+    return 0.0;
+  }
+  for (double& v : out) v /= norm;
+  return norm;
+}
+
+}  // namespace
+
+void svd_update(Svd& svd, std::span<const float> u, std::span<const float> v) {
+  HSVD_REQUIRE(!svd.u.empty() && !svd.sigma.empty(),
+               "svd_update needs a complete decomposition");
+  HSVD_REQUIRE(!svd.v.empty() && svd.v.rows() == svd.v.cols() &&
+                   svd.v.cols() == svd.sigma.size(),
+               "svd_update needs the full square V (want_v = true, no "
+               "truncation)");
+  HSVD_REQUIRE(u.size() == svd.u.rows(), "update vector u has wrong length");
+  HSVD_REQUIRE(v.size() == svd.v.rows(), "update vector v has wrong length");
+  const std::size_t m = svd.u.rows();
+  const std::size_t n = svd.sigma.size();
+
+  // Brand's rank-1 identity, all in double. V is square orthogonal, so
+  // v is (numerically) inside span(V) and rb collapses to ~0; the
+  // general (n+1)-dimensional core handles both shapes uniformly.
+  const linalg::MatrixD ud = svd.u.cast<double>();
+  const linalg::MatrixD vd = svd.v.cast<double>();
+  const std::vector<double> uvec(u.begin(), u.end());
+  const std::vector<double> vvec(v.begin(), v.end());
+  std::vector<double> mcoef, p, ncoef, qvec;
+  const double ra = complement(ud, uvec, mcoef, p);
+  const double rb = complement(vd, vvec, ncoef, qvec);
+
+  // K = diag(S, 0) + [m; ra] [n; rb]^T, (n+1) x (n+1).
+  linalg::MatrixD k(n + 1, n + 1);
+  for (std::size_t t = 0; t < n; ++t) k(t, t) = svd.sigma[t];
+  std::vector<double> left = mcoef;
+  left.push_back(ra);
+  std::vector<double> right = ncoef;
+  right.push_back(rb);
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (std::size_t j = 0; j <= n; ++j) k(i, j) += left[i] * right[j];
+  }
+
+  // Rotation-based small core: the serial one-sided Jacobi reference.
+  const linalg::SvdResult core = linalg::reference_svd(k);
+
+  // U' = [U p] U_K, V' = [V q] V_K, keeping the leading n triplets (A'
+  // is still m x n, so its (n+1)-th singular value is exactly zero; the
+  // dropped column is the numerical null direction).
+  linalg::MatrixD uext(m, n + 1);
+  uext.assign_cols(0, ud);
+  for (std::size_t r = 0; r < m; ++r) uext(r, n) = p.empty() ? 0.0 : p[r];
+  linalg::MatrixD vext(v.size(), n + 1);
+  vext.assign_cols(0, vd);
+  for (std::size_t r = 0; r < v.size(); ++r) {
+    vext(r, n) = qvec.empty() ? 0.0 : qvec[r];
+  }
+  const linalg::MatrixD unew = linalg::matmul(uext, core.u);
+  const linalg::MatrixD vnew = linalg::matmul(vext, core.v);
+
+  svd.u = unew.slice_cols(0, n).cast<float>();
+  svd.v = vnew.slice_cols(0, n).cast<float>();
+  svd.sigma.assign(core.sigma.begin(), core.sigma.begin() + n);
+  svd.scenario = "update";
+}
+
+void svd_downdate(Svd& svd, std::span<const float> u,
+                  std::span<const float> v) {
+  std::vector<float> neg(v.begin(), v.end());
+  for (float& x : neg) x = -x;
+  svd_update(svd, u, std::span<const float>(neg));
+}
+
+StreamingSvd::StreamingSvd(linalg::MatrixF a0, SvdOptions options)
+    : a_(std::move(a0)), options_(std::move(options)) {
+  HSVD_REQUIRE(options_.top_k == 0,
+               "StreamingSvd needs the full decomposition (top_k must be 0): "
+               "the rank-1 core updates a square V");
+  options_.want_v = true;
+  redecompose();
+  redecompositions_ = 0;  // the initial decomposition is not a re-run
+}
+
+void StreamingSvd::apply(std::span<const float> u, std::span<const float> v) {
+  HSVD_REQUIRE(u.size() == a_.rows() && v.size() == a_.cols(),
+               "update vectors must match the streaming matrix shape");
+  // Running matrix first: it is the ground truth the drift check scores
+  // the factors against.
+  for (std::size_t c = 0; c < a_.cols(); ++c) {
+    const float vc = v[c];
+    auto col = a_.col(c);
+    for (std::size_t r = 0; r < a_.rows(); ++r) col[r] += u[r] * vc;
+  }
+  svd_update(svd_, u, v);
+  ++updates_;
+  ++since_check_;
+  count_scenario(options_, "scenario.update.applied");
+
+  if (since_check_ < options_.scenario_opts.update_check_interval) return;
+  since_check_ = 0;
+  // Verifier-checked drift bound: the production ResultVerifier scores
+  // the carried factors against the running matrix; the first broken
+  // bound (orthogonality decay or residual growth from accumulated fp32
+  // cast noise) triggers a full re-decomposition.
+  const verify::ResultVerifier verifier(options_.precision);
+  const verify::VerifyOutcome outcome = verifier.check(a_, svd_);
+  last_residual_ = outcome.residual;
+  if (!outcome.passed) {
+    count_scenario(options_, "scenario.update.redecompose");
+    redecompose();
+    ++redecompositions_;
+  }
+}
+
+void StreamingSvd::redecompose() {
+  svd_ = hsvd::svd(a_, options_);
+  svd_.scenario = "update";
+}
+
+}  // namespace hsvd::scenarios

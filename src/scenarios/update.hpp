@@ -1,0 +1,73 @@
+// Streaming scenario: incremental rank-1 update/downdate (DESIGN.md
+// section 16). Given A ~ U S V^T, the factors of A' = A + u v^T follow
+// from Brand's identity: with m = U^T u, p = u - U m, n = V^T v,
+// q = v - V n,
+//
+//   A' = [U p/||p||] * K * [V q/||q||]^T,
+//   K  = diag(S, 0) + [m; ||p||] [n; ||q||]^T,
+//
+// so one (n+1)x(n+1) rotation-based small SVD of K (the serial
+// one-sided Jacobi reference) refreshes the factors in O(m n) + O(n^3)
+// instead of a full re-decomposition. Factors are carried in fp32, the
+// update core runs in double; each update adds O(eps_f) cast noise, so
+// drift accumulates over a chain. StreamingSvd owns the running matrix
+// and scores the factors with the production ResultVerifier every
+// `ScenarioOptions::update_check_interval` updates -- the moment the
+// drift breaks a verifier bound, it re-decomposes from scratch.
+#pragma once
+
+#include <span>
+
+#include "heterosvd.hpp"
+
+namespace hsvd::scenarios {
+
+// In-place rank-1 update of a full decomposition: factors of A + u v^T
+// from the factors of A. Requires a complete result (`svd.v` present
+// and square, i.e. want_v = true and no truncation), u.size() ==
+// svd.u.rows(), v.size() == svd.v.rows(). Marks the result's scenario
+// provenance "update". Throws hsvd::InputError on a shape mismatch.
+void svd_update(Svd& svd, std::span<const float> u, std::span<const float> v);
+
+// Downdate convenience: A - u v^T is A + u (-v)^T.
+void svd_downdate(Svd& svd, std::span<const float> u,
+                  std::span<const float> v);
+
+// Streaming decomposition: owns the running matrix and its factors,
+// applies rank-1 updates through svd_update, and re-decomposes fully
+// when the verifier-checked drift bound breaks.
+class StreamingSvd {
+ public:
+  // Decomposes `a0` up front through the facade (want_v forced on;
+  // top_k must be 0 -- streaming needs the full V). The options carry
+  // into every re-decomposition, scenario selection included, so a
+  // tall-skinny stream re-decomposes through the QR front-end.
+  StreamingSvd(linalg::MatrixF a0, SvdOptions options);
+
+  // A <- A + u v^T, factors via the Brand core; every
+  // `update_check_interval`-th update the production ResultVerifier
+  // scores the factors against the running matrix and a failed check
+  // triggers a full re-decomposition (counted, observable as
+  // scenario.update.redecompose).
+  void apply(std::span<const float> u, std::span<const float> v);
+
+  const Svd& current() const { return svd_; }
+  const linalg::MatrixF& matrix() const { return a_; }
+  int updates() const { return updates_; }
+  int redecompositions() const { return redecompositions_; }
+  // Verifier scores of the most recent drift check (-1 before any).
+  double last_residual() const { return last_residual_; }
+
+ private:
+  void redecompose();
+
+  linalg::MatrixF a_;
+  SvdOptions options_;
+  Svd svd_;
+  int updates_ = 0;
+  int since_check_ = 0;
+  int redecompositions_ = 0;
+  double last_residual_ = -1.0;
+};
+
+}  // namespace hsvd::scenarios

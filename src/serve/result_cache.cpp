@@ -26,8 +26,11 @@ bool ResultCache::same_bytes(const linalg::MatrixF& a,
 
 std::optional<Svd> ResultCache::lookup(const linalg::MatrixF& matrix,
                                        std::uint64_t digest_value,
-                                       const std::string& route) {
-  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
+                                       const std::string& route,
+                                       const std::string& scenario,
+                                       std::size_t top_k) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route, scenario,
+                top_k};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -48,8 +51,10 @@ std::optional<Svd> ResultCache::lookup(const linalg::MatrixF& matrix,
 
 void ResultCache::insert(const linalg::MatrixF& matrix,
                          std::uint64_t digest_value, const Svd& result,
-                         const std::string& route) {
-  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
+                         const std::string& route, const std::string& scenario,
+                         std::size_t top_k) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route, scenario,
+                top_k};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -68,8 +73,10 @@ void ResultCache::insert(const linalg::MatrixF& matrix,
 }
 
 bool ResultCache::erase(const linalg::MatrixF& matrix,
-                        std::uint64_t digest_value, const std::string& route) {
-  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
+                        std::uint64_t digest_value, const std::string& route,
+                        const std::string& scenario, std::size_t top_k) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route, scenario,
+                top_k};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) return false;
@@ -81,8 +88,11 @@ bool ResultCache::erase(const linalg::MatrixF& matrix,
 void ResultCache::mark_verified(const linalg::MatrixF& matrix,
                                 std::uint64_t digest_value,
                                 const std::string& route,
-                                const verify::VerifyReport& report) {
-  const Key key{matrix.rows(), matrix.cols(), digest_value, route};
+                                const verify::VerifyReport& report,
+                                const std::string& scenario,
+                                std::size_t top_k) {
+  const Key key{matrix.rows(), matrix.cols(), digest_value, route, scenario,
+                top_k};
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) return;

@@ -43,10 +43,15 @@ class ResultCache {
   // request's routing intent (backend pin + slo class, "" for the
   // classic path): the same matrix routed to different backends yields
   // different provenance labels (and, across functional backends,
-  // different bits), so route intent is part of the identity.
+  // different bits), so route intent is part of the identity. So are
+  // `scenario` and `top_k` (DESIGN.md section 16): a truncated top-3
+  // answer must never satisfy a full-decomposition request for the same
+  // bytes, and vice versa.
   std::optional<Svd> lookup(const linalg::MatrixF& matrix,
                             std::uint64_t digest_value,
-                            const std::string& route = "");
+                            const std::string& route = "",
+                            const std::string& scenario = "",
+                            std::size_t top_k = 0);
 
   // Records a completed decomposition, evicting the least recently used
   // entry past capacity. An existing key is overwritten (the new matrix
@@ -54,19 +59,22 @@ class ResultCache {
   // result's verify_report rides along, so an entry remembers whether
   // its factors were ever attested (Svd::verify_report.verified).
   void insert(const linalg::MatrixF& matrix, std::uint64_t digest_value,
-              const Svd& result, const std::string& route = "");
+              const Svd& result, const std::string& route = "",
+              const std::string& scenario = "", std::size_t top_k = 0);
 
   // Drops the entry for this identity (the server evicts a cached
   // result that fails re-verification). Returns true when one existed.
   bool erase(const linalg::MatrixF& matrix, std::uint64_t digest_value,
-             const std::string& route = "");
+             const std::string& route = "", const std::string& scenario = "",
+             std::size_t top_k = 0);
 
   // Stamps the stored entry's attestation report in place: an
   // unattested hit that re-verified clean keeps that provenance, so
   // later hits skip the re-check. No-op when the entry is gone.
   void mark_verified(const linalg::MatrixF& matrix,
                      std::uint64_t digest_value, const std::string& route,
-                     const verify::VerifyReport& report);
+                     const verify::VerifyReport& report,
+                     const std::string& scenario = "", std::size_t top_k = 0);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -83,12 +91,16 @@ class ResultCache {
     std::size_t rows = 0;
     std::size_t cols = 0;
     std::uint64_t digest = 0;
-    std::string route;  // routing intent ("" = classic path)
+    std::string route;     // routing intent ("" = classic path)
+    std::string scenario;  // scenario intent ("" = dense default)
+    std::size_t top_k = 0; // truncation rank (0 = full decomposition)
     bool operator<(const Key& other) const {
       if (rows != other.rows) return rows < other.rows;
       if (cols != other.cols) return cols < other.cols;
       if (digest != other.digest) return digest < other.digest;
-      return route < other.route;
+      if (route != other.route) return route < other.route;
+      if (scenario != other.scenario) return scenario < other.scenario;
+      return top_k < other.top_k;
     }
   };
   struct Entry {

@@ -27,6 +27,13 @@ std::string route_intent(const Request& request) {
   return request.backend + "|" + backend::slo_class(request.slo);
 }
 
+// True when the request carries scenario intent (a named scenario or a
+// truncation rank); such jobs dispatch solo and carry scenario-
+// qualified cache keys.
+bool scenario_request(const Request& request) {
+  return !request.scenario.empty() || request.top_k > 0;
+}
+
 }  // namespace
 
 const char* to_string(ServeStatus status) {
@@ -192,11 +199,13 @@ std::future<Response> SvdServer::submit(Request request) {
       job.admitted_s = now_s;
       job.tenant = idx;
       job.band = band;
-      // Routed requests never coalesce: the coalescer dispatches under
-      // the pinned classic accelerator configuration, which a routed
-      // job may not even run on. QoS queues/quotas are untouched --
-      // routing only changes what happens at dispatch.
-      job.solo_only = routed_request(job.request);
+      // Routed and scenario-tagged requests never coalesce: the
+      // coalescer dispatches under the pinned classic accelerator
+      // configuration, which a routed job may not even run on and a
+      // scenario front-end bypasses entirely. QoS queues/quotas are
+      // untouched -- these only change what happens at dispatch.
+      job.solo_only =
+          routed_request(job.request) || scenario_request(job.request);
       const double budget = job.request.deadline_seconds > 0.0
                                 ? job.request.deadline_seconds
                                 : options_.default_deadline_seconds;
@@ -337,6 +346,13 @@ Response SvdServer::execute(Job& job, common::CancelToken& token) {
 
     bool transient = false;
     try {
+      // Scenario intent overrides the base options inside the try: an
+      // unknown scenario name is an InputError, handled like any other
+      // deterministic rejection below.
+      if (!job.request.scenario.empty()) {
+        svd_options.scenario = scenarios::parse_scenario(job.request.scenario);
+      }
+      if (job.request.top_k > 0) svd_options.top_k = job.request.top_k;
       out.result = hsvd::svd(job.request.matrix, svd_options);
       out.backend = out.result.backend;
       breaker_.record_success();
@@ -433,8 +449,9 @@ void SvdServer::service_qos(std::size_t worker_index, Job primary,
     }
     if (cacheable(job)) {
       const std::uint64_t digest = ResultCache::digest(job.request.matrix);
-      std::optional<Svd> hit = cache_->lookup(job.request.matrix, digest,
-                                              route_intent(job.request));
+      std::optional<Svd> hit =
+          cache_->lookup(job.request.matrix, digest, route_intent(job.request),
+                         job.request.scenario, job.request.top_k);
       // Re-verify an unattested hit when the verify policy selects this
       // request (the digest doubles as the sampling identity, so the
       // decision matches what the facade would have drawn): a cached
@@ -458,10 +475,12 @@ void SvdServer::service_qos(std::size_t worker_index, Job primary,
         if (report.verified) {
           hit->verify_report = report;
           cache_->mark_verified(job.request.matrix, digest,
-                                route_intent(job.request), report);
+                                route_intent(job.request), report,
+                                job.request.scenario, job.request.top_k);
         } else {
           count("serve.cache.verify_evict");
-          cache_->erase(job.request.matrix, digest, route_intent(job.request));
+          cache_->erase(job.request.matrix, digest, route_intent(job.request),
+                        job.request.scenario, job.request.top_k);
           hit.reset();  // recompute below, as a miss
         }
       }
@@ -505,7 +524,8 @@ void SvdServer::service_qos(std::size_t worker_index, Job primary,
     if (response.status == ServeStatus::kOk && cacheable(job)) {
       cache_->insert(job.request.matrix,
                      ResultCache::digest(job.request.matrix), response.result,
-                     route_intent(job.request));
+                     route_intent(job.request), job.request.scenario,
+                     job.request.top_k);
     }
     response.batch_size = 1;
     note_terminal(job, response);

@@ -137,6 +137,17 @@ struct Request {
   // intent, so a pinned-cpu hit can never answer a pinned-aie request.
   std::string backend;
   std::optional<backend::Slo> slo;
+  // Workload scenario (DESIGN.md section 16): "" keeps the server's
+  // base SvdOptions; "auto", "off", "tall-skinny", or "truncated" is
+  // parsed into the dispatch options. An unknown string fails the
+  // request deterministically (kFailed, no retry). Scenario-tagged
+  // requests dispatch solo -- the coalescer batches the plain dense
+  // path only -- and scenario + top_k are part of the result-cache
+  // identity, so a truncated answer can never satisfy a full request.
+  std::string scenario;
+  // Truncated decomposition rank (0 = full). Requires a scenario that
+  // admits it ("", "auto", or "truncated").
+  std::size_t top_k = 0;
 };
 
 struct Response {

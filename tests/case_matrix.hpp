@@ -1,0 +1,194 @@
+// Generated case matrix for scenario differential sweeps.
+//
+// The scenario layer (tall-skinny QR pre-reduction, truncated sketch,
+// streaming updates) has failure modes that only show up at specific
+// corners of the input space: extreme aspect ratios, near-singular
+// spectra, sharp decay cliffs the sketch must capture, exact rank
+// deficiency. Hand-picked matrices cover a handful of those corners;
+// this header instead *generates* the whole cross product of
+//
+//   {aspect ratio m/n} x {condition number} x {decay profile}
+//                     x {rank deficiency},
+//
+// each case a CaseSpec with a deterministic per-spec seed, so every
+// consumer (the differential harness, the property tests, the soak
+// driver, bench_scenarios) draws the same matrix for the same spec and
+// failures reproduce from the printed name alone.
+//
+// Construction is direct: A = U0 * diag(spectrum) * V0^T from
+// orthonormal factors, so the *realized* spectrum equals the requested
+// one to double roundoff -- the property tests pin that with
+// reference_svd. U0 is built as the Q of a Gaussian rows x cols QR
+// (O(rows * cols^2)), never as a full rows x rows orthogonal matrix,
+// which keeps ratio-256 cases affordable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+
+namespace hsvd::testing {
+
+// Singular-value decay profiles.
+enum class Decay {
+  kGeometric,  // sigma_i = condition^(-i/(n-1)): smooth exponential
+  kHarmonic,   // sigma_i = (1 + i*(c-1)/(n-1))^-1: slow polynomial
+  kStep,       // first half 1, second half 1/condition: a sharp cliff
+};
+
+inline const char* to_string(Decay decay) {
+  switch (decay) {
+    case Decay::kGeometric: return "geo";
+    case Decay::kHarmonic: return "harm";
+    case Decay::kStep: return "step";
+  }
+  return "?";
+}
+
+struct CaseSpec {
+  std::size_t cols = 16;
+  std::size_t ratio = 1;      // rows = cols * ratio
+  double condition = 100.0;   // sigma_max / sigma_min of the nonzero part
+  Decay decay = Decay::kGeometric;
+  std::size_t deficiency = 0; // trailing exactly-zero singular values
+  std::uint64_t seed = 0;     // base seed; the draw mixes in every field
+
+  std::size_t rows() const { return cols * ratio; }
+  // Reproduction handle, unique per grid point: "n16r4_k1e+02_geo_d0".
+  std::string name() const {
+    char kappa[16];
+    std::snprintf(kappa, sizeof(kappa), "%.0e", condition);
+    return cat("n", cols, "r", ratio, "_k", kappa, "_", to_string(decay), "_d",
+               deficiency);
+  }
+  // Deterministic seed for this spec: splitmix64 over every field, so
+  // two specs differing in any axis draw independent matrices and the
+  // same spec is bit-identical across consumers.
+  std::uint64_t mixed_seed() const;
+};
+
+namespace detail {
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
+inline std::uint64_t CaseSpec::mixed_seed() const {
+  std::uint64_t h = detail::splitmix64(seed);
+  h = detail::splitmix64(h ^ static_cast<std::uint64_t>(cols));
+  h = detail::splitmix64(h ^ static_cast<std::uint64_t>(ratio));
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(condition));
+  std::memcpy(&bits, &condition, sizeof(bits));
+  h = detail::splitmix64(h ^ bits);
+  h = detail::splitmix64(h ^ static_cast<std::uint64_t>(decay));
+  h = detail::splitmix64(h ^ static_cast<std::uint64_t>(deficiency));
+  return h;
+}
+
+// The spectrum a spec asks for: length cols, leading value 1, nonzero
+// part spanning [1, 1/condition], trailing `deficiency` values exactly
+// zero.
+inline std::vector<double> case_spectrum(const CaseSpec& spec) {
+  HSVD_REQUIRE(spec.cols >= 2, "case_spectrum needs at least two columns");
+  HSVD_REQUIRE(spec.deficiency < spec.cols,
+               "deficiency must leave at least one nonzero singular value");
+  HSVD_REQUIRE(std::isfinite(spec.condition) && spec.condition >= 1.0,
+               "condition must be finite and >= 1");
+  const std::size_t live = spec.cols - spec.deficiency;
+  std::vector<double> sigma(spec.cols, 0.0);
+  for (std::size_t i = 0; i < live; ++i) {
+    const double t =
+        live > 1 ? static_cast<double>(i) / static_cast<double>(live - 1) : 0.0;
+    switch (spec.decay) {
+      case Decay::kGeometric:
+        sigma[i] = std::pow(spec.condition, -t);
+        break;
+      case Decay::kHarmonic:
+        sigma[i] = 1.0 / (1.0 + t * (spec.condition - 1.0));
+        break;
+      case Decay::kStep:
+        sigma[i] = 2 * i < live ? 1.0 : 1.0 / spec.condition;
+        break;
+    }
+  }
+  return sigma;
+}
+
+// The matrix a spec names, in double (cast to float at the call site).
+// A = U0 * diag(sigma) * V0^T with U0 the Q of a Gaussian rows x cols
+// QR and V0 the Q of a Gaussian cols x cols QR, both drawn from the
+// spec's mixed seed.
+inline linalg::MatrixD generate_case(const CaseSpec& spec) {
+  HSVD_REQUIRE(spec.ratio >= 1, "ratio must be at least 1");
+  const std::vector<double> sigma = case_spectrum(spec);
+  const std::size_t rows = spec.rows();
+  const std::size_t cols = spec.cols;
+  Rng rng(spec.mixed_seed());
+  linalg::MatrixD u0 =
+      linalg::householder_qr(linalg::random_gaussian(rows, cols, rng)).q;
+  const linalg::MatrixD v0 =
+      linalg::householder_qr(linalg::random_gaussian(cols, cols, rng)).q;
+  for (std::size_t c = 0; c < cols; ++c) {
+    auto col = u0.col(c);
+    for (std::size_t r = 0; r < rows; ++r) col[r] *= sigma[c];
+  }
+  return linalg::matmul(u0, linalg::transpose(v0));
+}
+
+// Axes of the sweep; case_matrix() emits the full cross product. The
+// defaults are a small, fast grid (36 cases of modest size) -- callers
+// with a bigger budget (soak, LONG tests) widen the axes explicitly.
+struct CaseAxes {
+  std::vector<std::size_t> cols = {16, 24};
+  std::vector<std::size_t> ratios = {1, 4};
+  std::vector<double> conditions = {1e2, 1e6};
+  std::vector<Decay> decays = {Decay::kGeometric, Decay::kHarmonic,
+                               Decay::kStep};
+  // Deficiency as trailing zero count; entries >= cols are clamped to
+  // cols - 1 so small-cols grids keep a nonzero spectrum.
+  std::vector<std::size_t> deficiencies = {0};
+};
+
+inline std::vector<CaseSpec> case_matrix(const CaseAxes& axes,
+                                         std::uint64_t base_seed) {
+  std::vector<CaseSpec> specs;
+  specs.reserve(axes.cols.size() * axes.ratios.size() *
+                axes.conditions.size() * axes.decays.size() *
+                axes.deficiencies.size());
+  for (std::size_t cols : axes.cols) {
+    for (std::size_t ratio : axes.ratios) {
+      for (double condition : axes.conditions) {
+        for (Decay decay : axes.decays) {
+          for (std::size_t deficiency : axes.deficiencies) {
+            CaseSpec spec;
+            spec.cols = cols;
+            spec.ratio = ratio;
+            spec.condition = condition;
+            spec.decay = decay;
+            spec.deficiency = std::min(deficiency, cols - 1);
+            spec.seed = base_seed;
+            specs.push_back(spec);
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace hsvd::testing

@@ -1,0 +1,139 @@
+// Property tests for the generated case matrix (tests/case_matrix.hpp):
+// the grid is exactly the requested cross product, every spec draws a
+// bit-identical matrix from its seed, and the realized spectrum --
+// condition number, decay profile, rank deficiency -- matches the
+// requested one under the double-precision reference SVD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "case_matrix.hpp"
+#include "linalg/reference_svd.hpp"
+
+namespace hsvd {
+namespace {
+
+using testing::CaseAxes;
+using testing::CaseSpec;
+using testing::Decay;
+
+bool same_bits(const linalg::MatrixD& a, const linalg::MatrixD& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto da = a.data();
+  const auto db = b.data();
+  return da.empty() ||
+         std::memcmp(da.data(), db.data(), da.size_bytes()) == 0;
+}
+
+TEST(CaseMatrix, GridIsTheFullCrossProduct) {
+  CaseAxes axes;
+  const auto specs = testing::case_matrix(axes, 1);
+  EXPECT_EQ(specs.size(), axes.cols.size() * axes.ratios.size() *
+                              axes.conditions.size() * axes.decays.size() *
+                              axes.deficiencies.size());
+  // Every grid point gets a unique reproduction name and a unique seed.
+  std::set<std::string> names;
+  std::set<std::uint64_t> seeds;
+  for (const CaseSpec& spec : specs) {
+    names.insert(spec.name());
+    seeds.insert(spec.mixed_seed());
+  }
+  EXPECT_EQ(names.size(), specs.size());
+  EXPECT_EQ(seeds.size(), specs.size());
+}
+
+TEST(CaseMatrix, SameSpecDrawsBitIdenticalMatrices) {
+  CaseSpec spec;
+  spec.cols = 12;
+  spec.ratio = 4;
+  spec.condition = 1e4;
+  spec.decay = Decay::kGeometric;
+  spec.seed = 42;
+  const linalg::MatrixD a = testing::generate_case(spec);
+  const linalg::MatrixD b = testing::generate_case(spec);
+  EXPECT_TRUE(same_bits(a, b));
+  // Changing any one axis changes the draw.
+  CaseSpec other = spec;
+  other.seed = 43;
+  EXPECT_FALSE(same_bits(a, testing::generate_case(other)));
+  other = spec;
+  other.decay = Decay::kStep;
+  EXPECT_FALSE(same_bits(a, testing::generate_case(other)));
+}
+
+// The realized spectrum equals the requested one to double roundoff:
+// the construction multiplies orthonormal factors, it does not hope a
+// random draw lands near the target.
+TEST(CaseMatrix, RealizedSpectrumMatchesRequest) {
+  for (Decay decay : {Decay::kGeometric, Decay::kHarmonic, Decay::kStep}) {
+    for (std::size_t deficiency : {std::size_t{0}, std::size_t{4}}) {
+      CaseSpec spec;
+      spec.cols = 16;
+      spec.ratio = 8;
+      spec.condition = 1e5;
+      spec.decay = decay;
+      spec.deficiency = deficiency;
+      spec.seed = 7;
+      SCOPED_TRACE(spec.name());
+      const auto requested = testing::case_spectrum(spec);
+      const auto ref = linalg::reference_svd(testing::generate_case(spec));
+      ASSERT_EQ(ref.sigma.size(), spec.cols);
+      for (std::size_t i = 0; i < spec.cols; ++i) {
+        EXPECT_NEAR(ref.sigma[i], requested[i], 1e-10)
+            << "sigma[" << i << "]";
+      }
+      // Realized condition over the nonzero part.
+      const std::size_t live = spec.cols - deficiency;
+      EXPECT_NEAR(ref.sigma[0] / ref.sigma[live - 1], spec.condition,
+                  1e-6 * spec.condition);
+      // Deficiency means *exact* zeros, not merely small values.
+      for (std::size_t i = live; i < spec.cols; ++i) {
+        EXPECT_LT(ref.sigma[i], 1e-10);
+      }
+    }
+  }
+}
+
+TEST(CaseMatrix, DegenerateCornersGenerate) {
+  // Square (ratio 1), the minimal two-column shape, and a spectrum with
+  // a single live value (deficiency = cols - 1).
+  CaseSpec square;
+  square.cols = 10;
+  square.ratio = 1;
+  square.seed = 3;
+  const linalg::MatrixD sq = testing::generate_case(square);
+  EXPECT_EQ(sq.rows(), sq.cols());
+
+  CaseSpec tiny;
+  tiny.cols = 2;
+  tiny.ratio = 32;
+  tiny.condition = 1.0;  // flat spectrum
+  tiny.seed = 3;
+  const linalg::MatrixD t = testing::generate_case(tiny);
+  EXPECT_EQ(t.rows(), 64u);
+  EXPECT_EQ(t.cols(), 2u);
+
+  CaseSpec rank1;
+  rank1.cols = 8;
+  rank1.ratio = 2;
+  rank1.deficiency = 7;
+  rank1.seed = 3;
+  const auto ref = linalg::reference_svd(testing::generate_case(rank1));
+  EXPECT_NEAR(ref.sigma[0], 1.0, 1e-10);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_LT(ref.sigma[i], 1e-10);
+
+  // Invalid corners are rejected, not silently clamped.
+  CaseSpec bad;
+  bad.cols = 8;
+  bad.deficiency = 8;
+  EXPECT_THROW(testing::case_spectrum(bad), InputError);
+  bad.deficiency = 0;
+  bad.condition = 0.5;
+  EXPECT_THROW(testing::case_spectrum(bad), InputError);
+}
+
+}  // namespace
+}  // namespace hsvd

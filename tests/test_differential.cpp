@@ -24,6 +24,7 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/sharded.hpp"
+#include "case_matrix.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
@@ -31,6 +32,7 @@
 #include "linalg/generators.hpp"
 #include "linalg/metrics.hpp"
 #include "linalg/reference_svd.hpp"
+#include "scenarios/update.hpp"
 #include "verify/verifier.hpp"
 #include "versal/faults.hpp"
 
@@ -482,6 +484,200 @@ TEST(Differential, HealthyPathsSatisfyVerifierBounds) {
       SvdOptions opts = case_options(c);
       opts.backend = pin;
       expect_verifier_clean(c, svd(c.a, opts), cat("backend=", pin));
+    }
+  }
+}
+
+// ---- Mode: workload scenarios ---------------------------------------------
+
+// The scenario front-ends (tall-skinny QR pre-reduction, truncated
+// sketch, rank-1 update chains) are held to the same reference bounds as
+// the dense modes above, across the same execution-mode matrix. The
+// inner core's mode knobs propagate through the front-end, and the host
+// assembly stages are deterministic, so every arithmetic-preserving
+// mode (pipelined, sharded, aie pin) must also be bit-identical to the
+// scenario's serial run. Cases come from the generated case matrix
+// (tests/case_matrix.hpp) so each one reproduces from its printed name.
+const std::vector<std::string>& scenario_modes() {
+  static const std::vector<std::string> modes = {"serial", "pipelined",
+                                                 "sharded", "routed"};
+  return modes;
+}
+
+// Same pinned accelerator shape as case_config, but without rows/cols:
+// the facade re-derives those per call, which matters here because the
+// front-end's inner matrix (the n x n triangle, the n x l sketch) has a
+// different shape than the outer input.
+SvdOptions scenario_mode_options(const std::string& mode) {
+  SvdOptions opts;
+  opts.threads = 1;
+  accel::HeteroSvdConfig cfg;
+  cfg.p_eng = 4;
+  cfg.p_task = 1;
+  cfg.iterations = 6;
+  cfg.pipeline =
+      mode == "pipelined" ? accel::PipelineMode::kOn : accel::PipelineMode::kOff;
+  opts.config = cfg;
+  if (mode == "sharded") opts.shards = 2;
+  if (mode == "routed") opts.backend = "aie";
+  return opts;
+}
+
+DiffCase make_scenario_case(const hsvd::testing::CaseSpec& spec) {
+  DiffCase c;
+  c.name = spec.name();
+  const linalg::MatrixD a = hsvd::testing::generate_case(spec);
+  c.ref = linalg::reference_svd(a);
+  c.a = a.cast<float>();
+  return c;
+}
+
+TEST(Differential, ScenarioTallSkinnyMatchesReferenceAcrossModes) {
+  for (const std::size_t ratio :
+       {std::size_t{4}, std::size_t{32}, std::size_t{256}}) {
+    hsvd::testing::CaseSpec spec;
+    spec.cols = 8;
+    spec.ratio = ratio;
+    spec.condition = 1e2;
+    spec.seed = harness_seed();
+    const DiffCase c = make_scenario_case(spec);
+    Svd base;
+    for (const std::string& mode : scenario_modes()) {
+      SvdOptions opts = scenario_mode_options(mode);
+      opts.scenario = scenarios::Scenario::kTallSkinny;
+      const Svd r = svd(c.a, opts);
+      EXPECT_EQ(r.scenario, "tall-skinny");
+      check_against_reference(c, r, "tall-skinny " + mode);
+      if (mode == "serial") {
+        base = r;
+      } else {
+        expect_bit_identical(base, r,
+                             c.name + " tall-skinny " + mode + " vs serial");
+      }
+    }
+    // The cpu pin swaps the inner core for the host Jacobi: different
+    // bits, same bounds.
+    SvdOptions cpu = scenario_mode_options("serial");
+    cpu.backend = "cpu";
+    cpu.scenario = scenarios::Scenario::kTallSkinny;
+    check_against_reference(c, svd(c.a, cpu), "tall-skinny cpu");
+    // Modeled comparators never carry an engaged front-end.
+    SvdOptions modeled = scenario_mode_options("serial");
+    modeled.backend = "fpga-bcv";
+    modeled.scenario = scenarios::Scenario::kTallSkinny;
+    EXPECT_THROW(svd(c.a, modeled), InputError);
+  }
+}
+
+TEST(Differential, ScenarioTruncatedTopKWithinBoundAcrossModes) {
+  constexpr std::size_t kTopK = 4;
+  for (const hsvd::testing::Decay decay :
+       {hsvd::testing::Decay::kGeometric, hsvd::testing::Decay::kStep}) {
+    hsvd::testing::CaseSpec spec;
+    spec.cols = 16;
+    spec.ratio = 4;
+    spec.condition = 1e2;
+    spec.decay = decay;
+    spec.seed = harness_seed();
+    const DiffCase c = make_scenario_case(spec);
+    Svd base;
+    for (const std::string& mode : scenario_modes()) {
+      SCOPED_TRACE(c.name + " truncated " + mode);
+      SvdOptions opts = scenario_mode_options(mode);
+      opts.top_k = kTopK;
+      const Svd r = svd(c.a, opts);
+      EXPECT_EQ(r.scenario, "truncated");
+      ASSERT_EQ(r.sigma.size(), kTopK);
+      // Leading singular values match the full decomposition's leading
+      // block, and the measured rank-k error sits inside the recorded
+      // a-posteriori bound.
+      for (std::size_t i = 0; i < kTopK; ++i) {
+        EXPECT_NEAR(r.sigma[i], c.ref.sigma[i], 1e-3 * c.ref.sigma[0]);
+      }
+      std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+      ASSERT_GT(r.scenario_bound, 0.0);
+      EXPECT_LE(linalg::reconstruction_error(c.a.cast<double>(),
+                                             r.u.cast<double>(), sigma,
+                                             r.v.cast<double>()),
+                r.scenario_bound);
+      if (mode == "serial") {
+        base = r;
+      } else {
+        expect_bit_identical(base, r,
+                             c.name + " truncated " + mode + " vs serial");
+      }
+    }
+  }
+}
+
+TEST(Differential, ScenarioUpdateChainMatchesFromScratchAcrossModes) {
+  hsvd::testing::CaseSpec spec;
+  spec.cols = 12;
+  spec.ratio = 2;
+  spec.condition = 1e2;
+  spec.seed = harness_seed();
+  const linalg::MatrixD a0 = hsvd::testing::generate_case(spec);
+
+  // A fixed chain of three rank-1 updates, drawn once; the from-scratch
+  // reference decomposes the accumulated matrix in double.
+  constexpr int kChain = 3;
+  Rng rng(harness_seed() ^ 0x1d8a7eULL);
+  std::vector<linalg::MatrixD> us, vs;
+  linalg::MatrixD accumulated = a0;
+  for (int step = 0; step < kChain; ++step) {
+    us.push_back(linalg::random_gaussian(a0.rows(), 1, rng));
+    vs.push_back(linalg::random_gaussian(a0.cols(), 1, rng));
+    for (std::size_t cc = 0; cc < a0.cols(); ++cc) {
+      for (std::size_t rr = 0; rr < a0.rows(); ++rr) {
+        accumulated(rr, cc) += 0.25 * us.back()(rr, 0) * vs.back()(cc, 0);
+      }
+    }
+  }
+  DiffCase c;
+  c.name = spec.name() + "+chain3";
+  c.ref = linalg::reference_svd(accumulated);
+  c.a = accumulated.cast<float>();
+
+  Svd base;
+  for (const std::string& mode : scenario_modes()) {
+    SvdOptions opts = scenario_mode_options(mode);
+    scenarios::StreamingSvd stream(a0.cast<float>(), opts);
+    for (int step = 0; step < kChain; ++step) {
+      std::vector<float> uf(a0.rows()), vf(a0.cols());
+      for (std::size_t rr = 0; rr < a0.rows(); ++rr) {
+        uf[rr] = static_cast<float>(0.25 * us[static_cast<std::size_t>(step)](rr, 0));
+      }
+      for (std::size_t cc = 0; cc < a0.cols(); ++cc) {
+        vf[cc] = static_cast<float>(vs[static_cast<std::size_t>(step)](cc, 0));
+      }
+      stream.apply(uf, vf);
+    }
+    EXPECT_EQ(stream.updates(), kChain);
+    const Svd r = stream.current();
+    EXPECT_EQ(r.scenario, "update");
+    {
+      // The update core runs in double off fp32 factors; hold the chain
+      // to the same bounds as a direct fp32 decomposition of the
+      // accumulated matrix.
+      SCOPED_TRACE(c.name + " [update " + mode + "]");
+      ASSERT_EQ(r.sigma.size(), c.a.cols());
+      EXPECT_LT(sigma_scale_error(r.sigma, c.ref.sigma), 1e-4);
+      EXPECT_LT(linalg::orthogonality_error(r.u.cast<double>()), 1e-3);
+      EXPECT_LT(linalg::orthogonality_error(r.v.cast<double>()), 1e-3);
+      std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+      EXPECT_LT(linalg::reconstruction_error(c.a.cast<double>(),
+                                             r.u.cast<double>(), sigma,
+                                             r.v.cast<double>()),
+                1e-4);
+    }
+    if (mode == "serial") {
+      base = r;
+    } else {
+      // The initial decomposition is bit-identical across these modes
+      // and the chain arithmetic is mode-independent host code, so the
+      // chain's endpoint is too (iterations counts the *initial* core
+      // sweeps, which also match).
+      expect_bit_identical(base, r, c.name + " update " + mode + " vs serial");
     }
   }
 }

@@ -1,0 +1,643 @@
+// Unit tests for the workload-scenario layer (DESIGN.md section 16):
+// selection and option validation, the off-switch's bit-identity
+// contract, tall-skinny QR pre-reduction, truncated/randomized top-k,
+// rank-1 update/downdate and the streaming wrapper, scenario-aware
+// result-cache identity (forced-collision), serve-layer integration,
+// scenario observability counters, and the LSTM compression demo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "case_matrix.hpp"
+#include "common/rng.hpp"
+#include "heterosvd.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/metrics.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/reference_svd.hpp"
+#include "obs/obs.hpp"
+#include "scenarios/compression.hpp"
+#include "scenarios/scenarios.hpp"
+#include "scenarios/update.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/server.hpp"
+#include "verify/verifier.hpp"
+
+namespace hsvd {
+namespace {
+
+using scenarios::Scenario;
+
+bool same_bits(const linalg::MatrixF& a, const linalg::MatrixF& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const auto da = a.data();
+  const auto db = b.data();
+  return da.empty() ||
+         std::memcmp(da.data(), db.data(), da.size_bytes()) == 0;
+}
+
+bool same_bits(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+linalg::MatrixF tall_case(std::size_t cols, std::size_t ratio,
+                          std::uint64_t seed = 11) {
+  testing::CaseSpec spec;
+  spec.cols = cols;
+  spec.ratio = ratio;
+  spec.condition = 1e3;
+  spec.seed = seed;
+  return testing::generate_case(spec).cast<float>();
+}
+
+double reconstruction(const linalg::MatrixF& a, const Svd& r) {
+  std::vector<double> sigma(r.sigma.begin(), r.sigma.end());
+  return linalg::reconstruction_error(a.cast<double>(), r.u.cast<double>(),
+                                      sigma, r.v.cast<double>());
+}
+
+// ---- parsing and selection ------------------------------------------------
+
+TEST(Scenario, ParseRoundTrip) {
+  EXPECT_EQ(scenarios::parse_scenario("auto"), Scenario::kAuto);
+  EXPECT_EQ(scenarios::parse_scenario("off"), Scenario::kOff);
+  EXPECT_EQ(scenarios::parse_scenario("tall-skinny"), Scenario::kTallSkinny);
+  EXPECT_EQ(scenarios::parse_scenario("truncated"), Scenario::kTruncated);
+  for (Scenario s : {Scenario::kAuto, Scenario::kOff, Scenario::kTallSkinny,
+                     Scenario::kTruncated}) {
+    EXPECT_EQ(scenarios::parse_scenario(scenarios::to_string(s)), s);
+  }
+  EXPECT_THROW(scenarios::parse_scenario("qr"), InputError);
+  EXPECT_THROW(scenarios::parse_scenario(""), InputError);
+}
+
+TEST(Scenario, SelectionRules) {
+  SvdOptions opts;
+  // kAuto engages tall-skinny at the ratio threshold, not below it.
+  EXPECT_EQ(scenarios::select_scenario(128, 16, opts), Scenario::kTallSkinny);
+  EXPECT_EQ(scenarios::select_scenario(127, 16, opts), Scenario::kOff);
+  opts.scenario_opts.tall_skinny_ratio = 4.0;
+  EXPECT_EQ(scenarios::select_scenario(64, 16, opts), Scenario::kTallSkinny);
+  opts = SvdOptions{};
+  // Forced front-ends engage regardless of shape.
+  opts.scenario = Scenario::kTallSkinny;
+  EXPECT_EQ(scenarios::select_scenario(16, 16, opts), Scenario::kTallSkinny);
+  // top_k selects the truncated front-end under kAuto.
+  opts = SvdOptions{};
+  opts.top_k = 4;
+  EXPECT_EQ(scenarios::select_scenario(32, 16, opts), Scenario::kTruncated);
+  // Invalid combinations are typed input errors.
+  opts.scenario = Scenario::kOff;
+  EXPECT_THROW(scenarios::select_scenario(32, 16, opts), InputError);
+  opts.scenario = Scenario::kTallSkinny;
+  EXPECT_THROW(scenarios::select_scenario(32, 16, opts), InputError);
+  opts = SvdOptions{};
+  opts.top_k = 17;
+  EXPECT_THROW(scenarios::select_scenario(32, 16, opts), InputError);
+  opts = SvdOptions{};
+  opts.scenario = Scenario::kTruncated;
+  EXPECT_THROW(scenarios::select_scenario(32, 16, opts), InputError);
+  // Modeled comparators cannot carry an engaged front-end; "auto" can.
+  opts = SvdOptions{};
+  opts.top_k = 4;
+  opts.backend = "fpga-bcv";
+  EXPECT_THROW(scenarios::select_scenario(32, 16, opts), InputError);
+  opts.backend = "auto";
+  EXPECT_EQ(scenarios::select_scenario(32, 16, opts), Scenario::kTruncated);
+  EXPECT_FALSE(
+      scenarios::scenario_allows_backend(Scenario::kTruncated, "gpu-wcycle"));
+  EXPECT_TRUE(scenarios::scenario_allows_backend(Scenario::kOff, "gpu-wcycle"));
+  // Bad knobs are rejected through validate().
+  opts = SvdOptions{};
+  opts.scenario_opts.tall_skinny_ratio = 0.5;
+  EXPECT_THROW(scenarios::select_scenario(32, 16, opts), InputError);
+}
+
+// ---- off-switch bit-identity ----------------------------------------------
+
+// The contract that keeps this PR invisible to every existing caller:
+// scenario off -- and auto below the engagement threshold -- produces
+// bits identical to the dense path, scenario provenance unset.
+TEST(Scenario, OffAndDormantAutoAreBitIdenticalToDense) {
+  Rng rng(5);
+  const linalg::MatrixF a =
+      linalg::random_gaussian(40, 16, rng).cast<float>();
+  SvdOptions dense;
+  dense.threads = 1;
+  const Svd base = svd(a, dense);
+  EXPECT_TRUE(base.scenario.empty());
+  EXPECT_EQ(base.scenario_top_k, 0u);
+
+  SvdOptions off = dense;
+  off.scenario = Scenario::kOff;
+  const Svd r_off = svd(a, off);
+  EXPECT_TRUE(same_bits(base.u, r_off.u));
+  EXPECT_TRUE(same_bits(base.sigma, r_off.sigma));
+  EXPECT_TRUE(same_bits(base.v, r_off.v));
+  EXPECT_TRUE(r_off.scenario.empty());
+
+  // Even on a very tall matrix, kOff pins the dense path.
+  const linalg::MatrixF tall = tall_case(8, 32);
+  SvdOptions tall_off;
+  tall_off.threads = 1;
+  tall_off.scenario = Scenario::kOff;
+  const Svd r_tall = svd(tall, tall_off);
+  EXPECT_TRUE(r_tall.scenario.empty());
+}
+
+TEST(Scenario, AutoEngagesTallSkinnyAtRatioThreshold) {
+  const linalg::MatrixF tall = tall_case(8, 32);
+  SvdOptions opts;
+  opts.threads = 1;
+  const Svd r = svd(tall, opts);
+  EXPECT_EQ(r.scenario, "tall-skinny");
+  EXPECT_GT(r.scenario_bound, 0.0);
+}
+
+// ---- tall-skinny front-end -------------------------------------------------
+
+TEST(Scenario, TallSkinnyMatchesReference) {
+  for (std::size_t ratio : {std::size_t{4}, std::size_t{32}}) {
+    const linalg::MatrixF a = tall_case(16, ratio);
+    const auto ref = linalg::reference_svd(a.cast<double>());
+    SvdOptions opts;
+    opts.threads = 1;
+    opts.scenario = Scenario::kTallSkinny;
+    const Svd r = svd(a, opts);
+    SCOPED_TRACE(ratio);
+    EXPECT_EQ(r.scenario, "tall-skinny");
+    ASSERT_EQ(r.sigma.size(), a.cols());
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      EXPECT_NEAR(r.sigma[i], ref.sigma[i], 5e-5 * ref.sigma[0]);
+    }
+    EXPECT_LT(linalg::orthogonality_error(r.u.cast<double>()), 1e-3);
+    EXPECT_LT(reconstruction(a, r), 1e-4);
+  }
+}
+
+TEST(Scenario, TallSkinnyRespectsWantV) {
+  const linalg::MatrixF a = tall_case(8, 16);
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.scenario = Scenario::kTallSkinny;
+  opts.want_v = false;
+  const Svd r = svd(a, opts);
+  EXPECT_TRUE(r.v.empty());
+  EXPECT_EQ(r.sigma.size(), a.cols());
+}
+
+// A wide input composes: the facade transposes first, then the (now
+// tall) problem can engage the front-end, and the factor swap returns
+// factors for the original orientation.
+TEST(Scenario, WideInputComposesWithTranspose) {
+  const linalg::MatrixF tall = tall_case(8, 32);
+  const linalg::MatrixF wide = linalg::transpose(tall);
+  SvdOptions opts;
+  opts.threads = 1;
+  const Svd r = svd(wide, opts);
+  EXPECT_EQ(r.scenario, "tall-skinny");
+  ASSERT_EQ(r.u.rows(), wide.rows());
+  ASSERT_EQ(r.v.rows(), wide.cols());
+  EXPECT_LT(reconstruction(wide, r), 1e-4);
+}
+
+// ---- truncated front-end ---------------------------------------------------
+
+TEST(Scenario, TruncatedTopKWithinBoundOfReference) {
+  testing::CaseSpec spec;
+  spec.cols = 16;
+  spec.ratio = 4;
+  spec.condition = 1e4;
+  spec.decay = testing::Decay::kGeometric;
+  spec.seed = 23;
+  const linalg::MatrixF a = testing::generate_case(spec).cast<float>();
+  const auto ref = linalg::reference_svd(a.cast<double>());
+
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.top_k = 4;
+  const Svd r = svd(a, opts);
+  EXPECT_EQ(r.scenario, "truncated");
+  EXPECT_EQ(r.scenario_top_k, 4u);
+  ASSERT_EQ(r.sigma.size(), 4u);
+  ASSERT_EQ(r.u.cols(), 4u);
+  ASSERT_EQ(r.v.cols(), 4u);
+  // The leading singular values match the reference's leading block.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(r.sigma[i], ref.sigma[i], 1e-3 * ref.sigma[0]);
+  }
+  // The recorded a-posteriori bound covers the measured rank-k error.
+  ASSERT_GT(r.scenario_bound, 0.0);
+  EXPECT_LE(reconstruction(a, r), r.scenario_bound);
+  // ... and the bound is meaningful: it also covers the *optimal*
+  // rank-k error, and is not vacuously large for a decaying spectrum.
+  double tail2 = 0.0;
+  double total2 = 0.0;
+  for (std::size_t i = 0; i < ref.sigma.size(); ++i) {
+    total2 += ref.sigma[i] * ref.sigma[i];
+    if (i >= 4) tail2 += ref.sigma[i] * ref.sigma[i];
+  }
+  EXPECT_GE(r.scenario_bound, std::sqrt(tail2 / total2));
+  EXPECT_LT(r.scenario_bound, 0.5);
+}
+
+TEST(Scenario, TruncatedIsDeterministicAcrossCalls) {
+  const linalg::MatrixF a = tall_case(12, 4, 31);
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.top_k = 3;
+  const Svd r1 = svd(a, opts);
+  const Svd r2 = svd(a, opts);
+  EXPECT_TRUE(same_bits(r1.u, r2.u));
+  EXPECT_TRUE(same_bits(r1.sigma, r2.sigma));
+  EXPECT_TRUE(same_bits(r1.v, r2.v));
+  // A different sketch seed draws a different subspace (bits differ,
+  // accuracy holds).
+  SvdOptions reseeded = opts;
+  reseeded.scenario_opts.sketch_seed = 999;
+  const Svd r3 = svd(a, reseeded);
+  EXPECT_FALSE(same_bits(r1.u, r3.u));
+  EXPECT_LE(reconstruction(a, r3), r3.scenario_bound);
+}
+
+TEST(Scenario, TruncatedTopKEqualColsRecoversFullSpectrum) {
+  const linalg::MatrixF a = tall_case(8, 2, 17);
+  const auto ref = linalg::reference_svd(a.cast<double>());
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.top_k = 8;  // k = n: the sketch spans the whole column space
+  const Svd r = svd(a, opts);
+  ASSERT_EQ(r.sigma.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(r.sigma[i], ref.sigma[i], 1e-4 * ref.sigma[0]);
+  }
+}
+
+TEST(Scenario, TopKOneOnRankOneMatrixIsExact) {
+  testing::CaseSpec spec;
+  spec.cols = 8;
+  spec.ratio = 4;
+  spec.deficiency = 7;  // exactly rank one
+  spec.seed = 29;
+  const linalg::MatrixF a = testing::generate_case(spec).cast<float>();
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.top_k = 1;
+  const Svd r = svd(a, opts);
+  ASSERT_EQ(r.sigma.size(), 1u);
+  EXPECT_NEAR(r.sigma[0], 1.0, 1e-4);
+  EXPECT_LT(reconstruction(a, r), 1e-4);
+}
+
+// ---- facade/batch rejection ------------------------------------------------
+
+TEST(Scenario, BatchRejectsEngagedFrontEnds) {
+  Rng rng(9);
+  std::vector<linalg::MatrixF> batch = {
+      linalg::random_gaussian(24, 8, rng).cast<float>(),
+      linalg::random_gaussian(24, 8, rng).cast<float>()};
+  SvdOptions opts;
+  opts.top_k = 2;
+  EXPECT_THROW(svd_batch(batch, opts), InputError);
+  opts = SvdOptions{};
+  opts.scenario = Scenario::kTallSkinny;
+  EXPECT_THROW(svd_batch(batch, opts), InputError);
+  // kAuto never engages in a batch, even for very tall members.
+  std::vector<linalg::MatrixF> tall_batch = {tall_case(8, 32, 1),
+                                             tall_case(8, 32, 2)};
+  SvdOptions auto_opts;
+  auto_opts.threads = 1;
+  const BatchSvd out = svd_batch(tall_batch, auto_opts);
+  for (const Svd& r : out.results) EXPECT_TRUE(r.scenario.empty());
+}
+
+TEST(Scenario, EngagedFrontEndRejectsModeledBackendPin) {
+  const linalg::MatrixF a = tall_case(8, 16);
+  SvdOptions opts;
+  opts.scenario = Scenario::kTallSkinny;
+  opts.backend = "fpga-bcv";
+  EXPECT_THROW(svd(a, opts), InputError);
+  // The cpu pin is a functional backend and carries the inner core.
+  opts.backend = "cpu";
+  const Svd r = svd(a, opts);
+  EXPECT_EQ(r.scenario, "tall-skinny");
+  EXPECT_EQ(r.backend, "cpu");
+}
+
+// ---- attestation -----------------------------------------------------------
+
+TEST(Scenario, AssembledResultsAreAttested) {
+  const linalg::MatrixF a = tall_case(8, 16);
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.verify.mode = verify::VerifyMode::kAlways;
+  const Svd r = svd(a, opts);
+  EXPECT_EQ(r.scenario, "tall-skinny");
+  EXPECT_TRUE(r.verify_report.checked);
+  EXPECT_TRUE(r.verify_report.verified);
+  // The scenario assembly rung is on the report, after the inner
+  // core's own ladder attempts.
+  ASSERT_FALSE(r.verify_report.attempts.empty());
+  EXPECT_EQ(r.verify_report.attempts.back().backend, "scenario:tall-skinny");
+  EXPECT_TRUE(r.verify_report.attempts.back().outcome.passed);
+
+  // Truncated: the widened bound attests the assembly even though the
+  // truncation residual fails the raw dense bound by construction.
+  SvdOptions topk = opts;
+  topk.top_k = 3;
+  const Svd t = svd(a, topk);
+  EXPECT_TRUE(t.verify_report.verified);
+  EXPECT_EQ(t.verify_report.attempts.back().backend, "scenario:truncated");
+}
+
+// ---- rank-1 update ---------------------------------------------------------
+
+TEST(Scenario, UpdateMatchesFromScratch) {
+  Rng rng(13);
+  const linalg::MatrixF a = linalg::random_gaussian(24, 12, rng).cast<float>();
+  SvdOptions opts;
+  opts.threads = 1;
+  Svd s = svd(a, opts);
+  ASSERT_EQ(s.v.rows(), s.v.cols());
+
+  const linalg::MatrixD ud = linalg::random_gaussian(24, 1, rng);
+  const linalg::MatrixD vd = linalg::random_gaussian(12, 1, rng);
+  std::vector<float> u(24), v(12);
+  for (std::size_t i = 0; i < 24; ++i) u[i] = static_cast<float>(ud(i, 0));
+  for (std::size_t i = 0; i < 12; ++i) v[i] = static_cast<float>(vd(i, 0));
+
+  scenarios::svd_update(s, u, v);
+  EXPECT_EQ(s.scenario, "update");
+
+  // A' = A + u v^T, from scratch in double.
+  linalg::MatrixD ap = a.cast<double>();
+  for (std::size_t c = 0; c < 12; ++c) {
+    for (std::size_t r = 0; r < 24; ++r) ap(r, c) += ud(r, 0) * vd(c, 0);
+  }
+  const auto ref = linalg::reference_svd(ap);
+  ASSERT_EQ(s.sigma.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(s.sigma[i], ref.sigma[i], 1e-4 * ref.sigma[0]);
+  }
+  EXPECT_LT(linalg::orthogonality_error(s.u.cast<double>()), 1e-4);
+  EXPECT_LT(linalg::orthogonality_error(s.v.cast<double>()), 1e-4);
+  EXPECT_LT(linalg::reconstruction_error(
+                ap, s.u.cast<double>(),
+                std::vector<double>(s.sigma.begin(), s.sigma.end()),
+                s.v.cast<double>()),
+            1e-4);
+
+  // Downdate returns to the original spectrum.
+  scenarios::svd_downdate(s, u, v);
+  const auto ref0 = linalg::reference_svd(a.cast<double>());
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(s.sigma[i], ref0.sigma[i], 1e-4 * ref0.sigma[0]);
+  }
+}
+
+TEST(Scenario, UpdateRequiresFullSquareV) {
+  const linalg::MatrixF a = tall_case(8, 4);
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.want_v = false;
+  Svd s = svd(a, opts);
+  std::vector<float> u(a.rows(), 0.0f), v(a.cols(), 0.0f);
+  EXPECT_THROW(scenarios::svd_update(s, u, v), InputError);
+
+  SvdOptions topk;
+  topk.threads = 1;
+  topk.top_k = 3;
+  Svd t = svd(a, topk);
+  EXPECT_THROW(scenarios::svd_update(t, u, v), InputError);
+}
+
+TEST(Scenario, StreamingSvdAppliesAndTracksDrift) {
+  Rng rng(37);
+  const linalg::MatrixF a0 =
+      linalg::random_gaussian(20, 10, rng).cast<float>();
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.scenario_opts.update_check_interval = 2;
+  scenarios::StreamingSvd stream(a0, opts);
+  EXPECT_EQ(stream.updates(), 0);
+  EXPECT_EQ(stream.redecompositions(), 0);
+
+  for (int step = 0; step < 4; ++step) {
+    const linalg::MatrixD ud = linalg::random_gaussian(20, 1, rng);
+    const linalg::MatrixD vd = linalg::random_gaussian(10, 1, rng);
+    std::vector<float> u(20), v(10);
+    for (std::size_t i = 0; i < 20; ++i) {
+      u[i] = static_cast<float>(0.1 * ud(i, 0));
+    }
+    for (std::size_t i = 0; i < 10; ++i) {
+      v[i] = static_cast<float>(0.1 * vd(i, 0));
+    }
+    stream.apply(u, v);
+  }
+  EXPECT_EQ(stream.updates(), 4);
+  // Benign updates never trip the verifier: the factors still satisfy
+  // the production bounds against the running matrix.
+  EXPECT_EQ(stream.redecompositions(), 0);
+  EXPECT_GE(stream.last_residual(), 0.0);
+  EXPECT_EQ(stream.current().scenario, "update");
+  const verify::ResultVerifier verifier(opts.precision);
+  EXPECT_TRUE(verifier.check(stream.matrix(), stream.current()).passed);
+}
+
+// Cancelling the dominant rank-1 component in fp32 leaves cancellation
+// noise ~ eps32 * sigma_1 in the running matrix while the true spectrum
+// collapses to O(1): the relative drift bound breaks deterministically
+// and the stream must re-decompose.
+TEST(Scenario, StreamingSvdRedecomposesWhenDriftBreaksTheBound) {
+  // sigma_1 = 1e6 dominates an O(1) tail: after the downdate the true
+  // matrix is O(1) but both the running fp32 matrix and the fp32
+  // factors carry ~eps32 * sigma_1 noise, so the relative residual
+  // lands orders of magnitude above the drift bound.
+  std::vector<double> sigma(12, 1.0);
+  sigma[0] = 1e6;
+  Rng rng(41);
+  const linalg::MatrixD ad = linalg::matrix_with_spectrum(24, 12, sigma, rng);
+  const linalg::MatrixF a0 = ad.cast<float>();
+  const auto ref = linalg::reference_svd(a0.cast<double>());
+
+  SvdOptions opts;
+  opts.threads = 1;
+  scenarios::StreamingSvd stream(a0, opts);
+
+  // Downdate the dominant triplet: u = sigma_1 * u_1, v = v_1.
+  std::vector<float> u(a0.rows()), v(a0.cols());
+  for (std::size_t r = 0; r < a0.rows(); ++r) {
+    u[r] = static_cast<float>(ref.sigma[0] * ref.u(r, 0));
+  }
+  for (std::size_t c = 0; c < a0.cols(); ++c) {
+    v[c] = static_cast<float>(-ref.v(c, 0));
+  }
+  stream.apply(u, v);
+  EXPECT_GE(stream.redecompositions(), 1);
+  // After the re-decomposition the factors agree with the running
+  // matrix again.
+  const verify::ResultVerifier verifier(opts.precision);
+  EXPECT_TRUE(verifier.check(stream.matrix(), stream.current()).passed);
+}
+
+// ---- result-cache identity (forced collision) ------------------------------
+
+// Satellite contract: scenario and top_k are part of the cache key. The
+// "collision" here is forced -- same matrix, same digest, same route --
+// and the cache must still never answer a truncated request with the
+// dense entry or vice versa.
+TEST(ScenarioCache, ScenarioAndTopKArePartOfTheKey) {
+  serve::ResultCache cache(8);
+  Rng rng(3);
+  const linalg::MatrixF a = linalg::random_gaussian(16, 8, rng).cast<float>();
+  const std::uint64_t d = serve::ResultCache::digest(a);
+
+  Svd dense;
+  dense.u = a;  // placeholder factors; identity is what's under test
+  dense.sigma.assign(8, 1.0f);
+  cache.insert(a, d, dense);
+
+  // Forced collision: the dense entry must not satisfy a scenario key.
+  EXPECT_FALSE(cache.lookup(a, d, "", "truncated", 3).has_value());
+  EXPECT_FALSE(cache.lookup(a, d, "", "auto", 3).has_value());
+
+  Svd trunc;
+  trunc.u = a;
+  trunc.sigma.assign(3, 1.0f);
+  trunc.scenario = "truncated";
+  trunc.scenario_top_k = 3;
+  cache.insert(a, d, trunc, "", "truncated", 3);
+
+  const auto hit_dense = cache.lookup(a, d);
+  ASSERT_TRUE(hit_dense.has_value());
+  EXPECT_TRUE(hit_dense->scenario.empty());
+  const auto hit_trunc = cache.lookup(a, d, "", "truncated", 3);
+  ASSERT_TRUE(hit_trunc.has_value());
+  EXPECT_EQ(hit_trunc->scenario_top_k, 3u);
+  // top_k alone separates entries too (same scenario string).
+  EXPECT_FALSE(cache.lookup(a, d, "", "truncated", 4).has_value());
+  // Scenario-qualified erase removes only its own entry.
+  EXPECT_TRUE(cache.erase(a, d, "", "truncated", 3));
+  EXPECT_FALSE(cache.lookup(a, d, "", "truncated", 3).has_value());
+  EXPECT_TRUE(cache.lookup(a, d).has_value());
+}
+
+// ---- serving layer ---------------------------------------------------------
+
+serve::ServerOptions qos_server_options() {
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.svd.threads = 1;
+  serve::TenantConfig tenant;
+  tenant.name = "default";
+  options.qos.tenants.push_back(tenant);
+  options.qos.cache_enabled = true;
+  options.qos.cache_capacity = 16;
+  return options;
+}
+
+TEST(ScenarioServe, TruncatedRequestsServeSoloAndCacheByScenario) {
+  serve::SvdServer server(qos_server_options());
+  const linalg::MatrixF a = tall_case(12, 4, 51);
+
+  serve::Request request;
+  request.matrix = a;
+  request.scenario = "auto";
+  request.top_k = 3;
+  const serve::Response first = server.serve(request);
+  ASSERT_EQ(first.status, serve::ServeStatus::kOk);
+  EXPECT_EQ(first.result.scenario, "truncated");
+  EXPECT_EQ(first.result.sigma.size(), 3u);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.batch_size, 1u);  // scenario requests dispatch solo
+
+  // Same request again: a scenario-keyed cache hit, bit-identical.
+  const serve::Response again = server.serve(request);
+  ASSERT_EQ(again.status, serve::ServeStatus::kOk);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_TRUE(same_bits(first.result.u, again.result.u));
+  EXPECT_TRUE(same_bits(first.result.sigma, again.result.sigma));
+
+  // The same bytes as a dense request miss the truncated entry and
+  // compute the full decomposition.
+  serve::Request dense;
+  dense.matrix = a;
+  const serve::Response full = server.serve(dense);
+  ASSERT_EQ(full.status, serve::ServeStatus::kOk);
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_EQ(full.result.sigma.size(), a.cols());
+  EXPECT_TRUE(full.result.scenario.empty());
+  server.shutdown();
+}
+
+TEST(ScenarioServe, UnknownScenarioFailsDeterministically) {
+  serve::ServerOptions options;
+  options.workers = 1;
+  options.svd.threads = 1;
+  serve::SvdServer server(options);
+  serve::Request request;
+  Rng rng(7);
+  request.matrix = linalg::random_gaussian(16, 8, rng).cast<float>();
+  request.scenario = "banana";
+  const serve::Response response = server.serve(request);
+  EXPECT_EQ(response.status, serve::ServeStatus::kFailed);
+  EXPECT_EQ(response.attempts, 1);  // no retry on a typed rejection
+  server.shutdown();
+}
+
+// ---- observability ---------------------------------------------------------
+
+TEST(Scenario, CountersSurfaceThroughObs) {
+  obs::ObsContext obs;
+  SvdOptions opts;
+  opts.threads = 1;
+  opts.observer = &obs;
+  opts.verify.mode = verify::VerifyMode::kAlways;
+  (void)svd(tall_case(8, 16), opts);
+  opts.top_k = 2;
+  (void)svd(tall_case(8, 4, 19), opts);
+  const auto counters = obs.metrics().snapshot().counters;
+  EXPECT_EQ(counters.at("scenario.tall_skinny"), 1u);
+  EXPECT_EQ(counters.at("scenario.truncated"), 1u);
+  EXPECT_GE(counters.at("scenario.verify.checked"), 2u);
+  EXPECT_EQ(counters.count("scenario.verify.escalated"), 0u);
+}
+
+// ---- LSTM compression demo -------------------------------------------------
+
+TEST(ScenarioCompression, LstmDemoReportsRatioAndError) {
+  serve::SvdServer server(qos_server_options());
+  scenarios::LstmCompressionOptions options;
+  options.layers = 1;
+  options.input_dim = 16;
+  options.hidden_dim = 16;
+  options.rank = 4;
+  options.condition = 1e3;
+  const scenarios::CompressionReport report =
+      scenarios::compress_lstm(server, options);
+  ASSERT_EQ(report.rows.size(), 8u);  // 4 W gates + 4 U gates
+  EXPECT_EQ(report.served, 8u);
+  for (const scenarios::CompressionRow& row : report.rows) {
+    SCOPED_TRACE(row.name);
+    EXPECT_EQ(row.status, "ok");
+    EXPECT_GT(row.ratio, 1.0);  // rank 4 on 16x16 actually compresses
+    EXPECT_GE(row.rel_error, 0.0);
+    EXPECT_LE(row.rel_error, row.bound);
+  }
+  EXPECT_GT(report.mean_ratio, 1.0);
+  // CSV: header + one line per matrix, stable column set.
+  const std::string csv = report.csv();
+  EXPECT_NE(csv.find("name,rows,cols,rank,ratio,rel_error,bound,status"),
+            std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            report.rows.size() + 1);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace hsvd

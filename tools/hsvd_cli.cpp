@@ -3,9 +3,21 @@
 //   hsvd gen <rows> <cols> <out.{mtx|bin}> [condition]
 //       Generate a random test matrix (optionally with a geometric
 //       spectrum of the given condition number).
-//   hsvd svd <in.{mtx|bin}> [out_prefix]
+//   hsvd svd [--scenario auto|off|tall-skinny|truncated] [--top-k K]
+//            <in.{mtx|bin}> [out_prefix]
 //       Decompose a matrix on the simulated accelerator; writes
 //       <prefix>_u.mtx, <prefix>_sigma.txt, <prefix>_v.mtx.
+//       --scenario selects the workload front-end (DESIGN.md section
+//       16): "auto" (default) engages the Householder-QR pre-reduction
+//       above the aspect-ratio threshold and the randomized sketch
+//       when --top-k asks for one; "off" forces the classic dense
+//       path. A truncated run prints the a-posteriori error bound.
+//   hsvd update [--out prefix] <in.{mtx|bin}> <u1> <v1> [<u2> <v2> ...]
+//       Decompose, then stream rank-1 updates A <- A + u v^T through
+//       the Brand core; each (u, v) pair is an m x 1 / n x 1 matrix
+//       file. Drift is verifier-checked and a broken bound triggers a
+//       full re-decomposition (counted in the summary line). Writes
+//       the final factors like `hsvd svd`.
 //   hsvd batch [--verify off|sample:p|always] <in1> [in2 ...]
 //       Decompose same-shape matrices as one batch and print a
 //       per-task status table plus a per-status summary. --verify
@@ -21,7 +33,8 @@
 //   hsvd serve [--tenant SPEC]... [--priority P] [--cache N]
 //              [--coalesce N] [--coalesce-window-ms W] [--workers N]
 //              [--deadline-ms D] [--backend SPEC]
-//              [--verify off|sample:p|always] <in1> [in2 ...]
+//              [--verify off|sample:p|always]
+//              [--scenario NAME] [--top-k K] <in1> [in2 ...]
 //       Push the matrices through an in-process serving instance with
 //       the multi-tenant QoS layer: requests are assigned to the
 //       configured tenants round-robin (SPEC is
@@ -31,8 +44,11 @@
 //       backend router ("auto", "auto:latency:0.005", or a pin like
 //       "cpu"). --verify turns on result attestation with per-request
 //       verify columns; under "always" the command exits nonzero when
-//       any request escapes unverified. Prints a per-request and a
-//       per-tenant table; exits nonzero when any request ends kFailed.
+//       any request escapes unverified. --scenario/--top-k tag every
+//       request with workload-scenario intent: tagged requests
+//       dispatch solo (never coalesced) and the result cache keys by
+//       scenario + top_k. Prints a per-request and a per-tenant table;
+//       exits nonzero when any request ends kFailed.
 //   hsvd route [--sweep n1,n2,...] [--slo latency|throughput|energy]
 //              [--batch B] [--csv route_table.csv]
 //       Score every registered backend for each (square) shape under
@@ -61,6 +77,7 @@
 #include "accel/accelerator.hpp"
 #include "backend/router.hpp"
 #include "common/csv.hpp"
+#include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -70,6 +87,7 @@
 #include "linalg/generators.hpp"
 #include "linalg/matrix_io.hpp"
 #include "perfmodel/perf_model.hpp"
+#include "scenarios/update.hpp"
 #include "serve/qos.hpp"
 #include "serve/server.hpp"
 #include "verify/policy.hpp"
@@ -124,31 +142,126 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
-int cmd_svd(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: hsvd svd <in> [out_prefix]\n");
-    return 2;
-  }
-  const linalg::MatrixF a = load_any(argv[1]);
-  const std::string prefix = argc > 2 ? argv[2] : "hsvd_out";
-  std::printf("decomposing %zux%zu...\n", a.rows(), a.cols());
-  SvdOptions opts;
-  opts.threads = g_threads;
-  opts.shards = g_shards;
-  Svd r = svd(a, opts);
-  std::printf("converged in %d sweeps (rate %.2e); simulated accelerator "
-              "latency %.3f ms\n",
-              r.iterations, r.convergence_rate, r.accelerator_seconds * 1e3);
-  if (r.status == SvdStatus::kNotConverged) {
-    std::printf("warning: precision target not reached (%s)\n",
-                r.message.c_str());
-  }
+// Shared factor output for svd/update: <prefix>_u.mtx,
+// <prefix>_sigma.txt, and <prefix>_v.mtx when V is present.
+void write_factors(const Svd& r, const std::string& prefix) {
   linalg::save_matrix_market(r.u, prefix + "_u.mtx");
   if (!r.v.empty()) linalg::save_matrix_market(r.v, prefix + "_v.mtx");
   std::ofstream sig(prefix + "_sigma.txt");
   for (float s : r.sigma) sig << s << "\n";
-  std::printf("wrote %s_u.mtx, %s_sigma.txt%s\n", prefix.c_str(), prefix.c_str(),
+  std::printf("wrote %s_u.mtx, %s_sigma.txt%s\n", prefix.c_str(),
+              prefix.c_str(),
               r.v.empty() ? "" : (", " + prefix + "_v.mtx").c_str());
+}
+
+int cmd_svd(int argc, char** argv) {
+  std::string scenario_spec;
+  std::size_t top_k = 0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--scenario" && has_value) {
+      scenario_spec = argv[++i];
+    } else if (arg == "--top-k" && has_value) {
+      top_k = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "hsvd svd: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: hsvd svd [--scenario auto|off|tall-skinny|truncated] "
+                 "[--top-k K] <in> [out_prefix]\n");
+    return 2;
+  }
+  const linalg::MatrixF a = load_any(positional[0]);
+  const std::string prefix = positional.size() > 1 ? positional[1] : "hsvd_out";
+  std::printf("decomposing %zux%zu...\n", a.rows(), a.cols());
+  SvdOptions opts;
+  opts.threads = g_threads;
+  opts.shards = g_shards;
+  if (!scenario_spec.empty()) {
+    opts.scenario = scenarios::parse_scenario(scenario_spec);
+  }
+  opts.top_k = top_k;
+  Svd r = svd(a, opts);
+  std::printf("converged in %d sweeps (rate %.2e); simulated accelerator "
+              "latency %.3f ms\n",
+              r.iterations, r.convergence_rate, r.accelerator_seconds * 1e3);
+  if (!r.scenario.empty()) {
+    std::printf("scenario %s engaged", r.scenario.c_str());
+    if (r.scenario_top_k > 0) {
+      std::printf(" (top-%zu, a-posteriori bound %.3e)", r.scenario_top_k,
+                  r.scenario_bound);
+    }
+    std::printf("\n");
+  }
+  if (r.status == SvdStatus::kNotConverged) {
+    std::printf("warning: precision target not reached (%s)\n",
+                r.message.c_str());
+  }
+  write_factors(r, prefix);
+  return 0;
+}
+
+// One column vector for the update subcommand: an m x 1 matrix file.
+std::vector<float> load_column(const std::string& path, std::size_t rows,
+                               const char* role) {
+  const linalg::MatrixF m = load_any(path);
+  if (m.cols() != 1 || m.rows() != rows) {
+    throw InputError(cat("hsvd update: ", role, " vector ", path, " must be ",
+                         rows, "x1, got ", m.rows(), "x", m.cols()));
+  }
+  const auto data = m.data();
+  return std::vector<float>(data.begin(), data.end());
+}
+
+int cmd_update(int argc, char** argv) {
+  std::string prefix = "hsvd_update";
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--out" && has_value) {
+      prefix = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "hsvd update: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 3 || (positional.size() - 1) % 2 != 0) {
+    std::fprintf(stderr,
+                 "usage: hsvd update [--out prefix] <in> <u1> <v1> "
+                 "[<u2> <v2> ...]\n"
+                 "each (u, v) pair applies the rank-1 update A <- A + u v^T "
+                 "through the streaming scenario core\n");
+    return 2;
+  }
+  const linalg::MatrixF a = load_any(positional[0]);
+  std::printf("decomposing %zux%zu, then applying %zu rank-1 update(s)...\n",
+              a.rows(), a.cols(), (positional.size() - 1) / 2);
+  SvdOptions opts;
+  opts.threads = g_threads;
+  opts.shards = g_shards;
+  scenarios::StreamingSvd stream(a, opts);
+  for (std::size_t p = 1; p + 1 < positional.size(); p += 2) {
+    const std::vector<float> u = load_column(positional[p], a.rows(), "u");
+    const std::vector<float> v = load_column(positional[p + 1], a.cols(), "v");
+    stream.apply(u, v);
+  }
+  const Svd& r = stream.current();
+  std::printf("applied %d update(s): %d re-decomposition(s), last drift "
+              "residual %s\n",
+              stream.updates(), stream.redecompositions(),
+              stream.last_residual() >= 0.0 ? sci(stream.last_residual()).c_str()
+                                            : "unchecked");
+  write_factors(r, prefix);
   return 0;
 }
 
@@ -444,6 +557,8 @@ int cmd_serve(int argc, char** argv) {
   backend::BackendSpec backend_spec;
   bool backend_set = false;
   verify::VerifyPolicy vpolicy;
+  std::string scenario_spec;
+  std::size_t top_k = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -456,6 +571,10 @@ int cmd_serve(int argc, char** argv) {
       backend_set = true;
     } else if (arg == "--verify" && has_value) {
       vpolicy = verify::parse_verify_policy(argv[++i]);
+    } else if (arg == "--scenario" && has_value) {
+      scenario_spec = argv[++i];
+    } else if (arg == "--top-k" && has_value) {
+      top_k = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--cache" && has_value) {
       cache = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--coalesce" && has_value) {
@@ -479,7 +598,7 @@ int cmd_serve(int argc, char** argv) {
                  "latency|normal|batch] [--cache N] [--coalesce N] "
                  "[--coalesce-window-ms W] [--workers N] [--deadline-ms D] "
                  "[--backend SPEC] [--verify off|sample:p|always] "
-                 "<in1> [in2 ...]\n");
+                 "[--scenario NAME] [--top-k K] <in1> [in2 ...]\n");
     return 2;
   }
 
@@ -514,6 +633,11 @@ int cmd_serve(int argc, char** argv) {
       request.backend = backend_spec.backend;
       request.slo = backend_spec.slo;
     }
+    // Scenario intent rides on every request: the server parses the
+    // name at dispatch (unknown names fail that request, not the
+    // whole command) and keys the result cache by scenario + top_k.
+    request.scenario = scenario_spec;
+    request.top_k = top_k;
     futures.push_back(server.submit(std::move(request)));
   }
 
@@ -592,7 +716,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: hsvd [--threads N] [--shards S] "
-                 "<gen|svd|batch|dse|estimate|serve|route> ...\n"
+                 "<gen|svd|batch|dse|estimate|serve|route|update> ...\n"
                  "run a subcommand without arguments for its usage\n");
     return 2;
   }
@@ -608,6 +732,7 @@ int main(int argc, char** argv) {
     if (cmd == "estimate") return cmd_estimate(argc - 1, argv + 1);
     if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
     if (cmd == "route") return cmd_route(argc - 1, argv + 1);
+    if (cmd == "update") return cmd_update(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -20,6 +20,7 @@
 //               [--coalesce N] [--coalesce-window-ms W]
 //               [--qos-csv file.csv] [--silent-rate P]
 //               [--attest off|sample:p|always] [--backend SPEC]
+//               [--scenario-rate P]
 //
 // --chaos P       fraction of requests carrying an injected fault plan
 //                 (default 0.3; each chaotic request gets its own
@@ -44,6 +45,19 @@
 //                 failures feed each backend's error budget, and
 //                 quarantined backends stop winning routes until a
 //                 half-open probe verifies clean.
+//
+// Workload-scenario traffic (DESIGN.md section 16):
+//
+// --scenario-rate P fraction of requests tagged as scenario traffic,
+//                 alternating deterministically between a tall-skinny
+//                 payload (aspect ratio 8, engaging the QR
+//                 pre-reduction under scenario "auto") and a truncated
+//                 top-k query on the standard payload. Scenario
+//                 requests dispatch solo and cache under
+//                 scenario-qualified keys; they are kept chaos-free so
+//                 the --verify gate covers them, replaying each
+//                 success against a reference carrying the same
+//                 scenario options.
 // --burst         submit everything at once instead of keeping a
 //                 sliding window of queue-capacity requests in flight
 //                 (maximizes load-shedding instead of minimizing it).
@@ -288,6 +302,8 @@ int main(int argc, char** argv) {
   std::string qos_csv_path;
   // Verified-compute scenario.
   double silent_rate = 0.0;
+  // Workload-scenario traffic.
+  double scenario_rate = 0.0;
   std::string attest_spec;
   backend::BackendSpec backend_spec;
   bool backend_set = false;
@@ -347,6 +363,8 @@ int main(int argc, char** argv) {
       qos_csv_path = argv[++i];
     } else if (arg == "--silent-rate" && has_value) {
       silent_rate = std::atof(argv[++i]);
+    } else if (arg == "--scenario-rate" && has_value) {
+      scenario_rate = std::atof(argv[++i]);
     } else if (arg == "--attest" && has_value) {
       attest_spec = argv[++i];
     } else if (arg == "--backend" && has_value) {
@@ -367,7 +385,7 @@ int main(int argc, char** argv) {
           "[--dup P] [--dup-pool N] [--cache N] [--coalesce N] "
           "[--coalesce-window-ms W] [--qos-csv file.csv] "
           "[--silent-rate P] [--attest off|sample:p|always] "
-          "[--backend SPEC]\n");
+          "[--backend SPEC] [--scenario-rate P]\n");
       return 0;
     } else {
       std::fprintf(stderr, "soak_server: unknown argument %s\n", arg.c_str());
@@ -425,6 +443,11 @@ int main(int argc, char** argv) {
 
   const FaultSurfaces surfaces = harvest_surfaces(config);
 
+  // Truncation rank for scenario-tagged top-k queries: well inside the
+  // pinned 16-column spectrum so the sketch subspace converges at the
+  // soak's iteration budget.
+  constexpr std::size_t kScenarioTopK = 4;
+
   obs::ObsContext observer;
   serve::ServerOptions options;
   options.queue_capacity = queue;
@@ -458,6 +481,8 @@ int main(int argc, char** argv) {
 
   std::vector<bool> chaotic(requests, false);
   std::vector<bool> silent(requests, false);
+  // 0 = plain, 1 = tall-skinny payload, 2 = truncated top-k query.
+  std::vector<char> scenario_kind(requests, 0);
   std::vector<versal::FaultInjector*> request_injector(requests, nullptr);
   std::vector<serve::Response> responses(requests);
   std::vector<char> terminal(requests, 0);
@@ -506,6 +531,23 @@ int main(int argc, char** argv) {
         injectors.push_back(std::make_unique<versal::FaultInjector>(
             make_chaos_plan(surfaces, mix64(seed ^ (0x5107 + i)))));
         request.fault_injector = injectors.back().get();
+      } else if (scenario_rate > 0.0 &&
+                 unit_roll(mix64(seed ^ (0x5ce9 + i))) < scenario_rate) {
+        // Scenario traffic is kept chaos-free: it exercises the
+        // front-end dispatch, solo scheduling, and scenario-qualified
+        // cache keys, and the --verify gate below holds it to
+        // bit-identical replays.
+        if (mix64(seed ^ (0x7a11 + i)) & 1) {
+          // Tall-skinny payload at the auto-engagement ratio: the
+          // pinned config re-derives rows/cols per call, so the 8x
+          // aspect only changes the host QR front-end, not the fabric.
+          scenario_kind[i] = 1;
+          request.matrix = make_matrix(config.cols * 8, config.cols, mseed);
+          request.scenario = "auto";
+        } else {
+          scenario_kind[i] = 2;
+          request.top_k = kScenarioTopK;
+        }
       }
       if (backend_set) {
         request.backend = backend_spec.backend;
@@ -563,6 +605,26 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.cache_misses),
                   fill,
                   static_cast<unsigned long long>(stats.batch_dispatches));
+    }
+    if (scenario_rate > 0.0) {
+      int tall = 0;
+      int tall_ok = 0;
+      int trunc = 0;
+      int trunc_ok = 0;
+      for (std::size_t i = 0; i < requests; ++i) {
+        const bool ok = responses[i].status == serve::ServeStatus::kOk;
+        if (scenario_kind[i] == 1) {
+          ++tall;
+          tall_ok += ok ? 1 : 0;
+        } else if (scenario_kind[i] == 2) {
+          ++trunc;
+          trunc_ok += ok ? 1 : 0;
+        }
+      }
+      std::printf(
+          "  scenarios: tall-skinny %d (%d ok)  truncated top-%zu %d (%d "
+          "ok)\n",
+          tall, tall_ok, kScenarioTopK, trunc, trunc_ok);
     }
 
     int violations = 0;
@@ -738,9 +800,17 @@ int main(int argc, char** argv) {
         if (backend_set && !responses[i].backend.empty()) {
           per_request.backend = responses[i].backend;
         }
-        const Svd reference = svd(
-            make_matrix(config.rows, config.cols, matrix_seed[i]),
-            per_request);
+        // Scenario-tagged requests replay with the same scenario
+        // intent: the tall payload re-derives its shape from the
+        // recorded seed, and a top-k query pins the same rank --
+        // otherwise the reference factors would not even share the
+        // served result's dimensions.
+        if (scenario_kind[i] == 2) per_request.top_k = kScenarioTopK;
+        const linalg::MatrixF reference_matrix =
+            scenario_kind[i] == 1
+                ? make_matrix(config.cols * 8, config.cols, matrix_seed[i])
+                : make_matrix(config.rows, config.cols, matrix_seed[i]);
+        const Svd reference = svd(reference_matrix, per_request);
         ++checked;
         if (!same_matrix(responses[i].result.u, reference.u) ||
             responses[i].result.sigma != reference.sigma ||
